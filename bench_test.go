@@ -1,0 +1,550 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper's evaluation (see DESIGN.md's experiment index) plus the
+// ablations of the reproduction's own design choices. Benchmarks report the
+// experiment's counters via b.ReportMetric so `go test -bench` output
+// doubles as the numbers recorded in EXPERIMENTS.md.
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/cminor"
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/interp"
+	"repro/internal/lambda"
+	"repro/internal/logic"
+	"repro/internal/qdl"
+	"repro/internal/quals"
+	"repro/internal/simplify"
+	"repro/internal/soundness"
+)
+
+// ---- Table 1: the nonnull experiment ----
+
+func BenchmarkTable1Nonnull(b *testing.B) {
+	var row experiments.Table1Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(row.Lines), "lines")
+	b.ReportMetric(float64(row.Dereferences), "derefs")
+	b.ReportMetric(float64(row.Annotations), "annotations")
+	b.ReportMetric(float64(row.Casts), "casts")
+	b.ReportMetric(float64(row.Errors), "errors")
+}
+
+// ---- Table 2: the untainted experiment ----
+
+func BenchmarkTable2Untainted(b *testing.B) {
+	var rows []experiments.Table2Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Errors), r.Program+"_errors")
+		b.ReportMetric(float64(r.Annotations), r.Program+"_annotations")
+	}
+}
+
+func BenchmarkTable2UntaintedPerProgram(b *testing.B) {
+	reg, err := quals.TaintWithConstants()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []corpus.Program{corpus.Bftpd(), corpus.Mingetty(), corpus.Identd()} {
+		b.Run(p.Name, func(b *testing.B) {
+			prog, err := cminor.Parse(p.Name+".c", p.Source, reg.Names())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				checker.Check(prog, reg)
+			}
+		})
+	}
+}
+
+// ---- Section 6.2: uniqueness ----
+
+func BenchmarkUniquenessGrep(b *testing.B) {
+	var r experiments.UniquenessResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Uniqueness()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.ValidatedRefs), "validated_refs")
+	b.ReportMetric(float64(r.Errors), "errors")
+}
+
+// ---- Section 4: soundness-checking times, one sub-benchmark per qualifier ----
+
+func BenchmarkSoundness(b *testing.B) {
+	reg, err := quals.Standard()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range reg.SortedNames() {
+		b.Run(name, func(b *testing.B) {
+			d := reg.Lookup(name)
+			for i := 0; i < b.N; i++ {
+				rep, err := soundness.Prove(d, reg, soundness.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Sound() {
+					b.Fatalf("%s not sound", name)
+				}
+			}
+		})
+	}
+}
+
+// ---- Section 6: qualifier-checking (compile-time) overhead ----
+
+func BenchmarkQualifierCheckingTime(b *testing.B) {
+	std, err := quals.Standard()
+	if err != nil {
+		b.Fatal(err)
+	}
+	taint, err := quals.TaintWithConstants()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		p   corpus.Program
+		reg *qdl.Registry
+	}{
+		{corpus.GrepDFA(), std},
+		{corpus.Bftpd(), taint},
+		{corpus.Mingetty(), taint},
+		{corpus.Identd(), taint},
+	}
+	for _, c := range cases {
+		b.Run(c.p.Name, func(b *testing.B) {
+			prog, err := cminor.Parse(c.p.Name+".c", c.p.Source, c.reg.Names())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				checker.Check(prog, c.reg)
+			}
+		})
+	}
+}
+
+// ---- Sections 2.1.3/2.2.3: mutation detection ----
+
+func BenchmarkSoundnessMutations(b *testing.B) {
+	var rows []experiments.MutationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Mutations()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	caught := 0
+	for _, r := range rows {
+		if r.Caught {
+			caught++
+		}
+	}
+	b.ReportMetric(float64(caught), "caught")
+	b.ReportMetric(float64(len(rows)), "mutations")
+}
+
+// ---- Figures 2 and 6: the running examples ----
+
+func BenchmarkFigure2Lcm(b *testing.B) {
+	reg, err := quals.Standard()
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := `
+int pos gcd(int pos n, int pos m);
+int pos lcm(int pos a, int pos b) {
+  int pos d;
+  d = gcd(a, b);
+  int pos prod = a * b;
+  return (int pos) (prod / d);
+}
+`
+	prog, err := cminor.Parse("lcm.c", src, reg.Names())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := checker.Check(prog, reg)
+		if len(res.Diags) != 0 {
+			b.Fatalf("lcm produced diagnostics: %v", res.Diags)
+		}
+	}
+}
+
+func BenchmarkFigure6MakeArray(b *testing.B) {
+	reg, err := qdl.Load(map[string]string{"unique.qdl": quals.Unique})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := `
+int* unique array;
+void make_array(int n) {
+  array = (int*)malloc(sizeof(int) * n);
+  for (int i = 0; i < n; i++) array[i] = i;
+}
+`
+	prog, err := cminor.Parse("make_array.c", src, reg.Names())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := checker.Check(prog, reg)
+		if len(res.Diags) != 0 {
+			b.Fatalf("make_array produced diagnostics: %v", res.Diags)
+		}
+	}
+}
+
+// ---- End-to-end execution of the corpus ----
+
+func BenchmarkInterpGrepDFA(b *testing.B) {
+	reg, err := quals.Standard()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := corpus.GrepDFA()
+	prog, err := cminor.Parse(p.Name+".c", p.Source, reg.Names())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := interp.Run(prog, reg, interp.Options{RuntimeChecks: true})
+		if err != nil || res.Exit != 0 {
+			b.Fatalf("run failed: %v exit=%d", err, res.Exit)
+		}
+	}
+}
+
+func BenchmarkParseGrepDFA(b *testing.B) {
+	reg, err := quals.Standard()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := corpus.GrepDFA()
+	names := reg.Names()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cminor.Parse(p.Name+".c", p.Source, names); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablations (DESIGN.md) ----
+
+// BenchmarkAblationInstantiationDepth varies the prover's instantiation
+// round budget on the hardest obligation set (unique): too few rounds lose
+// proofs, more rounds cost time.
+func BenchmarkAblationInstantiationDepth(b *testing.B) {
+	reg, err := quals.Standard()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := reg.Lookup("unique")
+	for _, rounds := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("rounds=%d", rounds), func(b *testing.B) {
+			opts := soundness.DefaultOptions()
+			opts.Prover.MaxRounds = rounds
+			sound := 0
+			for i := 0; i < b.N; i++ {
+				rep, err := soundness.Prove(d, reg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sound = 0
+				for _, r := range rep.Results {
+					if r.Valid {
+						sound++
+					}
+				}
+			}
+			b.ReportMetric(float64(sound), "obligations_proved")
+		})
+	}
+}
+
+// BenchmarkAblationQualDerivationDepth measures the checker's qualifier
+// fixpoint on derivation chains of growing depth (x1 = a*a; x2 = x1*x1; ...).
+func BenchmarkAblationQualDerivationDepth(b *testing.B) {
+	reg, err := quals.Standard()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, depth := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			var sb strings.Builder
+			sb.WriteString("void f(int pos a) {\n  int pos x0 = a * a;\n")
+			for i := 1; i < depth; i++ {
+				fmt.Fprintf(&sb, "  int pos x%d = x%d * x%d;\n", i, i-1, i-1)
+			}
+			sb.WriteString("}\n")
+			prog, err := cminor.Parse("deep.c", sb.String(), reg.Names())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := checker.Check(prog, reg)
+				if len(res.Diags) != 0 {
+					b.Fatalf("diagnostics: %v", res.Diags)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCongruenceChain measures the EUF engine on equality
+// chains of growing length (a0=a1, ..., an-1=an |- f(a0)=f(an)).
+func BenchmarkAblationCongruenceChain(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			var hyps []logic.Formula
+			for i := 0; i < n; i++ {
+				hyps = append(hyps, logic.Eq(logic.Const(fmt.Sprintf("a%d", i)), logic.Const(fmt.Sprintf("a%d", i+1))))
+			}
+			goal := logic.Imp(logic.Conj(hyps...),
+				logic.Eq(logic.Fn("f", logic.Const("a0")), logic.Fn("f", logic.Const(fmt.Sprintf("a%d", n)))))
+			p := simplify.New(nil, simplify.DefaultOptions())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if out := p.Prove(goal); out.Result != simplify.Valid {
+					b.Fatalf("chain not proved: %s", out)
+				}
+			}
+		})
+	}
+}
+
+// ---- Prover micro-benchmarks on the paper's flagship obligations ----
+
+func BenchmarkProverPosMultiplication(b *testing.B) {
+	f, err := logic.ParseFormula("(IMPLIES (AND (> x 0) (> y 0)) (> (* x y) 0))")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := simplify.New(nil, simplify.DefaultOptions())
+	for i := 0; i < b.N; i++ {
+		if out := p.Prove(f); out.Result != simplify.Valid {
+			b.Fatal(out)
+		}
+	}
+}
+
+func BenchmarkProverSelectStore(b *testing.B) {
+	axioms := []string{
+		"(FORALL (m k v) (EQ (select (store m k v) k) v))",
+		"(FORALL (m k v k2) (OR (EQ k2 k) (EQ (select (store m k v) k2) (select m k2))))",
+	}
+	var axs []logic.Formula
+	for _, a := range axioms {
+		f, err := logic.ParseFormula(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		axs = append(axs, f)
+	}
+	goal, err := logic.ParseFormula(
+		"(IMPLIES (AND (NEQ b a) (NEQ b c)) (EQ (select (store (store m0 a 5) c 7) b) (select m0 b)))")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := simplify.New(axs, simplify.DefaultOptions())
+	for i := 0; i < b.N; i++ {
+		if out := p.Prove(goal); out.Result != simplify.Valid {
+			b.Fatal(out)
+		}
+	}
+}
+
+// ---- Section 8 extension: qualifier inference ----
+
+func BenchmarkInference(b *testing.B) {
+	var row experiments.InferenceRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = experiments.Inference()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(row.WarningsBefore), "warnings_before")
+	b.ReportMetric(float64(row.Inferred), "inferred")
+	b.ReportMetric(float64(row.WarningsAfter), "warnings_after")
+}
+
+// BenchmarkInferenceGrepDFA runs inference over the largest corpus subject
+// with all three integer qualifiers.
+func BenchmarkInferenceGrepDFA(b *testing.B) {
+	reg, err := quals.Standard()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := corpus.GrepDFA()
+	for i := 0; i < b.N; i++ {
+		prog, err := cminor.Parse(p.Name+".c", p.Source, reg.Names())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := checker.Infer(prog, reg, []string{"pos", "neg", "nonzero"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlowSensitivity compares checking cost with and without the
+// flow-sensitive refinement extension on the guarded-dereference subject.
+func BenchmarkFlowSensitivity(b *testing.B) {
+	for _, mode := range []bool{false, true} {
+		name := "insensitive"
+		if mode {
+			name = "sensitive"
+		}
+		b.Run(name, func(b *testing.B) {
+			warnings := 0
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Flow()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode {
+					warnings = r.WarningsSensitive
+				} else {
+					warnings = r.WarningsInsensitive
+				}
+			}
+			b.ReportMetric(float64(warnings), "warnings")
+		})
+	}
+}
+
+// ---- Section 5: the formalization ----
+
+// BenchmarkTheorem51Preservation runs the executable preservation theorem
+// over a fixed batch of generated programs in the formal calculus.
+func BenchmarkTheorem51Preservation(b *testing.B) {
+	qs := lambda.StandardQuals()
+	c := &lambda.Checker{Quals: qs}
+	for i := 0; i < b.N; i++ {
+		checked, violations := 0, 0
+		for seed := int64(1); seed <= 200; seed++ {
+			prog := lambdaGenProgram(seed)
+			typ, err := c.CheckStmt(lambda.TypeEnv{}, prog)
+			if err != nil {
+				continue
+			}
+			checked++
+			ev := lambda.NewEvaluator(qs)
+			st := &lambda.Store{}
+			v, err := ev.EvalStmt(lambda.ValueEnv{}, lambda.TypeEnv{}, st, prog)
+			if err != nil {
+				violations++
+				continue
+			}
+			if lambda.Conforms(qs, st, v, typ, 0) != nil || lambda.StoreConforms(qs, st) != nil {
+				violations++
+			}
+		}
+		if violations != 0 {
+			b.Fatalf("%d preservation violations", violations)
+		}
+		b.ReportMetric(float64(checked), "well_typed")
+	}
+}
+
+// lambdaGenProgram deterministically builds a small formal-calculus program
+// from a seed (a compact clone of the lambda package's test generator).
+func lambdaGenProgram(seed int64) lambda.Stmt {
+	next := func() int64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		v := seed >> 33
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	var expr func(depth int, vars []string) lambda.Expr
+	expr = func(depth int, vars []string) lambda.Expr {
+		if depth <= 0 {
+			return lambda.EInt{V: next()%15 - 7}
+		}
+		switch next() % 4 {
+		case 0:
+			return lambda.EBinop{Op: lambda.OpAdd, L: expr(depth-1, vars), R: expr(depth-1, vars)}
+		case 1:
+			return lambda.EBinop{Op: lambda.OpMul, L: expr(depth-1, vars), R: expr(depth-1, vars)}
+		case 2:
+			if len(vars) > 0 {
+				return lambda.EVar{X: vars[next()%int64(len(vars))]}
+			}
+			return lambda.EInt{V: next()%9 + 1}
+		default:
+			return lambda.ENeg{E: expr(depth-1, vars)}
+		}
+	}
+	var stmt func(depth int, vars []string) lambda.Stmt
+	stmt = func(depth int, vars []string) lambda.Stmt {
+		if depth <= 0 {
+			return lambda.SExpr{E: expr(2, vars)}
+		}
+		name := fmt.Sprintf("v%d", len(vars))
+		var ann lambda.Type
+		if next()%2 == 0 {
+			ann = lambda.Qual(lambda.TInt{}, "pos")
+		}
+		return lambda.SLet{X: name, Ann: ann, S1: lambda.SExpr{E: expr(2, vars)},
+			S2: stmt(depth-1, append(vars, name))}
+	}
+	return stmt(3, nil)
+}
+
+// ---- Figures 1, 3, 4, 5, 7, 12: the qualifier definitions themselves ----
+
+// BenchmarkFigureDefinitions parses, validates, and proves every figure's
+// qualifier definition (the full standard library).
+func BenchmarkFigureDefinitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reg, err := quals.Standard()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reports, err := soundness.ProveAll(reg, soundness.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range reports {
+			if !r.Sound() {
+				b.Fatalf("%s not sound", r.Qualifier)
+			}
+		}
+	}
+}

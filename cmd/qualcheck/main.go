@@ -1,0 +1,163 @@
+// Command qualcheck is the extensible typechecker's CLI (the counterpart of
+// the paper's CIL module): it loads qualifier definitions, typechecks a
+// cminor program against their type rules, and prints any warnings.
+//
+// Usage:
+//
+//	qualcheck [-quals file.qdl ...] [-taint] [-stats] program.c
+//	qualcheck -corpus grep-dfa|bftpd|bftpd-fixed|mingetty|identd [-stats]
+//
+// Without -quals, the standard qualifier library (pos, neg, nonzero,
+// nonnull, tainted, untainted, unique, unaliased) is loaded; -taint loads
+// the section 6.3 taintedness configuration instead (untainted with the
+// constants-are-trusted clause, plus tainted).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/checker"
+	"repro/internal/cminor"
+	"repro/internal/corpus"
+	"repro/internal/qdl"
+	"repro/internal/quals"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var qualFiles stringList
+	flag.Var(&qualFiles, "quals", "qualifier definition file (repeatable; default: standard library)")
+	taint := flag.Bool("taint", false, "use the taintedness configuration (untainted with constant case, tainted)")
+	stats := flag.Bool("stats", false, "print checking statistics")
+	corpusName := flag.String("corpus", "", "check a built-in corpus program instead of a file")
+	infer := flag.String("infer", "", "comma-separated value qualifiers to infer before checking (section 8 extension)")
+	flow := flag.Bool("flow", false, "enable flow-sensitive refinement of branch conditions (section 8 extension)")
+	header := flag.String("header", "", "prepend alternate library signatures from this file (section 3.3's header replacement)")
+	flag.Parse()
+
+	reg, err := loadRegistry(qualFiles, *taint)
+	if err != nil {
+		fatal(err)
+	}
+
+	var name, source string
+	switch {
+	case *corpusName != "":
+		p, ok := findCorpus(*corpusName)
+		if !ok {
+			fatal(fmt.Errorf("unknown corpus program %q", *corpusName))
+		}
+		name, source = p.Name+".c", p.Source
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		name, source = flag.Arg(0), string(data)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *header != "" {
+		data, err := os.ReadFile(*header)
+		if err != nil {
+			fatal(err)
+		}
+		// Annotated library prototypes come first so they take precedence
+		// over the program's own unannotated declarations.
+		source = string(data) + "\n" + source
+	}
+	prog, err := cminor.Parse(name, source, reg.Names())
+	if err != nil {
+		fatal(err)
+	}
+	if *infer != "" {
+		inferred, err := checker.Infer(prog, reg, strings.Split(*infer, ","))
+		if err != nil {
+			fatal(err)
+		}
+		for _, a := range inferred {
+			fmt.Println("inferred:", a)
+		}
+	}
+	res := checker.CheckWith(prog, reg, checker.Options{FlowSensitive: *flow})
+	for _, d := range res.Diags {
+		fmt.Println(d)
+	}
+	if *stats {
+		printStats(res)
+	}
+	if len(res.Diags) == 0 {
+		fmt.Printf("%s: no qualifier warnings\n", name)
+	} else {
+		fmt.Printf("%s: %d warning(s)\n", name, len(res.Diags))
+		os.Exit(1)
+	}
+}
+
+func loadRegistry(files stringList, taint bool) (*qdl.Registry, error) {
+	if len(files) > 0 {
+		sources := map[string]string{}
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			sources[f] = string(data)
+		}
+		return qdl.Load(sources)
+	}
+	if taint {
+		return quals.TaintWithConstants()
+	}
+	return quals.Standard()
+}
+
+func findCorpus(name string) (corpus.Program, bool) {
+	all := append(corpus.All(), corpus.BftpdFixed(), corpus.BftpdExploit())
+	for _, p := range all {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return corpus.Program{}, false
+}
+
+func printStats(res *checker.Result) {
+	fmt.Printf("dereferences: %d\n", res.Stats.Dereferences)
+	fmt.Printf("restrict checks: %d (%d failed)\n", res.Stats.RestrictChecks, res.Stats.RestrictFailures)
+	keys := make([]string, 0, len(res.Stats.Annotations))
+	for k := range res.Stats.Annotations {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("annotations[%s]: %d\n", k, res.Stats.Annotations[k])
+	}
+	keys = keys[:0]
+	for k := range res.Stats.QualCasts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("casts[%s]: %d\n", k, res.Stats.QualCasts[k])
+	}
+	fmt.Printf("value-qualified casts to instrument: %d\n", len(res.Casts))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qualcheck:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,97 @@
+// Command qualprove is the automated soundness checker's CLI (section 4):
+// it generates the proof obligations for each qualifier definition and
+// discharges them with the built-in simplify prover.
+//
+// Usage:
+//
+//	qualprove [-v] [file.qdl ...]           prove definitions from files
+//	qualprove [-v]                          prove the standard library
+//	qualprove -goal '(IMPLIES (> x 0) ...)' prove one raw formula
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/logic"
+	"repro/internal/qdl"
+	"repro/internal/quals"
+	"repro/internal/simplify"
+	"repro/internal/soundness"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print each obligation formula")
+	goal := flag.String("goal", "", "prove a single Simplify-style formula against the semantics axioms")
+	rounds := flag.Int("rounds", 0, "override the prover's instantiation round budget")
+	flag.Parse()
+
+	opts := soundness.DefaultOptions()
+	if *rounds > 0 {
+		opts.Prover.MaxRounds = *rounds
+	}
+
+	if *goal != "" {
+		f, err := logic.ParseFormula(*goal)
+		if err != nil {
+			fatal(err)
+		}
+		prover := simplify.New(soundness.Axioms(), opts.Prover)
+		start := time.Now()
+		out := prover.Prove(f)
+		fmt.Printf("%s in %v\n", out, time.Since(start).Round(time.Microsecond))
+		if out.Result != simplify.Valid {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var reg *qdl.Registry
+	var err error
+	if flag.NArg() == 0 {
+		reg, err = quals.Standard()
+	} else {
+		sources := map[string]string{}
+		for _, f := range flag.Args() {
+			data, rerr := os.ReadFile(f)
+			if rerr != nil {
+				fatal(rerr)
+			}
+			sources[f] = string(data)
+		}
+		reg, err = qdl.Load(sources)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	allSound := true
+	for _, d := range reg.Defs() {
+		report, err := soundness.Prove(d, reg, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report)
+		if *verbose {
+			obls, _ := soundness.Obligations(d, reg)
+			for _, o := range obls {
+				if !o.Vacuous {
+					fmt.Printf("    %s\n", o.Formula)
+				}
+			}
+		}
+		if !report.Sound() {
+			allSound = false
+		}
+	}
+	if !allSound {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qualprove:", err)
+	os.Exit(2)
+}

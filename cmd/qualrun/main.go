@@ -1,0 +1,106 @@
+// Command qualrun executes a cminor program under the instrumented
+// interpreter: casts to value-qualified types carry run-time checks of the
+// qualifier's invariant (section 2.1.3), and a failed check is a fatal
+// error.
+//
+// Usage:
+//
+//	qualrun [-quals file.qdl ...] [-taint] [-nochecks] program.c
+//	qualrun -corpus grep-dfa|bftpd|bftpd-exploit|bftpd-fixed|mingetty|identd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cminor"
+	"repro/internal/corpus"
+	"repro/internal/interp"
+	"repro/internal/qdl"
+	"repro/internal/quals"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var qualFiles stringList
+	flag.Var(&qualFiles, "quals", "qualifier definition file (repeatable; default: standard library)")
+	taint := flag.Bool("taint", false, "use the taintedness configuration")
+	noChecks := flag.Bool("nochecks", false, "disable instrumented qualifier checks")
+	corpusName := flag.String("corpus", "", "run a built-in corpus program")
+	flag.Parse()
+
+	var reg *qdl.Registry
+	var err error
+	switch {
+	case len(qualFiles) > 0:
+		sources := map[string]string{}
+		for _, f := range qualFiles {
+			data, rerr := os.ReadFile(f)
+			if rerr != nil {
+				fatal(rerr)
+			}
+			sources[f] = string(data)
+		}
+		reg, err = qdl.Load(sources)
+	case *taint:
+		reg, err = quals.TaintWithConstants()
+	default:
+		reg, err = quals.Standard()
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var name, source string
+	switch {
+	case *corpusName != "":
+		found := false
+		for _, p := range append(corpus.All(), corpus.BftpdFixed(), corpus.BftpdExploit()) {
+			if p.Name == *corpusName {
+				name, source, found = p.Name+".c", p.Source, true
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("unknown corpus program %q", *corpusName))
+		}
+	case flag.NArg() == 1:
+		data, rerr := os.ReadFile(flag.Arg(0))
+		if rerr != nil {
+			fatal(rerr)
+		}
+		name, source = flag.Arg(0), string(data)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	prog, err := cminor.Parse(name, source, reg.Names())
+	if err != nil {
+		fatal(err)
+	}
+	res, err := interp.Run(prog, reg, interp.Options{
+		Stdout:        os.Stdout,
+		RuntimeChecks: !*noChecks,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if res.Failure != nil {
+		fmt.Fprintln(os.Stderr, res.Failure.Error())
+		os.Exit(134)
+	}
+	os.Exit(int(res.Exit))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qualrun:", err)
+	os.Exit(2)
+}

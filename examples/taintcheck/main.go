@@ -1,0 +1,75 @@
+// Taintcheck: the section 6.3 format-string experiment end to end on the
+// bftpd subject.
+//
+//  1. Load the taintedness qualifiers (untainted with the
+//     constants-are-trusted clause, plus tainted).
+//  2. Typecheck bftpd: exactly one warning — the directory entry name used
+//     as sendstrf's format string, the real bftpd 1.0.x vulnerability.
+//  3. Demonstrate the bug is real: with a hostile file name planted, the
+//     server crashes reading absent varargs.
+//  4. Apply the historical fix and show both the checker and the runtime
+//     are satisfied.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/checker"
+	"repro/internal/cminor"
+	"repro/internal/corpus"
+	"repro/internal/interp"
+	"repro/internal/quals"
+)
+
+func main() {
+	reg, err := quals.TaintWithConstants()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== static detection ==")
+	p := corpus.Bftpd()
+	prog, err := cminor.Parse(p.Name+".c", p.Source, reg.Names())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := checker.Check(prog, reg)
+	for _, d := range res.Diags {
+		fmt.Println(d)
+	}
+	fmt.Printf("bftpd: %d warning(s)\n", len(res.Diags))
+
+	fmt.Println("\n== the bug is exploitable ==")
+	exploit := corpus.BftpdExploit()
+	eprog, err := cminor.Parse(exploit.Name+".c", exploit.Source, reg.Names())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := interp.Run(eprog, reg, interp.Options{}); err != nil {
+		fmt.Println("server crashed:", err)
+	} else {
+		fmt.Println("unexpected: the exploit did not crash")
+	}
+
+	fmt.Println("\n== after the fix ==")
+	fixed := corpus.BftpdFixed()
+	// Plant the same hostile file name against the fixed server.
+	fixed.Source = strings.Replace(fixed.Source, "int exploit_mode = 0;", "int exploit_mode = 1;", 1)
+	fprog, err := cminor.Parse(fixed.Name+".c", fixed.Source, reg.Names())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fres := checker.Check(fprog, reg)
+	fmt.Printf("bftpd-fixed: %d warning(s)\n", len(fres.Diags))
+	out, err := interp.Run(fprog, reg, interp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(out.Output, "\n") {
+		if strings.Contains(line, "exploit") {
+			fmt.Println("served safely:", line)
+		}
+	}
+}

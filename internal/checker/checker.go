@@ -1,0 +1,747 @@
+package checker
+
+import (
+	"fmt"
+
+	"repro/internal/cminor"
+	"repro/internal/qdl"
+)
+
+// Diagnostic is a qualifier-checking warning. Code classifies the rule that
+// fired: "base" (ordinary typechecking), "qual" (missing value qualifier),
+// "restrict", "assign", "disallow", "addrof", or "annotation".
+type Diagnostic struct {
+	Pos  cminor.Pos
+	Code string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Code, d.Msg)
+}
+
+// Stats aggregates the counts the paper's evaluation tables report.
+type Stats struct {
+	// Dereferences is the number of dereference sites (including desugared
+	// array indexing), the denominator of Table 1.
+	Dereferences int
+	// Annotations counts qualifier occurrences in declared types, per
+	// qualifier name.
+	Annotations map[string]int
+	// QualCasts counts casts to types carrying each qualifier.
+	QualCasts map[string]int
+	// RefUses counts r-value occurrences of each reference-qualified
+	// variable (the "references validated" count of section 6.2 when the
+	// program checks cleanly).
+	RefUses map[string]int
+	// RestrictChecks / RestrictFailures count restrict-clause applications.
+	RestrictChecks   int
+	RestrictFailures int
+}
+
+// Result is the outcome of qualifier checking.
+type Result struct {
+	Diags []Diagnostic
+	// Casts lists casts to value-qualified types, for run-time check
+	// instrumentation (section 2.1.3).
+	Casts []*cminor.Cast
+	Stats Stats
+	Info  *cminor.TypeInfo
+}
+
+// Errors returns the diagnostics with the given codes (all when none given).
+func (r *Result) Errors(codes ...string) []Diagnostic {
+	if len(codes) == 0 {
+		return r.Diags
+	}
+	want := map[string]bool{}
+	for _, c := range codes {
+		want[c] = true
+	}
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if want[d.Code] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+type engine struct {
+	reg   *qdl.Registry
+	info  *cminor.TypeInfo
+	prog  *cminor.Program
+	memo  map[cminor.Expr]map[string]bool
+	diags []Diagnostic
+	stats Stats
+	curFn *cminor.FuncDef
+
+	// Flow-sensitivity state (the section 8 extension; see flow.go). env is
+	// the current refinement environment; it stays empty when flow is off.
+	flow        bool
+	env         refEnv
+	addrTaken   map[string]bool
+	globalNames map[string]bool
+
+	// Precomputed restrict clauses, applied during the statement walk.
+	rExprClauses  []rclause
+	rDerefClauses []rclause
+
+	// freshMemo caches returnsFresh results keyed by "fn|qual"; entries in
+	// progress are pinned false (least fixpoint: recursion must bottom out
+	// in a syntactically fresh return).
+	freshMemo map[string]bool
+}
+
+type rclause struct {
+	def *qdl.Def
+	cl  qdl.Clause
+}
+
+// Options configures qualifier checking.
+type Options struct {
+	// FlowSensitive enables branch-condition refinement (section 8): inside
+	// "if (x != NULL)" the variable x additionally carries every value
+	// qualifier whose invariant the condition implies.
+	FlowSensitive bool
+}
+
+// Check performs qualifier checking of prog against the registry's type
+// rules and returns diagnostics, instrumentation points, and statistics.
+func Check(prog *cminor.Program, reg *qdl.Registry) *Result {
+	return CheckWith(prog, reg, Options{})
+}
+
+// CheckWith is Check with explicit options.
+func CheckWith(prog *cminor.Program, reg *qdl.Registry, opts Options) *Result {
+	info, baseDiags := cminor.TypeCheck(prog)
+	en := &engine{
+		reg:  reg,
+		info: info,
+		prog: prog,
+		memo: map[cminor.Expr]map[string]bool{},
+		flow: opts.FlowSensitive,
+		env:  refEnv{},
+		stats: Stats{
+			Annotations: map[string]int{},
+			QualCasts:   map[string]int{},
+			RefUses:     map[string]int{},
+		},
+	}
+	en.prepareFlow()
+	for _, d := range baseDiags {
+		en.diags = append(en.diags, Diagnostic{Pos: d.Pos, Code: "base", Msg: d.Msg})
+	}
+	en.validateAnnotations()
+	en.checkProgram()
+	result := &Result{Diags: en.diags, Stats: en.stats, Info: info}
+	// Collect value-qualified casts for instrumentation and count stats.
+	cminor.Walk(prog, cminor.Visitor{
+		Expr: func(e cminor.Expr) {
+			if c, ok := e.(*cminor.Cast); ok {
+				for _, q := range cminor.QualsOf(c.Type) {
+					en.stats.QualCasts[q]++
+				}
+				if len(en.valueQualsOf(c.Type)) > 0 {
+					result.Casts = append(result.Casts, c)
+				}
+			}
+		},
+		LValue: func(lv cminor.LValue) {
+			if _, ok := lv.(*cminor.DerefLV); ok {
+				en.stats.Dereferences++
+			}
+			if v, ok := lv.(*cminor.VarLV); ok {
+				if def := info.VarDefs[v]; def != nil && len(en.refQualsOf(def.Type)) > 0 {
+					en.stats.RefUses[v.Name]++
+				}
+			}
+		},
+	})
+	result.Stats = en.stats
+	return result
+}
+
+func (en *engine) errorf(pos cminor.Pos, code, format string, args ...interface{}) {
+	en.diags = append(en.diags, Diagnostic{Pos: pos, Code: code, Msg: fmt.Sprintf(format, args...)})
+}
+
+// prepareFlow precomputes the address-taken and global-name sets used by
+// refinement (cheap even when flow is off; addrTaken also serves Infer's
+// exclusions in spirit).
+func (en *engine) prepareFlow() {
+	en.addrTaken = map[string]bool{}
+	en.globalNames = map[string]bool{}
+	for _, g := range en.prog.Globals {
+		en.globalNames[g.Name] = true
+	}
+	cminor.Walk(en.prog, cminor.Visitor{Expr: func(e cminor.Expr) {
+		if ao, ok := e.(*cminor.AddrOf); ok {
+			if v, ok := ao.LV.(*cminor.VarLV); ok {
+				en.addrTaken[v.Name] = true
+			}
+		}
+	}})
+}
+
+// ---- Annotation validation ----
+
+// validateAnnotations checks every qualifier occurrence in a declared type:
+// the qualifier's subject type pattern must match the type it annotates, and
+// Var-classified reference qualifiers may only annotate variables.
+func (en *engine) validateAnnotations() {
+	checkType := func(pos cminor.Pos, t cminor.Type, isVariable bool, what string) {
+		var walk func(t cminor.Type, top bool)
+		walk = func(t cminor.Type, top bool) {
+			switch t := t.(type) {
+			case cminor.QualType:
+				for _, q := range t.Quals {
+					en.stats.Annotations[q]++
+					d := en.reg.Lookup(q)
+					if d == nil {
+						en.errorf(pos, "annotation", "unknown qualifier %s on %s", q, what)
+						continue
+					}
+					b := newBindings()
+					if !en.matchTypePat(d.Subject.Type, t.Base, b) {
+						en.errorf(pos, "annotation", "qualifier %s applies to %s types, but annotates %s (%s)", q, d.Subject.Type, t.Base, what)
+					}
+					if d.Kind == qdl.RefQualifier && d.Subject.Classifier == qdl.ClassVar && (!top || !isVariable) {
+						en.errorf(pos, "annotation", "qualifier %s applies only to variables (%s)", q, what)
+					}
+				}
+				walk(t.Base, false)
+			case cminor.PointerType:
+				walk(t.Elem, false)
+			case cminor.ArrayType:
+				walk(t.Elem, false)
+			}
+		}
+		walk(t, true)
+	}
+	for _, g := range en.prog.Globals {
+		checkType(g.Pos, g.Type, true, "global "+g.Name)
+	}
+	for _, st := range en.prog.Structs {
+		for _, f := range st.Fields {
+			checkType(f.Pos, f.Type, false, "field "+st.Name+"."+f.Name)
+		}
+	}
+	for _, f := range en.prog.Funcs {
+		checkType(f.Pos, f.Result, false, "result of "+f.Name)
+		for _, p := range f.Params {
+			checkType(p.Pos, p.Type, true, "parameter "+p.Name)
+		}
+		if f.Body != nil {
+			cminor.WalkStmt(f.Body, cminor.Visitor{Decl: func(d *cminor.VarDecl) {
+				checkType(d.Pos, d.Type, true, "local "+d.Name)
+			}})
+		}
+	}
+}
+
+// ---- Main checking pass ----
+
+func (en *engine) checkProgram() {
+	// Precompute restrict clauses; they are applied to every expression and
+	// dereference during the statement walk below.
+	for _, d := range en.reg.Defs() {
+		for _, cl := range d.Restricts {
+			if _, ok := cl.Pat.(qdl.PDeref); ok {
+				en.rDerefClauses = append(en.rDerefClauses, rclause{d, cl})
+			} else {
+				en.rExprClauses = append(en.rExprClauses, rclause{d, cl})
+			}
+		}
+	}
+	for _, g := range en.prog.Globals {
+		if g.Init != nil {
+			en.visitExprTree(g.Init)
+			en.checkAssignTo(g.Pos, g.Type, g.Init, "initialization of "+g.Name)
+		}
+	}
+	for _, f := range en.prog.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		en.curFn = f
+		en.env = refEnv{}
+		en.checkStmt(f.Body)
+	}
+	en.curFn = nil
+	en.addrOfPass()
+}
+
+// checkStmt checks one statement under the current refinement environment,
+// leaving en.env updated with the statement's kills (but not with inner
+// branches' refinements).
+func (en *engine) checkStmt(s cminor.Stmt) {
+	switch s := s.(type) {
+	case *cminor.Block:
+		for _, inner := range s.Stmts {
+			en.checkStmt(inner)
+		}
+	case *cminor.DeclStmt:
+		if s.Decl.Init != nil {
+			en.visitExprTree(s.Decl.Init)
+			en.checkAssignTo(s.Pos, s.Decl.Type, s.Decl.Init, "initialization of "+s.Decl.Name)
+		}
+		delete(en.env, s.Decl.Name) // a fresh declaration shadows refinements
+	case *cminor.InstrStmt:
+		en.checkInstr(s.Instr)
+		en.env = en.applyKills(en.env, collectKills(s, en.info))
+	case *cminor.If:
+		en.visitExprTree(s.Cond)
+		saved := en.env
+		if en.flow {
+			en.env = saved.merge(en.refinementsFromCond(s.Cond, false))
+		}
+		en.checkStmt(s.Then)
+		thenKills := collectKills(s.Then, en.info)
+		var elseKills map[string]bool
+		if s.Else != nil {
+			en.env = saved
+			if en.flow {
+				en.env = saved.merge(en.refinementsFromCond(s.Cond, true))
+			}
+			en.checkStmt(s.Else)
+			elseKills = collectKills(s.Else, en.info)
+		}
+		after := saved
+		// Early-exit refinement: when the then-branch never falls through,
+		// the code after the if runs only under the negated condition.
+		if en.flow && s.Else == nil && terminates(s.Then) {
+			after = saved.merge(en.refinementsFromCond(s.Cond, true))
+		}
+		en.env = en.applyKills(en.applyKills(after, thenKills), elseKills)
+	case *cminor.While:
+		// Loop bodies run after arbitrary iterations: check cond and body
+		// under the environment weakened by everything the body may kill.
+		en.env = en.applyKills(en.env, collectKills(s.Body, en.info))
+		en.visitExprTree(s.Cond)
+		en.checkStmt(s.Body)
+	case *cminor.For:
+		if s.Init != nil {
+			en.checkStmt(s.Init)
+		}
+		kills := collectKills(s.Body, en.info)
+		if s.Post != nil {
+			for k, v := range collectKills(s.Post, en.info) {
+				if v {
+					kills[k] = true
+				}
+			}
+		}
+		en.env = en.applyKills(en.env, kills)
+		if s.Cond != nil {
+			en.visitExprTree(s.Cond)
+		}
+		if s.Post != nil {
+			en.checkStmt(s.Post)
+		}
+		en.checkStmt(s.Body)
+	case *cminor.Return:
+		if s.X != nil {
+			en.visitExprTree(s.X)
+		}
+		if s.X != nil && en.curFn != nil {
+			// Ownership transfer (the fresh extension): returning a
+			// ref-qualified local whose qualifier has a fresh assign rule
+			// is the sanctioned way to move a unique reference out, so the
+			// disallow-refer check does not apply to it (the rest of the
+			// assignment checks still do).
+			skipDisallow := false
+			if lve, ok := s.X.(*cminor.LVExpr); ok && en.freshTransferReturn(lve) {
+				skipDisallow = true
+			}
+			en.checkAssignToWith(s.Pos, en.curFn.Result, s.X, "return from "+en.curFn.Name, skipDisallow)
+		}
+	}
+}
+
+// visitExprTree applies the restrict rules to every expression and
+// dereference in e, under the current refinement environment.
+func (en *engine) visitExprTree(e cminor.Expr) {
+	cminor.WalkExpr(e, cminor.Visitor{
+		Expr:   en.restrictExpr,
+		LValue: en.restrictLValue,
+	})
+}
+
+// visitLValueTree applies the restrict rules inside an l-value (assignment
+// targets contain expressions too: indices and deref addresses).
+func (en *engine) visitLValueTree(lv cminor.LValue) {
+	cminor.WalkLValue(lv, cminor.Visitor{
+		Expr:   en.restrictExpr,
+		LValue: en.restrictLValue,
+	})
+}
+
+func (en *engine) restrictExpr(e cminor.Expr) {
+	if _, ok := e.(*cminor.LVExpr); ok {
+		return // l-values are matched via restrictLValue
+	}
+	for _, rc := range en.rExprClauses {
+		b := newBindings()
+		if !en.matchPattern(rc.def, rc.cl, rc.cl.Pat, e, b) {
+			continue
+		}
+		en.stats.RestrictChecks++
+		if rc.cl.Where != nil && !en.evalWhere(rc.cl.Where, b, nil, nil) {
+			en.stats.RestrictFailures++
+			en.errorf(e.Position(), "restrict", "%s violates qualifier %s's restrict rule: %s",
+				cminor.ExprString(e), rc.def.Name, rc.cl)
+		}
+	}
+}
+
+func (en *engine) restrictLValue(lv cminor.LValue) {
+	dlv, ok := lv.(*cminor.DerefLV)
+	if !ok {
+		return
+	}
+	for _, rc := range en.rDerefClauses {
+		pat := rc.cl.Pat.(qdl.PDeref)
+		vp, ok := declOf(rc.def, rc.cl, pat.Name)
+		if !ok {
+			continue
+		}
+		b := newBindings()
+		if !en.bindExpr(vp, dlv.Addr, b) {
+			continue
+		}
+		en.stats.RestrictChecks++
+		if rc.cl.Where != nil && !en.evalWhere(rc.cl.Where, b, nil, nil) {
+			en.stats.RestrictFailures++
+			en.errorf(dlv.Pos, "restrict", "dereference of %s violates qualifier %s's restrict rule: %s",
+				cminor.ExprString(dlv.Addr), rc.def.Name, rc.cl)
+		}
+	}
+}
+
+func (en *engine) checkInstr(in cminor.Instr) {
+	switch in := in.(type) {
+	case *cminor.Assign:
+		en.visitLValueTree(in.LHS)
+		en.visitExprTree(in.RHS)
+		lt := en.info.LVTypeOf(in.LHS)
+		en.checkNoAssign(in.Pos, lt, in.LHS)
+		en.checkAssignTo(in.Pos, lt, in.RHS, "assignment to "+cminor.LValueString(in.LHS))
+	case *cminor.CallInstr:
+		if in.LHS != nil {
+			en.visitLValueTree(in.LHS)
+		}
+		for _, a := range in.Args {
+			en.visitExprTree(a)
+		}
+		fn, ok := en.info.Funcs[in.Fn]
+		if !ok {
+			return // base diagnostics already cover it
+		}
+		sig := fn.Signature()
+		for i, a := range in.Args {
+			if i < len(sig.Params) {
+				en.checkAssignTo(a.Position(), sig.Params[i], a,
+					fmt.Sprintf("argument %d of %s", i+1, in.Fn))
+			} else {
+				// Variadic arguments still may not leak disallowed values.
+				en.disallowValueFlow(a, true)
+			}
+		}
+		if in.LHS != nil {
+			en.checkCallResult(in, sig.Result)
+		}
+	}
+}
+
+// checkNoAssign flags assignments to l-values carrying a noassign
+// reference qualifier (the const-style extension): their value is fixed at
+// declaration.
+func (en *engine) checkNoAssign(pos cminor.Pos, lt cminor.Type, lhs cminor.LValue) {
+	for _, q := range en.refQualsOf(lt) {
+		if en.reg.Lookup(q).NoAssign {
+			en.errorf(pos, "assign", "%s l-value %s may not be assigned after its declaration",
+				q, cminor.LValueString(lhs))
+		}
+	}
+}
+
+// checkCallResult checks the implicit assignment of a call's result to its
+// destination l-value.
+func (en *engine) checkCallResult(in *cminor.CallInstr, resultType cminor.Type) {
+	lt := en.info.LVTypeOf(in.LHS)
+	en.checkNoAssign(in.Pos, lt, in.LHS)
+	// Reference qualifiers with assign rules: a call result matches no
+	// syntactic pattern (the paper's section 6.2 hits exactly this for
+	// dfa's initialization) — unless a "fresh" assign clause is present and
+	// the callee provably returns a fresh reference (the section 2.2.1
+	// extension).
+	for _, q := range en.refQualsOf(lt) {
+		d := en.reg.Lookup(q)
+		if len(d.Assigns) == 0 {
+			continue
+		}
+		ok := false
+		for _, cl := range d.Assigns {
+			if _, isFresh := cl.Pat.(qdl.PFresh); isFresh && en.returnsFresh(in.Fn, q) {
+				ok = true
+			}
+		}
+		if !ok {
+			en.errorf(in.Pos, "assign",
+				"cannot validate assignment of %s's result to %s l-value %s: no assign rule matches a call result",
+				in.Fn, q, cminor.LValueString(in.LHS))
+		}
+	}
+	// Value qualifiers: the declared result type must carry them.
+	resultQuals := map[string]bool{}
+	for _, q := range en.valueQualsOf(resultType) {
+		resultQuals[q] = true
+	}
+	for _, q := range en.valueQualsOf(lt) {
+		if !resultQuals[q] {
+			en.errorf(in.Pos, "qual",
+				"result of %s (type %s) lacks qualifier %s required by %s",
+				in.Fn, resultType, q, cminor.LValueString(in.LHS))
+		}
+	}
+	en.checkDeepTypes(in.Pos, lt, resultType, "result of "+in.Fn)
+}
+
+// freshTransferReturn reports whether the returned l-value is a
+// ref-qualified local of a qualifier that declares a fresh assign rule.
+func (en *engine) freshTransferReturn(lve *cminor.LVExpr) bool {
+	v, ok := lve.LV.(*cminor.VarLV)
+	if !ok {
+		return false
+	}
+	def := en.info.VarDefs[v]
+	if def == nil || def.Kind != cminor.LocalVar {
+		return false
+	}
+	for _, q := range en.refQualsOf(def.Type) {
+		for _, cl := range en.reg.Lookup(q).Assigns {
+			if _, isFresh := cl.Pat.(qdl.PFresh); isFresh {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// returnsFresh reports whether every return of fn yields a fresh reference
+// for qualifier q: a q-qualified LOCAL variable (whose invariant holds and
+// whose stack cell — the only permitted reference — dies at the return), or
+// transitively the result of another fresh-returning call bound to such a
+// local. Parameters and globals do not qualify: their cells outlive the
+// call.
+func (en *engine) returnsFresh(fnName, q string) bool {
+	key := fnName + "|" + q
+	if v, ok := en.freshMemo[key]; ok {
+		return v
+	}
+	if en.freshMemo == nil {
+		en.freshMemo = map[string]bool{}
+	}
+	en.freshMemo[key] = false // pin recursive calls false
+	fn, ok := en.info.Funcs[fnName]
+	if !ok || fn.Body == nil {
+		return false
+	}
+	sawReturn := false
+	fresh := true
+	cminor.WalkStmt(fn.Body, cminor.Visitor{Stmt: func(s cminor.Stmt) {
+		ret, isRet := s.(*cminor.Return)
+		if !isRet || ret.X == nil {
+			return
+		}
+		sawReturn = true
+		lve, isLV := ret.X.(*cminor.LVExpr)
+		if !isLV {
+			fresh = false
+			return
+		}
+		v, isVar := lve.LV.(*cminor.VarLV)
+		if !isVar {
+			fresh = false
+			return
+		}
+		def := en.info.VarDefs[v]
+		if def == nil || def.Kind != cminor.LocalVar || !cminor.HasQual(def.Type, q) {
+			fresh = false
+		}
+	}})
+	result := sawReturn && fresh
+	en.freshMemo[key] = result
+	return result
+}
+
+// checkAssignTo checks an explicit or implicit assignment of rhs into a
+// location of declared type dst.
+func (en *engine) checkAssignTo(pos cminor.Pos, dst cminor.Type, rhs cminor.Expr, what string) {
+	en.checkAssignToWith(pos, dst, rhs, what, false)
+}
+
+// checkAssignToWith is checkAssignTo with the disallow flow check optionally
+// skipped (fresh ownership-transfer returns).
+func (en *engine) checkAssignToWith(pos cminor.Pos, dst cminor.Type, rhs cminor.Expr, what string, skipDisallow bool) {
+	// Reference qualifiers on the destination: the right-hand side must
+	// match one of the qualifier's assign clauses (when it declares any).
+	for _, q := range en.refQualsOf(dst) {
+		d := en.reg.Lookup(q)
+		if len(d.Assigns) == 0 {
+			continue // ondecl-style qualifiers accept any type-correct value
+		}
+		if !en.matchesAssignClauses(d, dst, rhs) {
+			en.errorf(pos, "assign", "%s: right-hand side %s matches no assign rule of qualifier %s",
+				what, cminor.ExprString(rhs), q)
+		}
+	}
+	// Value qualifiers on the destination: derivable on the right-hand side
+	// (implicit subtyping lets extra qualifiers on rhs be dropped).
+	set := en.qualSet(rhs)
+	for _, q := range en.valueQualsOf(dst) {
+		if !set[q] {
+			en.errorf(pos, "qual", "%s: %s cannot be given qualifier %s (a cast would insert a run-time check)",
+				what, cminor.ExprString(rhs), q)
+		}
+	}
+	// Deeper qualifiers admit no subtyping (section 2.1.2).
+	en.checkDeepTypes(pos, dst, en.rTypeOf(rhs), what)
+	// Disallow rules on the flowing value.
+	if !skipDisallow {
+		en.disallowValueFlow(rhs, true)
+	}
+}
+
+// rTypeOf returns the r-type of an expression: its recorded type with
+// top-level reference qualifiers stripped.
+func (en *engine) rTypeOf(e cminor.Expr) cminor.Type {
+	t := en.info.TypeOf(e)
+	return cminor.WithoutQuals(t, en.refQualsOf(t))
+}
+
+// checkDeepTypes enforces invariance of qualifiers below the top level:
+// int pos* is neither a subtype nor a supertype of int*.
+func (en *engine) checkDeepTypes(pos cminor.Pos, dst, src cminor.Type, what string) {
+	if isNullish(src) {
+		return
+	}
+	dp, dok := cminor.PointeeOf(cminor.Decay(dst))
+	sp, sok := cminor.PointeeOf(cminor.Decay(src))
+	if !dok || !sok {
+		return
+	}
+	// void* on either side converts freely (C compatibility; malloc).
+	if _, ok := cminor.StripQuals(dp).(cminor.VoidType); ok {
+		return
+	}
+	if _, ok := cminor.StripQuals(sp).(cminor.VoidType); ok {
+		return
+	}
+	if !cminor.TypeEqual(cminor.Decay(dp), cminor.Decay(sp)) {
+		en.errorf(pos, "qual", "%s: pointee types %s and %s must agree exactly (no subtyping under pointers)",
+			what, dp, sp)
+	}
+}
+
+func isNullish(t cminor.Type) bool {
+	pt, ok := cminor.StripQuals(t).(cminor.PointerType)
+	if !ok {
+		return false
+	}
+	_, isVoid := cminor.StripQuals(pt.Elem).(cminor.VoidType)
+	return isVoid
+}
+
+// matchesAssignClauses reports whether rhs matches one of d's assign rules
+// for a destination of type dst.
+func (en *engine) matchesAssignClauses(d *qdl.Def, dst cminor.Type, rhs cminor.Expr) bool {
+	for _, cl := range d.Assigns {
+		b := newBindings()
+		if !en.matchTypePat(d.Subject.Type, dst, b) {
+			continue
+		}
+		if !en.matchPattern(d, cl, cl.Pat, rhs, b) {
+			continue
+		}
+		if cl.Where != nil && !en.evalWhere(cl.Where, b, rhs, map[string]bool{}) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// ---- Disallow enforcement ----
+
+// disallowValueFlow flags occurrences of disallow-refer qualified l-values
+// whose value flows into the assigned value. Occurrences consumed as a
+// dereference address do not copy the value and are allowed ("a unique
+// l-value may still be dereferenced", section 2.2.1).
+func (en *engine) disallowValueFlow(e cminor.Expr, valuePos bool) {
+	switch e := e.(type) {
+	case *cminor.LVExpr:
+		if valuePos {
+			for _, q := range en.refQualsOf(en.info.LVTypeOf(e.LV)) {
+				if en.reg.Lookup(q).Disallow.Refer {
+					en.errorf(e.Pos, "disallow", "%s l-value %s may not be referred to here",
+						q, cminor.LValueString(e.LV))
+				}
+			}
+		}
+		en.disallowAddrWalk(e.LV)
+	case *cminor.AddrOf:
+		// &*p evaluates to p's value; &x/&x.f are handled by the global
+		// address-of pass.
+		if d, ok := e.LV.(*cminor.DerefLV); ok {
+			en.disallowValueFlow(d.Addr, valuePos)
+		}
+	case *cminor.Unop:
+		en.disallowValueFlow(e.X, valuePos)
+	case *cminor.Binop:
+		en.disallowValueFlow(e.L, valuePos)
+		en.disallowValueFlow(e.R, valuePos)
+	case *cminor.Cast:
+		en.disallowValueFlow(e.X, valuePos)
+	case *cminor.NewExpr:
+		en.disallowValueFlow(e.Size, false)
+	}
+}
+
+// disallowAddrWalk descends into the address computations of an l-value;
+// values read there are addresses, not copies.
+func (en *engine) disallowAddrWalk(lv cminor.LValue) {
+	switch lv := lv.(type) {
+	case *cminor.DerefLV:
+		en.disallowValueFlow(lv.Addr, false)
+	case *cminor.FieldLV:
+		en.disallowAddrWalk(lv.Base)
+	}
+}
+
+// addrOfPass flags taking the address of reference-qualified l-values. For
+// qualifiers with "disallow &X" this is their declared rule; for all other
+// reference qualifiers it is the frame condition our preservation
+// obligations assume (see DESIGN.md): no pointer to a reference-qualified
+// l-value may be created.
+func (en *engine) addrOfPass() {
+	cminor.Walk(en.prog, cminor.Visitor{Expr: func(e cminor.Expr) {
+		ao, ok := e.(*cminor.AddrOf)
+		if !ok {
+			return
+		}
+		if _, isDeref := ao.LV.(*cminor.DerefLV); isDeref {
+			return // &*p is p, not an address-of
+		}
+		for _, q := range en.refQualsOf(en.info.LVTypeOf(ao.LV)) {
+			d := en.reg.Lookup(q)
+			why := "the frame condition for reference qualifiers"
+			if d.Disallow.AddrOf {
+				why = "its disallow clause"
+			}
+			en.errorf(ao.Pos, "addrof", "cannot take the address of %s l-value %s (%s)",
+				q, cminor.LValueString(ao.LV), why)
+		}
+	}})
+}

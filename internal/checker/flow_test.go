@@ -1,0 +1,323 @@
+package checker
+
+import (
+	"testing"
+
+	"repro/internal/cminor"
+	"repro/internal/interp"
+	"repro/internal/quals"
+)
+
+func runFlow(t *testing.T, src string) (*Result, *Result) {
+	t.Helper()
+	reg := quals.MustStandard()
+	parse := func() *cminor.Program {
+		prog, err := cminor.Parse("test.c", src, reg.Names())
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return prog
+	}
+	insens := CheckWith(parse(), reg, Options{FlowSensitive: false})
+	sens := CheckWith(parse(), reg, Options{FlowSensitive: true})
+	return insens, sens
+}
+
+// The paper's section 6.1 imprecision example: the NULL test guards the
+// dereference, so flow-sensitivity removes the need for a cast.
+func TestFlowGrepIdiom(t *testing.T) {
+	insens, sens := runFlow(t, `
+struct dfa_state { int* trans; };
+int f(struct dfa_state* nonnull d, int works) {
+  int* t;
+  t = (d->trans) + works;
+  if (t != NULL) {
+    return *t;
+  }
+  return 0;
+}
+`)
+	if len(insens.Errors("restrict")) == 0 {
+		t.Error("flow-insensitive checking should require a cast here")
+	}
+	if len(sens.Diags) != 0 {
+		t.Errorf("flow-sensitive checking should be clean: %v", sens.Diags)
+	}
+}
+
+func TestFlowElseBranch(t *testing.T) {
+	_, sens := runFlow(t, `
+int f(int* p) {
+  if (p == NULL) {
+    return 0;
+  } else {
+    return *p;
+  }
+}
+`)
+	if len(sens.Diags) != 0 {
+		t.Errorf("else-branch refinement failed: %v", sens.Diags)
+	}
+}
+
+func TestFlowEarlyReturn(t *testing.T) {
+	_, sens := runFlow(t, `
+int f(int* p) {
+  if (p == NULL) {
+    return 0;
+  }
+  return *p;
+}
+`)
+	if len(sens.Diags) != 0 {
+		t.Errorf("early-return refinement failed: %v", sens.Diags)
+	}
+}
+
+func TestFlowTruthinessTest(t *testing.T) {
+	_, sens := runFlow(t, `
+int f(int* p) {
+  if (p) {
+    return *p;
+  }
+  return 0;
+}
+`)
+	if len(sens.Diags) != 0 {
+		t.Errorf("truthiness refinement failed: %v", sens.Diags)
+	}
+}
+
+func TestFlowIntegerRefinement(t *testing.T) {
+	// x > 0 implies pos; x > 5 implies pos too; x >= 0 does not.
+	_, sens := runFlow(t, `
+void f(int x) {
+  if (x > 0) {
+    int pos a = x;
+  }
+  if (x > 5) {
+    int pos b = x;
+    int nonzero c = x;
+  }
+  if (x != 0) {
+    int nonzero d = x;
+  }
+  if (x < 0) {
+    int neg e = x;
+  }
+}
+`)
+	if len(sens.Diags) != 0 {
+		t.Errorf("integer refinements failed: %v", sens.Diags)
+	}
+	insens, sens2 := runFlow(t, `
+void f(int x) {
+  if (x >= 0) {
+    int pos a = x;
+  }
+}
+`)
+	_ = insens
+	if len(sens2.Errors("qual")) == 0 {
+		t.Error("x >= 0 must NOT refine to pos (x could be 0)")
+	}
+}
+
+func TestFlowConjunction(t *testing.T) {
+	_, sens := runFlow(t, `
+int f(int* p, int* q) {
+  if (p != NULL && q != NULL) {
+    return *p + *q;
+  }
+  return 0;
+}
+`)
+	if len(sens.Diags) != 0 {
+		t.Errorf("conjunction refinement failed: %v", sens.Diags)
+	}
+}
+
+func TestFlowNegatedDisjunction(t *testing.T) {
+	// !(p == NULL || q == NULL) refines both in the then-branch.
+	_, sens := runFlow(t, `
+int f(int* p, int* q) {
+  if (!(p == NULL || q == NULL)) {
+    return *p + *q;
+  }
+  return 0;
+}
+`)
+	if len(sens.Diags) != 0 {
+		t.Errorf("negated-disjunction refinement failed: %v", sens.Diags)
+	}
+}
+
+func TestFlowKilledByAssignment(t *testing.T) {
+	// Reassigning p inside the branch invalidates the refinement.
+	_, sens := runFlow(t, `
+int* unsafe_source();
+int f(int* p) {
+  if (p != NULL) {
+    p = unsafe_source();
+    return *p;
+  }
+  return 0;
+}
+`)
+	if len(sens.Errors("restrict")) == 0 {
+		t.Error("refinement must be killed by reassignment")
+	}
+}
+
+func TestFlowGlobalKilledByCall(t *testing.T) {
+	// A call may reassign the global; the refinement must not survive it.
+	_, sens := runFlow(t, `
+int* g;
+void mutate();
+int f() {
+  if (g != NULL) {
+    mutate();
+    return *g;
+  }
+  return 0;
+}
+`)
+	if len(sens.Errors("restrict")) == 0 {
+		t.Error("global refinement must be killed by a call")
+	}
+}
+
+func TestFlowLocalSurvivesCall(t *testing.T) {
+	// A local whose address is never taken cannot be changed by a call.
+	_, sens := runFlow(t, `
+void log_it();
+int f(int* p) {
+  if (p != NULL) {
+    log_it();
+    return *p;
+  }
+  return 0;
+}
+`)
+	if len(sens.Diags) != 0 {
+		t.Errorf("local refinement should survive calls: %v", sens.Diags)
+	}
+}
+
+func TestFlowAddressTakenNotRefined(t *testing.T) {
+	// p's address escapes; the refinement would be unsound.
+	_, sens := runFlow(t, `
+void fill(int** pp);
+int f() {
+  int* p;
+  fill(&p);
+  if (p != NULL) {
+    fill(&p);
+    return *p;
+  }
+  return 0;
+}
+`)
+	if len(sens.Errors("restrict")) == 0 {
+		t.Error("address-taken variables must not be refined")
+	}
+}
+
+func TestFlowLoopConditionNotRefined(t *testing.T) {
+	// The body may invalidate the loop test; no refinement from while.
+	_, sens := runFlow(t, `
+int* next();
+int f(int* p) {
+  int s = 0;
+  while (p != NULL) {
+    s = s + *p;
+    p = next();
+  }
+  return s;
+}
+`)
+	if len(sens.Errors("restrict")) == 0 {
+		t.Error("loop conditions must not refine (body reassigns p)")
+	}
+}
+
+func TestFlowRefinementScopedToBranch(t *testing.T) {
+	// The refinement must not leak past the branch.
+	_, sens := runFlow(t, `
+int f(int* p) {
+  int s = 0;
+	if (p != NULL) {
+    s = *p;
+  }
+  return s + *p;
+}
+`)
+	if len(sens.Errors("restrict")) == 0 {
+		t.Error("refinement leaked out of the branch")
+	}
+}
+
+func TestFlowOffByDefault(t *testing.T) {
+	reg := quals.MustStandard()
+	prog, err := cminor.Parse("t.c", `
+int f(int* p) {
+  if (p != NULL) {
+    return *p;
+  }
+  return 0;
+}
+`, reg.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Check(prog, reg)
+	if len(res.Errors("restrict")) == 0 {
+		t.Error("Check (default) must remain flow-insensitive, as in the paper")
+	}
+}
+
+// TestFlowDynamicSoundness: a program accepted only under flow-sensitive
+// checking still satisfies its invariants at run time — the refinement is
+// not just permissive, it is justified.
+func TestFlowDynamicSoundness(t *testing.T) {
+	reg := quals.MustStandard()
+	src := `
+int main() {
+  int x = 3 - 8;
+  int y = x * x;
+  if (y > 0) {
+    int pos p = y;
+    if (p <= 0) { return 1; }
+  }
+  int* q = NULL;
+  int cell = 5;
+  if (q == NULL) {
+    q = &cell;
+  }
+  if (q != NULL) {
+    int deref = *q;
+    if (deref != 5) { return 2; }
+  }
+  return 0;
+}
+`
+	prog, err := cminor.Parse("dyn.c", src, reg.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckWith(prog, reg, Options{FlowSensitive: true})
+	for _, d := range res.Diags {
+		t.Fatalf("flow-sensitive check failed: %s", d)
+	}
+	prog2, err := cminor.Parse("dyn.c", src, reg.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := interp.Run(prog2, reg, interp.Options{RuntimeChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Exit != 0 {
+		t.Errorf("invariant guard %d fired at run time", out.Exit)
+	}
+}

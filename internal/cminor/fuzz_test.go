@@ -1,0 +1,57 @@
+package cminor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Parser robustness: random mutations of valid source must either parse or
+// return an error — never panic.
+func TestParserNeverPanics(t *testing.T) {
+	base := `
+struct s { int x; int* next; };
+int* unique g;
+int f(int* nonnull p, int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) s += p[i];
+  if (s > 0 && p != NULL) return *p;
+  return (int)(s / 2);
+}
+`
+	quals := map[string]bool{"nonnull": true, "unique": true}
+	mutate := func(src string, seed int64) string {
+		b := []byte(src)
+		n := seed % 8
+		for i := int64(0); i <= n; i++ {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			pos := int((seed >> 33) % int64(len(b)))
+			if pos < 0 {
+				pos = -pos
+			}
+			chars := []byte("(){};*&=+-<>!|um0 \"'\\")
+			seed = seed*6364136223846793005 + 1442695040888963407
+			c := chars[int((seed>>33)%int64(len(chars)))&0x7fffffff%len(chars)]
+			b[pos%len(b)] = c
+		}
+		return string(b)
+	}
+	check := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("parser panicked on seed %d: %v", seed, r)
+				ok = false
+			}
+		}()
+		src := mutate(base, seed)
+		prog, err := Parse("fuzz.c", src, quals)
+		if err == nil {
+			// Whatever parsed must survive typechecking and printing too.
+			TypeCheck(prog)
+			Print(prog)
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,296 @@
+package cminor
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lexer tokenizes cminor source text. Comments (// and /* */) and
+// preprocessor-style lines beginning with '#' are skipped, so corpora can
+// carry #include-looking headers for realism.
+type Lexer struct {
+	src  string
+	file string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src; file is used in positions.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+func (l *Lexer) at(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) here() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
+
+func (l *Lexer) skipTrivia() error {
+	for l.pos < len(l.src) {
+		c := l.at(0)
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#' && l.col == 1:
+			for l.pos < len(l.src) && l.at(0) != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.at(1) == '/':
+			for l.pos < len(l.src) && l.at(0) != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.at(1) == '*':
+			start := l.here()
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return fmt.Errorf("%s: unterminated block comment", start)
+				}
+				if l.at(0) == '*' && l.at(1) == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipTrivia(); err != nil {
+		return Token{}, err
+	}
+	pos := l.here()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.at(0)
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.at(0)) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	case c >= '0' && c <= '9':
+		start := l.pos
+		base := 10
+		if c == '0' && (l.at(1) == 'x' || l.at(1) == 'X') {
+			base = 16
+			l.advance()
+			l.advance()
+		}
+		for l.pos < len(l.src) && (isIdentPart(l.at(0))) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		parseText := text
+		if base == 16 {
+			parseText = text[2:]
+		}
+		// Tolerate C suffixes (U, L).
+		parseText = strings.TrimRight(parseText, "uUlL")
+		v, err := strconv.ParseInt(parseText, base, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("%s: bad integer literal %q", pos, text)
+		}
+		return Token{Kind: TokInt, Text: text, Int: v, Pos: pos}, nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("%s: unterminated string literal", pos)
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if l.pos >= len(l.src) {
+					return Token{}, fmt.Errorf("%s: unterminated escape", pos)
+				}
+				sb.WriteByte(unescape(l.advance()))
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return Token{Kind: TokString, Str: sb.String(), Pos: pos}, nil
+	case c == '\'':
+		l.advance()
+		if l.pos >= len(l.src) {
+			return Token{}, fmt.Errorf("%s: unterminated character literal", pos)
+		}
+		ch := l.advance()
+		if ch == '\\' {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("%s: unterminated escape", pos)
+			}
+			ch = unescape(l.advance())
+		}
+		if l.pos >= len(l.src) || l.advance() != '\'' {
+			return Token{}, fmt.Errorf("%s: unterminated character literal", pos)
+		}
+		return Token{Kind: TokChar, Int: int64(ch), Pos: pos}, nil
+	}
+	two := func(k TokenKind) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Pos: pos}, nil
+	}
+	one := func(k TokenKind) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return one(TokLParen)
+	case ')':
+		return one(TokRParen)
+	case '{':
+		return one(TokLBrace)
+	case '}':
+		return one(TokRBrace)
+	case '[':
+		return one(TokLBracket)
+	case ']':
+		return one(TokRBracket)
+	case ';':
+		return one(TokSemi)
+	case ',':
+		return one(TokComma)
+	case '.':
+		if l.at(1) == '.' && l.at(2) == '.' {
+			l.advance()
+			l.advance()
+			l.advance()
+			return Token{Kind: TokEllipsis, Pos: pos}, nil
+		}
+		return one(TokDot)
+	case '+':
+		if l.at(1) == '+' {
+			return two(TokPlusPlus)
+		}
+		if l.at(1) == '=' {
+			return two(TokPlusAssign)
+		}
+		return one(TokPlus)
+	case '-':
+		if l.at(1) == '>' {
+			return two(TokArrow)
+		}
+		if l.at(1) == '-' {
+			return two(TokMinusMinus)
+		}
+		if l.at(1) == '=' {
+			return two(TokMinusAssign)
+		}
+		return one(TokMinus)
+	case '*':
+		return one(TokStar)
+	case '/':
+		return one(TokSlash)
+	case '%':
+		return one(TokPercent)
+	case '&':
+		if l.at(1) == '&' {
+			return two(TokAndAnd)
+		}
+		return one(TokAmp)
+	case '|':
+		if l.at(1) == '|' {
+			return two(TokOrOr)
+		}
+	case '!':
+		if l.at(1) == '=' {
+			return two(TokNe)
+		}
+		return one(TokBang)
+	case '=':
+		if l.at(1) == '=' {
+			return two(TokEq)
+		}
+		return one(TokAssign)
+	case '<':
+		if l.at(1) == '=' {
+			return two(TokLe)
+		}
+		return one(TokLt)
+	case '>':
+		if l.at(1) == '=' {
+			return two(TokGe)
+		}
+		return one(TokGt)
+	}
+	return Token{}, fmt.Errorf("%s: unexpected character %q", pos, string(c))
+}
+
+func unescape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	}
+	return c
+}
+
+// LexAll tokenizes the entire input (testing helper).
+func LexAll(file, src string) ([]Token, error) {
+	l := NewLexer(file, src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

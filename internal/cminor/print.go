@@ -1,0 +1,200 @@
+package cminor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a program back to cminor source. Output is parseable by
+// Parse given the same qualifier registry (used by the instrumenter to emit
+// checked programs, mirroring CIL's AST-to-C output stage).
+func Print(p *Program) string {
+	var sb strings.Builder
+	for _, st := range p.Structs {
+		fmt.Fprintf(&sb, "struct %s {\n", st.Name)
+		for _, f := range st.Fields {
+			if at, ok := f.Type.(ArrayType); ok {
+				fmt.Fprintf(&sb, "  %s %s[%d];\n", at.Elem, f.Name, at.Size)
+			} else {
+				fmt.Fprintf(&sb, "  %s %s;\n", f.Type, f.Name)
+			}
+		}
+		sb.WriteString("};\n")
+	}
+	for _, g := range p.Globals {
+		sb.WriteString(declString(g))
+		sb.WriteString("\n")
+	}
+	for _, f := range p.Funcs {
+		sb.WriteString(funcHeader(f))
+		if f.Body == nil {
+			sb.WriteString(";\n")
+			continue
+		}
+		sb.WriteString(" ")
+		printStmt(&sb, f.Body, 0)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func funcHeader(f *FuncDef) string {
+	params := make([]string, 0, len(f.Params)+1)
+	for _, p := range f.Params {
+		params = append(params, fmt.Sprintf("%s %s", p.Type, p.Name))
+	}
+	if f.Variadic {
+		params = append(params, "...")
+	}
+	return fmt.Sprintf("%s %s(%s)", f.Result, f.Name, strings.Join(params, ", "))
+}
+
+func declString(d *VarDecl) string {
+	var s string
+	if at, ok := d.Type.(ArrayType); ok {
+		s = fmt.Sprintf("%s %s[%d]", at.Elem, d.Name, at.Size)
+	} else {
+		s = fmt.Sprintf("%s %s", d.Type, d.Name)
+	}
+	if d.Init != nil {
+		s += " = " + ExprString(d.Init)
+	}
+	return s + ";"
+}
+
+func printStmt(sb *strings.Builder, s Stmt, indent int) {
+	ind := strings.Repeat("  ", indent)
+	switch s := s.(type) {
+	case *Block:
+		sb.WriteString("{\n")
+		for _, inner := range s.Stmts {
+			sb.WriteString(ind + "  ")
+			printStmt(sb, inner, indent+1)
+			sb.WriteString("\n")
+		}
+		sb.WriteString(ind + "}")
+	case *DeclStmt:
+		sb.WriteString(declString(s.Decl))
+	case *InstrStmt:
+		sb.WriteString(InstrString(s.Instr) + ";")
+	case *If:
+		fmt.Fprintf(sb, "if (%s) ", ExprString(s.Cond))
+		printStmt(sb, ensureBlock(s.Then), indent)
+		if s.Else != nil {
+			sb.WriteString(" else ")
+			printStmt(sb, ensureBlock(s.Else), indent)
+		}
+	case *While:
+		fmt.Fprintf(sb, "while (%s) ", ExprString(s.Cond))
+		printStmt(sb, ensureBlock(s.Body), indent)
+	case *For:
+		sb.WriteString("for (")
+		if s.Init != nil {
+			switch init := s.Init.(type) {
+			case *DeclStmt:
+				sb.WriteString(declString(init.Decl))
+			case *InstrStmt:
+				sb.WriteString(InstrString(init.Instr) + ";")
+			}
+		} else {
+			sb.WriteString(";")
+		}
+		sb.WriteString(" ")
+		if s.Cond != nil {
+			sb.WriteString(ExprString(s.Cond))
+		}
+		sb.WriteString("; ")
+		if s.Post != nil {
+			if is, ok := s.Post.(*InstrStmt); ok {
+				sb.WriteString(InstrString(is.Instr))
+			}
+		}
+		sb.WriteString(") ")
+		printStmt(sb, ensureBlock(s.Body), indent)
+	case *Return:
+		if s.X != nil {
+			fmt.Fprintf(sb, "return %s;", ExprString(s.X))
+		} else {
+			sb.WriteString("return;")
+		}
+	case *Break:
+		sb.WriteString("break;")
+	case *Continue:
+		sb.WriteString("continue;")
+	}
+}
+
+func ensureBlock(s Stmt) Stmt {
+	if _, ok := s.(*Block); ok {
+		return s
+	}
+	return &Block{Pos: s.Position(), Stmts: []Stmt{s}}
+}
+
+// InstrString renders an instruction (without the trailing ';').
+func InstrString(in Instr) string {
+	switch in := in.(type) {
+	case *Assign:
+		return fmt.Sprintf("%s = %s", LValueString(in.LHS), ExprString(in.RHS))
+	case *CallInstr:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = ExprString(a)
+		}
+		call := fmt.Sprintf("%s(%s)", in.Fn, strings.Join(args, ", "))
+		if in.LHS != nil {
+			return fmt.Sprintf("%s = %s", LValueString(in.LHS), call)
+		}
+		return call
+	}
+	return "?"
+}
+
+// ExprString renders an expression with full parenthesization.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *StrLit:
+		return fmt.Sprintf("%q", e.Value)
+	case *NullLit:
+		return "NULL"
+	case *LVExpr:
+		return LValueString(e.LV)
+	case *AddrOf:
+		return "&" + LValueString(e.LV)
+	case *Unop:
+		return fmt.Sprintf("%s(%s)", e.Op, ExprString(e.X))
+	case *Binop:
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.L), e.Op, ExprString(e.R))
+	case *Cast:
+		return fmt.Sprintf("(%s)(%s)", e.Type, ExprString(e.X))
+	case *SizeofExpr:
+		return fmt.Sprintf("sizeof(%s)", e.Type)
+	case *NewExpr:
+		return fmt.Sprintf("malloc(%s)", ExprString(e.Size))
+	case *callExpr:
+		args := make([]string, len(e.args))
+		for i, a := range e.args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.fn, strings.Join(args, ", "))
+	}
+	return "?"
+}
+
+// LValueString renders an l-value.
+func LValueString(lv LValue) string {
+	switch lv := lv.(type) {
+	case *VarLV:
+		return lv.Name
+	case *DerefLV:
+		return "*" + ExprString(lv.Addr)
+	case *FieldLV:
+		if d, ok := lv.Base.(*DerefLV); ok {
+			return fmt.Sprintf("(%s)->%s", ExprString(d.Addr), lv.Field)
+		}
+		return fmt.Sprintf("%s.%s", LValueString(lv.Base), lv.Field)
+	}
+	return "?"
+}

@@ -1,0 +1,185 @@
+package cminor
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// progGen generates random well-formed cminor source programs for the
+// parse/print round-trip property.
+type progGen struct{}
+
+func (g *progGen) next(seed *int64) int64 {
+	*seed = *seed*6364136223846793005 + 1442695040888963407
+	v := *seed >> 33
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+func (g *progGen) expr(seed *int64, depth int, vars []string) string {
+	if depth <= 0 || len(vars) == 0 {
+		if len(vars) > 0 && g.next(seed)%2 == 0 {
+			return vars[g.next(seed)%int64(len(vars))]
+		}
+		return fmt.Sprintf("%d", g.next(seed)%100)
+	}
+	switch g.next(seed) % 6 {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.expr(seed, depth-1, vars), g.expr(seed, depth-1, vars))
+	case 1:
+		return fmt.Sprintf("(%s * %s)", g.expr(seed, depth-1, vars), g.expr(seed, depth-1, vars))
+	case 2:
+		return fmt.Sprintf("(%s - %s)", g.expr(seed, depth-1, vars), g.expr(seed, depth-1, vars))
+	case 3:
+		return fmt.Sprintf("(%s < %s)", g.expr(seed, depth-1, vars), g.expr(seed, depth-1, vars))
+	case 4:
+		return vars[g.next(seed)%int64(len(vars))]
+	default:
+		return fmt.Sprintf("(-%s)", g.expr(seed, depth-1, vars))
+	}
+}
+
+func (g *progGen) stmts(seed *int64, depth int, vars *[]string, sb *strings.Builder, indent string) {
+	n := g.next(seed)%4 + 1
+	for i := int64(0); i < n; i++ {
+		switch g.next(seed) % 5 {
+		case 0:
+			name := fmt.Sprintf("v%d", len(*vars))
+			fmt.Fprintf(sb, "%sint %s = %s;\n", indent, name, g.expr(seed, 2, *vars))
+			*vars = append(*vars, name)
+		case 1:
+			if len(*vars) > 0 {
+				v := (*vars)[g.next(seed)%int64(len(*vars))]
+				fmt.Fprintf(sb, "%s%s = %s;\n", indent, v, g.expr(seed, 2, *vars))
+			}
+		case 2:
+			if depth > 0 {
+				fmt.Fprintf(sb, "%sif (%s) {\n", indent, g.expr(seed, 1, *vars))
+				inner := append([]string{}, *vars...)
+				g.stmts(seed, depth-1, &inner, sb, indent+"  ")
+				fmt.Fprintf(sb, "%s}\n", indent)
+			}
+		case 3:
+			if depth > 0 && len(*vars) > 0 {
+				v := (*vars)[g.next(seed)%int64(len(*vars))]
+				fmt.Fprintf(sb, "%swhile (%s > 0) {\n", indent, v)
+				fmt.Fprintf(sb, "%s  %s = %s - 1;\n", indent, v, v)
+				fmt.Fprintf(sb, "%s}\n", indent)
+			}
+		default:
+			fmt.Fprintf(sb, "%sfor (int i%d = 0; i%d < 3; i%d++) {\n", indent, i, i, i)
+			fmt.Fprintf(sb, "%s}\n", indent)
+		}
+	}
+}
+
+func (g *progGen) program(seed int64) string {
+	s := seed
+	var sb strings.Builder
+	sb.WriteString("int helper(int a, int b);\n")
+	sb.WriteString("int main() {\n")
+	vars := []string{}
+	g.stmts(&s, 2, &vars, &sb, "  ")
+	if len(vars) > 0 {
+		fmt.Fprintf(&sb, "  return %s;\n", vars[0])
+	} else {
+		sb.WriteString("  return 0;\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// TestParsePrintRoundTripProperty: for every generated program, parsing,
+// printing, and reparsing reaches a fixpoint (Print is stable and its
+// output is valid input).
+func TestParsePrintRoundTripProperty(t *testing.T) {
+	gen := &progGen{}
+	check := func(seed int64) bool {
+		src := gen.program(seed)
+		p1, err := Parse("gen.c", src, nil)
+		if err != nil {
+			t.Logf("generator produced invalid program: %v\n%s", err, src)
+			return false
+		}
+		out1 := Print(p1)
+		p2, err := Parse("printed.c", out1, nil)
+		if err != nil {
+			t.Logf("printed program does not reparse: %v\n%s", err, out1)
+			return false
+		}
+		out2 := Print(p2)
+		if out1 != out2 {
+			t.Logf("print not stable:\n%s\nvs\n%s", out1, out2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTypeCheckGeneratedPrograms: generated programs typecheck (they are
+// int-only and well-scoped by construction), and typechecking is
+// deterministic.
+func TestTypeCheckGeneratedPrograms(t *testing.T) {
+	gen := &progGen{}
+	check := func(seed int64) bool {
+		src := gen.program(seed)
+		p, err := Parse("gen.c", src, nil)
+		if err != nil {
+			return false
+		}
+		_, diags := TypeCheck(p)
+		if len(diags) != 0 {
+			t.Logf("diagnostics on generated program: %v\n%s", diags, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQualifyProperties: qualifier-set normalization is idempotent,
+// order-insensitive, and duplicate-free (rule SubQualReorder baked into
+// representation).
+func TestQualifyProperties(t *testing.T) {
+	names := []string{"pos", "neg", "nonzero", "nonnull"}
+	check := func(seed int64) bool {
+		g := &progGen{}
+		s := seed
+		var a, b []string
+		for i := 0; i < 4; i++ {
+			q := names[g.next(&s)%4]
+			a = append(a, q)
+			b = append([]string{q}, b...) // reversed insertion order
+		}
+		t1 := Qualify(IntType{}, a...)
+		t2 := Qualify(IntType{}, b...)
+		if !TypeEqual(t1, t2) {
+			return false
+		}
+		// Idempotence.
+		t3 := Qualify(t1, a...)
+		if !TypeEqual(t1, t3) {
+			return false
+		}
+		// No duplicates.
+		qs := QualsOf(t1)
+		for i := 1; i < len(qs); i++ {
+			if qs[i] == qs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package cminor implements the C-subset intermediate language on which
+// qualifier checking operates. It plays the role CIL plays in the paper
+// (section 3): programs are parsed into an AST that cleanly separates
+// side-effect-free expressions from instructions, and memory allocation
+// (malloc) appears only in instruction position, where qualifier rules can
+// match it as the pattern "new".
+package cminor
+
+import "fmt"
+
+// TokenKind enumerates lexical token kinds.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokInt
+	TokString
+	TokChar
+
+	// Keywords
+	TokKwInt
+	TokKwChar
+	TokKwVoid
+	TokKwStruct
+	TokKwIf
+	TokKwElse
+	TokKwWhile
+	TokKwFor
+	TokKwReturn
+	TokKwBreak
+	TokKwContinue
+	TokKwSizeof
+	TokKwNull
+
+	// Punctuation and operators
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokDot
+	TokArrow
+	TokEllipsis
+
+	TokAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokBang
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+	TokPlusPlus
+	TokMinusMinus
+	TokPlusAssign
+	TokMinusAssign
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokInt: "integer literal",
+	TokString: "string literal", TokChar: "character literal",
+	TokKwInt: "'int'", TokKwChar: "'char'", TokKwVoid: "'void'",
+	TokKwStruct: "'struct'", TokKwIf: "'if'", TokKwElse: "'else'",
+	TokKwWhile: "'while'", TokKwFor: "'for'", TokKwReturn: "'return'",
+	TokKwBreak: "'break'", TokKwContinue: "'continue'", TokKwSizeof: "'sizeof'",
+	TokKwNull: "'NULL'",
+	TokLParen: "'('", TokRParen: "')'", TokLBrace: "'{'", TokRBrace: "'}'",
+	TokLBracket: "'['", TokRBracket: "']'", TokSemi: "';'", TokComma: "','",
+	TokDot: "'.'", TokArrow: "'->'", TokEllipsis: "'...'",
+	TokAssign: "'='", TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'",
+	TokSlash: "'/'", TokPercent: "'%'", TokAmp: "'&'", TokBang: "'!'",
+	TokEq: "'=='", TokNe: "'!='", TokLt: "'<'", TokLe: "'<='",
+	TokGt: "'>'", TokGe: "'>='", TokAndAnd: "'&&'", TokOrOr: "'||'",
+	TokPlusPlus: "'++'", TokMinusMinus: "'--'",
+	TokPlusAssign: "'+='", TokMinusAssign: "'-='",
+}
+
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"int": TokKwInt, "char": TokKwChar, "void": TokKwVoid,
+	"struct": TokKwStruct, "if": TokKwIf, "else": TokKwElse,
+	"while": TokKwWhile, "for": TokKwFor, "return": TokKwReturn,
+	"break": TokKwBreak, "continue": TokKwContinue, "sizeof": TokKwSizeof,
+	"NULL": TokKwNull,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string // identifier spelling, literal text
+	Int  int64  // value for TokInt and TokChar
+	Str  string // decoded value for TokString
+	Pos  Pos
+}

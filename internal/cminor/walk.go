@@ -1,0 +1,129 @@
+package cminor
+
+// Visitor receives AST nodes during a Walk. Any callback may be nil.
+type Visitor struct {
+	Expr   func(Expr)
+	LValue func(LValue)
+	Instr  func(Instr)
+	Stmt   func(Stmt)
+	Decl   func(*VarDecl)
+}
+
+// Walk traverses the whole program in source order, invoking the visitor on
+// every node. Expressions nested in l-values (deref addresses) and l-values
+// nested in expressions are both visited.
+func Walk(p *Program, v Visitor) {
+	for _, g := range p.Globals {
+		if v.Decl != nil {
+			v.Decl(g)
+		}
+		if g.Init != nil {
+			WalkExpr(g.Init, v)
+		}
+	}
+	for _, f := range p.Funcs {
+		if f.Body != nil {
+			WalkStmt(f.Body, v)
+		}
+	}
+}
+
+// WalkStmt traverses a statement subtree.
+func WalkStmt(s Stmt, v Visitor) {
+	if v.Stmt != nil {
+		v.Stmt(s)
+	}
+	switch s := s.(type) {
+	case *Block:
+		for _, inner := range s.Stmts {
+			WalkStmt(inner, v)
+		}
+	case *DeclStmt:
+		if v.Decl != nil {
+			v.Decl(s.Decl)
+		}
+		if s.Decl.Init != nil {
+			WalkExpr(s.Decl.Init, v)
+		}
+	case *InstrStmt:
+		WalkInstr(s.Instr, v)
+	case *If:
+		WalkExpr(s.Cond, v)
+		WalkStmt(s.Then, v)
+		if s.Else != nil {
+			WalkStmt(s.Else, v)
+		}
+	case *While:
+		WalkExpr(s.Cond, v)
+		WalkStmt(s.Body, v)
+	case *For:
+		if s.Init != nil {
+			WalkStmt(s.Init, v)
+		}
+		if s.Cond != nil {
+			WalkExpr(s.Cond, v)
+		}
+		if s.Post != nil {
+			WalkStmt(s.Post, v)
+		}
+		WalkStmt(s.Body, v)
+	case *Return:
+		if s.X != nil {
+			WalkExpr(s.X, v)
+		}
+	}
+}
+
+// WalkInstr traverses an instruction.
+func WalkInstr(in Instr, v Visitor) {
+	if v.Instr != nil {
+		v.Instr(in)
+	}
+	switch in := in.(type) {
+	case *Assign:
+		WalkLValue(in.LHS, v)
+		WalkExpr(in.RHS, v)
+	case *CallInstr:
+		if in.LHS != nil {
+			WalkLValue(in.LHS, v)
+		}
+		for _, a := range in.Args {
+			WalkExpr(a, v)
+		}
+	}
+}
+
+// WalkExpr traverses an expression subtree.
+func WalkExpr(e Expr, v Visitor) {
+	if v.Expr != nil {
+		v.Expr(e)
+	}
+	switch e := e.(type) {
+	case *LVExpr:
+		WalkLValue(e.LV, v)
+	case *AddrOf:
+		WalkLValue(e.LV, v)
+	case *Unop:
+		WalkExpr(e.X, v)
+	case *Binop:
+		WalkExpr(e.L, v)
+		WalkExpr(e.R, v)
+	case *Cast:
+		WalkExpr(e.X, v)
+	case *NewExpr:
+		WalkExpr(e.Size, v)
+	}
+}
+
+// WalkLValue traverses an l-value subtree.
+func WalkLValue(lv LValue, v Visitor) {
+	if v.LValue != nil {
+		v.LValue(lv)
+	}
+	switch lv := lv.(type) {
+	case *DerefLV:
+		WalkExpr(lv.Addr, v)
+	case *FieldLV:
+		WalkLValue(lv.Base, v)
+	}
+}

@@ -1,0 +1,446 @@
+package corpus
+
+import "strings"
+
+// Bftpd returns the FTP-server subject for Table 2: a command-loop server
+// with the same shape as bftpd 1.0.11, including the real format-string bug
+// Shankar et al. and the paper found — a directory entry name passed
+// directly as sendstrf's format string. The two annotations the paper
+// reports are the untainted format parameters of sendstrf and syslog.
+func Bftpd() Program {
+	return Program{
+		Name:        "bftpd",
+		Description: "FTP server command loop (stand-in for bftpd 1.0.11)",
+		Source:      bftpdSource,
+	}
+}
+
+// BftpdFixed is bftpd with the vulnerable call repaired the way the real
+// fix repaired it: the entry name becomes an argument of a constant format.
+func BftpdFixed() Program {
+	p := Bftpd()
+	p.Name = "bftpd-fixed"
+	p.Source = strings.Replace(p.Source,
+		`sendstrf(sock, entry->d_name);`,
+		`sendstrf(sock, "%s", entry->d_name);`, 1)
+	return p
+}
+
+// BftpdExploit is bftpd with the malicious directory entry planted, for
+// demonstrating the crash at run time.
+func BftpdExploit() Program {
+	p := Bftpd()
+	p.Name = "bftpd-exploit"
+	p.Source = strings.Replace(p.Source, "int exploit_mode = 0;", "int exploit_mode = 1;", 1)
+	return p
+}
+
+const bftpdSource = `
+/* bftpd.c - a small FTP server command loop.
+ *
+ * The network is simulated: a session script provides the client's
+ * commands, and sendstrf(sock, fmt, ...) stands in for formatted writes to
+ * the control connection, exactly the sink the taintedness analysis guards.
+ */
+
+int printf(char * untainted format, ...);
+int sendstrf(int sock, char * untainted format, ...);
+int syslog(int priority, char * untainted format, ...);
+void exit(int code);
+
+/* ---- simulated filesystem ---- */
+
+struct dirent {
+  char* d_name;
+  int size;
+};
+
+struct dirent fs[8];
+int fs_count = 0;
+int exploit_mode = 0;
+
+void fs_add(char* name, int size) {
+  if (fs_count >= 8) {
+    return;
+  }
+  fs[fs_count].d_name = name;
+  fs[fs_count].size = size;
+  fs_count = fs_count + 1;
+}
+
+void setup_fs() {
+  fs_add("readme.txt", 120);
+  fs_add("motd", 48);
+  fs_add("upload", 0);
+  if (exploit_mode == 1) {
+    /* A client-controlled file name containing conversion specifiers:
+       the classic bftpd exploit. */
+    fs_add("%s%s%s-exploit", 666);
+  }
+}
+
+/* ---- simulated session script ---- */
+
+char* script_cmds[24];
+char* script_args[24];
+int script_len = 0;
+
+void script_add(char* cmd, char* arg) {
+  if (script_len >= 24) {
+    return;
+  }
+  script_cmds[script_len] = cmd;
+  script_args[script_len] = arg;
+  script_len = script_len + 1;
+}
+
+void setup_session() {
+  script_add("USER", "alice");
+  script_add("PASS", "secret");
+  script_add("SYST", "");
+  script_add("FEAT", "");
+  script_add("PWD", "");
+  script_add("TYPE", "I");
+  script_add("PASV", "");
+  script_add("LIST", "");
+  script_add("SIZE", "readme.txt");
+  script_add("MDTM", "readme.txt");
+  script_add("RETR", "readme.txt");
+  script_add("CWD", "upload");
+  script_add("STOR", "notes.txt");
+  script_add("CDUP", "");
+  script_add("MKD", "incoming");
+  script_add("DELE", "motd");
+  script_add("HELP", "");
+  script_add("NOOP", "");
+  script_add("QUIT", "");
+}
+
+/* ---- helpers ---- */
+
+int cstreq(char* a, char* b) {
+  int i = 0;
+  while (a[i] != 0 && b[i] != 0) {
+    if (a[i] != b[i]) {
+      return 0;
+    }
+    i = i + 1;
+  }
+  if (a[i] == 0 && b[i] == 0) {
+    return 1;
+  }
+  return 0;
+}
+
+/* ---- session state ---- */
+
+int logged_in = 0;
+char* current_user = "";
+char* cwd = "/";
+int type_binary = 0;
+
+/* ---- command handlers ---- */
+
+void cmd_user(int sock, char* arg) {
+  current_user = arg;
+  syslog(6, "login attempt for %s", arg);
+  sendstrf(sock, "331 Password required for %s.\r\n", arg);
+}
+
+void cmd_pass(int sock, char* arg) {
+  logged_in = 1;
+  syslog(6, "user %s authenticated", current_user);
+  sendstrf(sock, "230 User %s logged in.\r\n", current_user);
+}
+
+void cmd_syst(int sock) {
+  sendstrf(sock, "215 UNIX Type: L8\r\n");
+}
+
+void cmd_pwd(int sock) {
+  sendstrf(sock, "257 \"%s\" is the current directory.\r\n", cwd);
+}
+
+void cmd_type(int sock, char* arg) {
+  int binary;
+  binary = cstreq(arg, "I");
+  if (binary == 1) {
+    type_binary = 1;
+    sendstrf(sock, "200 Type set to I.\r\n");
+  } else {
+    type_binary = 0;
+    sendstrf(sock, "200 Type set to A.\r\n");
+  }
+}
+
+void cmd_list(int sock) {
+  if (logged_in == 0) {
+    sendstrf(sock, "530 Not logged in.\r\n");
+    return;
+  }
+  sendstrf(sock, "150 Opening ASCII mode data connection for file list.\r\n");
+  for (int i = 0; i < fs_count; i++) {
+    struct dirent* entry = &fs[i];
+    /* THE BUG (bugtraq, December 2000): the directory entry name -- pure
+       client-controlled data -- is used as the format string. */
+    sendstrf(sock, entry->d_name);
+    sendstrf(sock, "  %d bytes\r\n", entry->size);
+  }
+  sendstrf(sock, "226 Transfer complete.\r\n");
+}
+
+void cmd_retr(int sock, char* arg) {
+  if (logged_in == 0) {
+    sendstrf(sock, "530 Not logged in.\r\n");
+    return;
+  }
+  int found = -1;
+  for (int i = 0; i < fs_count; i++) {
+    struct dirent* entry = &fs[i];
+    int same;
+    same = cstreq(entry->d_name, arg);
+    if (same == 1) {
+      found = i;
+    }
+  }
+  if (found < 0) {
+    sendstrf(sock, "550 %s: No such file or directory.\r\n", arg);
+    return;
+  }
+  sendstrf(sock, "150 Opening data connection for %s.\r\n", arg);
+  sendstrf(sock, "226 Transfer complete. %d bytes sent.\r\n", fs[found].size);
+  syslog(6, "file %s sent to %s", arg, current_user);
+}
+
+void cmd_help(int sock) {
+  sendstrf(sock, "214-The following commands are recognized.\r\n");
+  sendstrf(sock, " USER PASS SYST PWD TYPE LIST RETR HELP NOOP QUIT\r\n");
+  sendstrf(sock, "214 Direct comments to ftp-bugs.\r\n");
+}
+
+void cmd_noop(int sock) {
+  sendstrf(sock, "200 NOOP command successful.\r\n");
+}
+
+void cmd_quit(int sock) {
+  syslog(6, "user %s logged out", current_user);
+  sendstrf(sock, "221 Goodbye.\r\n");
+}
+
+void cmd_feat(int sock) {
+  sendstrf(sock, "211-Extensions supported:\r\n");
+  sendstrf(sock, " SIZE\r\n");
+  sendstrf(sock, " MDTM\r\n");
+  sendstrf(sock, " REST STREAM\r\n");
+  sendstrf(sock, "211 End.\r\n");
+}
+
+void cmd_pasv(int sock) {
+  int p1 = 195;
+  int p2 = 149;
+  sendstrf(sock, "227 Entering Passive Mode (127,0,0,1,%d,%d).\r\n", p1, p2);
+  syslog(7, "passive data port %d", p1 * 256 + p2);
+}
+
+int file_index(char* name) {
+  for (int i = 0; i < fs_count; i++) {
+    struct dirent* entry = &fs[i];
+    int same;
+    same = cstreq(entry->d_name, name);
+    if (same == 1) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+void cmd_size(int sock, char* arg) {
+  int idx;
+  idx = file_index(arg);
+  if (idx < 0) {
+    sendstrf(sock, "550 %s: No such file or directory.\r\n", arg);
+    return;
+  }
+  sendstrf(sock, "213 %d\r\n", fs[idx].size);
+}
+
+void cmd_mdtm(int sock, char* arg) {
+  int idx;
+  idx = file_index(arg);
+  if (idx < 0) {
+    sendstrf(sock, "550 %s: No such file or directory.\r\n", arg);
+    return;
+  }
+  sendstrf(sock, "213 20050612%d\r\n", 101500 + idx);
+}
+
+void cmd_cwd(int sock, char* arg) {
+  if (logged_in == 0) {
+    sendstrf(sock, "530 Not logged in.\r\n");
+    return;
+  }
+  cwd = arg;
+  sendstrf(sock, "250 CWD command successful.\r\n");
+  syslog(7, "cwd to %s", arg);
+}
+
+void cmd_cdup(int sock) {
+  cwd = "/";
+  sendstrf(sock, "250 CDUP command successful.\r\n");
+}
+
+void cmd_mkd(int sock, char* arg) {
+  if (logged_in == 0) {
+    sendstrf(sock, "530 Not logged in.\r\n");
+    return;
+  }
+  sendstrf(sock, "257 \"%s\" directory created.\r\n", arg);
+  syslog(6, "mkdir %s by %s", arg, current_user);
+}
+
+void cmd_dele(int sock, char* arg) {
+  if (logged_in == 0) {
+    sendstrf(sock, "530 Not logged in.\r\n");
+    return;
+  }
+  int idx;
+  idx = file_index(arg);
+  if (idx < 0) {
+    sendstrf(sock, "550 %s: No such file or directory.\r\n", arg);
+    return;
+  }
+  fs[idx].d_name = "";
+  sendstrf(sock, "250 DELE command successful.\r\n");
+  syslog(6, "deleted %s", arg);
+}
+
+void cmd_stor(int sock, char* arg) {
+  if (logged_in == 0) {
+    sendstrf(sock, "530 Not logged in.\r\n");
+    return;
+  }
+  if (fs_count >= 8) {
+    sendstrf(sock, "452 Insufficient storage space.\r\n");
+    return;
+  }
+  sendstrf(sock, "150 Opening data connection for %s.\r\n", arg);
+  fs_add(arg, 77);
+  sendstrf(sock, "226 Transfer complete.\r\n");
+  syslog(6, "stored %s (%d bytes)", arg, 77);
+}
+
+void dispatch(int sock, char* cmd, char* arg) {
+  int hit;
+  hit = cstreq(cmd, "USER");
+  if (hit == 1) {
+    cmd_user(sock, arg);
+    return;
+  }
+  hit = cstreq(cmd, "PASS");
+  if (hit == 1) {
+    cmd_pass(sock, arg);
+    return;
+  }
+  hit = cstreq(cmd, "SYST");
+  if (hit == 1) {
+    cmd_syst(sock);
+    return;
+  }
+  hit = cstreq(cmd, "PWD");
+  if (hit == 1) {
+    cmd_pwd(sock);
+    return;
+  }
+  hit = cstreq(cmd, "TYPE");
+  if (hit == 1) {
+    cmd_type(sock, arg);
+    return;
+  }
+  hit = cstreq(cmd, "LIST");
+  if (hit == 1) {
+    cmd_list(sock);
+    return;
+  }
+  hit = cstreq(cmd, "RETR");
+  if (hit == 1) {
+    cmd_retr(sock, arg);
+    return;
+  }
+  hit = cstreq(cmd, "HELP");
+  if (hit == 1) {
+    cmd_help(sock);
+    return;
+  }
+  hit = cstreq(cmd, "NOOP");
+  if (hit == 1) {
+    cmd_noop(sock);
+    return;
+  }
+  hit = cstreq(cmd, "QUIT");
+  if (hit == 1) {
+    cmd_quit(sock);
+    return;
+  }
+  hit = cstreq(cmd, "FEAT");
+  if (hit == 1) {
+    cmd_feat(sock);
+    return;
+  }
+  hit = cstreq(cmd, "PASV");
+  if (hit == 1) {
+    cmd_pasv(sock);
+    return;
+  }
+  hit = cstreq(cmd, "SIZE");
+  if (hit == 1) {
+    cmd_size(sock, arg);
+    return;
+  }
+  hit = cstreq(cmd, "MDTM");
+  if (hit == 1) {
+    cmd_mdtm(sock, arg);
+    return;
+  }
+  hit = cstreq(cmd, "CWD");
+  if (hit == 1) {
+    cmd_cwd(sock, arg);
+    return;
+  }
+  hit = cstreq(cmd, "CDUP");
+  if (hit == 1) {
+    cmd_cdup(sock);
+    return;
+  }
+  hit = cstreq(cmd, "MKD");
+  if (hit == 1) {
+    cmd_mkd(sock, arg);
+    return;
+  }
+  hit = cstreq(cmd, "DELE");
+  if (hit == 1) {
+    cmd_dele(sock, arg);
+    return;
+  }
+  hit = cstreq(cmd, "STOR");
+  if (hit == 1) {
+    cmd_stor(sock, arg);
+    return;
+  }
+  sendstrf(sock, "500 '%s': command not understood.\r\n", cmd);
+}
+
+int main() {
+  setup_fs();
+  setup_session();
+  int sock = 1;
+  syslog(6, "bftpd starting on port %d", 21);
+  sendstrf(sock, "220 bftpd 1.0.11 ready.\r\n");
+  for (int i = 0; i < script_len; i++) {
+    char* cmd = script_cmds[i];
+    char* arg = script_args[i];
+    dispatch(sock, cmd, arg);
+  }
+  syslog(6, "session finished after %d commands", script_len);
+  return 0;
+}
+`

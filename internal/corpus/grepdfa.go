@@ -1,0 +1,767 @@
+package corpus
+
+// GrepDFA returns the grep-style subject for Table 1 and section 6.2: a
+// from-scratch regular-expression engine built the way grep's dfa.c is
+// built (Glushkov position automaton + lazy subset construction with a
+// transition-table cache), annotated with nonnull following the paper's
+// iterative process and with unique on the dfa global (figure 13). The
+// program is runnable: main() exercises compilation and matching.
+func GrepDFA() Program {
+	return Program{
+		Name:        "grep-dfa",
+		Description: "DFA string-matching engine (stand-in for grep 2.5 dfa.c/dfa.h)",
+		Source:      grepDFASource,
+	}
+}
+
+const grepDFASource = `
+/* dfa.c - deterministic finite automaton regular expression engine.
+ *
+ * Modeled on the matcher at the core of grep: a pattern is parsed into a
+ * syntax tree, positions are assigned to leaves (Glushkov construction),
+ * first/follow sets drive a lazy subset construction, and transitions are
+ * cached in a per-state table. Syntax: literals, '.', '*', '|', '(' ')'.
+ */
+
+int printf(char* nonnull format, ...);
+void exit(int code);
+
+/* ---- syntax tree ---- */
+
+/* node kinds */
+/* 0 = literal char, 1 = any (.), 2 = star, 3 = concat, 4 = alternate,
+   5 = empty, 6 = end marker, 7 = plus, 8 = optional, 9 = char class */
+
+struct node {
+  int kind;
+  int ch;
+  int posn;
+  int nullable;
+  int negated;     /* for char classes: [^...] */
+  int* cset;       /* for char classes: 128 membership flags */
+  struct node* left;
+  struct node* right;
+};
+
+struct parsectx {
+  char* nonnull pat;
+  int at;
+  int err;
+  int nposs;
+};
+
+/* ---- the compiled automaton ---- */
+
+struct dfastate {
+  int npos;              /* positions incl. the end marker */
+  int* nonnull pchar;    /* per-position char (-1 any, -2 end marker, -3 class) */
+  int* nonnull cclass;   /* npos x 128 class membership for -3 positions */
+  int* nonnull follow;   /* npos x npos follow matrix */
+  int* nonnull first;    /* first set of the augmented tree */
+  int nstates;
+  int salloc;
+  int* nonnull states;     /* nstates x npos membership */
+  int* nonnull accepting;  /* per state */
+  int* nonnull trans;      /* nstates x 128 cached transitions, -1 unbuilt */
+  int err;
+};
+
+/* The automaton under construction: the sole reference to its state
+   (section 6.2). */
+struct dfastate* nonnull unique dfa;
+
+/* ---- small utilities ---- */
+
+int cstrlen(char* nonnull s) {
+  int n = 0;
+  while (s[n] != 0) {
+    n = n + 1;
+  }
+  return n;
+}
+
+int peekc(struct parsectx* nonnull ctx) {
+  char* nonnull p = ctx->pat;
+  int c = p[ctx->at];
+  return c;
+}
+
+void advance(struct parsectx* nonnull ctx) {
+  ctx->at = ctx->at + 1;
+}
+
+int ismeta(int c) {
+  if (c == '(' || c == ')' || c == '|' || c == '*' || c == '.') {
+    return 1;
+  }
+  return 0;
+}
+
+/* ---- parsing ---- */
+
+struct node* nonnull mknode(struct parsectx* nonnull ctx, int kind, int ch) {
+  struct node* nonnull n;
+  n = (struct node* nonnull) malloc(sizeof(struct node));
+  n->kind = kind;
+  n->ch = ch;
+  n->posn = -1;
+  n->nullable = 0;
+  n->negated = 0;
+  n->cset = NULL;
+  n->left = NULL;
+  n->right = NULL;
+  if (kind == 0 || kind == 1 || kind == 6 || kind == 9) {
+    n->posn = ctx->nposs;
+    ctx->nposs = ctx->nposs + 1;
+  }
+  return n;
+}
+
+struct node* nonnull parse_alt(struct parsectx* nonnull ctx);
+
+struct node* nonnull parse_atom(struct parsectx* nonnull ctx) {
+  int c;
+  c = peekc(ctx);
+  if (c == '(') {
+    advance(ctx);
+    struct node* nonnull inner;
+    inner = parse_alt(ctx);
+    int d;
+    d = peekc(ctx);
+    if (d == ')') {
+      advance(ctx);
+    } else {
+      ctx->err = 1;
+    }
+    return inner;
+  }
+  if (c == '.') {
+    advance(ctx);
+    struct node* nonnull any;
+    any = mknode(ctx, 1, 0);
+    return any;
+  }
+  if (c == '[') {
+    advance(ctx);
+    struct node* nonnull cls;
+    cls = mknode(ctx, 9, 0);
+    cls->cset = (int* nonnull) malloc(sizeof(int) * 128);
+    int* nonnull cs = (int* nonnull) cls->cset;
+    for (int i = 0; i < 128; i++) {
+      cs[i] = 0;
+    }
+    int d;
+    d = peekc(ctx);
+    if (d == '^') {
+      cls->negated = 1;
+      advance(ctx);
+      d = peekc(ctx);
+    }
+    while (d != ']' && d != 0) {
+      int lo = d;
+      advance(ctx);
+      d = peekc(ctx);
+      if (d == '-') {
+        /* a-z style range, unless '-' is the last member */
+        advance(ctx);
+        int hi;
+        hi = peekc(ctx);
+        if (hi == ']' || hi == 0) {
+          if (lo >= 0 && lo < 128) {
+            cs[lo] = 1;
+          }
+          cs['-'] = 1;
+          d = hi;
+          continue;
+        }
+        advance(ctx);
+        for (int r = lo; r <= hi; r++) {
+          if (r >= 0 && r < 128) {
+            cs[r] = 1;
+          }
+        }
+        d = peekc(ctx);
+        continue;
+      }
+      if (lo >= 0 && lo < 128) {
+        cs[lo] = 1;
+      }
+    }
+    if (d == ']') {
+      advance(ctx);
+    } else {
+      ctx->err = 1;
+    }
+    return cls;
+  }
+  if (c == '\\') {
+    /* escape: the next character is a literal */
+    advance(ctx);
+    int esc;
+    esc = peekc(ctx);
+    if (esc == 0) {
+      ctx->err = 1;
+      struct node* nonnull bad;
+      bad = mknode(ctx, 5, 0);
+      return bad;
+    }
+    advance(ctx);
+    struct node* nonnull lit2;
+    lit2 = mknode(ctx, 0, esc);
+    return lit2;
+  }
+  if (c == 0 || c == ')' || c == '|' || c == '*') {
+    struct node* nonnull e;
+    e = mknode(ctx, 5, 0);
+    return e;
+  }
+  advance(ctx);
+  struct node* nonnull lit;
+  lit = mknode(ctx, 0, c);
+  return lit;
+}
+
+struct node* nonnull parse_piece(struct parsectx* nonnull ctx) {
+  struct node* nonnull a;
+  a = parse_atom(ctx);
+  int c;
+  c = peekc(ctx);
+  while (c == '*' || c == '+' || c == '?') {
+    advance(ctx);
+    int kind = 2;
+    if (c == '+') {
+      kind = 7;
+    }
+    if (c == '?') {
+      kind = 8;
+    }
+    struct node* nonnull s;
+    s = mknode(ctx, kind, 0);
+    s->left = a;
+    a = s;
+    c = peekc(ctx);
+  }
+  return a;
+}
+
+struct node* nonnull parse_concat(struct parsectx* nonnull ctx) {
+  struct node* nonnull lhs;
+  lhs = parse_piece(ctx);
+  int c;
+  c = peekc(ctx);
+  while (c != 0 && c != '|' && c != ')') {
+    struct node* nonnull rhs;
+    rhs = parse_piece(ctx);
+    struct node* nonnull cat;
+    cat = mknode(ctx, 3, 0);
+    cat->left = lhs;
+    cat->right = rhs;
+    lhs = cat;
+    c = peekc(ctx);
+  }
+  return lhs;
+}
+
+struct node* nonnull parse_alt(struct parsectx* nonnull ctx) {
+  struct node* nonnull lhs;
+  lhs = parse_concat(ctx);
+  int c;
+  c = peekc(ctx);
+  while (c == '|') {
+    advance(ctx);
+    struct node* nonnull rhs;
+    rhs = parse_concat(ctx);
+    struct node* nonnull alt;
+    alt = mknode(ctx, 4, 0);
+    alt->left = lhs;
+    alt->right = rhs;
+    lhs = alt;
+    c = peekc(ctx);
+  }
+  return lhs;
+}
+
+/* ---- position computations (Glushkov) ---- */
+
+int compute_nullable(struct node* nonnull n) {
+  if (n->kind == 0 || n->kind == 1 || n->kind == 6 || n->kind == 9) {
+    n->nullable = 0;
+    return 0;
+  }
+  if (n->kind == 5) {
+    n->nullable = 1;
+    return 1;
+  }
+  if (n->kind == 7) {
+    /* X+ is nullable exactly when X is */
+    struct node* nonnull pc = (struct node* nonnull) n->left;
+    int pn;
+    pn = compute_nullable(pc);
+    n->nullable = pn;
+    return pn;
+  }
+  if (n->kind == 8) {
+    /* X? is always nullable */
+    struct node* nonnull oc = (struct node* nonnull) n->left;
+    int on;
+    on = compute_nullable(oc);
+    n->nullable = 1;
+    return 1;
+  }
+  if (n->kind == 2) {
+    /* The kind test guarantees a child, but the type system cannot see
+       that (flow-insensitivity): cast, as the paper does. */
+    struct node* nonnull l = (struct node* nonnull) n->left;
+    int ln;
+    ln = compute_nullable(l);
+    n->nullable = 1;
+    return 1;
+  }
+  struct node* nonnull l2 = (struct node* nonnull) n->left;
+  struct node* nonnull r2 = (struct node* nonnull) n->right;
+  int a;
+  a = compute_nullable(l2);
+  int b;
+  b = compute_nullable(r2);
+  if (n->kind == 3) {
+    if (a == 1 && b == 1) {
+      n->nullable = 1;
+    } else {
+      n->nullable = 0;
+    }
+  } else {
+    if (a == 1 || b == 1) {
+      n->nullable = 1;
+    } else {
+      n->nullable = 0;
+    }
+  }
+  return n->nullable;
+}
+
+void firstset(struct node* nonnull n, int* nonnull set) {
+  if (n->kind == 0 || n->kind == 1 || n->kind == 6 || n->kind == 9) {
+    set[n->posn] = 1;
+    return;
+  }
+  if (n->kind == 5) {
+    return;
+  }
+  if (n->kind == 2 || n->kind == 7 || n->kind == 8) {
+    struct node* nonnull l = (struct node* nonnull) n->left;
+    firstset(l, set);
+    return;
+  }
+  struct node* nonnull l2 = (struct node* nonnull) n->left;
+  struct node* nonnull r2 = (struct node* nonnull) n->right;
+  if (n->kind == 4) {
+    firstset(l2, set);
+    firstset(r2, set);
+    return;
+  }
+  firstset(l2, set);
+  if (l2->nullable == 1) {
+    firstset(r2, set);
+  }
+}
+
+void lastset(struct node* nonnull n, int* nonnull set) {
+  if (n->kind == 0 || n->kind == 1 || n->kind == 6 || n->kind == 9) {
+    set[n->posn] = 1;
+    return;
+  }
+  if (n->kind == 5) {
+    return;
+  }
+  if (n->kind == 2 || n->kind == 7 || n->kind == 8) {
+    struct node* nonnull l = (struct node* nonnull) n->left;
+    lastset(l, set);
+    return;
+  }
+  struct node* nonnull l2 = (struct node* nonnull) n->left;
+  struct node* nonnull r2 = (struct node* nonnull) n->right;
+  if (n->kind == 4) {
+    lastset(l2, set);
+    lastset(r2, set);
+    return;
+  }
+  lastset(r2, set);
+  if (r2->nullable == 1) {
+    lastset(l2, set);
+  }
+}
+
+void add_follow(int* nonnull from, int* nonnull to) {
+  int np = dfa->npos;
+  for (int i = 0; i < np; i++) {
+    if (from[i] == 1) {
+      for (int j = 0; j < np; j++) {
+        if (to[j] == 1) {
+          dfa->follow[i * np + j] = 1;
+        }
+      }
+    }
+  }
+}
+
+void computefollow(struct node* nonnull n) {
+  if (n->kind == 0 || n->kind == 1 || n->kind == 5 || n->kind == 6 || n->kind == 9) {
+    return;
+  }
+  int np = dfa->npos;
+  if (n->kind == 8) {
+    struct node* nonnull oc = (struct node* nonnull) n->left;
+    computefollow(oc);
+    return;
+  }
+  if (n->kind == 2 || n->kind == 7) {
+    struct node* nonnull l = (struct node* nonnull) n->left;
+    computefollow(l);
+    int* nonnull lastl;
+    lastl = (int* nonnull) malloc(sizeof(int) * np);
+    int* nonnull firstl;
+    firstl = (int* nonnull) malloc(sizeof(int) * np);
+    lastset(l, lastl);
+    firstset(l, firstl);
+    add_follow(lastl, firstl);
+    return;
+  }
+  struct node* nonnull l2 = (struct node* nonnull) n->left;
+  struct node* nonnull r2 = (struct node* nonnull) n->right;
+  computefollow(l2);
+  computefollow(r2);
+  if (n->kind == 3) {
+    int* nonnull lastl2;
+    lastl2 = (int* nonnull) malloc(sizeof(int) * np);
+    int* nonnull firstr;
+    firstr = (int* nonnull) malloc(sizeof(int) * np);
+    lastset(l2, lastl2);
+    firstset(r2, firstr);
+    add_follow(lastl2, firstr);
+  }
+}
+
+void record_pchar(struct node* nonnull n) {
+  if (n->kind == 0) {
+    dfa->pchar[n->posn] = n->ch;
+    return;
+  }
+  if (n->kind == 1) {
+    dfa->pchar[n->posn] = -1;
+    return;
+  }
+  if (n->kind == 6) {
+    dfa->pchar[n->posn] = -2;
+    return;
+  }
+  if (n->kind == 9) {
+    dfa->pchar[n->posn] = -3;
+    int* nonnull cs = (int* nonnull) n->cset;
+    for (int i = 0; i < 128; i++) {
+      int member = cs[i];
+      if (n->negated == 1) {
+        if (member == 1) {
+          member = 0;
+        } else {
+          member = 1;
+        }
+      }
+      dfa->cclass[n->posn * 128 + i] = member;
+    }
+    return;
+  }
+  if (n->kind == 5) {
+    return;
+  }
+  if (n->kind == 2 || n->kind == 7 || n->kind == 8) {
+    struct node* nonnull l = (struct node* nonnull) n->left;
+    record_pchar(l);
+    return;
+  }
+  struct node* nonnull l2 = (struct node* nonnull) n->left;
+  struct node* nonnull r2 = (struct node* nonnull) n->right;
+  record_pchar(l2);
+  record_pchar(r2);
+}
+
+/* ---- subset construction with a lazy transition cache ---- */
+
+int state_lookup(int* nonnull set) {
+  int np = dfa->npos;
+  for (int s = 0; s < dfa->nstates; s++) {
+    int same = 1;
+    for (int i = 0; i < np; i++) {
+      if (dfa->states[s * np + i] != set[i]) {
+        same = 0;
+      }
+    }
+    if (same == 1) {
+      return s;
+    }
+  }
+  return -1;
+}
+
+int state_add(int* nonnull set) {
+  int np = dfa->npos;
+  int idx;
+  idx = state_lookup(set);
+  if (idx >= 0) {
+    return idx;
+  }
+  if (dfa->nstates >= dfa->salloc) {
+    dfa->err = 1;
+    return 0;
+  }
+  int s = dfa->nstates;
+  for (int i = 0; i < np; i++) {
+    dfa->states[s * np + i] = set[i];
+  }
+  int acc = 0;
+  for (int i = 0; i < np; i++) {
+    int pc = dfa->pchar[i];
+    if (set[i] == 1 && pc == -2) {
+      acc = 1;
+    }
+  }
+  dfa->accepting[s] = acc;
+  dfa->nstates = dfa->nstates + 1;
+  return s;
+}
+
+int build_trans(int s, int c) {
+  int np = dfa->npos;
+  int* nonnull next;
+  next = (int* nonnull) malloc(sizeof(int) * np);
+  for (int i = 0; i < np; i++) {
+    next[i] = 0;
+  }
+  for (int p = 0; p < np; p++) {
+    if (dfa->states[s * np + p] == 1) {
+      int pc = dfa->pchar[p];
+      int match = 0;
+      if (pc == -1) {
+        match = 1;
+      }
+      if (pc == c) {
+        match = 1;
+      }
+      if (pc == -3) {
+        if (dfa->cclass[p * 128 + c] == 1) {
+          match = 1;
+        }
+      }
+      if (match == 1) {
+        for (int q = 0; q < np; q++) {
+          if (dfa->follow[p * np + q] == 1) {
+            next[q] = 1;
+          }
+        }
+      }
+    }
+  }
+  int t;
+  t = state_add(next);
+  dfa->trans[s * 128 + c] = t;
+  return t;
+}
+
+/* ---- compilation ---- */
+
+void dfa_compile(char* nonnull pattern) {
+  dfa = (struct dfastate* nonnull) malloc(sizeof(struct dfastate));
+  struct parsectx ctx;
+  ctx.pat = pattern;
+  ctx.at = 0;
+  ctx.err = 0;
+  ctx.nposs = 0;
+  struct node* nonnull root;
+  root = parse_alt(&ctx);
+  int trailing;
+  trailing = peekc(&ctx);
+  if (trailing != 0) {
+    ctx.err = 1;
+  }
+  /* augment with the end marker */
+  struct node* nonnull em;
+  em = mknode(&ctx, 6, 0);
+  struct node* nonnull aug;
+  aug = mknode(&ctx, 3, 0);
+  aug->left = root;
+  aug->right = em;
+  int np = ctx.nposs;
+  dfa->npos = np;
+  dfa->err = ctx.err;
+  dfa->pchar = (int* nonnull) malloc(sizeof(int) * np);
+  dfa->cclass = (int* nonnull) malloc(sizeof(int) * np * 128);
+  record_pchar(aug);
+  dfa->follow = (int* nonnull) malloc(sizeof(int) * np * np);
+  int nn;
+  nn = compute_nullable(aug);
+  computefollow(aug);
+  dfa->first = (int* nonnull) malloc(sizeof(int) * np);
+  firstset(aug, dfa->first);
+  dfa->salloc = 64;
+  dfa->nstates = 0;
+  dfa->states = (int* nonnull) malloc(sizeof(int) * 64 * np);
+  dfa->accepting = (int* nonnull) malloc(sizeof(int) * 64);
+  dfa->trans = (int* nonnull) malloc(sizeof(int) * 64 * 128);
+  for (int i = 0; i < 64 * 128; i++) {
+    dfa->trans[i] = -1;
+  }
+  int s0;
+  s0 = state_add(dfa->first);
+}
+
+/* ---- execution ---- */
+
+int dfaexec(char* nonnull str) {
+  if (dfa->err == 1) {
+    return 0;
+  }
+  int s = 0;
+  int i = 0;
+  int c = str[i];
+  while (c != 0) {
+    if (c < 0 || c >= 128) {
+      return 0;
+    }
+    int t = dfa->trans[s * 128 + c];
+    if (t < 0) {
+      t = build_trans(s, c);
+    }
+    s = t;
+    i = i + 1;
+    c = str[i];
+  }
+  return dfa->accepting[s];
+}
+
+/* dfa_search: does any substring of str match? */
+int dfa_search(char* nonnull str) {
+  if (dfa->err == 1) {
+    return 0;
+  }
+  int n;
+  n = cstrlen(str);
+  for (int start = 0; start <= n; start++) {
+    int s = 0;
+    if (dfa->accepting[0] == 1) {
+      return 1;
+    }
+    int i = start;
+    int c = str[i];
+    while (c != 0) {
+      if (c < 0 || c >= 128) {
+        break;
+      }
+      int t = dfa->trans[s * 128 + c];
+      if (t < 0) {
+        t = build_trans(s, c);
+      }
+      s = t;
+      if (dfa->accepting[s] == 1) {
+        return 1;
+      }
+      i = i + 1;
+      c = str[i];
+    }
+  }
+  return 0;
+}
+
+/* ---- self-checking driver ---- */
+
+int check_match(char* nonnull pattern, char* nonnull str, int expected) {
+  dfa_compile(pattern);
+  int got;
+  got = dfaexec(str);
+  if (got != expected) {
+    printf("FAIL match /%s/ on \"%s\": got %d want %d\n", pattern, str, got, expected);
+    return 1;
+  }
+  return 0;
+}
+
+int check_search(char* nonnull pattern, char* nonnull str, int expected) {
+  dfa_compile(pattern);
+  int got;
+  got = dfa_search(str);
+  if (got != expected) {
+    printf("FAIL search /%s/ in \"%s\": got %d want %d\n", pattern, str, got, expected);
+    return 1;
+  }
+  return 0;
+}
+
+int main() {
+  int fails = 0;
+  int r;
+  r = check_match("abc", "abc", 1);
+  fails += r;
+  r = check_match("abc", "abd", 0);
+  fails += r;
+  r = check_match("a*b", "aaab", 1);
+  fails += r;
+  r = check_match("a*b", "b", 1);
+  fails += r;
+  r = check_match("a*b", "ac", 0);
+  fails += r;
+  r = check_match("a.c", "axc", 1);
+  fails += r;
+  r = check_match("a.c", "ac", 0);
+  fails += r;
+  r = check_match("ab|cd", "cd", 1);
+  fails += r;
+  r = check_match("ab|cd", "ad", 0);
+  fails += r;
+  r = check_match("(ab)*", "ababab", 1);
+  fails += r;
+  r = check_match("(ab)*", "aba", 0);
+  fails += r;
+  r = check_match("(a|b)*c", "abbac", 1);
+  fails += r;
+  r = check_match("", "", 1);
+  fails += r;
+  r = check_match("", "x", 0);
+  fails += r;
+  r = check_search("b*c", "aaabbbcd", 1);
+  fails += r;
+  r = check_search("xyz", "aaabbbcd", 0);
+  fails += r;
+  r = check_search("a.*d", "xxaynzdxx", 1);
+  fails += r;
+  r = check_match("[abc]d", "bd", 1);
+  fails += r;
+  r = check_match("[abc]d", "xd", 0);
+  fails += r;
+  r = check_match("[a-z]*", "hello", 1);
+  fails += r;
+  r = check_match("[a-z]*", "heLlo", 0);
+  fails += r;
+  r = check_match("[^0-9]+", "abc", 1);
+  fails += r;
+  r = check_match("[^0-9]+", "ab7c", 0);
+  fails += r;
+  r = check_match("ab+c", "abbbc", 1);
+  fails += r;
+  r = check_match("ab+c", "ac", 0);
+  fails += r;
+  r = check_match("ab?c", "abc", 1);
+  fails += r;
+  r = check_match("ab?c", "ac", 1);
+  fails += r;
+  r = check_match("ab?c", "abbc", 0);
+  fails += r;
+  r = check_match("a\\*b", "a*b", 1);
+  fails += r;
+  r = check_match("a\\*b", "aab", 0);
+  fails += r;
+  r = check_search("[0-9][0-9]*", "error code 404 seen", 1);
+  fails += r;
+  r = check_search("(GET|POST) /[a-z]*", "log: GET /index ok", 1);
+  fails += r;
+  printf("dfa: %d failures\n", fails);
+  return fails;
+}
+`

@@ -1,0 +1,115 @@
+package corpus
+
+// Identd returns the ident-daemon subject for Table 2: a query loop with
+// the shape of identd 1.0. Every format string is a literal, so the
+// constants-are-trusted clause makes the program check with no annotations
+// and no casts at all, matching the paper's row.
+func Identd() Program {
+	return Program{
+		Name:        "identd",
+		Description: "RFC 1413 ident daemon (stand-in for identd 1.0)",
+		Source:      identdSource,
+	}
+}
+
+const identdSource = `
+/* identd.c - an RFC 1413 identification daemon. Connections are simulated
+ * by a table of (local port, remote port) queries against a table of
+ * simulated sockets.
+ */
+
+int printf(char * untainted format, ...);
+void exit(int code);
+
+/* simulated connection table: (lport, rport) -> owner */
+int conn_lport[8];
+int conn_rport[8];
+char* conn_owner[8];
+int conn_count = 0;
+
+void conn_add(int lport, int rport, char* owner) {
+  if (conn_count >= 8) {
+    return;
+  }
+  conn_lport[conn_count] = lport;
+  conn_rport[conn_count] = rport;
+  conn_owner[conn_count] = owner;
+  conn_count = conn_count + 1;
+}
+
+void setup_conns() {
+  conn_add(113, 6191, "root");
+  conn_add(22, 51004, "sshd");
+  conn_add(6667, 40001, "alice");
+  conn_add(25, 33211, "postfix");
+}
+
+/* incoming queries */
+int query_lport[8];
+int query_rport[8];
+int query_count = 0;
+
+void query_add(int lport, int rport) {
+  if (query_count >= 8) {
+    return;
+  }
+  query_lport[query_count] = lport;
+  query_rport[query_count] = rport;
+  query_count = query_count + 1;
+}
+
+void setup_queries() {
+  query_add(6667, 40001);
+  query_add(22, 51004);
+  query_add(79, 1234);
+  query_add(0, 0);
+  query_add(70000, 1);
+}
+
+int lookup(int lport, int rport) {
+  for (int i = 0; i < conn_count; i++) {
+    if (conn_lport[i] == lport && conn_rport[i] == rport) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+int valid_port(int p) {
+  if (p <= 0 || p > 65535) {
+    return 0;
+  }
+  return 1;
+}
+
+void handle_query(int lport, int rport) {
+  printf("identd: query %d , %d\n", lport, rport);
+  int okl;
+  okl = valid_port(lport);
+  int okr;
+  okr = valid_port(rport);
+  if (okl == 0 || okr == 0) {
+    printf("%d , %d : ERROR : INVALID-PORT\r\n", lport, rport);
+    return;
+  }
+  int idx;
+  idx = lookup(lport, rport);
+  if (idx < 0) {
+    printf("%d , %d : ERROR : NO-USER\r\n", lport, rport);
+    return;
+  }
+  printf("%d , %d : USERID : UNIX : %s\r\n", lport, rport, conn_owner[idx]);
+}
+
+int main() {
+  setup_conns();
+  setup_queries();
+  printf("identd: listening on port %d\n", 113);
+  for (int i = 0; i < query_count; i++) {
+    handle_query(query_lport[i], query_rport[i]);
+  }
+  printf("identd: handled %d queries\n", query_count);
+  printf("identd: exiting\n");
+  return 0;
+}
+`

@@ -1,0 +1,120 @@
+package corpus
+
+// Mingetty returns the getty subject for Table 2: an issue-banner printer
+// and login-name prompt with the shape of mingetty 0.9.4. Its single user
+// annotation is the untainted format parameter of its error() logger; every
+// format string is constant, so no casts are needed (section 6.3).
+func Mingetty() Program {
+	return Program{
+		Name:        "mingetty",
+		Description: "console getty (stand-in for mingetty 0.9.4)",
+		Source:      mingettySource,
+	}
+}
+
+const mingettySource = `
+/* mingetty.c - minimal getty: print the issue banner, prompt for a login
+ * name, validate it, and hand off to login. Terminal input is simulated by
+ * a scripted response table.
+ */
+
+int printf(char * untainted format, ...);
+int error(char * untainted format, ...);
+void exit(int code);
+
+char* tty = "tty1";
+char* hostname = "repro";
+char* osname = "cminor 1.0";
+
+/* simulated keyboard input: successive responses to the login prompt */
+char* responses[4];
+int response_count = 0;
+int response_next = 0;
+
+void setup_input() {
+  responses[0] = "";
+  responses[1] = "al ice";
+  responses[2] = "alice";
+  response_count = 3;
+  response_next = 0;
+}
+
+char* next_response() {
+  if (response_next >= response_count) {
+    error("mingetty: out of input on %s", tty);
+    return "";
+  }
+  char* r = responses[response_next];
+  response_next = response_next + 1;
+  return r;
+}
+
+int valid_logname(char* name) {
+  if (name[0] == 0) {
+    return 0;
+  }
+  int i = 0;
+  while (name[i] != 0) {
+    int c = name[i];
+    if (c == ' ' || c == '\t') {
+      return 0;
+    }
+    if (c < 32 || c > 126) {
+      return 0;
+    }
+    i = i + 1;
+  }
+  return 1;
+}
+
+void print_issue() {
+  printf("\n");
+  printf("%s\n", osname);
+  printf("Kernel 2.4.18 on an i686\n");
+  printf("\n");
+  printf("%s ", hostname);
+  printf("%s\n", tty);
+  printf("\n");
+}
+
+void update_utmp(char* user) {
+  /* the real mingetty writes a utmp record here */
+  printf("utmp: LOGIN_PROCESS %s on %s\n", user, tty);
+}
+
+char* read_logname() {
+  while (1) {
+    printf("%s login: ", hostname);
+    char* name;
+    name = next_response();
+    int ok;
+    ok = valid_logname(name);
+    if (ok == 1) {
+      return name;
+    }
+    if (name[0] == 0) {
+      printf("\n");
+    } else {
+      error("mingetty: bad login name %c...\n", name[0]);
+      printf("login incorrect\n");
+    }
+    if (response_next >= response_count) {
+      error("mingetty: giving up on %s", tty);
+      exit(1);
+    }
+  }
+  return "";
+}
+
+int main() {
+  setup_input();
+  printf("mingetty: starting on %s\n", tty);
+  print_issue();
+  char* user;
+  user = read_logname();
+  update_utmp(user);
+  printf("spawning: /bin/login -- %s\n", user);
+  printf("mingetty: done\n");
+  return 0;
+}
+`

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTable1Shape(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's shape: a pointer-heavy program fully validated — many
+	// dereferences, an annotation burden an order of magnitude smaller,
+	// casts smaller still, and zero errors.
+	if r.Errors != 0 {
+		t.Errorf("errors = %d, want 0", r.Errors)
+	}
+	if r.Dereferences < 50 {
+		t.Errorf("dereferences = %d, want a dereference-heavy subject", r.Dereferences)
+	}
+	if r.Annotations <= 0 || r.Annotations >= r.Dereferences {
+		t.Errorf("annotations = %d vs dereferences = %d: annotation burden should be much smaller", r.Annotations, r.Dereferences)
+	}
+	if r.Casts <= 0 || r.Casts > r.Annotations {
+		t.Errorf("casts = %d vs annotations = %d: casts should be needed but fewer than annotations", r.Casts, r.Annotations)
+	}
+	out := FormatTable1(r)
+	if !strings.Contains(out, "dereferences:") {
+		t.Errorf("formatting broken:\n%s", out)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Program] = r
+	}
+	b, m, i := byName["bftpd"], byName["mingetty"], byName["identd"]
+	// bftpd: 2 annotations, 0 casts, exactly the 1 known error.
+	if b.Annotations != 2 || b.Casts != 0 || b.Errors != 1 {
+		t.Errorf("bftpd row = %+v, want annotations=2 casts=0 errors=1", b)
+	}
+	// mingetty: 1 annotation, clean.
+	if m.Annotations != 1 || m.Casts != 0 || m.Errors != 0 {
+		t.Errorf("mingetty row = %+v, want annotations=1 casts=0 errors=0", m)
+	}
+	// identd: no annotations at all, clean.
+	if i.Annotations != 0 || i.Casts != 0 || i.Errors != 0 {
+		t.Errorf("identd row = %+v, want annotations=0 casts=0 errors=0", i)
+	}
+	// printf-call density ordering matches the paper (bftpd >> others).
+	if !(b.PrintfCalls > m.PrintfCalls && b.PrintfCalls > i.PrintfCalls) {
+		t.Errorf("printf calls: bftpd=%d mingetty=%d identd=%d", b.PrintfCalls, m.PrintfCalls, i.PrintfCalls)
+	}
+	if m.PrintfCalls < 10 || i.PrintfCalls < 5 {
+		t.Errorf("printf call counts too small: mingetty=%d identd=%d", m.PrintfCalls, i.PrintfCalls)
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "printf calls:") {
+		t.Errorf("formatting broken:\n%s", out)
+	}
+}
+
+func TestUniquenessExperiment(t *testing.T) {
+	r, err := Uniqueness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Errors != 0 {
+		t.Errorf("errors = %d, want 0", r.Errors)
+	}
+	if r.ValidatedRefs < 20 {
+		t.Errorf("validated references = %d, want the dfa global used heavily", r.ValidatedRefs)
+	}
+	if !r.PassByArgRejected {
+		t.Error("the pass-global-as-argument idiom was not rejected")
+	}
+	if !r.CallInitRejected {
+		t.Error("dfa = parse_dfa() should be rejected under figure 5's rules")
+	}
+	if !r.CallInitFreshAccepted {
+		t.Error("dfa = parse_dfa() should be accepted with the fresh extension")
+	}
+}
+
+func TestProverTimesClaims(t *testing.T) {
+	rows, err := ProverTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d qualifiers, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Sound {
+			t.Errorf("%s not proven sound", r.Qualifier)
+		}
+		if r.Elapsed >= r.Bound {
+			t.Errorf("%s took %v, paper bound %v", r.Qualifier, r.Elapsed, r.Bound)
+		}
+	}
+}
+
+func TestCheckTimesClaim(t *testing.T) {
+	rows, err := CheckTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Elapsed >= time.Second {
+			t.Errorf("%s qualifier checking took %v, paper claims under one second", r.Program, r.Elapsed)
+		}
+	}
+}
+
+func TestMutationsAllCaught(t *testing.T) {
+	rows, err := Mutations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d mutations, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Caught {
+			t.Errorf("mutation not caught: %s", r.Mutation)
+		}
+		if r.Failed == "" {
+			t.Errorf("mutation %s has no failing obligation recorded", r.Mutation)
+		}
+	}
+}
+
+func TestInferenceExperiment(t *testing.T) {
+	r, err := Inference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WarningsBefore == 0 {
+		t.Error("subject should fail without inference")
+	}
+	if r.WarningsAfter != 0 {
+		t.Errorf("warnings after inference = %d, want 0", r.WarningsAfter)
+	}
+	if r.Inferred == 0 {
+		t.Error("nothing inferred")
+	}
+	if !strings.Contains(FormatInference(r), "annotations inferred") {
+		t.Error("formatting broken")
+	}
+}
+
+func TestFlowExperiment(t *testing.T) {
+	r, err := Flow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WarningsInsensitive == 0 {
+		t.Error("the guarded program should warn under flow-insensitive checking")
+	}
+	if r.WarningsSensitive != 0 {
+		t.Errorf("flow-sensitive warnings = %d, want 0", r.WarningsSensitive)
+	}
+	if !strings.Contains(FormatFlow(r), "flow-sensitive") {
+		t.Error("formatting broken")
+	}
+}

@@ -1,0 +1,631 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cminor"
+	"repro/internal/qdl"
+)
+
+// call executes a function body with the given argument values.
+func (m *machine) call(fn *cminor.FuncDef, args []Value, pos cminor.Pos) (Value, error) {
+	if fn.Body == nil {
+		return m.builtin(fn.Name, args, pos)
+	}
+	if len(args) < len(fn.Params) {
+		return Value{}, &RuntimeError{Pos: pos, Msg: fmt.Sprintf("too few arguments to %s", fn.Name)}
+	}
+	saved := m.scopes
+	m.scopes = []map[string]Addr{{}}
+	defer func() { m.scopes = saved }()
+	for i, p := range fn.Params {
+		a := m.alloc(1, false, p.Name)
+		m.objects[a.Base].cells[0] = args[i]
+		m.scopes[0][p.Name] = a
+	}
+	var ret Value
+	sig, err := m.execStmt(fn.Body, &ret)
+	if err != nil {
+		return Value{}, err
+	}
+	if sig == sigReturn {
+		return ret, nil
+	}
+	return IntVal(0), nil
+}
+
+func (m *machine) step(pos cminor.Pos) error {
+	m.steps++
+	if m.steps > m.max {
+		return &RuntimeError{Pos: pos, Msg: "step budget exhausted (infinite loop?)"}
+	}
+	return nil
+}
+
+func (m *machine) execStmt(s cminor.Stmt, ret *Value) (signal, error) {
+	if err := m.step(s.Position()); err != nil {
+		return sigNone, err
+	}
+	switch s := s.(type) {
+	case *cminor.Block:
+		m.scopes = append(m.scopes, map[string]Addr{})
+		defer func() { m.scopes = m.scopes[:len(m.scopes)-1] }()
+		for _, inner := range s.Stmts {
+			sig, err := m.execStmt(inner, ret)
+			if err != nil || sig != sigNone {
+				return sig, err
+			}
+		}
+		return sigNone, nil
+	case *cminor.DeclStmt:
+		a := m.alloc(m.sizeOf(s.Decl.Type), false, s.Decl.Name)
+		m.scopes[len(m.scopes)-1][s.Decl.Name] = a
+		if s.Decl.Init != nil {
+			v, err := m.evalExpr(s.Decl.Init)
+			if err != nil {
+				return sigNone, err
+			}
+			if err := m.storeVal(a, v, s.Pos); err != nil {
+				return sigNone, err
+			}
+		}
+		return sigNone, nil
+	case *cminor.InstrStmt:
+		return sigNone, m.execInstr(s.Instr)
+	case *cminor.If:
+		c, err := m.evalExpr(s.Cond)
+		if err != nil {
+			return sigNone, err
+		}
+		if c.Truthy() {
+			return m.execStmt(s.Then, ret)
+		}
+		if s.Else != nil {
+			return m.execStmt(s.Else, ret)
+		}
+		return sigNone, nil
+	case *cminor.While:
+		for {
+			c, err := m.evalExpr(s.Cond)
+			if err != nil {
+				return sigNone, err
+			}
+			if !c.Truthy() {
+				return sigNone, nil
+			}
+			sig, err := m.execStmt(s.Body, ret)
+			if err != nil {
+				return sigNone, err
+			}
+			if sig == sigReturn {
+				return sig, nil
+			}
+			if sig == sigBreak {
+				return sigNone, nil
+			}
+			if err := m.step(s.Pos); err != nil {
+				return sigNone, err
+			}
+		}
+	case *cminor.For:
+		m.scopes = append(m.scopes, map[string]Addr{})
+		defer func() { m.scopes = m.scopes[:len(m.scopes)-1] }()
+		if s.Init != nil {
+			if sig, err := m.execStmt(s.Init, ret); err != nil || sig != sigNone {
+				return sig, err
+			}
+		}
+		for {
+			if s.Cond != nil {
+				c, err := m.evalExpr(s.Cond)
+				if err != nil {
+					return sigNone, err
+				}
+				if !c.Truthy() {
+					return sigNone, nil
+				}
+			}
+			sig, err := m.execStmt(s.Body, ret)
+			if err != nil {
+				return sigNone, err
+			}
+			if sig == sigReturn {
+				return sig, nil
+			}
+			if sig == sigBreak {
+				return sigNone, nil
+			}
+			if s.Post != nil {
+				if _, err := m.execStmt(s.Post, ret); err != nil {
+					return sigNone, err
+				}
+			}
+			if err := m.step(s.Pos); err != nil {
+				return sigNone, err
+			}
+		}
+	case *cminor.Return:
+		if s.X != nil {
+			v, err := m.evalExpr(s.X)
+			if err != nil {
+				return sigNone, err
+			}
+			*ret = v
+		}
+		return sigReturn, nil
+	case *cminor.Break:
+		return sigBreak, nil
+	case *cminor.Continue:
+		return sigContinue, nil
+	}
+	return sigNone, nil
+}
+
+func (m *machine) execInstr(in cminor.Instr) error {
+	switch in := in.(type) {
+	case *cminor.Assign:
+		a, err := m.evalLValue(in.LHS)
+		if err != nil {
+			return err
+		}
+		v, err := m.evalExpr(in.RHS)
+		if err != nil {
+			return err
+		}
+		return m.storeVal(a, v, in.Pos)
+	case *cminor.CallInstr:
+		fn := m.prog.Func(in.Fn)
+		if fn == nil {
+			return &RuntimeError{Pos: in.Pos, Msg: "call to undefined function " + in.Fn}
+		}
+		args := make([]Value, len(in.Args))
+		for i, ae := range in.Args {
+			v, err := m.evalExpr(ae)
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		ret, err := m.call(fn, args, in.Pos)
+		if err != nil {
+			return err
+		}
+		if in.LHS != nil {
+			a, err := m.evalLValue(in.LHS)
+			if err != nil {
+				return err
+			}
+			return m.storeVal(a, ret, in.Pos)
+		}
+		return nil
+	}
+	return nil
+}
+
+func (m *machine) evalLValue(lv cminor.LValue) (Addr, error) {
+	switch lv := lv.(type) {
+	case *cminor.VarLV:
+		a, ok := m.lookupVar(lv.Name)
+		if !ok {
+			return Addr{}, &RuntimeError{Pos: lv.Pos, Msg: "undefined variable " + lv.Name}
+		}
+		return a, nil
+	case *cminor.DerefLV:
+		v, err := m.evalExpr(lv.Addr)
+		if err != nil {
+			return Addr{}, err
+		}
+		if v.Kind != VPtr {
+			return Addr{}, &RuntimeError{Pos: lv.Pos, Msg: "dereference of non-pointer value"}
+		}
+		if v.Addr.IsNull() {
+			return Addr{}, &RuntimeError{Pos: lv.Pos, Msg: "NULL dereference"}
+		}
+		return v.Addr, nil
+	case *cminor.FieldLV:
+		base, err := m.evalLValue(lv.Base)
+		if err != nil {
+			return Addr{}, err
+		}
+		bt := cminor.StripQuals(m.info.LVTypeOf(lv.Base))
+		st, ok := bt.(cminor.StructType)
+		if !ok {
+			return Addr{}, &RuntimeError{Pos: lv.Pos, Msg: "field access on non-struct"}
+		}
+		off, _, ok := m.fieldOffset(st.Name, lv.Field)
+		if !ok {
+			return Addr{}, &RuntimeError{Pos: lv.Pos, Msg: "unknown field " + lv.Field}
+		}
+		return Addr{Base: base.Base, Off: base.Off + off}, nil
+	}
+	return Addr{}, &RuntimeError{Msg: "bad l-value"}
+}
+
+func (m *machine) evalExpr(e cminor.Expr) (Value, error) {
+	switch e := e.(type) {
+	case *cminor.IntLit:
+		return IntVal(e.Value), nil
+	case *cminor.StrLit:
+		return PtrVal(m.strAddr(e.Value)), nil
+	case *cminor.NullLit:
+		return Null, nil
+	case *cminor.LVExpr:
+		// Arrays decay to pointers when read.
+		if _, ok := cminor.StripQuals(m.info.LVTypeOf(e.LV)).(cminor.ArrayType); ok {
+			a, err := m.evalLValue(e.LV)
+			if err != nil {
+				return Value{}, err
+			}
+			return PtrVal(a), nil
+		}
+		a, err := m.evalLValue(e.LV)
+		if err != nil {
+			return Value{}, err
+		}
+		return m.loadVal(a, e.Pos)
+	case *cminor.AddrOf:
+		a, err := m.evalLValue(e.LV)
+		if err != nil {
+			return Value{}, err
+		}
+		return PtrVal(a), nil
+	case *cminor.Unop:
+		x, err := m.evalExpr(e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		switch e.Op {
+		case cminor.UNeg:
+			if x.Kind != VInt {
+				return Value{}, &RuntimeError{Pos: e.Pos, Msg: "negation of pointer"}
+			}
+			return IntVal(-x.Int), nil
+		case cminor.UNot:
+			if x.Truthy() {
+				return IntVal(0), nil
+			}
+			return IntVal(1), nil
+		}
+	case *cminor.Binop:
+		return m.evalBinop(e)
+	case *cminor.Cast:
+		x, err := m.evalExpr(e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if m.checks && m.reg != nil {
+			if err := m.runtimeCheck(e, x); err != nil {
+				return Value{}, err
+			}
+		}
+		return x, nil
+	case *cminor.SizeofExpr:
+		return IntVal(m.sizeOf(e.Type)), nil
+	case *cminor.NewExpr:
+		sz, err := m.evalExpr(e.Size)
+		if err != nil {
+			return Value{}, err
+		}
+		if sz.Kind != VInt || sz.Int < 0 {
+			return Value{}, &RuntimeError{Pos: e.Pos, Msg: "bad allocation size"}
+		}
+		return PtrVal(m.alloc(sz.Int, true, "heap")), nil
+	}
+	return Value{}, &RuntimeError{Pos: e.Position(), Msg: fmt.Sprintf("cannot evaluate %T", e)}
+}
+
+func (m *machine) evalBinop(e *cminor.Binop) (Value, error) {
+	// Short-circuit operators first.
+	if e.Op == cminor.BAnd || e.Op == cminor.BOr {
+		l, err := m.evalExpr(e.L)
+		if err != nil {
+			return Value{}, err
+		}
+		if e.Op == cminor.BAnd && !l.Truthy() {
+			return IntVal(0), nil
+		}
+		if e.Op == cminor.BOr && l.Truthy() {
+			return IntVal(1), nil
+		}
+		r, err := m.evalExpr(e.R)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Truthy() {
+			return IntVal(1), nil
+		}
+		return IntVal(0), nil
+	}
+	l, err := m.evalExpr(e.L)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := m.evalExpr(e.R)
+	if err != nil {
+		return Value{}, err
+	}
+	boolInt := func(b bool) Value {
+		if b {
+			return IntVal(1)
+		}
+		return IntVal(0)
+	}
+	switch e.Op {
+	case cminor.BAdd, cminor.BSub:
+		// Pointer arithmetic advances by element size.
+		if l.Kind == VPtr && r.Kind == VInt {
+			elem := int64(1)
+			if pe, ok := cminor.PointeeOf(m.info.TypeOf(e.L)); ok {
+				elem = m.sizeOf(pe)
+			}
+			d := r.Int * elem
+			if e.Op == cminor.BSub {
+				d = -d
+			}
+			return PtrVal(Addr{Base: l.Addr.Base, Off: l.Addr.Off + d}), nil
+		}
+		if e.Op == cminor.BAdd && l.Kind == VInt && r.Kind == VPtr {
+			elem := int64(1)
+			if pe, ok := cminor.PointeeOf(m.info.TypeOf(e.R)); ok {
+				elem = m.sizeOf(pe)
+			}
+			return PtrVal(Addr{Base: r.Addr.Base, Off: r.Addr.Off + l.Int*elem}), nil
+		}
+		if l.Kind == VPtr && r.Kind == VPtr && e.Op == cminor.BSub {
+			return IntVal(l.Addr.Off - r.Addr.Off), nil
+		}
+		if l.Kind == VInt && r.Kind == VInt {
+			if e.Op == cminor.BAdd {
+				return IntVal(l.Int + r.Int), nil
+			}
+			return IntVal(l.Int - r.Int), nil
+		}
+		return Value{}, &RuntimeError{Pos: e.Pos, Msg: "bad operands to +/-"}
+	case cminor.BMul:
+		return IntVal(l.Int * r.Int), nil
+	case cminor.BDiv:
+		if r.Int == 0 {
+			return Value{}, &RuntimeError{Pos: e.Pos, Msg: "division by zero"}
+		}
+		return IntVal(l.Int / r.Int), nil
+	case cminor.BMod:
+		if r.Int == 0 {
+			return Value{}, &RuntimeError{Pos: e.Pos, Msg: "modulo by zero"}
+		}
+		return IntVal(l.Int % r.Int), nil
+	case cminor.BEq:
+		return boolInt(l.Equal(r)), nil
+	case cminor.BNe:
+		return boolInt(!l.Equal(r)), nil
+	case cminor.BLt, cminor.BLe, cminor.BGt, cminor.BGe:
+		var li, ri int64
+		if l.Kind == VPtr && r.Kind == VPtr {
+			li, ri = l.Addr.Off, r.Addr.Off
+		} else if l.Kind == VInt && r.Kind == VInt {
+			li, ri = l.Int, r.Int
+		} else {
+			return Value{}, &RuntimeError{Pos: e.Pos, Msg: "ordered comparison of mixed kinds"}
+		}
+		switch e.Op {
+		case cminor.BLt:
+			return boolInt(li < ri), nil
+		case cminor.BLe:
+			return boolInt(li <= ri), nil
+		case cminor.BGt:
+			return boolInt(li > ri), nil
+		default:
+			return boolInt(li >= ri), nil
+		}
+	}
+	return Value{}, &RuntimeError{Pos: e.Pos, Msg: "bad binary operator"}
+}
+
+// runtimeCheck implements the instrumented check for a cast to a
+// value-qualified type: each qualifier's invariant is evaluated on the
+// casted value (section 2.1.3).
+func (m *machine) runtimeCheck(c *cminor.Cast, v Value) error {
+	for _, q := range cminor.QualsOf(c.Type) {
+		d := m.reg.Lookup(q)
+		if d == nil || d.Kind != qdl.ValueQualifier || d.Invariant == nil {
+			continue
+		}
+		ok, err := m.evalInvariant(d.Invariant, v, c.Pos)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			f := CheckFailure{Pos: c.Pos, Qualifier: q, Value: v}
+			m.failure = &f
+			return &checkSignal{f: f}
+		}
+	}
+	return nil
+}
+
+// evalInvariant evaluates a value qualifier's invariant on a runtime value.
+func (m *machine) evalInvariant(p qdl.Pred, v Value, pos cminor.Pos) (bool, error) {
+	term := func(t qdl.Term) (Value, error) {
+		switch t := t.(type) {
+		case qdl.TValue:
+			return v, nil
+		case qdl.TInt:
+			return IntVal(t.Value), nil
+		case qdl.TNull:
+			return Null, nil
+		case qdl.TArith:
+			// Invariants over single values use only value(E) and
+			// constants; arithmetic is folded here.
+			return Value{}, &RuntimeError{Pos: pos, Msg: "arithmetic in run-time checks not supported"}
+		}
+		return Value{}, &RuntimeError{Pos: pos, Msg: fmt.Sprintf("term %s not evaluable at run time", t)}
+	}
+	switch p := p.(type) {
+	case qdl.PCmp:
+		l, err := term(p.L)
+		if err != nil {
+			return false, err
+		}
+		r, err := term(p.R)
+		if err != nil {
+			return false, err
+		}
+		switch p.Op {
+		case "==":
+			return l.Equal(r), nil
+		case "!=":
+			return !l.Equal(r), nil
+		}
+		if l.Kind != VInt || r.Kind != VInt {
+			return false, &RuntimeError{Pos: pos, Msg: "ordered comparison of pointers in invariant"}
+		}
+		switch p.Op {
+		case "<":
+			return l.Int < r.Int, nil
+		case "<=":
+			return l.Int <= r.Int, nil
+		case ">":
+			return l.Int > r.Int, nil
+		case ">=":
+			return l.Int >= r.Int, nil
+		}
+		return false, nil
+	case qdl.PAnd:
+		l, err := m.evalInvariant(p.L, v, pos)
+		if err != nil || !l {
+			return false, err
+		}
+		return m.evalInvariant(p.R, v, pos)
+	case qdl.POr:
+		l, err := m.evalInvariant(p.L, v, pos)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return m.evalInvariant(p.R, v, pos)
+	case qdl.PNot:
+		inner, err := m.evalInvariant(p.P, v, pos)
+		return !inner, err
+	}
+	return false, &RuntimeError{Pos: pos, Msg: "invariant not checkable at run time"}
+}
+
+// ---- builtins ----
+
+func (m *machine) builtin(name string, args []Value, pos cminor.Pos) (Value, error) {
+	switch name {
+	case "printf", "fprintf", "sendstrf", "syslog", "error":
+		// The format-string family: the first (or for fprintf/sendstrf/
+		// syslog, second) argument is the format.
+		idx := 0
+		if name == "fprintf" || name == "sendstrf" || name == "syslog" {
+			idx = 1
+		}
+		if len(args) <= idx {
+			return IntVal(0), nil
+		}
+		f := args[idx]
+		if f.Kind != VPtr {
+			return Value{}, &RuntimeError{Pos: pos, Msg: name + ": format is not a string"}
+		}
+		format, err := m.readCString(f.Addr, pos)
+		if err != nil {
+			return Value{}, err
+		}
+		n, err := m.doPrintf(format, args[idx+1:], pos)
+		if err != nil {
+			return Value{}, err
+		}
+		return IntVal(int64(n)), nil
+	case "puts":
+		if len(args) == 1 && args[0].Kind == VPtr {
+			s, err := m.readCString(args[0].Addr, pos)
+			if err != nil {
+				return Value{}, err
+			}
+			m.write(s + "\n")
+			return IntVal(int64(len(s)) + 1), nil
+		}
+		return IntVal(0), nil
+	case "putchar":
+		if len(args) == 1 && args[0].Kind == VInt {
+			m.write(string(rune(args[0].Int)))
+		}
+		return args[0], nil
+	case "exit", "abort":
+		code := int64(134)
+		if name == "exit" && len(args) == 1 {
+			code = args[0].Int
+		}
+		return Value{}, &exitSignal{code: code}
+	case "strlen":
+		if len(args) == 1 && args[0].Kind == VPtr {
+			s, err := m.readCString(args[0].Addr, pos)
+			if err != nil {
+				return Value{}, err
+			}
+			return IntVal(int64(len(s))), nil
+		}
+		return IntVal(0), nil
+	case "free":
+		return IntVal(0), nil
+	}
+	return Value{}, &RuntimeError{Pos: pos, Msg: "call to body-less function " + name + " (no builtin)"}
+}
+
+// doPrintf interprets a C format string. Reading past the supplied
+// arguments is the format-string vulnerability the untainted experiment
+// detects; the interpreter surfaces it as a runtime error, mirroring the
+// real crash.
+func (m *machine) doPrintf(format string, args []Value, pos cminor.Pos) (int, error) {
+	var sb strings.Builder
+	ai := 0
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		spec := format[i]
+		if spec == '%' {
+			sb.WriteByte('%')
+			continue
+		}
+		if ai >= len(args) {
+			return 0, &RuntimeError{Pos: pos,
+				Msg: fmt.Sprintf("printf: format %q reads argument %d but only %d supplied (format-string vulnerability)", format, ai+1, len(args))}
+		}
+		a := args[ai]
+		ai++
+		switch spec {
+		case 'd', 'i', 'u':
+			fmt.Fprintf(&sb, "%d", a.Int)
+		case 'x':
+			fmt.Fprintf(&sb, "%x", a.Int)
+		case 'c':
+			sb.WriteByte(byte(a.Int))
+		case 's':
+			if a.Kind != VPtr {
+				return 0, &RuntimeError{Pos: pos, Msg: "printf: %s with non-pointer argument"}
+			}
+			s, err := m.readCString(a.Addr, pos)
+			if err != nil {
+				return 0, err
+			}
+			sb.WriteString(s)
+		case 'p':
+			sb.WriteString(a.String())
+		default:
+			sb.WriteByte('%')
+			sb.WriteByte(spec)
+		}
+	}
+	m.write(sb.String())
+	return sb.Len(), nil
+}

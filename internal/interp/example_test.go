@@ -1,0 +1,43 @@
+package interp_test
+
+import (
+	"fmt"
+
+	"repro/internal/cminor"
+	"repro/internal/interp"
+	"repro/internal/quals"
+)
+
+// ExampleRun executes an instrumented program: the cast to int pos carries
+// a run-time check of pos's invariant (section 2.1.3), which fails here
+// with the paper's fatal-error semantics.
+func ExampleRun() {
+	reg := quals.MustStandard()
+	src := `
+int printf(char* format, ...);
+int main() {
+  int x = 6 - 11;
+  printf("about to cast %d\n", x);
+  int pos y = (int pos) x;
+  printf("never reached\n");
+  return y;
+}
+`
+	prog, err := cminor.Parse("check.c", src, reg.Names())
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	res, err := interp.Run(prog, reg, interp.Options{RuntimeChecks: true})
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	fmt.Print(res.Output)
+	if res.Failure != nil {
+		fmt.Printf("fatal: %s check failed on %s\n", res.Failure.Qualifier, res.Failure.Value)
+	}
+	// Output:
+	// about to cast -5
+	// fatal: pos check failed on -5
+}

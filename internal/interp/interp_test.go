@@ -1,0 +1,557 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cminor"
+	"repro/internal/qdl"
+	"repro/internal/quals"
+)
+
+func runProg(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	reg := quals.MustStandard()
+	prog, err := cminor.Parse("test.c", src, reg.Names())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if opts.RuntimeChecks == false {
+		opts.RuntimeChecks = true
+	}
+	res, err := Run(prog, reg, opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestRunArithmetic(t *testing.T) {
+	res := runProg(t, `
+int main() {
+  int a = 6;
+  int b = 7;
+  return a * b;
+}
+`, Options{})
+	if res.Exit != 42 {
+		t.Errorf("exit = %d, want 42", res.Exit)
+	}
+}
+
+func TestRunControlFlow(t *testing.T) {
+	res := runProg(t, `
+int main() {
+  int s = 0;
+  for (int i = 1; i <= 10; i++) {
+    if (i % 2 == 0) continue;
+    s += i;
+  }
+  int n = 0;
+  while (1) {
+    n++;
+    if (n >= 3) break;
+  }
+  return s + n;
+}
+`, Options{})
+	if res.Exit != 28 { // 1+3+5+7+9 = 25, n = 3
+		t.Errorf("exit = %d, want 28", res.Exit)
+	}
+}
+
+func TestRunPointersAndHeap(t *testing.T) {
+	res := runProg(t, `
+int main() {
+  int* p;
+  p = (int*)malloc(sizeof(int) * 4);
+  for (int i = 0; i < 4; i++) p[i] = i * i;
+  int s = 0;
+  for (int i = 0; i < 4; i++) s += p[i];
+  return s;
+}
+`, Options{})
+	if res.Exit != 14 {
+		t.Errorf("exit = %d, want 14", res.Exit)
+	}
+}
+
+func TestRunStructs(t *testing.T) {
+	res := runProg(t, `
+struct point { int x; int y; };
+int main() {
+  struct point pt;
+  pt.x = 3;
+  pt.y = 4;
+  struct point* p = &pt;
+  return p->x * p->x + p->y * p->y;
+}
+`, Options{})
+	if res.Exit != 25 {
+		t.Errorf("exit = %d, want 25", res.Exit)
+	}
+}
+
+func TestRunRecursion(t *testing.T) {
+	res := runProg(t, `
+int fib(int n) {
+  if (n < 2) return n;
+  int a;
+  int b;
+  a = fib(n - 1);
+  b = fib(n - 2);
+  return a + b;
+}
+int main() {
+  int r;
+  r = fib(10);
+  return r;
+}
+`, Options{})
+	if res.Exit != 55 {
+		t.Errorf("exit = %d, want 55", res.Exit)
+	}
+}
+
+func TestRunPrintf(t *testing.T) {
+	res := runProg(t, `
+int printf(char* format, ...);
+int main() {
+  printf("hello %s, %d!\n", "world", 42);
+  return 0;
+}
+`, Options{})
+	if res.Output != "hello world, 42!\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestRunGlobalsAndStrings(t *testing.T) {
+	res := runProg(t, `
+int strlen(char* s);
+char* greeting = "hey";
+int main() {
+  int n;
+  n = strlen(greeting);
+  return n;
+}
+`, Options{})
+	if res.Exit != 3 {
+		t.Errorf("exit = %d, want 3", res.Exit)
+	}
+}
+
+func TestRuntimeCheckPasses(t *testing.T) {
+	// Figure 2 semantics: the lcm cast's run-time check succeeds on
+	// positive inputs.
+	res := runProg(t, `
+int pos gcd(int pos n, int pos m) {
+  while (m != 0) {
+    int t = m;
+    m = n % m;
+    n = t;
+  }
+  return (int pos) n;
+}
+int pos lcm(int pos a, int pos b) {
+  int pos d;
+  d = gcd(a, b);
+  int pos prod = a * b;
+  return (int pos) (prod / d);
+}
+int main() {
+  int r;
+  r = lcm(4, 6);
+  return r;
+}
+`, Options{})
+	if res.Failure != nil {
+		t.Fatalf("unexpected check failure: %v", res.Failure)
+	}
+	if res.Exit != 12 {
+		t.Errorf("lcm(4,6) = %d, want 12", res.Exit)
+	}
+}
+
+func TestRuntimeCheckFails(t *testing.T) {
+	// A cast to int pos on a non-positive value must signal a fatal error
+	// (section 2.1.3).
+	res := runProg(t, `
+int main() {
+  int x = -5;
+  int pos y = (int pos) x;
+  return y;
+}
+`, Options{})
+	if res.Failure == nil {
+		t.Fatal("expected a run-time check failure")
+	}
+	if res.Failure.Qualifier != "pos" {
+		t.Errorf("failed qualifier = %s, want pos", res.Failure.Qualifier)
+	}
+}
+
+func TestRuntimeCheckNonnull(t *testing.T) {
+	res := runProg(t, `
+int main() {
+  int* p = NULL;
+  int* nonnull q = (int* nonnull) p;
+  return 0;
+}
+`, Options{})
+	if res.Failure == nil || res.Failure.Qualifier != "nonnull" {
+		t.Fatalf("expected nonnull failure, got %v", res.Failure)
+	}
+}
+
+func TestRuntimeChecksDisabled(t *testing.T) {
+	reg := quals.MustStandard()
+	prog, err := cminor.Parse("t.c", `
+int main() {
+  int x = -5;
+  int pos y = (int pos) x;
+  return y + 5;
+}
+`, reg.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, reg, Options{RuntimeChecks: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure != nil {
+		t.Error("checks ran while disabled")
+	}
+	if res.Exit != 0 {
+		t.Errorf("exit = %d, want 0", res.Exit)
+	}
+}
+
+func TestFormatStringVulnerabilityCrashes(t *testing.T) {
+	// The bftpd bug: a format string with specifiers but no arguments reads
+	// past the supplied arguments.
+	reg := quals.MustStandard()
+	prog, err := cminor.Parse("t.c", `
+int printf(char* format, ...);
+int main() {
+  char* buf = "%s%s";
+  printf(buf);
+  return 0;
+}
+`, reg.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(prog, reg, Options{})
+	if err == nil || !strings.Contains(err.Error(), "format-string vulnerability") {
+		t.Errorf("expected format-string runtime error, got %v", err)
+	}
+}
+
+func TestNullDereferenceError(t *testing.T) {
+	reg := quals.MustStandard()
+	prog, err := cminor.Parse("t.c", `
+int main() {
+  int* p = NULL;
+  return *p;
+}
+`, reg.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(prog, reg, Options{})
+	if err == nil || !strings.Contains(err.Error(), "NULL dereference") {
+		t.Errorf("expected NULL dereference error, got %v", err)
+	}
+}
+
+func TestOutOfBoundsError(t *testing.T) {
+	reg := quals.MustStandard()
+	prog, err := cminor.Parse("t.c", `
+int main() {
+  int* p;
+  p = (int*)malloc(sizeof(int) * 2);
+  return p[5];
+}
+`, reg.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(prog, reg, Options{})
+	if err == nil || !strings.Contains(err.Error(), "out-of-bounds") {
+		t.Errorf("expected bounds error, got %v", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	reg := quals.MustStandard()
+	prog, err := cminor.Parse("t.c", `int main() { while (1) { } return 0; }`, reg.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(prog, reg, Options{MaxSteps: 1000})
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Errorf("expected step budget error, got %v", err)
+	}
+}
+
+func TestExitBuiltin(t *testing.T) {
+	res := runProg(t, `
+void exit(int code);
+int main() {
+  exit(7);
+  return 0;
+}
+`, Options{})
+	if res.Exit != 7 {
+		t.Errorf("exit = %d, want 7", res.Exit)
+	}
+}
+
+func TestCharAndStringOps(t *testing.T) {
+	res := runProg(t, `
+int count_x(char* s) {
+  int n = 0;
+  int i = 0;
+  while (s[i] != '\0') {
+    if (s[i] == 'x') n++;
+    i++;
+  }
+  return n;
+}
+int main() {
+  int r;
+  r = count_x("axbxcx");
+  return r;
+}
+`, Options{})
+	if res.Exit != 3 {
+		t.Errorf("exit = %d, want 3", res.Exit)
+	}
+}
+
+func TestArraysInStructs(t *testing.T) {
+	res := runProg(t, `
+struct buf { int len; int data[4]; };
+int main() {
+  struct buf b;
+  b.len = 4;
+  for (int i = 0; i < b.len; i++) b.data[i] = i + 1;
+  int s = 0;
+  for (int i = 0; i < b.len; i++) s += b.data[i];
+  return s;
+}
+`, Options{})
+	if res.Exit != 10 {
+		t.Errorf("exit = %d, want 10", res.Exit)
+	}
+}
+
+func TestUninitializedLocalsAreZero(t *testing.T) {
+	res := runProg(t, `
+int main() {
+  int x;
+  int* p;
+  if (p == NULL) return x + 1;
+  return 99;
+}
+`, Options{})
+	if res.Exit != 1 {
+		t.Errorf("exit = %d, want 1", res.Exit)
+	}
+}
+
+// invariant evaluation unit tests
+func TestEvalInvariantDirect(t *testing.T) {
+	reg := quals.MustStandard()
+	m := &machine{reg: reg}
+	pos := reg.Lookup("pos").Invariant
+	ok, err := m.evalInvariant(pos, IntVal(5), cminor.Pos{})
+	if err != nil || !ok {
+		t.Errorf("pos(5) = %v, %v", ok, err)
+	}
+	ok, _ = m.evalInvariant(pos, IntVal(-1), cminor.Pos{})
+	if ok {
+		t.Error("pos(-1) held")
+	}
+	nn := reg.Lookup("nonnull").Invariant
+	ok, _ = m.evalInvariant(nn, Null, cminor.Pos{})
+	if ok {
+		t.Error("nonnull(NULL) held")
+	}
+	ok, _ = m.evalInvariant(nn, PtrVal(Addr{Base: 3}), cminor.Pos{})
+	if !ok {
+		t.Error("nonnull(ptr) failed")
+	}
+	_ = qdl.ValueQualifier
+}
+
+func TestRuntimeCheckConjunctionInvariant(t *testing.T) {
+	// byteval's two-conjunct invariant is checked at casts.
+	reg, err := quals.WithExtras()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(v int) *Result {
+		src := fmt.Sprintf(`
+int main() {
+  int x = %d;
+  int byteval b = (int byteval) x;
+  return b;
+}
+`, v)
+		prog, err := cminor.Parse("t.c", src, reg.Names())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(prog, reg, Options{RuntimeChecks: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if res := run(200); res.Failure != nil {
+		t.Errorf("byteval(200) check failed: %v", res.Failure)
+	}
+	if res := run(300); res.Failure == nil || res.Failure.Qualifier != "byteval" {
+		t.Errorf("byteval(300) check should fail, got %v", res.Failure)
+	}
+	if res := run(-1); res.Failure == nil {
+		t.Error("byteval(-1) check should fail")
+	}
+}
+
+func TestBuiltinsPutsPutcharFprintf(t *testing.T) {
+	res := runProg(t, `
+int puts(char* s);
+int putchar(int c);
+int fprintf(int stream, char* format, ...);
+int main() {
+  puts("line one");
+  putchar('A');
+  putchar('\n');
+  fprintf(2, "to stderr: %d\n", 9);
+  return 0;
+}
+`, Options{})
+	want := "line one\nA\nto stderr: 9\n"
+	if res.Output != want {
+		t.Errorf("output = %q, want %q", res.Output, want)
+	}
+}
+
+func TestPrintfFormats(t *testing.T) {
+	res := runProg(t, `
+int printf(char* format, ...);
+int main() {
+  printf("%x|%c|%%|%d\n", 255, 'Z', -7);
+  return 0;
+}
+`, Options{})
+	if res.Output != "ff|Z|%|-7\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestPointerComparisons(t *testing.T) {
+	res := runProg(t, `
+int main() {
+  int* p;
+  p = (int*)malloc(sizeof(int) * 4);
+  int* q = p + 2;
+  int eq = 0;
+  if (p == p) eq = eq + 1;
+  if (p != q) eq = eq + 10;
+  if (p < q) eq = eq + 100;
+  if (q >= p) eq = eq + 1000;
+  int d = q - p;
+  return eq + d;
+}
+`, Options{})
+	if res.Exit != 1113 { // 1+10+100+1000 + (q-p cells)=2
+		t.Errorf("exit = %d, want 1113", res.Exit)
+	}
+}
+
+func TestAbortBuiltin(t *testing.T) {
+	res := runProg(t, `
+void abort();
+int main() {
+  abort();
+  return 0;
+}
+`, Options{})
+	if res.Exit != 134 {
+		t.Errorf("abort exit = %d, want 134", res.Exit)
+	}
+}
+
+func TestNestedStructs(t *testing.T) {
+	res := runProg(t, `
+struct inner { int a; int b; };
+struct outer { int tag; struct inner in; int tail; };
+int main() {
+  struct outer o;
+  o.tag = 1;
+  o.in.a = 20;
+  o.in.b = 300;
+  o.tail = 4000;
+  return o.tag + o.in.a + o.in.b + o.tail;
+}
+`, Options{})
+	if res.Exit != 4321 {
+		t.Errorf("exit = %d, want 4321", res.Exit)
+	}
+}
+
+func TestSizeofStruct(t *testing.T) {
+	res := runProg(t, `
+struct pair { int a; int b; };
+int main() {
+  return sizeof(struct pair) + sizeof(int) * 10;
+}
+`, Options{})
+	if res.Exit != 12 { // 2 cells + 10
+		t.Errorf("exit = %d, want 12", res.Exit)
+	}
+}
+
+func TestDivisionByZeroRuntime(t *testing.T) {
+	reg := quals.MustStandard()
+	prog, err := cminor.Parse("t.c", `
+int main() {
+  int z = 0;
+  return 5 / z;
+}
+`, reg.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(prog, reg, Options{})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("expected division-by-zero error, got %v", err)
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	// p != NULL && *p > 0 must not dereference NULL.
+	res := runProg(t, `
+int main() {
+  int* p = NULL;
+  if (p != NULL && *p > 0) {
+    return 1;
+  }
+  int x = 5;
+  int* q = &x;
+  if (q == NULL || *q == 5) {
+    return 42;
+  }
+  return 2;
+}
+`, Options{})
+	if res.Exit != 42 {
+		t.Errorf("exit = %d, want 42", res.Exit)
+	}
+}

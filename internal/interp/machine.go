@@ -1,0 +1,324 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cminor"
+	"repro/internal/qdl"
+)
+
+// Options configures execution.
+type Options struct {
+	// Stdout receives printf/puts output (defaults to a discard buffer
+	// captured in Result.Output).
+	Stdout io.Writer
+	// MaxSteps bounds executed statements (default 10 million).
+	MaxSteps int
+	// RuntimeChecks enables instrumented qualifier checks on casts
+	// (default on; the paper's instrumentation).
+	RuntimeChecks bool
+	// Args are the integer arguments passed to main.
+	Args []int64
+	// Inspect, when set, is called with the machine's final state after
+	// main returns (including after a fatal qualifier-check failure).
+	Inspect func(*Inspection)
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Exit   int64
+	Output string
+	Steps  int
+	// Failure is non-nil when an instrumented qualifier check failed; the
+	// run halts at the failing cast (fatal error semantics).
+	Failure *CheckFailure
+}
+
+type object struct {
+	cells []Value
+	heap  bool
+	name  string
+}
+
+type machine struct {
+	prog    *cminor.Program
+	info    *cminor.TypeInfo
+	reg     *qdl.Registry
+	objects []object
+	globals map[string]Addr
+	scopes  []map[string]Addr
+	out     *strings.Builder
+	extra   io.Writer
+	steps   int
+	max     int
+	checks  bool
+	strlits map[string]Addr
+	failure *CheckFailure
+}
+
+// control-flow signals.
+type signal int
+
+const (
+	sigNone signal = iota
+	sigReturn
+	sigBreak
+	sigContinue
+)
+
+// Run executes the program's main function. The registry provides qualifier
+// invariants for the instrumented cast checks; it may be nil to run without
+// instrumentation.
+func Run(prog *cminor.Program, reg *qdl.Registry, opts Options) (*Result, error) {
+	info, diags := cminor.TypeCheck(prog)
+	for _, d := range diags {
+		return nil, fmt.Errorf("interp: program does not typecheck: %s", d)
+	}
+	m := &machine{
+		prog:    prog,
+		info:    info,
+		reg:     reg,
+		globals: map[string]Addr{},
+		out:     &strings.Builder{},
+		extra:   opts.Stdout,
+		max:     opts.MaxSteps,
+		checks:  opts.RuntimeChecks,
+		strlits: map[string]Addr{},
+	}
+	if m.max == 0 {
+		m.max = 10_000_000
+	}
+	// Object 0 is NULL.
+	m.objects = append(m.objects, object{name: "<null>"})
+	// Allocate globals (zeroed), then run initializers.
+	for _, g := range prog.Globals {
+		m.globals[g.Name] = m.alloc(m.sizeOf(g.Type), false, g.Name)
+	}
+	for _, g := range prog.Globals {
+		if g.Init == nil {
+			continue
+		}
+		v, err := m.evalExpr(g.Init)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.storeVal(m.globals[g.Name], v, g.Pos); err != nil {
+			return nil, err
+		}
+	}
+	mainFn := prog.Func("main")
+	if mainFn == nil || mainFn.Body == nil {
+		return nil, fmt.Errorf("interp: no main function")
+	}
+	args := make([]Value, len(opts.Args))
+	for i, a := range opts.Args {
+		args[i] = IntVal(a)
+	}
+	ret, err := m.call(mainFn, args, mainFn.Pos)
+	res := &Result{Output: m.out.String(), Steps: m.steps, Failure: m.failure}
+	if opts.Inspect != nil {
+		defer opts.Inspect(&Inspection{m: m})
+	}
+	if m.failure != nil {
+		return res, nil // fatal check: the run halted by design
+	}
+	if err != nil {
+		if ex, ok := err.(*exitSignal); ok {
+			res.Exit = ex.code
+			res.Output = m.out.String()
+			return res, nil
+		}
+		return res, err
+	}
+	if ret.Kind == VInt {
+		res.Exit = ret.Int
+	}
+	return res, nil
+}
+
+type exitSignal struct{ code int64 }
+
+func (e *exitSignal) Error() string { return fmt.Sprintf("exit(%d)", e.code) }
+
+type checkSignal struct{ f CheckFailure }
+
+func (c *checkSignal) Error() string { return c.f.Error() }
+
+func (m *machine) alloc(size int64, heap bool, name string) Addr {
+	if size <= 0 {
+		size = 1
+	}
+	id := len(m.objects)
+	m.objects = append(m.objects, object{cells: make([]Value, size), heap: heap, name: name})
+	return Addr{Base: id}
+}
+
+// sizeOf returns a type's size in cells: scalars and pointers take one
+// cell; arrays and structs flatten.
+func (m *machine) sizeOf(t cminor.Type) int64 {
+	switch t := cminor.StripQuals(t).(type) {
+	case cminor.ArrayType:
+		return t.Size * m.sizeOf(t.Elem)
+	case cminor.StructType:
+		def := m.info.Structs[t.Name]
+		if def == nil {
+			return 1
+		}
+		var total int64
+		for _, f := range def.Fields {
+			total += m.sizeOf(f.Type)
+		}
+		return total
+	default:
+		return 1
+	}
+}
+
+// fieldOffset returns the cell offset of a field within a struct.
+func (m *machine) fieldOffset(structName, field string) (int64, cminor.Type, bool) {
+	def := m.info.Structs[structName]
+	if def == nil {
+		return 0, nil, false
+	}
+	var off int64
+	for _, f := range def.Fields {
+		if f.Name == field {
+			return off, f.Type, true
+		}
+		off += m.sizeOf(f.Type)
+	}
+	return 0, nil, false
+}
+
+func (m *machine) loadVal(a Addr, pos cminor.Pos) (Value, error) {
+	if a.IsNull() {
+		return Value{}, &RuntimeError{Pos: pos, Msg: "NULL dereference"}
+	}
+	if a.Base >= len(m.objects) || a.Off < 0 || a.Off >= int64(len(m.objects[a.Base].cells)) {
+		return Value{}, &RuntimeError{Pos: pos, Msg: fmt.Sprintf("out-of-bounds read at %s", PtrVal(a))}
+	}
+	return m.objects[a.Base].cells[a.Off], nil
+}
+
+func (m *machine) storeVal(a Addr, v Value, pos cminor.Pos) error {
+	if a.IsNull() {
+		return &RuntimeError{Pos: pos, Msg: "NULL store"}
+	}
+	if a.Base >= len(m.objects) || a.Off < 0 || a.Off >= int64(len(m.objects[a.Base].cells)) {
+		return &RuntimeError{Pos: pos, Msg: fmt.Sprintf("out-of-bounds write at %s", PtrVal(a))}
+	}
+	m.objects[a.Base].cells[a.Off] = v
+	return nil
+}
+
+func (m *machine) lookupVar(name string) (Addr, bool) {
+	for i := len(m.scopes) - 1; i >= 0; i-- {
+		if a, ok := m.scopes[i][name]; ok {
+			return a, true
+		}
+	}
+	a, ok := m.globals[name]
+	return a, ok
+}
+
+// strAddr interns a string literal as a NUL-terminated char array.
+func (m *machine) strAddr(s string) Addr {
+	if a, ok := m.strlits[s]; ok {
+		return a
+	}
+	a := m.alloc(int64(len(s)+1), true, "strlit")
+	for i := 0; i < len(s); i++ {
+		m.objects[a.Base].cells[i] = IntVal(int64(s[i]))
+	}
+	m.objects[a.Base].cells[len(s)] = IntVal(0)
+	m.strlits[s] = a
+	return a
+}
+
+// readCString reads a NUL-terminated string at a.
+func (m *machine) readCString(a Addr, pos cminor.Pos) (string, error) {
+	var sb strings.Builder
+	for i := 0; ; i++ {
+		v, err := m.loadVal(Addr{Base: a.Base, Off: a.Off + int64(i)}, pos)
+		if err != nil {
+			return "", err
+		}
+		if v.Kind != VInt {
+			return "", &RuntimeError{Pos: pos, Msg: "non-character in string"}
+		}
+		if v.Int == 0 {
+			return sb.String(), nil
+		}
+		sb.WriteByte(byte(v.Int))
+		if i > 1_000_000 {
+			return "", &RuntimeError{Pos: pos, Msg: "unterminated string"}
+		}
+	}
+}
+
+func (m *machine) write(s string) {
+	m.out.WriteString(s)
+	if m.extra != nil {
+		io.WriteString(m.extra, s)
+	}
+}
+
+// Inspection gives read access to the machine's final state, for tests that
+// validate qualifier invariants dynamically (e.g. uniqueness: no two cells
+// hold the same heap location). The paper leaves reference-qualifier casts
+// unchecked at run time because quantified invariants are expensive on real
+// memory; the interpreter's store is fully visible, so tests can afford the
+// whole-store scan.
+type Inspection struct {
+	m *machine
+}
+
+// Global returns the value of a global variable.
+func (in *Inspection) Global(name string) (Value, bool) {
+	a, ok := in.m.globals[name]
+	if !ok {
+		return Value{}, false
+	}
+	v, err := in.m.loadVal(a, cminor.Pos{})
+	if err != nil {
+		return Value{}, false
+	}
+	return v, true
+}
+
+// GlobalAddr returns the address of a global variable.
+func (in *Inspection) GlobalAddr(name string) (Addr, bool) {
+	a, ok := in.m.globals[name]
+	return a, ok
+}
+
+// IsHeap reports whether the object is heap-allocated.
+func (in *Inspection) IsHeap(base int) bool {
+	return base > 0 && base < len(in.m.objects) && in.m.objects[base].heap
+}
+
+// ForEachCell visits every live memory cell.
+func (in *Inspection) ForEachCell(fn func(addr Addr, v Value)) {
+	for base := 1; base < len(in.m.objects); base++ {
+		for off, v := range in.m.objects[base].cells {
+			fn(Addr{Base: base, Off: int64(off)}, v)
+		}
+	}
+}
+
+// ReferenceCount counts cells whose value is a pointer to exactly the
+// given object (any offset), excluding the cell at exclude.
+func (in *Inspection) ReferenceCount(target int, exclude Addr) int {
+	n := 0
+	in.ForEachCell(func(a Addr, v Value) {
+		if a == exclude {
+			return
+		}
+		if v.Kind == VPtr && v.Addr.Base == target {
+			n++
+		}
+	})
+	return n
+}

@@ -1,0 +1,99 @@
+// Package interp executes cminor programs with the run-time checks the
+// paper's extensible typechecker instruments (section 2.1.3): every cast to
+// a value-qualified type is checked dynamically against the qualifier's
+// invariant, and a fatal error is signaled when the check fails.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/cminor"
+)
+
+// ValueKind tags runtime values.
+type ValueKind int
+
+// Value kinds.
+const (
+	VInt ValueKind = iota
+	VPtr
+)
+
+// Addr is a memory address: an object plus a cell offset. Base 0 is the
+// reserved NULL object.
+type Addr struct {
+	Base int
+	Off  int64
+}
+
+// IsNull reports whether the address is NULL.
+func (a Addr) IsNull() bool { return a.Base == 0 }
+
+// Value is a runtime value: an integer or a pointer.
+type Value struct {
+	Kind ValueKind
+	Int  int64
+	Addr Addr
+}
+
+// IntVal builds an integer value.
+func IntVal(v int64) Value { return Value{Kind: VInt, Int: v} }
+
+// PtrVal builds a pointer value.
+func PtrVal(a Addr) Value { return Value{Kind: VPtr, Addr: a} }
+
+// Null is the NULL pointer.
+var Null = Value{Kind: VPtr}
+
+// Truthy reports C truthiness.
+func (v Value) Truthy() bool {
+	if v.Kind == VInt {
+		return v.Int != 0
+	}
+	return !v.Addr.IsNull()
+}
+
+// Equal reports C equality (0 compares equal to NULL).
+func (v Value) Equal(o Value) bool {
+	if v.Kind == VInt && o.Kind == VInt {
+		return v.Int == o.Int
+	}
+	if v.Kind == VPtr && o.Kind == VPtr {
+		return v.Addr == o.Addr
+	}
+	// int/pointer mixing: only 0 == NULL.
+	if v.Kind == VInt {
+		return v.Int == 0 && o.Addr.IsNull()
+	}
+	return o.Int == 0 && v.Addr.IsNull()
+}
+
+func (v Value) String() string {
+	if v.Kind == VInt {
+		return fmt.Sprintf("%d", v.Int)
+	}
+	if v.Addr.IsNull() {
+		return "NULL"
+	}
+	return fmt.Sprintf("<obj%d+%d>", v.Addr.Base, v.Addr.Off)
+}
+
+// RuntimeError is an execution failure with a position.
+type RuntimeError struct {
+	Pos cminor.Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string { return fmt.Sprintf("%s: runtime error: %s", e.Pos, e.Msg) }
+
+// CheckFailure records a failed instrumented qualifier check (the paper's
+// fatal error on a cast whose target invariant does not hold).
+type CheckFailure struct {
+	Pos       cminor.Pos
+	Qualifier string
+	Value     Value
+}
+
+func (c CheckFailure) Error() string {
+	return fmt.Sprintf("%s: fatal: run-time check for qualifier %s failed on value %s", c.Pos, c.Qualifier, c.Value)
+}

@@ -1,0 +1,279 @@
+package lambda
+
+import "fmt"
+
+// ---- Values and stores (section 5.1) ----
+
+// Value is a runtime value: v ::= c | () | \x.s | l.
+type Value interface {
+	fmt.Stringer
+	isValue()
+}
+
+// VInt is an integer constant value.
+type VInt struct{ V int64 }
+
+// VUnit is the unit value.
+type VUnit struct{}
+
+// VClos is a closure.
+type VClos struct {
+	X    string
+	Ann  Type
+	Body Stmt
+	Env  ValueEnv
+}
+
+// VLoc is a store location.
+type VLoc struct{ L int }
+
+func (VInt) isValue()  {}
+func (VUnit) isValue() {}
+func (VClos) isValue() {}
+func (VLoc) isValue()  {}
+
+func (v VInt) String() string  { return fmt.Sprintf("%d", v.V) }
+func (VUnit) String() string   { return "()" }
+func (v VClos) String() string { return "<closure \\" + v.X + ">" }
+func (v VLoc) String() string  { return fmt.Sprintf("loc%d", v.L) }
+
+// ValueEnv maps variables to values.
+type ValueEnv map[string]Value
+
+func (e ValueEnv) extend(x string, v Value) ValueEnv {
+	out := make(ValueEnv, len(e)+1)
+	for k, val := range e {
+		out[k] = val
+	}
+	out[x] = v
+	return out
+}
+
+// Store maps locations to values; it also remembers each location's static
+// type so semantic conformance can be checked (the Gamma of definition
+// 5.2, with locations treated as variables).
+type Store struct {
+	Cells []Value
+	Types []Type
+}
+
+// Alloc appends a new cell.
+func (s *Store) Alloc(v Value, t Type) VLoc {
+	s.Cells = append(s.Cells, v)
+	s.Types = append(s.Types, t)
+	return VLoc{L: len(s.Cells) - 1}
+}
+
+// Evaluator executes the big-step semantics <sigma, s> -> <sigma', v>.
+type Evaluator struct {
+	Quals *QualSet
+	// typer mirrors the static ref-cell types for conformance tracking.
+	checker  *Checker
+	Steps    int
+	MaxSteps int
+}
+
+// NewEvaluator builds an evaluator; the qualifier set is used only to
+// record cell types for conformance checking.
+func NewEvaluator(qs *QualSet) *Evaluator {
+	return &Evaluator{Quals: qs, checker: &Checker{Quals: qs}, MaxSteps: 1_000_000}
+}
+
+// EvalStmt evaluates a statement.
+func (ev *Evaluator) EvalStmt(env ValueEnv, types TypeEnv, st *Store, s Stmt) (Value, error) {
+	ev.Steps++
+	if ev.Steps > ev.MaxSteps {
+		return nil, fmt.Errorf("lambda: evaluation step budget exhausted")
+	}
+	switch s := s.(type) {
+	case SExpr:
+		return ev.EvalExpr(env, types, st, s.E)
+	case SSeq:
+		if _, err := ev.EvalStmt(env, types, st, s.S1); err != nil {
+			return nil, err
+		}
+		return ev.EvalStmt(env, types, st, s.S2)
+	case SLet:
+		v, err := ev.EvalStmt(env, types, st, s.S1)
+		if err != nil {
+			return nil, err
+		}
+		t1, err := ev.checker.CheckStmt(types, s.S1)
+		if err != nil {
+			return nil, err
+		}
+		bound := t1
+		if s.Ann != nil {
+			bound = s.Ann
+		}
+		return ev.EvalStmt(env.extend(s.X, v), types.extend(s.X, bound), st, s.S2)
+	case SRef:
+		v, err := ev.EvalStmt(env, types, st, s.S)
+		if err != nil {
+			return nil, err
+		}
+		elem := s.Ann
+		if elem == nil {
+			t, err := ev.checker.CheckStmt(types, s.S)
+			if err != nil {
+				return nil, err
+			}
+			elem = t
+		}
+		return st.Alloc(v, elem), nil
+	case SAssign:
+		target, err := ev.EvalStmt(env, types, st, s.S1)
+		if err != nil {
+			return nil, err
+		}
+		loc, ok := target.(VLoc)
+		if !ok {
+			return nil, fmt.Errorf("lambda: assignment to non-location %s", target)
+		}
+		v, err := ev.EvalStmt(env, types, st, s.S2)
+		if err != nil {
+			return nil, err
+		}
+		if loc.L < 0 || loc.L >= len(st.Cells) {
+			return nil, fmt.Errorf("lambda: dangling location %s", loc)
+		}
+		st.Cells[loc.L] = v
+		return VUnit{}, nil
+	}
+	return nil, fmt.Errorf("lambda: cannot evaluate %T", s)
+}
+
+// EvalExpr evaluates a side-effect-free expression.
+func (ev *Evaluator) EvalExpr(env ValueEnv, types TypeEnv, st *Store, e Expr) (Value, error) {
+	switch e := e.(type) {
+	case EInt:
+		return VInt{V: e.V}, nil
+	case EUnit:
+		return VUnit{}, nil
+	case EVar:
+		v, ok := env[e.X]
+		if !ok {
+			return nil, fmt.Errorf("lambda: unbound variable %s", e.X)
+		}
+		return v, nil
+	case ELam:
+		return VClos{X: e.X, Ann: e.Ann, Body: e.Body, Env: env}, nil
+	case EApp:
+		f, err := ev.EvalExpr(env, types, st, e.F)
+		if err != nil {
+			return nil, err
+		}
+		clos, ok := f.(VClos)
+		if !ok {
+			return nil, fmt.Errorf("lambda: applying non-closure %s", f)
+		}
+		a, err := ev.EvalExpr(env, types, st, e.A)
+		if err != nil {
+			return nil, err
+		}
+		return ev.EvalStmt(clos.Env.extend(clos.X, a), types.extend(clos.X, clos.Ann), st, clos.Body)
+	case EDeref:
+		v, err := ev.EvalExpr(env, types, st, e.E)
+		if err != nil {
+			return nil, err
+		}
+		loc, ok := v.(VLoc)
+		if !ok {
+			return nil, fmt.Errorf("lambda: dereferencing non-location %s", v)
+		}
+		if loc.L < 0 || loc.L >= len(st.Cells) {
+			return nil, fmt.Errorf("lambda: dangling location %s", loc)
+		}
+		return st.Cells[loc.L], nil
+	case EBinop:
+		l, err := ev.EvalExpr(env, types, st, e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.EvalExpr(env, types, st, e.R)
+		if err != nil {
+			return nil, err
+		}
+		li, lok := l.(VInt)
+		ri, rok := r.(VInt)
+		if !lok || !rok {
+			return nil, fmt.Errorf("lambda: arithmetic on non-integers")
+		}
+		switch e.Op {
+		case OpAdd:
+			return VInt{V: li.V + ri.V}, nil
+		case OpSub:
+			return VInt{V: li.V - ri.V}, nil
+		case OpMul:
+			return VInt{V: li.V * ri.V}, nil
+		}
+		return nil, fmt.Errorf("lambda: unknown operator %s", e.Op)
+	case ENeg:
+		v, err := ev.EvalExpr(env, types, st, e.E)
+		if err != nil {
+			return nil, err
+		}
+		i, ok := v.(VInt)
+		if !ok {
+			return nil, fmt.Errorf("lambda: negating non-integer")
+		}
+		return VInt{V: -i.V}, nil
+	}
+	return nil, fmt.Errorf("lambda: cannot evaluate %T", e)
+}
+
+// ---- Semantic conformance (figure 11) ----
+
+// Conforms implements Gamma; tau |- <sigma, v>: the value is well-typed at
+// tau and satisfies the invariants of every qualifier on tau; locations
+// recursively conform (rule Q-Ref).
+func Conforms(qs *QualSet, st *Store, v Value, t Type, depth int) error {
+	if depth > 64 {
+		return nil // cyclic store structure; bounded check
+	}
+	for _, q := range QualsOf(t) {
+		d := qs.Lookup(q)
+		if d == nil || d.Holds == nil {
+			continue
+		}
+		if !d.Holds(v) {
+			return fmt.Errorf("value %s violates [[%s]]", v, q)
+		}
+	}
+	switch base := Strip(t).(type) {
+	case TInt:
+		if _, ok := v.(VInt); !ok {
+			return fmt.Errorf("value %s is not an integer", v)
+		}
+	case TUnit:
+		if _, ok := v.(VUnit); !ok {
+			return fmt.Errorf("value %s is not unit", v)
+		}
+	case TFun:
+		if _, ok := v.(VClos); !ok {
+			return fmt.Errorf("value %s is not a closure", v)
+		}
+	case TRef:
+		loc, ok := v.(VLoc)
+		if !ok {
+			return fmt.Errorf("value %s is not a location", v)
+		}
+		if loc.L < 0 || loc.L >= len(st.Cells) {
+			return fmt.Errorf("location %s dangles", v)
+		}
+		// Q-Ref: the cell's contents conform to the pointee type.
+		return Conforms(qs, st, st.Cells[loc.L], base.Elem, depth+1)
+	}
+	return nil
+}
+
+// StoreConforms implements definition 5.2 (Gamma ~ sigma): every location's
+// contents conform to its recorded type.
+func StoreConforms(qs *QualSet, st *Store) error {
+	for i, v := range st.Cells {
+		if err := Conforms(qs, st, v, st.Types[i], 0); err != nil {
+			return fmt.Errorf("location %d: %w", i, err)
+		}
+	}
+	return nil
+}

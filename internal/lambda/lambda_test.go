@@ -1,0 +1,469 @@
+package lambda
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func intT() Type        { return TInt{} }
+func posT() Type        { return Qual(TInt{}, "pos") }
+func checker() *Checker { return &Checker{Quals: StandardQuals()} }
+
+func TestSubtypeRules(t *testing.T) {
+	cases := []struct {
+		a, b Type
+		want bool
+	}{
+		// SubValQual: tau q <= tau.
+		{posT(), intT(), true},
+		{intT(), posT(), false},
+		// SubQualReorder via normalization.
+		{Qual(TInt{}, "pos", "nonzero"), Qual(TInt{}, "nonzero", "pos"), true},
+		// Reflexivity and transitivity through subset inclusion.
+		{Qual(TInt{}, "pos", "nonzero"), posT(), true},
+		{posT(), Qual(TInt{}, "pos", "nonzero"), false},
+		// SubFun: contravariant argument, covariant result.
+		{TFun{Arg: intT(), Res: posT()}, TFun{Arg: posT(), Res: intT()}, true},
+		{TFun{Arg: posT(), Res: intT()}, TFun{Arg: intT(), Res: posT()}, false},
+		// No subtyping under ref.
+		{TRef{Elem: posT()}, TRef{Elem: intT()}, false},
+		{TRef{Elem: intT()}, TRef{Elem: posT()}, false},
+		{TRef{Elem: posT()}, TRef{Elem: posT()}, true},
+		// Qualified refs are subtypes of unqualified refs.
+		{Qual(TRef{Elem: intT()}, "q"), TRef{Elem: intT()}, true},
+		{TUnit{}, TUnit{}, true},
+		{TUnit{}, intT(), false},
+	}
+	for _, c := range cases {
+		if got := Subtype(c.a, c.b); got != c.want {
+			t.Errorf("Subtype(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestQualNormalization(t *testing.T) {
+	a := Qual(Qual(TInt{}, "pos"), "nonzero", "pos")
+	tq := a.(TQual)
+	if len(tq.Quals) != 2 || tq.Quals[0] != "nonzero" || tq.Quals[1] != "pos" {
+		t.Errorf("Qual flattening = %v", tq.Quals)
+	}
+}
+
+func TestTypecheckConstants(t *testing.T) {
+	c := checker()
+	typ, err := c.CheckExpr(TypeEnv{}, EInt{V: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Subtype(typ, posT()) {
+		t.Errorf("3 : %s, want subtype of int pos", typ)
+	}
+	typ, err = c.CheckExpr(TypeEnv{}, EInt{V: -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Subtype(typ, Qual(TInt{}, "neg")) || Subtype(typ, posT()) {
+		t.Errorf("-2 : %s", typ)
+	}
+	typ, _ = c.CheckExpr(TypeEnv{}, EInt{V: 0})
+	if Subtype(typ, Qual(TInt{}, "nonzero")) {
+		t.Errorf("0 : %s should not be nonzero", typ)
+	}
+}
+
+func TestTypecheckDerivedQuals(t *testing.T) {
+	c := checker()
+	// 3 * 4 is pos (and hence nonzero via the subtype-encoding rule).
+	typ, err := c.CheckExpr(TypeEnv{}, EBinop{Op: OpMul, L: EInt{V: 3}, R: EInt{V: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Subtype(typ, posT()) || !Subtype(typ, Qual(TInt{}, "nonzero")) {
+		t.Errorf("3*4 : %s", typ)
+	}
+	// -(-5): neg of neg is not derivable, but -( -5 ) = neg applied to a
+	// negative constant is pos.
+	typ, err = c.CheckExpr(TypeEnv{}, ENeg{E: EInt{V: -5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Subtype(typ, posT()) {
+		t.Errorf("-(-5) : %s, want pos", typ)
+	}
+	// 3 - 4 is not pos (no rule for subtraction).
+	typ, _ = c.CheckExpr(TypeEnv{}, EBinop{Op: OpSub, L: EInt{V: 3}, R: EInt{V: 4}})
+	if Subtype(typ, posT()) {
+		t.Errorf("3-4 : %s should not be pos", typ)
+	}
+}
+
+func TestTypecheckLetAndAnnotation(t *testing.T) {
+	c := checker()
+	// let x: int pos = 5 in x * x  — typechecks, result pos.
+	prog := SLet{X: "x", Ann: posT(), S1: SExpr{E: EInt{V: 5}},
+		S2: SExpr{E: EBinop{Op: OpMul, L: EVar{X: "x"}, R: EVar{X: "x"}}}}
+	typ, err := c.CheckStmt(TypeEnv{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Subtype(typ, posT()) {
+		t.Errorf("x*x : %s", typ)
+	}
+	// let x: int pos = 0 in ... must fail.
+	bad := SLet{X: "x", Ann: posT(), S1: SExpr{E: EInt{V: 0}}, S2: SExpr{E: EVar{X: "x"}}}
+	if _, err := c.CheckStmt(TypeEnv{}, bad); err == nil {
+		t.Error("let x: int pos = 0 typechecked")
+	}
+}
+
+func TestTypecheckRefsInvariant(t *testing.T) {
+	c := checker()
+	// let r = ref (3 : int pos) in r := 0  — must fail: 0 is not pos.
+	prog := SLet{X: "r", S1: SRef{S: SExpr{E: EInt{V: 3}}, Ann: posT()},
+		S2: SAssign{S1: SExpr{E: EVar{X: "r"}}, S2: SExpr{E: EInt{V: 0}}}}
+	if _, err := c.CheckStmt(TypeEnv{}, prog); err == nil {
+		t.Error("storing 0 into ref (int pos) typechecked")
+	}
+	// Storing 7 is fine.
+	ok := SLet{X: "r", S1: SRef{S: SExpr{E: EInt{V: 3}}, Ann: posT()},
+		S2: SAssign{S1: SExpr{E: EVar{X: "r"}}, S2: SExpr{E: EInt{V: 7}}}}
+	if _, err := c.CheckStmt(TypeEnv{}, ok); err != nil {
+		t.Errorf("storing 7 into ref (int pos) failed: %v", err)
+	}
+}
+
+func TestTypecheckDerefAndApp(t *testing.T) {
+	c := checker()
+	// (\x: int pos. x * 2) applied to 3 — wait, x*2 needs pos(2): ok.
+	fn := ELam{X: "x", Ann: posT(), Body: SExpr{E: EBinop{Op: OpMul, L: EVar{X: "x"}, R: EInt{V: 2}}}}
+	typ, err := c.CheckExpr(TypeEnv{}, EApp{F: fn, A: EInt{V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Subtype(typ, posT()) {
+		t.Errorf("application result : %s", typ)
+	}
+	// Passing 0 where int pos is expected fails.
+	if _, err := c.CheckExpr(TypeEnv{}, EApp{F: fn, A: EInt{V: 0}}); err == nil {
+		t.Error("applying to 0 typechecked")
+	}
+	// !(ref 5) : int with pos derivable.
+	prog := SLet{X: "r", S1: SRef{S: SExpr{E: EInt{V: 5}}},
+		S2: SExpr{E: EDeref{E: EVar{X: "r"}}}}
+	typ, err = c.CheckStmt(TypeEnv{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Subtype(typ, posT()) {
+		t.Errorf("!(ref 5) : %s", typ)
+	}
+}
+
+func TestEvaluator(t *testing.T) {
+	qs := StandardQuals()
+	ev := NewEvaluator(qs)
+	st := &Store{}
+	prog := SLet{X: "r", S1: SRef{S: SExpr{E: EInt{V: 5}}},
+		S2: SSeq{
+			S1: SAssign{S1: SExpr{E: EVar{X: "r"}}, S2: SExpr{E: EBinop{Op: OpMul, L: EDeref{E: EVar{X: "r"}}, R: EInt{V: 3}}}},
+			S2: SExpr{E: EDeref{E: EVar{X: "r"}}},
+		}}
+	v, err := ev.EvalStmt(ValueEnv{}, TypeEnv{}, st, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv, ok := v.(VInt); !ok || iv.V != 15 {
+		t.Errorf("result = %s, want 15", v)
+	}
+}
+
+func TestLocallySoundStandard(t *testing.T) {
+	qs := StandardQuals()
+	for _, d := range qs.Defs() {
+		if ok, witness := qs.LocallySound(d, 8); !ok {
+			t.Errorf("%s reported locally unsound: %s", d.Name, witness)
+		}
+	}
+}
+
+func TestLocallySoundCatchesSubtractionRule(t *testing.T) {
+	// The paper's mutation: pos with a subtraction rule is unsound.
+	broken := &QualDef{
+		Name:  "pos",
+		Holds: func(v Value) bool { i, ok := v.(VInt); return ok && i.V > 0 },
+		Rules: []CaseRule{
+			{Form: FormConst, ConstPred: func(c int64) bool { return c > 0 }},
+			{Form: FormSub, Premises: [][]string{{"pos"}, {"pos"}}},
+		},
+	}
+	qs := NewQualSet(broken)
+	if ok, _ := qs.LocallySound(broken, 8); ok {
+		t.Error("broken pos (subtraction) reported sound")
+	}
+}
+
+// Theorem 5.1 made executable: with locally sound rules, every well-typed
+// program evaluates to a value that semantically conforms to its static
+// type, and the store stays conformant (Gamma ~ sigma).
+func TestPreservationProperty(t *testing.T) {
+	qs := StandardQuals()
+	c := &Checker{Quals: qs}
+	gen := &progGen{}
+	wellTyped := 0
+	check := func(seed int64) bool {
+		s := seed
+		prog := gen.stmt(&s, 3, nil)
+		typ, err := c.CheckStmt(TypeEnv{}, prog)
+		if err != nil {
+			return true // ill-typed programs are outside the theorem
+		}
+		wellTyped++
+		ev := NewEvaluator(qs)
+		st := &Store{}
+		v, err := ev.EvalStmt(ValueEnv{}, TypeEnv{}, st, prog)
+		if err != nil {
+			t.Logf("well-typed program failed to evaluate: %s: %v", prog, err)
+			return false
+		}
+		if err := Conforms(qs, st, v, typ, 0); err != nil {
+			t.Logf("PRESERVATION VIOLATION: %s : %s but %v", prog, typ, err)
+			return false
+		}
+		if err := StoreConforms(qs, st); err != nil {
+			t.Logf("STORE VIOLATION after %s: %v", prog, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	if wellTyped < 200 {
+		t.Errorf("generator produced only %d well-typed programs; property undersampled", wellTyped)
+	}
+}
+
+// With an unsound rule the same pipeline must exhibit a violation — the
+// executable counterpart of "the soundness checker would catch it".
+func TestPreservationFailsWithUnsoundRule(t *testing.T) {
+	broken := NewQualSet(
+		&QualDef{
+			Name:  "pos",
+			Holds: func(v Value) bool { i, ok := v.(VInt); return ok && i.V > 0 },
+			Rules: []CaseRule{
+				{Form: FormConst, ConstPred: func(c int64) bool { return c > 0 }},
+				{Form: FormSub, Premises: [][]string{{"pos"}, {"pos"}}}, // unsound
+			},
+		},
+	)
+	c := &Checker{Quals: broken}
+	// let x: int pos = 1 - 5 in x  — typechecks under the broken rule.
+	prog := SLet{X: "x", Ann: Qual(TInt{}, "pos"),
+		S1: SExpr{E: EBinop{Op: OpSub, L: EInt{V: 1}, R: EInt{V: 5}}},
+		S2: SExpr{E: EVar{X: "x"}}}
+	typ, err := c.CheckStmt(TypeEnv{}, prog)
+	if err != nil {
+		t.Fatalf("program should typecheck under the broken rule: %v", err)
+	}
+	ev := NewEvaluator(broken)
+	st := &Store{}
+	v, err := ev.EvalStmt(ValueEnv{}, TypeEnv{}, st, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Conforms(broken, st, v, typ, 0); err == nil {
+		t.Error("expected a conformance violation under the unsound rule")
+	} else if !strings.Contains(err.Error(), "[[pos]]") {
+		t.Errorf("violation = %v", err)
+	}
+}
+
+// progGen deterministically generates random programs, most of which are
+// well-typed by construction.
+type progGen struct{}
+
+func (g *progGen) next(seed *int64) int64 {
+	*seed = *seed*6364136223846793005 + 1442695040888963407
+	v := *seed >> 33
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+type genVar struct {
+	name  string
+	isRef bool
+}
+
+func (g *progGen) intExpr(seed *int64, depth int, vars []genVar) Expr {
+	if depth <= 0 {
+		return EInt{V: g.next(seed)%21 - 10}
+	}
+	switch g.next(seed) % 6 {
+	case 0:
+		return EInt{V: g.next(seed)%21 - 10}
+	case 1:
+		if len(vars) > 0 {
+			v := vars[g.next(seed)%int64(len(vars))]
+			if v.isRef {
+				return EDeref{E: EVar{X: v.name}}
+			}
+			return EVar{X: v.name}
+		}
+		return EInt{V: g.next(seed)%9 + 1}
+	case 2:
+		return EBinop{Op: OpAdd, L: g.intExpr(seed, depth-1, vars), R: g.intExpr(seed, depth-1, vars)}
+	case 3:
+		return EBinop{Op: OpMul, L: g.intExpr(seed, depth-1, vars), R: g.intExpr(seed, depth-1, vars)}
+	case 4:
+		return EBinop{Op: OpSub, L: g.intExpr(seed, depth-1, vars), R: g.intExpr(seed, depth-1, vars)}
+	default:
+		return ENeg{E: g.intExpr(seed, depth-1, vars)}
+	}
+}
+
+func (g *progGen) stmt(seed *int64, depth int, vars []genVar) Stmt {
+	if depth <= 0 {
+		return SExpr{E: g.intExpr(seed, 2, vars)}
+	}
+	name := string(rune('a' + len(vars)%26))
+	switch g.next(seed) % 5 {
+	case 0:
+		// let x = e in s
+		return SLet{X: name, S1: SExpr{E: g.intExpr(seed, 2, vars)},
+			S2: g.stmt(seed, depth-1, append(vars, genVar{name: name}))}
+	case 1:
+		// let x [: int pos] = e in s — annotation makes some programs
+		// ill-typed, which the property filters out.
+		var ann Type
+		if g.next(seed)%2 == 0 {
+			ann = Qual(TInt{}, "pos")
+		}
+		return SLet{X: name, Ann: ann, S1: SExpr{E: g.intExpr(seed, 2, vars)},
+			S2: g.stmt(seed, depth-1, append(vars, genVar{name: name}))}
+	case 2:
+		// let r = ref e in s
+		return SLet{X: name, S1: SRef{S: SExpr{E: g.intExpr(seed, 2, vars)}},
+			S2: g.stmt(seed, depth-1, append(vars, genVar{name: name, isRef: true}))}
+	case 3:
+		// assignment to a ref variable if one exists
+		var refs []genVar
+		for _, v := range vars {
+			if v.isRef {
+				refs = append(refs, v)
+			}
+		}
+		if len(refs) > 0 {
+			r := refs[g.next(seed)%int64(len(refs))]
+			return SSeq{
+				S1: SAssign{S1: SExpr{E: EVar{X: r.name}}, S2: SExpr{E: g.intExpr(seed, 2, vars)}},
+				S2: g.stmt(seed, depth-1, vars),
+			}
+		}
+		return g.stmt(seed, depth-1, vars)
+	default:
+		return SSeq{S1: SExpr{E: g.intExpr(seed, 2, vars)}, S2: g.stmt(seed, depth-1, vars)}
+	}
+}
+
+func TestTypecheckErrors(t *testing.T) {
+	c := checker()
+	bad := []Stmt{
+		// unbound variable
+		SExpr{E: EVar{X: "nope"}},
+		// applying a non-function
+		SExpr{E: EApp{F: EInt{V: 1}, A: EInt{V: 2}}},
+		// dereferencing a non-ref
+		SExpr{E: EDeref{E: EInt{V: 1}}},
+		// arithmetic on unit
+		SExpr{E: EBinop{Op: OpAdd, L: EUnit{}, R: EInt{V: 1}}},
+		// assigning to a non-ref
+		SAssign{S1: SExpr{E: EInt{V: 1}}, S2: SExpr{E: EInt{V: 2}}},
+		// negating a lambda
+		SExpr{E: ENeg{E: ELam{X: "x", Ann: TInt{}, Body: SExpr{E: EVar{X: "x"}}}}},
+	}
+	for i, s := range bad {
+		if _, err := c.CheckStmt(TypeEnv{}, s); err == nil {
+			t.Errorf("case %d: ill-typed statement accepted: %s", i, s)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	ev := NewEvaluator(StandardQuals())
+	st := &Store{}
+	bad := []Stmt{
+		SExpr{E: EVar{X: "nope"}},
+		SExpr{E: EApp{F: EInt{V: 1}, A: EInt{V: 2}}},
+		SExpr{E: EDeref{E: EInt{V: 3}}},
+	}
+	for i, s := range bad {
+		if _, err := ev.EvalStmt(ValueEnv{}, TypeEnv{}, st, s); err == nil {
+			t.Errorf("case %d: evaluation of stuck term succeeded", i)
+		}
+	}
+}
+
+func TestConformanceErrors(t *testing.T) {
+	qs := StandardQuals()
+	st := &Store{}
+	cases := []struct {
+		v Value
+		t Type
+	}{
+		{VUnit{}, TInt{}},
+		{VInt{V: 3}, TUnit{}},
+		{VInt{V: -1}, Qual(TInt{}, "pos")},
+		{VInt{V: 0}, Qual(TInt{}, "nonzero")},
+		{VInt{V: 1}, TRef{Elem: TInt{}}},
+		{VLoc{L: 99}, TRef{Elem: TInt{}}}, // dangling
+	}
+	for i, c := range cases {
+		if err := Conforms(qs, st, c.v, c.t, 0); err == nil {
+			t.Errorf("case %d: %s conformed to %s", i, c.v, c.t)
+		}
+	}
+}
+
+func TestClosureApplicationWithQuals(t *testing.T) {
+	qs := StandardQuals()
+	c := &Checker{Quals: qs}
+	ev := NewEvaluator(qs)
+	st := &Store{}
+	// (\x: int pos. ref x) 7 — a ref cell holding int pos.
+	prog := SExpr{E: EApp{
+		F: ELam{X: "x", Ann: Qual(TInt{}, "pos"), Body: SRef{S: SExpr{E: EVar{X: "x"}}}},
+		A: EInt{V: 7},
+	}}
+	typ, err := c.CheckStmt(TypeEnv{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ev.EvalStmt(ValueEnv{}, TypeEnv{}, st, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Conforms(qs, st, v, typ, 0); err != nil {
+		t.Errorf("conformance: %v", err)
+	}
+	if err := StoreConforms(qs, st); err != nil {
+		t.Errorf("store conformance: %v", err)
+	}
+}
+
+func TestEvalStepBudget(t *testing.T) {
+	qs := StandardQuals()
+	ev := NewEvaluator(qs)
+	ev.MaxSteps = 10
+	st := &Store{}
+	// A deeply nested sequence exceeds the tiny budget.
+	var prog Stmt = SExpr{E: EInt{V: 1}}
+	for i := 0; i < 50; i++ {
+		prog = SSeq{S1: prog, S2: SExpr{E: EInt{V: 1}}}
+	}
+	if _, err := ev.EvalStmt(ValueEnv{}, TypeEnv{}, st, prog); err == nil {
+		t.Error("step budget not enforced")
+	}
+}

@@ -1,0 +1,190 @@
+package lambda
+
+// This file models user-defined value qualifiers for the formal system: the
+// T-QualCase rule template of figure 10 plus the [[q]] value predicates of
+// section 5.2.
+
+// Form is the syntactic shape a case rule matches (the "e" of the
+// template).
+type Form int
+
+// Rule forms.
+const (
+	// FormConst matches integer constants; ConstPred constrains the value.
+	FormConst Form = iota
+	// FormAdd, FormSub, FormMul match binary arithmetic; Premises apply to
+	// the two operands.
+	FormAdd
+	FormSub
+	FormMul
+	// FormNeg matches negation; Premises[0] applies to the operand.
+	FormNeg
+	// FormAny matches any expression (tainted's "case E of E").
+	FormAny
+)
+
+// CaseRule is an instance of the T-QualCase template: an expression of the
+// given form whose i-th subexpression can be given the qualifiers
+// Premises[i] may itself be given the qualifier.
+type CaseRule struct {
+	Form      Form
+	ConstPred func(int64) bool
+	Premises  [][]string
+}
+
+// QualDef is a value qualifier for the formal system: its name, its case
+// rules, and its invariant [[q]] as a predicate on values.
+type QualDef struct {
+	Name  string
+	Rules []CaseRule
+	// Holds is [[q]]; nil for flow qualifiers with no invariant.
+	Holds func(Value) bool
+}
+
+// QualSet is the registry of qualifiers in scope.
+type QualSet struct {
+	defs  map[string]*QualDef
+	order []*QualDef
+}
+
+// NewQualSet builds a registry.
+func NewQualSet(defs ...*QualDef) *QualSet {
+	qs := &QualSet{defs: map[string]*QualDef{}}
+	for _, d := range defs {
+		qs.defs[d.Name] = d
+		qs.order = append(qs.order, d)
+	}
+	return qs
+}
+
+// Lookup returns the named qualifier or nil.
+func (qs *QualSet) Lookup(name string) *QualDef { return qs.defs[name] }
+
+// Defs returns the qualifiers in registration order.
+func (qs *QualSet) Defs() []*QualDef { return qs.order }
+
+// LocallySound checks definition 5.1 for every rule by exhaustive
+// evaluation over a bounded integer domain: a rule is reported unsound if
+// some choice of operand values satisfying the premises' invariants
+// violates the conclusion's invariant. This is the executable counterpart
+// of the soundness checker's theorem proving, specialized to integer
+// qualifiers; it is used by tests to cross-validate the two.
+func (qs *QualSet) LocallySound(d *QualDef, bound int64) (bool, string) {
+	if d.Holds == nil {
+		return true, "" // no invariant: vacuously sound
+	}
+	domain := []int64{}
+	for i := -bound; i <= bound; i++ {
+		domain = append(domain, i)
+	}
+	holdsAll := func(quals []string, v int64) bool {
+		for _, q := range quals {
+			qd := qs.Lookup(q)
+			if qd == nil || qd.Holds == nil {
+				continue
+			}
+			if !qd.Holds(VInt{V: v}) {
+				return false
+			}
+		}
+		return true
+	}
+	for ri, r := range d.Rules {
+		switch r.Form {
+		case FormConst:
+			for _, c := range domain {
+				if r.ConstPred != nil && !r.ConstPred(c) {
+					continue
+				}
+				if !d.Holds(VInt{V: c}) {
+					return false, describeRule(d, ri, "constant", c, 0)
+				}
+			}
+		case FormNeg:
+			for _, v := range domain {
+				if len(r.Premises) > 0 && !holdsAll(r.Premises[0], v) {
+					continue
+				}
+				if !d.Holds(VInt{V: -v}) {
+					return false, describeRule(d, ri, "negation", v, 0)
+				}
+			}
+		case FormAdd, FormSub, FormMul:
+			for _, a := range domain {
+				if len(r.Premises) > 0 && !holdsAll(r.Premises[0], a) {
+					continue
+				}
+				for _, b := range domain {
+					if len(r.Premises) > 1 && !holdsAll(r.Premises[1], b) {
+						continue
+					}
+					var out int64
+					switch r.Form {
+					case FormAdd:
+						out = a + b
+					case FormSub:
+						out = a - b
+					default:
+						out = a * b
+					}
+					if !d.Holds(VInt{V: out}) {
+						return false, describeRule(d, ri, "binop", a, b)
+					}
+				}
+			}
+		case FormAny:
+			// Matches any expression carrying the premise qualifiers (the
+			// subtype-encoding idiom); sound iff the premise invariants
+			// imply this qualifier's invariant.
+			for _, v := range domain {
+				if len(r.Premises) > 0 && !holdsAll(r.Premises[0], v) {
+					continue
+				}
+				if !d.Holds(VInt{V: v}) {
+					return false, describeRule(d, ri, "any", v, 0)
+				}
+			}
+		}
+	}
+	return true, ""
+}
+
+func describeRule(d *QualDef, idx int, kind string, a, b int64) string {
+	return d.Name + " rule " + string(rune('0'+idx)) + " (" + kind + ") violated, witness " +
+		EInt{V: a}.String() + "," + EInt{V: b}.String()
+}
+
+// StandardQuals returns the formal versions of pos, neg, and nonzero,
+// mirroring figures 1 and 3.
+func StandardQuals() *QualSet {
+	pos := &QualDef{
+		Name:  "pos",
+		Holds: func(v Value) bool { i, ok := v.(VInt); return ok && i.V > 0 },
+		Rules: []CaseRule{
+			{Form: FormConst, ConstPred: func(c int64) bool { return c > 0 }},
+			{Form: FormMul, Premises: [][]string{{"pos"}, {"pos"}}},
+			{Form: FormAdd, Premises: [][]string{{"pos"}, {"pos"}}},
+			{Form: FormNeg, Premises: [][]string{{"neg"}}},
+		},
+	}
+	neg := &QualDef{
+		Name:  "neg",
+		Holds: func(v Value) bool { i, ok := v.(VInt); return ok && i.V < 0 },
+		Rules: []CaseRule{
+			{Form: FormConst, ConstPred: func(c int64) bool { return c < 0 }},
+			{Form: FormAdd, Premises: [][]string{{"neg"}, {"neg"}}},
+			{Form: FormNeg, Premises: [][]string{{"pos"}}},
+		},
+	}
+	nonzero := &QualDef{
+		Name:  "nonzero",
+		Holds: func(v Value) bool { i, ok := v.(VInt); return ok && i.V != 0 },
+		Rules: []CaseRule{
+			{Form: FormConst, ConstPred: func(c int64) bool { return c != 0 }},
+			{Form: FormAny, Premises: [][]string{{"pos"}}},
+			{Form: FormAny, Premises: [][]string{{"neg"}}},
+			{Form: FormMul, Premises: [][]string{{"nonzero"}, {"nonzero"}}},
+		},
+	}
+	return NewQualSet(pos, neg, nonzero)
+}

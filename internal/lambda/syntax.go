@@ -1,0 +1,291 @@
+// Package lambda implements the paper's formalization (section 5): a
+// simply-typed lambda calculus with ML-style references and user-defined
+// value qualifiers, its declarative subtyping (figure 9), the T-QualCase
+// rule template (figure 10), a big-step evaluator, and semantic conformance
+// (figure 11). The package exists to validate Theorem 5.1 (type
+// preservation under locally sound qualifier rules) by construction and by
+// property testing.
+package lambda
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ---- Types (figure 8) ----
+
+// Type is a lambda-calculus type.
+type Type interface {
+	fmt.Stringer
+	isType()
+}
+
+// TInt is int.
+type TInt struct{}
+
+// TUnit is unit.
+type TUnit struct{}
+
+// TFun is tau1 -> tau2.
+type TFun struct{ Arg, Res Type }
+
+// TRef is ref tau.
+type TRef struct{ Elem Type }
+
+// TQual is tau q1 ... qn; Quals is sorted and duplicate-free, which bakes in
+// rule SubQualReorder (qualifier order is irrelevant).
+type TQual struct {
+	Base  Type // never itself a TQual
+	Quals []string
+}
+
+func (TInt) isType()  {}
+func (TUnit) isType() {}
+func (TFun) isType()  {}
+func (TRef) isType()  {}
+func (TQual) isType() {}
+
+func (TInt) String() string  { return "int" }
+func (TUnit) String() string { return "unit" }
+func (t TFun) String() string {
+	return "(" + t.Arg.String() + " -> " + t.Res.String() + ")"
+}
+func (t TRef) String() string { return "ref " + t.Elem.String() }
+func (t TQual) String() string {
+	return t.Base.String() + " " + strings.Join(t.Quals, " ")
+}
+
+// Qual attaches qualifiers to a type, flattening and normalizing.
+func Qual(t Type, quals ...string) Type {
+	if len(quals) == 0 {
+		return t
+	}
+	base := t
+	all := append([]string(nil), quals...)
+	if tq, ok := t.(TQual); ok {
+		base = tq.Base
+		all = append(all, tq.Quals...)
+	}
+	sort.Strings(all)
+	uniq := all[:0]
+	for i, q := range all {
+		if i == 0 || all[i-1] != q {
+			uniq = append(uniq, q)
+		}
+	}
+	if len(uniq) == 0 {
+		return base
+	}
+	return TQual{Base: base, Quals: append([]string(nil), uniq...)}
+}
+
+// Strip returns the unqualified base of a type.
+func Strip(t Type) Type {
+	if tq, ok := t.(TQual); ok {
+		return tq.Base
+	}
+	return t
+}
+
+// QualsOf returns a type's top-level qualifiers.
+func QualsOf(t Type) []string {
+	if tq, ok := t.(TQual); ok {
+		return tq.Quals
+	}
+	return nil
+}
+
+// TypeEqual is structural equality (qualifier sets are normalized, so this
+// respects SubQualReorder).
+func TypeEqual(a, b Type) bool {
+	switch a := a.(type) {
+	case TInt:
+		_, ok := b.(TInt)
+		return ok
+	case TUnit:
+		_, ok := b.(TUnit)
+		return ok
+	case TFun:
+		b, ok := b.(TFun)
+		return ok && TypeEqual(a.Arg, b.Arg) && TypeEqual(a.Res, b.Res)
+	case TRef:
+		b, ok := b.(TRef)
+		return ok && TypeEqual(a.Elem, b.Elem)
+	case TQual:
+		b, ok := b.(TQual)
+		if !ok || len(a.Quals) != len(b.Quals) || !TypeEqual(a.Base, b.Base) {
+			return false
+		}
+		for i := range a.Quals {
+			if a.Quals[i] != b.Quals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Subtype implements figure 9: value-qualified types are subtypes of their
+// unqualified types (SubValQual, via set inclusion), functions are contra-
+// and covariant (SubFun), and ref types are invariant (no rule under ref).
+func Subtype(a, b Type) bool {
+	// Top-level: b's qualifiers must be a subset of a's.
+	aq, bq := QualsOf(a), QualsOf(b)
+	have := map[string]bool{}
+	for _, q := range aq {
+		have[q] = true
+	}
+	for _, q := range bq {
+		if !have[q] {
+			return false
+		}
+	}
+	ab, bb := Strip(a), Strip(b)
+	switch bb := bb.(type) {
+	case TInt:
+		_, ok := ab.(TInt)
+		return ok
+	case TUnit:
+		_, ok := ab.(TUnit)
+		return ok
+	case TFun:
+		af, ok := ab.(TFun)
+		return ok && Subtype(bb.Arg, af.Arg) && Subtype(af.Res, bb.Res)
+	case TRef:
+		ar, ok := ab.(TRef)
+		return ok && TypeEqual(ar.Elem, bb.Elem)
+	}
+	return false
+}
+
+// ---- Syntax (figure 8) ----
+
+// Stmt is a potentially side-effecting statement.
+type Stmt interface {
+	fmt.Stringer
+	isStmt()
+}
+
+// Expr is a side-effect-free expression.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// SExpr lifts an expression to a statement.
+type SExpr struct{ E Expr }
+
+// SSeq is s1 ; s2.
+type SSeq struct{ S1, S2 Stmt }
+
+// SLet is let x = s1 in s2. Ann optionally ascribes x's type (checked via
+// subsumption); when nil, x gets s1's synthesized type.
+type SLet struct {
+	X   string
+	Ann Type
+	S1  Stmt
+	S2  Stmt
+}
+
+// SRef allocates a reference: ref s.
+type SRef struct {
+	S Stmt
+	// Ann optionally fixes the cell type (checked via subsumption); when
+	// nil the cell has s's synthesized type.
+	Ann Type
+}
+
+// SAssign is s1 := s2.
+type SAssign struct{ S1, S2 Stmt }
+
+// EInt is an integer constant.
+type EInt struct{ V int64 }
+
+// EUnit is ().
+type EUnit struct{}
+
+// EVar is a variable.
+type EVar struct{ X string }
+
+// ELam is a lambda with an annotated parameter type.
+type ELam struct {
+	X    string
+	Ann  Type
+	Body Stmt
+}
+
+// EDeref is !e.
+type EDeref struct{ E Expr }
+
+// EApp applies a function expression to an argument expression. (Standard
+// in the simply-typed calculus; the paper's figure 8 elides it but the
+// formalization's function types require it.)
+type EApp struct{ F, A Expr }
+
+// BinOp is an arithmetic operator, the hook the qualifier rule templates
+// (figure 10) pattern on (e.g. e1 * e2 for pos).
+type BinOp string
+
+// Arithmetic operators.
+const (
+	OpAdd BinOp = "+"
+	OpSub BinOp = "-"
+	OpMul BinOp = "*"
+)
+
+// EBinop is e1 op e2.
+type EBinop struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// ENeg is -e.
+type ENeg struct{ E Expr }
+
+func (SExpr) isStmt()   {}
+func (SSeq) isStmt()    {}
+func (SLet) isStmt()    {}
+func (SRef) isStmt()    {}
+func (SAssign) isStmt() {}
+
+func (EInt) isExpr()   {}
+func (EUnit) isExpr()  {}
+func (EVar) isExpr()   {}
+func (ELam) isExpr()   {}
+func (EDeref) isExpr() {}
+func (EApp) isExpr()   {}
+func (EBinop) isExpr() {}
+func (ENeg) isExpr()   {}
+
+func (s SExpr) String() string { return s.E.String() }
+func (s SSeq) String() string  { return s.S1.String() + "; " + s.S2.String() }
+func (s SLet) String() string {
+	ann := ""
+	if s.Ann != nil {
+		ann = " : " + s.Ann.String()
+	}
+	return "let " + s.X + ann + " = " + s.S1.String() + " in " + s.S2.String()
+}
+func (s SRef) String() string {
+	ann := ""
+	if s.Ann != nil {
+		ann = " : " + s.Ann.String()
+	}
+	return "ref" + ann + " (" + s.S.String() + ")"
+}
+func (s SAssign) String() string { return s.S1.String() + " := " + s.S2.String() }
+
+func (e EInt) String() string { return fmt.Sprintf("%d", e.V) }
+func (EUnit) String() string  { return "()" }
+func (e EVar) String() string { return e.X }
+func (e ELam) String() string {
+	return "(\\" + e.X + ":" + e.Ann.String() + ". " + e.Body.String() + ")"
+}
+func (e EDeref) String() string { return "!" + e.E.String() }
+func (e EApp) String() string   { return "(" + e.F.String() + " " + e.A.String() + ")" }
+func (e EBinop) String() string {
+	return "(" + e.L.String() + " " + string(e.Op) + " " + e.R.String() + ")"
+}
+func (e ENeg) String() string { return "(-" + e.E.String() + ")" }

@@ -1,0 +1,231 @@
+package lambda
+
+import "fmt"
+
+// TypeEnv maps variable names to types.
+type TypeEnv map[string]Type
+
+func (g TypeEnv) extend(x string, t Type) TypeEnv {
+	out := make(TypeEnv, len(g)+1)
+	for k, v := range g {
+		out[k] = v
+	}
+	out[x] = t
+	return out
+}
+
+// Checker typechecks the formal language against a qualifier set. It
+// synthesizes principal types: the base type plus the full set of
+// qualifiers derivable via the T-QualCase rules, so subsumption reduces to
+// the subset check in Subtype.
+type Checker struct {
+	Quals *QualSet
+}
+
+// CheckStmt synthesizes the type of a statement under the environment.
+func (c *Checker) CheckStmt(g TypeEnv, s Stmt) (Type, error) {
+	switch s := s.(type) {
+	case SExpr:
+		return c.CheckExpr(g, s.E)
+	case SSeq:
+		if _, err := c.CheckStmt(g, s.S1); err != nil {
+			return nil, err
+		}
+		return c.CheckStmt(g, s.S2)
+	case SLet:
+		t1, err := c.CheckStmt(g, s.S1)
+		if err != nil {
+			return nil, err
+		}
+		bound := t1
+		if s.Ann != nil {
+			if !Subtype(t1, s.Ann) {
+				return nil, fmt.Errorf("lambda: let %s: %s is not a subtype of annotation %s", s.X, t1, s.Ann)
+			}
+			bound = s.Ann
+		}
+		return c.CheckStmt(g.extend(s.X, bound), s.S2)
+	case SRef:
+		t, err := c.CheckStmt(g, s.S)
+		if err != nil {
+			return nil, err
+		}
+		elem := t
+		if s.Ann != nil {
+			if !Subtype(t, s.Ann) {
+				return nil, fmt.Errorf("lambda: ref contents %s is not a subtype of annotation %s", t, s.Ann)
+			}
+			elem = s.Ann
+		}
+		return TRef{Elem: elem}, nil
+	case SAssign:
+		t1, err := c.CheckStmt(g, s.S1)
+		if err != nil {
+			return nil, err
+		}
+		ref, ok := Strip(t1).(TRef)
+		if !ok {
+			return nil, fmt.Errorf("lambda: assignment target has type %s, not a ref", t1)
+		}
+		t2, err := c.CheckStmt(g, s.S2)
+		if err != nil {
+			return nil, err
+		}
+		if !Subtype(t2, ref.Elem) {
+			return nil, fmt.Errorf("lambda: cannot assign %s into ref %s", t2, ref.Elem)
+		}
+		return TUnit{}, nil
+	}
+	return nil, fmt.Errorf("lambda: unknown statement %T", s)
+}
+
+// CheckExpr synthesizes the type of an expression.
+func (c *Checker) CheckExpr(g TypeEnv, e Expr) (Type, error) {
+	switch e := e.(type) {
+	case EInt:
+		return c.withDerivedQuals(e, TInt{}, nil), nil
+	case EUnit:
+		return TUnit{}, nil
+	case EVar:
+		t, ok := g[e.X]
+		if !ok {
+			return nil, fmt.Errorf("lambda: unbound variable %s", e.X)
+		}
+		return t, nil
+	case ELam:
+		body, err := c.CheckStmt(g.extend(e.X, e.Ann), e.Body)
+		if err != nil {
+			return nil, err
+		}
+		return TFun{Arg: e.Ann, Res: body}, nil
+	case EApp:
+		ft, err := c.CheckExpr(g, e.F)
+		if err != nil {
+			return nil, err
+		}
+		fn, ok := Strip(ft).(TFun)
+		if !ok {
+			return nil, fmt.Errorf("lambda: applying non-function of type %s", ft)
+		}
+		at, err := c.CheckExpr(g, e.A)
+		if err != nil {
+			return nil, err
+		}
+		if !Subtype(at, fn.Arg) {
+			return nil, fmt.Errorf("lambda: argument %s does not match parameter %s", at, fn.Arg)
+		}
+		return fn.Res, nil
+	case EDeref:
+		t, err := c.CheckExpr(g, e.E)
+		if err != nil {
+			return nil, err
+		}
+		ref, ok := Strip(t).(TRef)
+		if !ok {
+			return nil, fmt.Errorf("lambda: dereferencing non-ref of type %s", t)
+		}
+		return ref.Elem, nil
+	case EBinop:
+		lt, err := c.CheckExpr(g, e.L)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := c.CheckExpr(g, e.R)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := Strip(lt).(TInt); !ok {
+			return nil, fmt.Errorf("lambda: left operand of %s has type %s", e.Op, lt)
+		}
+		if _, ok := Strip(rt).(TInt); !ok {
+			return nil, fmt.Errorf("lambda: right operand of %s has type %s", e.Op, rt)
+		}
+		return c.withDerivedQuals(e, TInt{}, []Type{lt, rt}), nil
+	case ENeg:
+		t, err := c.CheckExpr(g, e.E)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := Strip(t).(TInt); !ok {
+			return nil, fmt.Errorf("lambda: operand of - has type %s", t)
+		}
+		return c.withDerivedQuals(e, TInt{}, []Type{t}), nil
+	}
+	return nil, fmt.Errorf("lambda: unknown expression %T", e)
+}
+
+// withDerivedQuals attaches every qualifier derivable for the expression
+// via the T-QualCase templates, iterating to fixpoint (rules may be
+// mutually recursive and self-referential via the FormAny idiom).
+func (c *Checker) withDerivedQuals(e Expr, base Type, subTypes []Type) Type {
+	if c.Quals == nil {
+		return base
+	}
+	set := map[string]bool{}
+	subQuals := make([]map[string]bool, len(subTypes))
+	for i, st := range subTypes {
+		subQuals[i] = map[string]bool{}
+		for _, q := range QualsOf(st) {
+			subQuals[i][q] = true
+		}
+	}
+	has := func(m map[string]bool, quals []string) bool {
+		for _, q := range quals {
+			if !m[q] {
+				return false
+			}
+		}
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range c.Quals.Defs() {
+			if set[d.Name] {
+				continue
+			}
+			for _, r := range d.Rules {
+				ok := false
+				switch r.Form {
+				case FormConst:
+					lit, isLit := e.(EInt)
+					ok = isLit && (r.ConstPred == nil || r.ConstPred(lit.V))
+				case FormAdd:
+					b, isB := e.(EBinop)
+					ok = isB && b.Op == OpAdd && len(subQuals) == 2 &&
+						has(subQuals[0], premise(r, 0)) && has(subQuals[1], premise(r, 1))
+				case FormSub:
+					b, isB := e.(EBinop)
+					ok = isB && b.Op == OpSub && len(subQuals) == 2 &&
+						has(subQuals[0], premise(r, 0)) && has(subQuals[1], premise(r, 1))
+				case FormMul:
+					b, isB := e.(EBinop)
+					ok = isB && b.Op == OpMul && len(subQuals) == 2 &&
+						has(subQuals[0], premise(r, 0)) && has(subQuals[1], premise(r, 1))
+				case FormNeg:
+					_, isNeg := e.(ENeg)
+					ok = isNeg && len(subQuals) == 1 && has(subQuals[0], premise(r, 0))
+				case FormAny:
+					// The premise applies to the expression itself.
+					ok = has(set, premise(r, 0))
+				}
+				if ok {
+					set[d.Name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(set))
+	for q := range set {
+		names = append(names, q)
+	}
+	return Qual(base, names...)
+}
+
+func premise(r CaseRule, i int) []string {
+	if i < len(r.Premises) {
+		return r.Premises[i]
+	}
+	return nil
+}

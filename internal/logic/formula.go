@@ -1,0 +1,390 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Formula is a first-order formula.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// CmpOp is the comparison operator of an arithmetic or equality atom.
+type CmpOp int
+
+// Comparison operators. EqOp and NeOp apply to arbitrary terms; the ordering
+// operators are interpreted by the linear arithmetic solver.
+const (
+	EqOp CmpOp = iota
+	NeOp
+	LtOp
+	LeOp
+	GtOp
+	GeOp
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case EqOp:
+		return "EQ"
+	case NeOp:
+		return "NEQ"
+	case LtOp:
+		return "<"
+	case LeOp:
+		return "<="
+	case GtOp:
+		return ">"
+	case GeOp:
+		return ">="
+	}
+	return "?"
+}
+
+// Negate returns the complement operator: the op such that a op b is
+// equivalent to !(a op' b).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case EqOp:
+		return NeOp
+	case NeOp:
+		return EqOp
+	case LtOp:
+		return GeOp
+	case LeOp:
+		return GtOp
+	case GtOp:
+		return LeOp
+	case GeOp:
+		return LtOp
+	}
+	panic("logic: bad CmpOp")
+}
+
+// Cmp is a comparison atom between two terms.
+type Cmp struct {
+	Op   CmpOp
+	L, R Term
+}
+
+// Pred is an application of an uninterpreted predicate symbol.
+type Pred struct {
+	Name string
+	Args []Term
+}
+
+// TrueF and FalseF are the boolean constants.
+type TrueF struct{}
+
+// FalseF is the boolean constant false.
+type FalseF struct{}
+
+// Not is logical negation.
+type Not struct{ F Formula }
+
+// And is n-ary conjunction.
+type And struct{ Fs []Formula }
+
+// Or is n-ary disjunction.
+type Or struct{ Fs []Formula }
+
+// Implies is implication.
+type Implies struct{ Hyp, Concl Formula }
+
+// Iff is bi-implication.
+type Iff struct{ L, R Formula }
+
+// Forall is universal quantification over Vars. Triggers, when non-empty,
+// lists the matching patterns used by the prover's instantiation loop; each
+// trigger is a list of terms that must all match (a multi-pattern). When
+// empty, the prover infers triggers.
+type Forall struct {
+	Vars     []string
+	Triggers [][]Term
+	Body     Formula
+}
+
+// Exists is existential quantification over Vars.
+type Exists struct {
+	Vars []string
+	Body Formula
+}
+
+func (Cmp) isFormula()     {}
+func (Pred) isFormula()    {}
+func (TrueF) isFormula()   {}
+func (FalseF) isFormula()  {}
+func (Not) isFormula()     {}
+func (And) isFormula()     {}
+func (Or) isFormula()      {}
+func (Implies) isFormula() {}
+func (Iff) isFormula()     {}
+func (Forall) isFormula()  {}
+func (Exists) isFormula()  {}
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("(%s %s %s)", c.Op, c.L, c.R)
+}
+
+func (p Pred) String() string {
+	if len(p.Args) == 0 {
+		return p.Name
+	}
+	parts := []string{p.Name}
+	for _, a := range p.Args {
+		parts = append(parts, a.String())
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+func (TrueF) String() string  { return "TRUE" }
+func (FalseF) String() string { return "FALSE" }
+func (n Not) String() string  { return "(NOT " + n.F.String() + ")" }
+
+func joinFormulas(op string, fs []Formula) string {
+	parts := []string{op}
+	for _, f := range fs {
+		parts = append(parts, f.String())
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+func (a And) String() string { return joinFormulas("AND", a.Fs) }
+func (o Or) String() string  { return joinFormulas("OR", o.Fs) }
+
+func (i Implies) String() string {
+	return "(IMPLIES " + i.Hyp.String() + " " + i.Concl.String() + ")"
+}
+
+func (i Iff) String() string {
+	return "(IFF " + i.L.String() + " " + i.R.String() + ")"
+}
+
+func (f Forall) String() string {
+	s := "(FORALL (" + strings.Join(f.Vars, " ") + ")"
+	for _, trig := range f.Triggers {
+		pats := make([]string, len(trig))
+		for i, t := range trig {
+			pats[i] = t.String()
+		}
+		s += " (PATS " + strings.Join(pats, " ") + ")"
+	}
+	return s + " " + f.Body.String() + ")"
+}
+
+func (e Exists) String() string {
+	return "(EXISTS (" + strings.Join(e.Vars, " ") + ") " + e.Body.String() + ")"
+}
+
+// Convenience constructors.
+
+// Eq builds an equality atom.
+func Eq(l, r Term) Formula { return Cmp{Op: EqOp, L: l, R: r} }
+
+// Ne builds a disequality atom.
+func Ne(l, r Term) Formula { return Cmp{Op: NeOp, L: l, R: r} }
+
+// Lt builds a strict less-than atom.
+func Lt(l, r Term) Formula { return Cmp{Op: LtOp, L: l, R: r} }
+
+// Le builds a less-or-equal atom.
+func Le(l, r Term) Formula { return Cmp{Op: LeOp, L: l, R: r} }
+
+// Gt builds a strict greater-than atom.
+func Gt(l, r Term) Formula { return Cmp{Op: GtOp, L: l, R: r} }
+
+// Ge builds a greater-or-equal atom.
+func Ge(l, r Term) Formula { return Cmp{Op: GeOp, L: l, R: r} }
+
+// P builds a predicate atom.
+func P(name string, args ...Term) Formula { return Pred{Name: name, Args: args} }
+
+// Conj builds a conjunction, flattening nested Ands and dropping TRUE.
+func Conj(fs ...Formula) Formula {
+	var out []Formula
+	for _, f := range fs {
+		switch f := f.(type) {
+		case TrueF:
+		case And:
+			out = append(out, f.Fs...)
+		default:
+			out = append(out, f)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return TrueF{}
+	case 1:
+		return out[0]
+	}
+	return And{Fs: out}
+}
+
+// Disj builds a disjunction, flattening nested Ors and dropping FALSE.
+func Disj(fs ...Formula) Formula {
+	var out []Formula
+	for _, f := range fs {
+		switch f := f.(type) {
+		case FalseF:
+		case Or:
+			out = append(out, f.Fs...)
+		default:
+			out = append(out, f)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return FalseF{}
+	case 1:
+		return out[0]
+	}
+	return Or{Fs: out}
+}
+
+// Imp builds an implication.
+func Imp(hyp, concl Formula) Formula { return Implies{Hyp: hyp, Concl: concl} }
+
+// All builds a universal quantification; vars must be non-empty.
+func All(vars []string, body Formula) Formula {
+	return Forall{Vars: vars, Body: body}
+}
+
+// AllPats builds a universal quantification with explicit trigger patterns.
+func AllPats(vars []string, triggers [][]Term, body Formula) Formula {
+	return Forall{Vars: vars, Triggers: triggers, Body: body}
+}
+
+// Ex builds an existential quantification.
+func Ex(vars []string, body Formula) Formula {
+	return Exists{Vars: vars, Body: body}
+}
+
+// FreeVars returns the sorted free variable names of f.
+func FreeVars(f Formula) []string {
+	set := map[string]bool{}
+	freeVars(f, map[string]bool{}, set)
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func freeVars(f Formula, bound map[string]bool, out map[string]bool) {
+	addTerm := func(t Term) {
+		tmp := map[string]bool{}
+		termFreeVars(t, tmp)
+		for n := range tmp {
+			if !bound[n] {
+				out[n] = true
+			}
+		}
+	}
+	switch f := f.(type) {
+	case Cmp:
+		addTerm(f.L)
+		addTerm(f.R)
+	case Pred:
+		for _, a := range f.Args {
+			addTerm(a)
+		}
+	case Not:
+		freeVars(f.F, bound, out)
+	case And:
+		for _, g := range f.Fs {
+			freeVars(g, bound, out)
+		}
+	case Or:
+		for _, g := range f.Fs {
+			freeVars(g, bound, out)
+		}
+	case Implies:
+		freeVars(f.Hyp, bound, out)
+		freeVars(f.Concl, bound, out)
+	case Iff:
+		freeVars(f.L, bound, out)
+		freeVars(f.R, bound, out)
+	case Forall:
+		inner := withBound(bound, f.Vars)
+		freeVars(f.Body, inner, out)
+	case Exists:
+		inner := withBound(bound, f.Vars)
+		freeVars(f.Body, inner, out)
+	}
+}
+
+func withBound(bound map[string]bool, vars []string) map[string]bool {
+	inner := make(map[string]bool, len(bound)+len(vars))
+	for k, v := range bound {
+		inner[k] = v
+	}
+	for _, v := range vars {
+		inner[v] = true
+	}
+	return inner
+}
+
+// Subst applies sub to the free variables of f. Bound variables shadow the
+// substitution; callers must ensure substituted terms do not capture bound
+// variables (the prover renames bound variables apart before substituting).
+func Subst(f Formula, sub map[string]Term) Formula {
+	switch f := f.(type) {
+	case Cmp:
+		return Cmp{Op: f.Op, L: SubstTerm(f.L, sub), R: SubstTerm(f.R, sub)}
+	case Pred:
+		args := make([]Term, len(f.Args))
+		for i, a := range f.Args {
+			args[i] = SubstTerm(a, sub)
+		}
+		return Pred{Name: f.Name, Args: args}
+	case TrueF, FalseF:
+		return f
+	case Not:
+		return Not{F: Subst(f.F, sub)}
+	case And:
+		fs := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			fs[i] = Subst(g, sub)
+		}
+		return And{Fs: fs}
+	case Or:
+		fs := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			fs[i] = Subst(g, sub)
+		}
+		return Or{Fs: fs}
+	case Implies:
+		return Implies{Hyp: Subst(f.Hyp, sub), Concl: Subst(f.Concl, sub)}
+	case Iff:
+		return Iff{L: Subst(f.L, sub), R: Subst(f.R, sub)}
+	case Forall:
+		inner := shadow(sub, f.Vars)
+		trigs := make([][]Term, len(f.Triggers))
+		for i, trig := range f.Triggers {
+			ts := make([]Term, len(trig))
+			for j, t := range trig {
+				ts[j] = SubstTerm(t, inner)
+			}
+			trigs[i] = ts
+		}
+		return Forall{Vars: f.Vars, Triggers: trigs, Body: Subst(f.Body, inner)}
+	case Exists:
+		return Exists{Vars: f.Vars, Body: Subst(f.Body, shadow(sub, f.Vars))}
+	}
+	return f
+}
+
+func shadow(sub map[string]Term, vars []string) map[string]Term {
+	inner := make(map[string]Term, len(sub))
+	for k, v := range sub {
+		inner[k] = v
+	}
+	for _, v := range vars {
+		delete(inner, v)
+	}
+	return inner
+}

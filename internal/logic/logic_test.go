@@ -1,0 +1,472 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermString(t *testing.T) {
+	tm := Fn("evalExpr", V("rho"), Fn("mult", Const("e1"), Const("e2")))
+	want := "(evalExpr rho (mult e1 e2))"
+	if got := tm.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestTermEqual(t *testing.T) {
+	cases := []struct {
+		a, b Term
+		want bool
+	}{
+		{V("x"), V("x"), true},
+		{V("x"), V("y"), false},
+		{Num(3), Num(3), true},
+		{Num(3), Num(4), false},
+		{Num(3), V("x"), false},
+		{Const("c"), Const("c"), true},
+		{Fn("f", V("x")), Fn("f", V("x")), true},
+		{Fn("f", V("x")), Fn("g", V("x")), false},
+		{Fn("f", V("x")), Fn("f", V("x"), V("y")), false},
+		{Fn("f", Fn("g", Num(1))), Fn("f", Fn("g", Num(1))), true},
+	}
+	for _, c := range cases {
+		if got := TermEqual(c.a, c.b); got != c.want {
+			t.Errorf("TermEqual(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSubstTerm(t *testing.T) {
+	tm := Fn("f", V("x"), Fn("g", V("y"), V("x")))
+	sub := map[string]Term{"x": Num(1)}
+	got := SubstTerm(tm, sub)
+	want := Fn("f", Num(1), Fn("g", V("y"), Num(1)))
+	if !TermEqual(got, want) {
+		t.Errorf("SubstTerm = %s, want %s", got, want)
+	}
+	// The original must be unchanged.
+	if !TermEqual(tm, Fn("f", V("x"), Fn("g", V("y"), V("x")))) {
+		t.Error("SubstTerm mutated its input")
+	}
+}
+
+func TestTermVarsAndGround(t *testing.T) {
+	tm := Fn("f", V("b"), Fn("g", V("a"), Num(2)))
+	vars := TermVars(tm)
+	if len(vars) != 2 || vars[0] != "a" || vars[1] != "b" {
+		t.Errorf("TermVars = %v, want [a b]", vars)
+	}
+	if TermIsGround(tm) {
+		t.Error("TermIsGround(term with vars) = true")
+	}
+	if !TermIsGround(Fn("f", Num(1), Const("c"))) {
+		t.Error("TermIsGround(ground term) = false")
+	}
+}
+
+func TestCmpNegate(t *testing.T) {
+	pairs := map[CmpOp]CmpOp{
+		EqOp: NeOp, NeOp: EqOp, LtOp: GeOp, GeOp: LtOp, LeOp: GtOp, GtOp: LeOp,
+	}
+	for op, want := range pairs {
+		if got := op.Negate(); got != want {
+			t.Errorf("%v.Negate() = %v, want %v", op, got, want)
+		}
+		if got := op.Negate().Negate(); got != op {
+			t.Errorf("double negation of %v = %v", op, got)
+		}
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	f := All([]string{"x"}, Imp(P("p", V("x"), V("y")), Eq(V("x"), V("z"))))
+	got := FreeVars(f)
+	if len(got) != 2 || got[0] != "y" || got[1] != "z" {
+		t.Errorf("FreeVars = %v, want [y z]", got)
+	}
+}
+
+func TestSubstShadowing(t *testing.T) {
+	f := Conj(P("p", V("x")), All([]string{"x"}, P("q", V("x"))))
+	got := Subst(f, map[string]Term{"x": Num(5)})
+	want := "(AND (p 5) (FORALL (x) (q x)))"
+	if got.String() != want {
+		t.Errorf("Subst = %s, want %s", got, want)
+	}
+}
+
+func TestNNFImplication(t *testing.T) {
+	f := Imp(P("a"), P("b"))
+	got := NNF(f).String()
+	want := "(OR (NOT a) b)"
+	if got != want {
+		t.Errorf("NNF = %s, want %s", got, want)
+	}
+}
+
+func TestNNFNegatedCmp(t *testing.T) {
+	f := Not{F: Gt(V("x"), Num(0))}
+	got := NNF(f).String()
+	want := "(<= x 0)"
+	if got != want {
+		t.Errorf("NNF = %s, want %s", got, want)
+	}
+}
+
+func TestNNFQuantifierFlip(t *testing.T) {
+	f := Not{F: All([]string{"x"}, P("p", V("x")))}
+	got := NNF(f)
+	ex, ok := got.(Exists)
+	if !ok {
+		t.Fatalf("NNF(!forall) = %T, want Exists", got)
+	}
+	if _, ok := ex.Body.(Not); !ok {
+		t.Errorf("NNF body = %s, want negated atom", ex.Body)
+	}
+}
+
+func TestNNFIff(t *testing.T) {
+	f := Iff{L: P("a"), R: P("b")}
+	got := NNF(f).String()
+	want := "(AND (OR (NOT a) b) (OR (NOT b) a))"
+	if got != want {
+		t.Errorf("NNF = %s, want %s", got, want)
+	}
+}
+
+func TestSkolemizeGroundExists(t *testing.T) {
+	sk := NewSkolemizer("sk")
+	f := NNF(Ex([]string{"x"}, P("p", V("x"))))
+	g := sk.Skolemize(f)
+	pred, ok := g.(Pred)
+	if !ok {
+		t.Fatalf("Skolemize = %T, want Pred", g)
+	}
+	app, ok := pred.Args[0].(App)
+	if !ok || len(app.Args) != 0 {
+		t.Fatalf("skolem term = %v, want fresh constant", pred.Args[0])
+	}
+	if !strings.HasPrefix(app.Fn, "sk!") {
+		t.Errorf("skolem symbol = %q, want sk! prefix", app.Fn)
+	}
+}
+
+func TestSkolemizeUnderForall(t *testing.T) {
+	sk := NewSkolemizer("sk")
+	f := NNF(All([]string{"x"}, Ex([]string{"y"}, P("p", V("x"), V("y")))))
+	g := sk.Skolemize(f)
+	fa, ok := g.(Forall)
+	if !ok {
+		t.Fatalf("Skolemize = %T, want Forall", g)
+	}
+	pred := fa.Body.(Pred)
+	app, ok := pred.Args[1].(App)
+	if !ok || len(app.Args) != 1 {
+		t.Fatalf("skolem term = %v, want unary skolem function of x", pred.Args[1])
+	}
+}
+
+func TestClausifyCNF(t *testing.T) {
+	// (a || b) && c  ->  two clauses.
+	f := Conj(Disj(P("a"), P("b")), P("c"))
+	cs, err := Clausify(f, NewSkolemizer("sk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("Clausify produced %d clauses, want 2", len(cs))
+	}
+	if len(cs[0].Lits) != 2 || len(cs[1].Lits) != 1 {
+		t.Errorf("clause shapes = %v", cs)
+	}
+}
+
+func TestClausifyDistribution(t *testing.T) {
+	// a || (b && c)  ->  (a||b) && (a||c).
+	f := Disj(P("a"), Conj(P("b"), P("c")))
+	cs, err := Clausify(f, NewSkolemizer("sk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("Clausify produced %d clauses, want 2", len(cs))
+	}
+	for _, c := range cs {
+		if len(c.Lits) != 2 {
+			t.Errorf("clause %s has %d literals, want 2", c, len(c.Lits))
+		}
+	}
+}
+
+func TestClausifyQuantified(t *testing.T) {
+	f := All([]string{"x"}, Imp(P("p", V("x")), P("q", V("x"))))
+	cs, err := Clausify(f, NewSkolemizer("sk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 {
+		t.Fatalf("got %d clauses, want 1", len(cs))
+	}
+	if cs[0].IsGround() {
+		t.Error("quantified clause reported ground")
+	}
+	if n := len(cs[0].Vars()); n != 1 {
+		t.Errorf("clause has %d vars, want 1", n)
+	}
+}
+
+func TestClausifyPreservesExplicitTriggers(t *testing.T) {
+	trig := [][]Term{{Fn("f", V("x"))}}
+	f := AllPats([]string{"x"}, trig, P("p", V("x")))
+	cs, err := Clausify(f, NewSkolemizer("sk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 || len(cs[0].Triggers) != 1 {
+		t.Fatalf("triggers not preserved: %+v", cs)
+	}
+	app, ok := cs[0].Triggers[0][0].(App)
+	if !ok || app.Fn != "f" {
+		t.Errorf("trigger = %v, want f(x')", cs[0].Triggers[0][0])
+	}
+}
+
+func TestClausifyRenamesApart(t *testing.T) {
+	// Two quantifiers binding the same name must not collide.
+	f := Conj(
+		All([]string{"x"}, P("p", V("x"))),
+		All([]string{"x"}, P("q", V("x"))),
+	)
+	cs, err := Clausify(f, NewSkolemizer("sk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("got %d clauses, want 2", len(cs))
+	}
+	v1 := cs[0].Vars()
+	v2 := cs[1].Vars()
+	if len(v1) != 1 || len(v2) != 1 || v1[0] == v2[0] {
+		t.Errorf("bound variables not renamed apart: %v vs %v", v1, v2)
+	}
+}
+
+func TestLiteralNegated(t *testing.T) {
+	l := Literal{IsCmp: true, Cmp: Cmp{Op: GtOp, L: V("x"), R: Num(0)}}
+	n := l.Negated()
+	if n.Cmp.Op != LeOp {
+		t.Errorf("negated > is %v, want <=", n.Cmp.Op)
+	}
+	p := Literal{Pred: Pred{Name: "p"}}
+	if !p.Negated().Neg || p.Negated().Negated().Neg {
+		t.Error("predicate literal negation incorrect")
+	}
+}
+
+func TestParseFormulaRoundTrip(t *testing.T) {
+	inputs := []string{
+		"(IMPLIES (AND (> x 0) (> y 0)) (> (* x y) 0))",
+		"(FORALL (p e) (IMPLIES (pos p e) (> (evalExpr p e) 0)))",
+		"(OR (EQ a b) (NEQ c 4))",
+		"(NOT (isHeapLoc l))",
+		"(IFF a (AND b c))",
+		"(EXISTS (x) (EQ x 1))",
+	}
+	for _, in := range inputs {
+		f, err := ParseFormula(in)
+		if err != nil {
+			t.Errorf("ParseFormula(%q): %v", in, err)
+			continue
+		}
+		// Reparse the printed form; must parse without error.
+		if _, err := ParseFormula(f.String()); err != nil {
+			t.Errorf("reparse of %q -> %q failed: %v", in, f.String(), err)
+		}
+	}
+}
+
+func TestParseFormulaBinderScope(t *testing.T) {
+	f, err := ParseFormula("(FORALL (x) (p x y))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := f.(Forall)
+	pred := fa.Body.(Pred)
+	if _, ok := pred.Args[0].(Var); !ok {
+		t.Errorf("bound x parsed as %T, want Var", pred.Args[0])
+	}
+	if _, ok := pred.Args[1].(App); !ok {
+		t.Errorf("free y parsed as %T, want constant App", pred.Args[1])
+	}
+}
+
+func TestParseFormulaWithPats(t *testing.T) {
+	f, err := ParseFormula("(FORALL (x) (PATS (f x)) (EQ (f x) x))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := f.(Forall)
+	if len(fa.Triggers) != 1 || len(fa.Triggers[0]) != 1 {
+		t.Fatalf("triggers = %v, want one single-term trigger", fa.Triggers)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "(", ")", "(AND", "(NOT a b)", "(IMPLIES a)", "(FORALL x a)"}
+	for _, in := range bad {
+		if _, err := ParseFormula(in); err == nil {
+			t.Errorf("ParseFormula(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseTerm(t *testing.T) {
+	tm, err := ParseTerm("(select (store m k v) k)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := tm.(App)
+	if app.Fn != "select" || len(app.Args) != 2 {
+		t.Errorf("ParseTerm = %s", tm)
+	}
+}
+
+// Property: NNF is idempotent and never contains Implies/Iff or Not above
+// non-atoms.
+func TestNNFIdempotentProperty(t *testing.T) {
+	gen := newFormulaGen()
+	check := func(seed int64) bool {
+		f := gen.formula(seed, 4)
+		n1 := NNF(f)
+		n2 := NNF(n1)
+		return n1.String() == n2.String() && isNNF(n1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clausify of a ground formula yields only ground clauses.
+func TestClausifyGroundProperty(t *testing.T) {
+	gen := newFormulaGen()
+	check := func(seed int64) bool {
+		f := gen.groundFormula(seed, 4)
+		cs, err := Clausify(f, NewSkolemizer("sk"))
+		if err != nil {
+			return true // explosion cap; acceptable
+		}
+		for _, c := range cs {
+			if !c.IsGround() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func isNNF(f Formula) bool {
+	switch f := f.(type) {
+	case TrueF, FalseF, Cmp, Pred:
+		return true
+	case Not:
+		_, ok := f.F.(Pred)
+		return ok
+	case And:
+		for _, g := range f.Fs {
+			if !isNNF(g) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, g := range f.Fs {
+			if !isNNF(g) {
+				return false
+			}
+		}
+		return true
+	case Forall:
+		return isNNF(f.Body)
+	case Exists:
+		return isNNF(f.Body)
+	}
+	return false
+}
+
+// formulaGen deterministically generates small random formulas from a seed,
+// for property tests.
+type formulaGen struct{}
+
+func newFormulaGen() *formulaGen { return &formulaGen{} }
+
+func (g *formulaGen) next(seed *int64) int64 {
+	*seed = *seed*6364136223846793005 + 1442695040888963407
+	v := *seed >> 33
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+func (g *formulaGen) term(seed *int64, depth int, vars []string) Term {
+	switch g.next(seed) % 4 {
+	case 0:
+		return Num(g.next(seed) % 5)
+	case 1:
+		if len(vars) > 0 {
+			return V(vars[g.next(seed)%int64(len(vars))])
+		}
+		return Const("c")
+	case 2:
+		if depth <= 0 {
+			return Const("c")
+		}
+		return Fn("f", g.term(seed, depth-1, vars))
+	default:
+		return Const("d")
+	}
+}
+
+func (g *formulaGen) build(seed *int64, depth int, vars []string) Formula {
+	if depth <= 0 {
+		switch g.next(seed) % 3 {
+		case 0:
+			return P("p", g.term(seed, 1, vars))
+		case 1:
+			return Gt(g.term(seed, 1, vars), g.term(seed, 1, vars))
+		default:
+			return Eq(g.term(seed, 1, vars), g.term(seed, 1, vars))
+		}
+	}
+	switch g.next(seed) % 6 {
+	case 0:
+		return Conj(g.build(seed, depth-1, vars), g.build(seed, depth-1, vars))
+	case 1:
+		return Disj(g.build(seed, depth-1, vars), g.build(seed, depth-1, vars))
+	case 2:
+		return Not{F: g.build(seed, depth-1, vars)}
+	case 3:
+		return Imp(g.build(seed, depth-1, vars), g.build(seed, depth-1, vars))
+	case 4:
+		return Iff{L: g.build(seed, depth-1, vars), R: g.build(seed, depth-1, vars)}
+	default:
+		return P("q", g.term(seed, 1, vars))
+	}
+}
+
+func (g *formulaGen) formula(seed int64, depth int) Formula {
+	s := seed
+	if g.next(&s)%3 == 0 {
+		return All([]string{"x"}, g.build(&s, depth, []string{"x"}))
+	}
+	return g.build(&s, depth, nil)
+}
+
+func (g *formulaGen) groundFormula(seed int64, depth int) Formula {
+	s := seed
+	return g.build(&s, depth, nil)
+}

@@ -1,0 +1,422 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NNF converts f into negation normal form: negations appear only on atoms,
+// and Implies/Iff are eliminated. Quantifiers are preserved in place.
+func NNF(f Formula) Formula {
+	return nnf(f, false)
+}
+
+func nnf(f Formula, negated bool) Formula {
+	switch f := f.(type) {
+	case TrueF:
+		if negated {
+			return FalseF{}
+		}
+		return f
+	case FalseF:
+		if negated {
+			return TrueF{}
+		}
+		return f
+	case Cmp:
+		if negated {
+			return Cmp{Op: f.Op.Negate(), L: f.L, R: f.R}
+		}
+		return f
+	case Pred:
+		if negated {
+			return Not{F: f}
+		}
+		return f
+	case Not:
+		return nnf(f.F, !negated)
+	case And:
+		fs := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			fs[i] = nnf(g, negated)
+		}
+		if negated {
+			return Disj(fs...)
+		}
+		return Conj(fs...)
+	case Or:
+		fs := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			fs[i] = nnf(g, negated)
+		}
+		if negated {
+			return Conj(fs...)
+		}
+		return Disj(fs...)
+	case Implies:
+		if negated {
+			return Conj(nnf(f.Hyp, false), nnf(f.Concl, true))
+		}
+		return Disj(nnf(f.Hyp, true), nnf(f.Concl, false))
+	case Iff:
+		// (IFF a b) == (a=>b) && (b=>a); negated: a&&!b || b&&!a.
+		if negated {
+			return Disj(
+				Conj(nnf(f.L, false), nnf(f.R, true)),
+				Conj(nnf(f.R, false), nnf(f.L, true)),
+			)
+		}
+		return Conj(
+			Disj(nnf(f.L, true), nnf(f.R, false)),
+			Disj(nnf(f.R, true), nnf(f.L, false)),
+		)
+	case Forall:
+		body := nnf(f.Body, negated)
+		if negated {
+			return Exists{Vars: f.Vars, Body: body}
+		}
+		return Forall{Vars: f.Vars, Triggers: f.Triggers, Body: body}
+	case Exists:
+		body := nnf(f.Body, negated)
+		if negated {
+			return Forall{Vars: f.Vars, Body: body}
+		}
+		return Exists{Vars: f.Vars, Body: body}
+	}
+	panic(fmt.Sprintf("logic: nnf of unknown formula %T", f))
+}
+
+// Skolemizer rewrites existentials in an NNF formula into fresh skolem
+// constants/functions. Universally bound variables in scope become skolem
+// function arguments.
+type Skolemizer struct {
+	counter int
+	prefix  string
+}
+
+// NewSkolemizer returns a Skolemizer generating symbols with the given
+// prefix (e.g. "sk").
+func NewSkolemizer(prefix string) *Skolemizer {
+	if prefix == "" {
+		prefix = "sk"
+	}
+	return &Skolemizer{prefix: prefix}
+}
+
+func (s *Skolemizer) fresh(base string) string {
+	s.counter++
+	return fmt.Sprintf("%s!%s!%d", s.prefix, base, s.counter)
+}
+
+// Skolemize eliminates Exists from the NNF formula f. The input must be in
+// NNF (no Not above non-atoms, no Implies/Iff).
+func (s *Skolemizer) Skolemize(f Formula) Formula {
+	return s.skolemize(f, nil)
+}
+
+func (s *Skolemizer) skolemize(f Formula, universals []string) Formula {
+	switch f := f.(type) {
+	case And:
+		fs := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			fs[i] = s.skolemize(g, universals)
+		}
+		return Conj(fs...)
+	case Or:
+		fs := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			fs[i] = s.skolemize(g, universals)
+		}
+		return Disj(fs...)
+	case Forall:
+		inner := append(append([]string{}, universals...), f.Vars...)
+		return Forall{Vars: f.Vars, Triggers: f.Triggers, Body: s.skolemize(f.Body, inner)}
+	case Exists:
+		sub := map[string]Term{}
+		for _, v := range f.Vars {
+			args := make([]Term, len(universals))
+			for i, u := range universals {
+				args[i] = Var{Name: u}
+			}
+			sub[v] = App{Fn: s.fresh(v), Args: args}
+		}
+		return s.skolemize(Subst(f.Body, sub), universals)
+	default:
+		return f
+	}
+}
+
+// renameApart gives every bound variable in f a unique fresh name so that
+// prenexing cannot capture.
+func renameApart(f Formula, counter *int) Formula {
+	return renameApartWith(f, counter, map[string]Term{})
+}
+
+func renameApartWith(f Formula, counter *int, sub map[string]Term) Formula {
+	switch f := f.(type) {
+	case And:
+		fs := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			fs[i] = renameApartWith(g, counter, sub)
+		}
+		return And{Fs: fs}
+	case Or:
+		fs := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			fs[i] = renameApartWith(g, counter, sub)
+		}
+		return Or{Fs: fs}
+	case Forall:
+		inner := make(map[string]Term, len(sub)+len(f.Vars))
+		for k, v := range sub {
+			inner[k] = v
+		}
+		vars := make([]string, len(f.Vars))
+		for i, v := range f.Vars {
+			*counter++
+			nv := fmt.Sprintf("%s?%d", strings.TrimRight(v, "?0123456789"), *counter)
+			vars[i] = nv
+			inner[v] = Var{Name: nv}
+		}
+		trigs := make([][]Term, len(f.Triggers))
+		for i, trig := range f.Triggers {
+			ts := make([]Term, len(trig))
+			for j, t := range trig {
+				ts[j] = SubstTerm(t, inner)
+			}
+			trigs[i] = ts
+		}
+		return Forall{Vars: vars, Triggers: trigs, Body: renameApartWith(f.Body, counter, inner)}
+	case Exists:
+		panic("logic: renameApart requires skolemized input")
+	case Not:
+		return Not{F: renameApartWith(f.F, counter, sub)}
+	default:
+		return Subst(f, sub)
+	}
+}
+
+// Clause is a disjunction of literals, implicitly universally quantified
+// over its free variables. Triggers carries instantiation patterns inherited
+// from the originating Forall (may be empty, in which case the prover infers
+// triggers).
+type Clause struct {
+	Lits     []Literal
+	Triggers [][]Term
+}
+
+// Literal is a possibly negated atom. Exactly one of CmpAtom and PredAtom is
+// meaningful: IsCmp selects which.
+type Literal struct {
+	Neg   bool
+	IsCmp bool
+	Cmp   Cmp
+	Pred  Pred
+}
+
+func (l Literal) String() string {
+	var s string
+	if l.IsCmp {
+		s = l.Cmp.String()
+	} else {
+		s = l.Pred.String()
+	}
+	if l.Neg {
+		return "(NOT " + s + ")"
+	}
+	return s
+}
+
+// Negated returns the complementary literal. Comparison atoms absorb the
+// negation into the operator so they are never stored negated.
+func (l Literal) Negated() Literal {
+	if l.IsCmp {
+		return Literal{IsCmp: true, Cmp: Cmp{Op: l.Cmp.Op.Negate(), L: l.Cmp.L, R: l.Cmp.R}}
+	}
+	return Literal{Neg: !l.Neg, Pred: l.Pred}
+}
+
+// IsGround reports whether the literal contains no variables.
+func (l Literal) IsGround() bool {
+	if l.IsCmp {
+		return TermIsGround(l.Cmp.L) && TermIsGround(l.Cmp.R)
+	}
+	for _, a := range l.Pred.Args {
+		if !TermIsGround(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the sorted variable names of the literal.
+func (l Literal) Vars() []string {
+	set := map[string]bool{}
+	if l.IsCmp {
+		termFreeVars(l.Cmp.L, set)
+		termFreeVars(l.Cmp.R, set)
+	} else {
+		for _, a := range l.Pred.Args {
+			termFreeVars(a, set)
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (c Clause) String() string {
+	parts := make([]string, len(c.Lits))
+	for i, l := range c.Lits {
+		parts[i] = l.String()
+	}
+	return "(OR " + strings.Join(parts, " ") + ")"
+}
+
+// IsGround reports whether every literal in the clause is ground.
+func (c Clause) IsGround() bool {
+	for _, l := range c.Lits {
+		if !l.IsGround() {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the free variable names of the clause (unsorted, unique).
+func (c Clause) Vars() []string {
+	set := map[string]bool{}
+	for _, l := range c.Lits {
+		for _, v := range l.Vars() {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Clausify converts f to a set of clauses. The pipeline is
+// NNF -> skolemize -> rename bound variables apart -> pull quantifiers ->
+// distribute Or over And. Clauses with free variables carry the triggers of
+// the innermost Forall that bound them (if any).
+//
+// Distribution can explode for deeply nested formulas; the prover's inputs
+// (soundness obligations and semantics axioms) are small, and the clausifier
+// caps the expansion defensively.
+func Clausify(f Formula, sk *Skolemizer) ([]Clause, error) {
+	g := NNF(f)
+	g = sk.Skolemize(g)
+	counter := 0
+	g = renameApart(g, &counter)
+	matrix, trigsByVar := stripQuantifiers(g, map[string][][]Term{})
+	clauses, err := distribute(matrix)
+	if err != nil {
+		return nil, err
+	}
+	// Attach triggers: a clause inherits a quantifier's explicit triggers if
+	// it mentions any of that quantifier's variables.
+	for i := range clauses {
+		seen := map[string]bool{}
+		for _, v := range clauses[i].Vars() {
+			seen[v] = true
+		}
+		for v := range seen {
+			if ts, ok := trigsByVar[v]; ok && len(ts) > 0 {
+				clauses[i].Triggers = append(clauses[i].Triggers, ts...)
+			}
+		}
+	}
+	return clauses, nil
+}
+
+// stripQuantifiers removes Forall nodes (the formula must be skolemized and
+// renamed apart) recording explicit triggers per bound variable.
+func stripQuantifiers(f Formula, trigsByVar map[string][][]Term) (Formula, map[string][][]Term) {
+	switch f := f.(type) {
+	case Forall:
+		for _, v := range f.Vars {
+			if len(f.Triggers) > 0 {
+				trigsByVar[v] = f.Triggers
+			}
+		}
+		return stripQuantifiers(f.Body, trigsByVar)
+	case And:
+		fs := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			fs[i], _ = stripQuantifiers(g, trigsByVar)
+		}
+		return Conj(fs...), trigsByVar
+	case Or:
+		fs := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			fs[i], _ = stripQuantifiers(g, trigsByVar)
+		}
+		return Disj(fs...), trigsByVar
+	default:
+		return f, trigsByVar
+	}
+}
+
+const maxClauses = 100000
+
+func distribute(f Formula) ([]Clause, error) {
+	switch f := f.(type) {
+	case TrueF:
+		return nil, nil
+	case FalseF:
+		return []Clause{{}}, nil
+	case And:
+		var out []Clause
+		for _, g := range f.Fs {
+			cs, err := distribute(g)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cs...)
+			if len(out) > maxClauses {
+				return nil, fmt.Errorf("logic: clause explosion (> %d clauses)", maxClauses)
+			}
+		}
+		return out, nil
+	case Or:
+		// Cross product of the clause sets of the disjuncts.
+		out := []Clause{{}}
+		for _, g := range f.Fs {
+			cs, err := distribute(g)
+			if err != nil {
+				return nil, err
+			}
+			var next []Clause
+			for _, a := range out {
+				for _, b := range cs {
+					merged := Clause{Lits: append(append([]Literal{}, a.Lits...), b.Lits...)}
+					next = append(next, merged)
+					if len(next) > maxClauses {
+						return nil, fmt.Errorf("logic: clause explosion (> %d clauses)", maxClauses)
+					}
+				}
+			}
+			out = next
+		}
+		return out, nil
+	case Cmp:
+		return []Clause{{Lits: []Literal{{IsCmp: true, Cmp: f}}}}, nil
+	case Pred:
+		return []Clause{{Lits: []Literal{{Pred: f}}}}, nil
+	case Not:
+		switch inner := f.F.(type) {
+		case Pred:
+			return []Clause{{Lits: []Literal{{Neg: true, Pred: inner}}}}, nil
+		case Cmp:
+			return []Clause{{Lits: []Literal{{IsCmp: true, Cmp: Cmp{Op: inner.Op.Negate(), L: inner.L, R: inner.R}}}}}, nil
+		}
+		return nil, fmt.Errorf("logic: non-NNF negation in clausifier: %s", f)
+	default:
+		return nil, fmt.Errorf("logic: unexpected formula in clausifier: %s", f)
+	}
+}

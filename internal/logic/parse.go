@@ -1,0 +1,292 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// This file implements a reader for a Simplify-flavoured S-expression syntax
+// for terms and formulas, used by tests, cmd/qualprove --goal, and debugging
+// dumps. Examples:
+//
+//	(IMPLIES (AND (> x 0) (> y 0)) (> (* x y) 0))
+//	(FORALL (p e) (IMPLIES (pos p e) (> (evalExpr p e) 0)))
+//
+// Symbols starting with an upper-case letter followed by lower-case letters
+// are not special; only the fixed keywords AND, OR, NOT, IMPLIES, IFF,
+// FORALL, EXISTS, TRUE, FALSE, EQ, NEQ, PATS, and the comparison operators
+// are interpreted. Identifiers beginning with '?' parse as variables; in
+// quantifier binders, plain identifiers are bound as variables within the
+// body.
+
+type sexpr interface{ isSexpr() }
+
+type sAtom struct{ text string }
+type sList struct{ items []sexpr }
+
+func (sAtom) isSexpr() {}
+func (sList) isSexpr() {}
+
+type sexprParser struct {
+	input string
+	pos   int
+}
+
+func (p *sexprParser) skipSpace() {
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		if c == ';' {
+			for p.pos < len(p.input) && p.input[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		p.pos++
+	}
+}
+
+func (p *sexprParser) parse() (sexpr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.input) {
+		return nil, fmt.Errorf("logic: unexpected end of input at offset %d", p.pos)
+	}
+	if p.input[p.pos] == '(' {
+		p.pos++
+		var items []sexpr
+		for {
+			p.skipSpace()
+			if p.pos >= len(p.input) {
+				return nil, fmt.Errorf("logic: unterminated list")
+			}
+			if p.input[p.pos] == ')' {
+				p.pos++
+				return sList{items: items}, nil
+			}
+			item, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, item)
+		}
+	}
+	if p.input[p.pos] == ')' {
+		return nil, fmt.Errorf("logic: unexpected ')' at offset %d", p.pos)
+	}
+	start := p.pos
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		if c == '(' || c == ')' || unicode.IsSpace(rune(c)) {
+			break
+		}
+		p.pos++
+	}
+	return sAtom{text: p.input[start:p.pos]}, nil
+}
+
+// ParseFormula parses a Simplify-style S-expression into a Formula.
+func ParseFormula(input string) (Formula, error) {
+	p := &sexprParser{input: input}
+	sx, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("logic: trailing input at offset %d", p.pos)
+	}
+	return formulaFromSexpr(sx, map[string]bool{})
+}
+
+// ParseTerm parses a Simplify-style S-expression into a Term.
+func ParseTerm(input string) (Term, error) {
+	p := &sexprParser{input: input}
+	sx, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("logic: trailing input at offset %d", p.pos)
+	}
+	return termFromSexpr(sx, map[string]bool{}), nil
+}
+
+func termFromSexpr(sx sexpr, bound map[string]bool) Term {
+	switch sx := sx.(type) {
+	case sAtom:
+		if v, err := strconv.ParseInt(sx.text, 10, 64); err == nil {
+			return IntLit{Value: v}
+		}
+		if strings.HasPrefix(sx.text, "?") || bound[sx.text] {
+			return Var{Name: sx.text}
+		}
+		return App{Fn: sx.text}
+	case sList:
+		if len(sx.items) == 0 {
+			return App{Fn: "nil"}
+		}
+		head, ok := sx.items[0].(sAtom)
+		if !ok {
+			return App{Fn: "apply"}
+		}
+		args := make([]Term, 0, len(sx.items)-1)
+		for _, it := range sx.items[1:] {
+			args = append(args, termFromSexpr(it, bound))
+		}
+		return App{Fn: head.text, Args: args}
+	}
+	return App{Fn: "nil"}
+}
+
+var cmpOps = map[string]CmpOp{
+	"EQ": EqOp, "=": EqOp,
+	"NEQ": NeOp, "!=": NeOp,
+	"<": LtOp, "<=": LeOp, ">": GtOp, ">=": GeOp,
+}
+
+func formulaFromSexpr(sx sexpr, bound map[string]bool) (Formula, error) {
+	switch sx := sx.(type) {
+	case sAtom:
+		switch sx.text {
+		case "TRUE":
+			return TrueF{}, nil
+		case "FALSE":
+			return FalseF{}, nil
+		}
+		return Pred{Name: sx.text}, nil
+	case sList:
+		if len(sx.items) == 0 {
+			return nil, fmt.Errorf("logic: empty formula list")
+		}
+		head, ok := sx.items[0].(sAtom)
+		if !ok {
+			return nil, fmt.Errorf("logic: formula head must be a symbol")
+		}
+		rest := sx.items[1:]
+		sub := func() ([]Formula, error) {
+			fs := make([]Formula, len(rest))
+			for i, it := range rest {
+				f, err := formulaFromSexpr(it, bound)
+				if err != nil {
+					return nil, err
+				}
+				fs[i] = f
+			}
+			return fs, nil
+		}
+		switch head.text {
+		case "AND":
+			fs, err := sub()
+			if err != nil {
+				return nil, err
+			}
+			return Conj(fs...), nil
+		case "OR":
+			fs, err := sub()
+			if err != nil {
+				return nil, err
+			}
+			return Disj(fs...), nil
+		case "NOT":
+			if len(rest) != 1 {
+				return nil, fmt.Errorf("logic: NOT takes one argument")
+			}
+			f, err := formulaFromSexpr(rest[0], bound)
+			if err != nil {
+				return nil, err
+			}
+			return Not{F: f}, nil
+		case "IMPLIES":
+			if len(rest) != 2 {
+				return nil, fmt.Errorf("logic: IMPLIES takes two arguments")
+			}
+			h, err := formulaFromSexpr(rest[0], bound)
+			if err != nil {
+				return nil, err
+			}
+			c, err := formulaFromSexpr(rest[1], bound)
+			if err != nil {
+				return nil, err
+			}
+			return Implies{Hyp: h, Concl: c}, nil
+		case "IFF":
+			if len(rest) != 2 {
+				return nil, fmt.Errorf("logic: IFF takes two arguments")
+			}
+			l, err := formulaFromSexpr(rest[0], bound)
+			if err != nil {
+				return nil, err
+			}
+			r, err := formulaFromSexpr(rest[1], bound)
+			if err != nil {
+				return nil, err
+			}
+			return Iff{L: l, R: r}, nil
+		case "FORALL", "EXISTS":
+			if len(rest) < 2 {
+				return nil, fmt.Errorf("logic: %s takes a binder and a body", head.text)
+			}
+			binder, ok := rest[0].(sList)
+			if !ok {
+				return nil, fmt.Errorf("logic: %s binder must be a list", head.text)
+			}
+			var vars []string
+			inner := make(map[string]bool, len(bound)+len(binder.items))
+			for k := range bound {
+				inner[k] = true
+			}
+			for _, it := range binder.items {
+				a, ok := it.(sAtom)
+				if !ok {
+					return nil, fmt.Errorf("logic: binder entries must be symbols")
+				}
+				vars = append(vars, a.text)
+				inner[a.text] = true
+			}
+			var triggers [][]Term
+			bodyIdx := 1
+			for bodyIdx < len(rest)-1 {
+				pats, ok := rest[bodyIdx].(sList)
+				if !ok || len(pats.items) == 0 {
+					break
+				}
+				h, ok := pats.items[0].(sAtom)
+				if !ok || h.text != "PATS" {
+					break
+				}
+				var trig []Term
+				for _, it := range pats.items[1:] {
+					trig = append(trig, termFromSexpr(it, inner))
+				}
+				triggers = append(triggers, trig)
+				bodyIdx++
+			}
+			body, err := formulaFromSexpr(rest[bodyIdx], inner)
+			if err != nil {
+				return nil, err
+			}
+			if head.text == "FORALL" {
+				return Forall{Vars: vars, Triggers: triggers, Body: body}, nil
+			}
+			return Exists{Vars: vars, Body: body}, nil
+		}
+		if op, ok := cmpOps[head.text]; ok {
+			if len(rest) != 2 {
+				return nil, fmt.Errorf("logic: %s takes two arguments", head.text)
+			}
+			return Cmp{Op: op, L: termFromSexpr(rest[0], bound), R: termFromSexpr(rest[1], bound)}, nil
+		}
+		// Uninterpreted predicate application.
+		args := make([]Term, 0, len(rest))
+		for _, it := range rest {
+			args = append(args, termFromSexpr(it, bound))
+		}
+		return Pred{Name: head.text, Args: args}, nil
+	}
+	return nil, fmt.Errorf("logic: bad formula")
+}

@@ -1,0 +1,195 @@
+// Package logic provides the first-order logic representation shared by the
+// soundness checker and the simplify theorem prover: terms, formulas,
+// substitution, normal forms, and a Simplify-style S-expression syntax.
+//
+// The language is untyped first-order logic with equality, linear integer
+// arithmetic atoms, and uninterpreted predicate and function symbols. This is
+// the fragment the paper's soundness checker targets (section 4): Simplify
+// accepts "first-order formulas over several decidable theories, including
+// linear arithmetic and equality for uninterpreted function symbols".
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a first-order term: a variable, an integer literal, or an
+// application of a function symbol to argument terms. Constants are
+// applications with zero arguments.
+type Term interface {
+	fmt.Stringer
+	isTerm()
+}
+
+// Var is a term variable. Within a quantified formula a Var is bound by the
+// innermost quantifier declaring its name; elsewhere it is free.
+type Var struct {
+	Name string
+}
+
+// IntLit is an integer literal term.
+type IntLit struct {
+	Value int64
+}
+
+// App is the application of function symbol Fn to Args. A zero-argument App
+// is an uninterpreted constant. The arithmetic function symbols "+", "-",
+// "*", and unary "~" (negation) are interpreted by the prover's arithmetic
+// solver; every other symbol is uninterpreted.
+type App struct {
+	Fn   string
+	Args []Term
+}
+
+func (Var) isTerm()    {}
+func (IntLit) isTerm() {}
+func (App) isTerm()    {}
+
+func (v Var) String() string { return v.Name }
+
+func (l IntLit) String() string { return fmt.Sprintf("%d", l.Value) }
+
+func (a App) String() string {
+	if len(a.Args) == 0 {
+		return a.Fn
+	}
+	parts := make([]string, 0, len(a.Args)+1)
+	parts = append(parts, a.Fn)
+	for _, arg := range a.Args {
+		parts = append(parts, arg.String())
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// Const builds a zero-argument application, i.e. an uninterpreted constant.
+func Const(name string) Term { return App{Fn: name} }
+
+// Fn builds an application term.
+func Fn(name string, args ...Term) Term { return App{Fn: name, Args: args} }
+
+// Num builds an integer literal term.
+func Num(v int64) Term { return IntLit{Value: v} }
+
+// V builds a variable term.
+func V(name string) Term { return Var{Name: name} }
+
+// Add builds the arithmetic sum of two terms.
+func Add(a, b Term) Term { return App{Fn: "+", Args: []Term{a, b}} }
+
+// Sub builds the arithmetic difference of two terms.
+func Sub(a, b Term) Term { return App{Fn: "-", Args: []Term{a, b}} }
+
+// Mul builds the (non-linear, axiomatized) product of two terms.
+func Mul(a, b Term) Term { return App{Fn: "*", Args: []Term{a, b}} }
+
+// Neg builds the arithmetic negation of a term.
+func Neg(a Term) Term { return App{Fn: "~", Args: []Term{a}} }
+
+// TermEqual reports structural equality of two terms.
+func TermEqual(a, b Term) bool {
+	switch a := a.(type) {
+	case Var:
+		b, ok := b.(Var)
+		return ok && a.Name == b.Name
+	case IntLit:
+		b, ok := b.(IntLit)
+		return ok && a.Value == b.Value
+	case App:
+		b, ok := b.(App)
+		if !ok || a.Fn != b.Fn || len(a.Args) != len(b.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !TermEqual(a.Args[i], b.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// termFreeVars accumulates the free variables of t into out.
+func termFreeVars(t Term, out map[string]bool) {
+	switch t := t.(type) {
+	case Var:
+		out[t.Name] = true
+	case App:
+		for _, a := range t.Args {
+			termFreeVars(a, out)
+		}
+	}
+}
+
+// TermVars returns the sorted variable names occurring in t.
+func TermVars(t Term) []string {
+	set := map[string]bool{}
+	termFreeVars(t, set)
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SubstTerm applies the substitution sub to t, replacing free variables.
+func SubstTerm(t Term, sub map[string]Term) Term {
+	switch t := t.(type) {
+	case Var:
+		if r, ok := sub[t.Name]; ok {
+			return r
+		}
+		return t
+	case IntLit:
+		return t
+	case App:
+		if len(t.Args) == 0 {
+			return t
+		}
+		args := make([]Term, len(t.Args))
+		changed := false
+		for i, a := range t.Args {
+			args[i] = SubstTerm(a, sub)
+			if !TermEqual(args[i], a) {
+				changed = true
+			}
+		}
+		if !changed {
+			return t
+		}
+		return App{Fn: t.Fn, Args: args}
+	}
+	return t
+}
+
+// TermIsGround reports whether t contains no variables.
+func TermIsGround(t Term) bool {
+	switch t := t.(type) {
+	case Var:
+		return false
+	case App:
+		for _, a := range t.Args {
+			if !TermIsGround(a) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TermSize returns the number of nodes in t, used to pick small triggers.
+func TermSize(t Term) int {
+	switch t := t.(type) {
+	case App:
+		n := 1
+		for _, a := range t.Args {
+			n += TermSize(a)
+		}
+		return n
+	default:
+		return 1
+	}
+}

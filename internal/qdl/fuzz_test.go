@@ -1,0 +1,70 @@
+package qdl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Parser robustness: random mutations of a valid definition must either
+// parse or error — never panic.
+func TestQDLParserNeverPanics(t *testing.T) {
+	base := `
+value qualifier pos(int Expr E)
+  case E of
+    decl int Const C:
+      C, where C > 0
+  | decl int Expr E1, E2:
+      E1 * E2, where pos(E1) && pos(E2)
+  invariant value(E) > 0
+
+ref qualifier unique(T* LValue L)
+  assign L
+    NULL
+  | new
+  disallow L
+  invariant value(L) == NULL || (isHeapLoc(value(L)) && forall T** P: *P == value(L) => P == location(L))
+`
+	mutate := func(src string, seed int64) string {
+		b := []byte(src)
+		n := seed%6 + 1
+		for i := int64(0); i < n; i++ {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			pos := int((seed >> 33) % int64(len(b)))
+			if pos < 0 {
+				pos = -pos
+			}
+			chars := []byte("()|&*:,=<>! Ecdw")
+			seed = seed*6364136223846793005 + 1442695040888963407
+			idx := int((seed >> 33) % int64(len(chars)))
+			if idx < 0 {
+				idx = -idx
+			}
+			b[pos%len(b)] = chars[idx]
+		}
+		return string(b)
+	}
+	check := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("qdl parser panicked on seed %d: %v", seed, r)
+				ok = false
+			}
+		}()
+		src := mutate(base, seed)
+		defs, err := Parse("fuzz.qdl", src)
+		if err == nil {
+			// Whatever parsed must survive validation and printing.
+			r := NewRegistry()
+			for _, d := range defs {
+				if err := r.Add(d); err != nil {
+					break
+				}
+				_ = d.String()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+package qdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cminor"
+)
+
+func intBase() cminor.Type { return cminor.IntType{} }
+
+// typeFromString builds a cminor type from a compact spec like "int**".
+func typeFromString(t *testing.T, s string) cminor.Type {
+	t.Helper()
+	var base cminor.Type
+	switch {
+	case strings.HasPrefix(s, "int"):
+		base = cminor.IntType{}
+		s = s[3:]
+	case strings.HasPrefix(s, "char"):
+		base = cminor.CharType{}
+		s = s[4:]
+	default:
+		t.Fatalf("bad type spec %q", s)
+	}
+	for range s {
+		base = cminor.PointerType{Elem: base}
+	}
+	return base
+}

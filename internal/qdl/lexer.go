@@ -1,0 +1,193 @@
+package qdl
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokKind enumerates QDL token kinds.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+
+	tLParen
+	tRParen
+	tColon
+	tComma
+	tPipe
+	tStar
+	tAmp
+	tBang
+	tMinus
+	tPlus
+	tSlash
+	tPercent
+	tEq     // == or =
+	tNe     // !=
+	tLt     // <
+	tLe     // <=
+	tGt     // >
+	tGe     // >=
+	tAndAnd // &&
+	tOrOr   // ||
+	tArrow  // =>
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	pos  Pos
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return fmt.Sprintf("%q", t.text)
+	case tInt:
+		return fmt.Sprintf("%d", t.val)
+	}
+	return t.text
+}
+
+type lexer struct {
+	src  string
+	file string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{src: src, file: file, line: 1, col: 1}
+}
+
+func (l *lexer) at(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.at(0)
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			l.advance()
+			continue
+		}
+		if c == '/' && l.at(1) == '/' {
+			for l.pos < len(l.src) && l.at(0) != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+	pos := Pos{File: l.file, Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF, pos: pos}, nil
+	}
+	c := l.at(0)
+	switch {
+	case c == '_' || unicode.IsLetter(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) {
+			c := l.at(0)
+			if c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) {
+				l.advance()
+				continue
+			}
+			break
+		}
+		return token{kind: tIdent, text: l.src[start:l.pos], pos: pos}, nil
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.at(0))) {
+			l.advance()
+		}
+		v, err := strconv.ParseInt(l.src[start:l.pos], 10, 64)
+		if err != nil {
+			return token{}, fmt.Errorf("%s: bad integer", pos)
+		}
+		return token{kind: tInt, val: v, text: l.src[start:l.pos], pos: pos}, nil
+	}
+	mk := func(k tokKind, n int, text string) (token, error) {
+		for i := 0; i < n; i++ {
+			l.advance()
+		}
+		return token{kind: k, text: text, pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return mk(tLParen, 1, "(")
+	case ')':
+		return mk(tRParen, 1, ")")
+	case ':':
+		return mk(tColon, 1, ":")
+	case ',':
+		return mk(tComma, 1, ",")
+	case '*':
+		return mk(tStar, 1, "*")
+	case '+':
+		return mk(tPlus, 1, "+")
+	case '/':
+		return mk(tSlash, 1, "/")
+	case '%':
+		return mk(tPercent, 1, "%")
+	case '-':
+		return mk(tMinus, 1, "-")
+	case '&':
+		if l.at(1) == '&' {
+			return mk(tAndAnd, 2, "&&")
+		}
+		return mk(tAmp, 1, "&")
+	case '|':
+		if l.at(1) == '|' {
+			return mk(tOrOr, 2, "||")
+		}
+		return mk(tPipe, 1, "|")
+	case '!':
+		if l.at(1) == '=' {
+			return mk(tNe, 2, "!=")
+		}
+		return mk(tBang, 1, "!")
+	case '=':
+		if l.at(1) == '=' {
+			return mk(tEq, 2, "==")
+		}
+		if l.at(1) == '>' {
+			return mk(tArrow, 2, "=>")
+		}
+		return mk(tEq, 1, "=")
+	case '<':
+		if l.at(1) == '=' {
+			return mk(tLe, 2, "<=")
+		}
+		return mk(tLt, 1, "<")
+	case '>':
+		if l.at(1) == '=' {
+			return mk(tGe, 2, ">=")
+		}
+		return mk(tGt, 1, ">")
+	}
+	return token{}, fmt.Errorf("%s: unexpected character %q", pos, string(c))
+}

@@ -1,0 +1,781 @@
+package qdl
+
+import (
+	"fmt"
+
+	"repro/internal/cminor"
+)
+
+// parser parses qualifier definitions.
+type parser struct {
+	lex   *lexer
+	tok   token
+	ahead []token
+}
+
+// Parse parses a QDL source file containing one or more qualifier
+// definitions.
+func Parse(file, src string) ([]*Def, error) {
+	p := &parser{lex: newLexer(file, src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	var defs []*Def
+	for p.tok.kind != tEOF {
+		d, err := p.parseDef()
+		if err != nil {
+			return nil, err
+		}
+		defs = append(defs, d)
+	}
+	return defs, nil
+}
+
+// ParseOne parses exactly one qualifier definition.
+func ParseOne(file, src string) (*Def, error) {
+	defs, err := Parse(file, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(defs) != 1 {
+		return nil, fmt.Errorf("%s: expected exactly one qualifier definition, found %d", file, len(defs))
+	}
+	return defs[0], nil
+}
+
+func (p *parser) next() error {
+	if len(p.ahead) > 0 {
+		p.tok = p.ahead[0]
+		p.ahead = p.ahead[1:]
+		return nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peek(n int) (token, error) {
+	if n == 0 {
+		return p.tok, nil
+	}
+	for len(p.ahead) < n {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.ahead = append(p.ahead, t)
+	}
+	return p.ahead[n-1], nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectIdent(words ...string) (token, error) {
+	if p.tok.kind != tIdent {
+		return token{}, p.errf("expected identifier, found %s", p.tok)
+	}
+	if len(words) > 0 {
+		ok := false
+		for _, w := range words {
+			if p.tok.text == w {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return token{}, p.errf("expected %v, found %q", words, p.tok.text)
+		}
+	}
+	t := p.tok
+	return t, p.next()
+}
+
+func (p *parser) expect(k tokKind, what string) error {
+	if p.tok.kind != k {
+		return p.errf("expected %s, found %s", what, p.tok)
+	}
+	return p.next()
+}
+
+func (p *parser) isIdent(word string) bool {
+	return p.tok.kind == tIdent && p.tok.text == word
+}
+
+var classifierByName = map[string]Classifier{
+	"Expr": ClassExpr, "Const": ClassConst, "LValue": ClassLValue, "Var": ClassVar,
+}
+
+// parseTypePat parses a type pattern: int/char/void or a type variable,
+// followed by '*'s.
+func (p *parser) parseTypePat() (TypePat, error) {
+	if p.tok.kind != tIdent {
+		return TypePat{}, p.errf("expected a type pattern, found %s", p.tok)
+	}
+	var tp TypePat
+	switch p.tok.text {
+	case "int":
+		tp.Base = cminor.IntType{}
+	case "char":
+		tp.Base = cminor.CharType{}
+	case "void":
+		tp.Base = cminor.VoidType{}
+	default:
+		tp.Var = p.tok.text
+	}
+	if err := p.next(); err != nil {
+		return TypePat{}, err
+	}
+	for p.tok.kind == tStar {
+		tp.Ptr++
+		if err := p.next(); err != nil {
+			return TypePat{}, err
+		}
+	}
+	return tp, nil
+}
+
+// parseVarPats parses "typePat Classifier Name (, Name)*" producing one
+// VarPat per name (the paper's "decl int Expr E1, E2").
+func (p *parser) parseVarPats() ([]VarPat, error) {
+	tp, err := p.parseTypePat()
+	if err != nil {
+		return nil, err
+	}
+	ctok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	cls, ok := classifierByName[ctok.text]
+	if !ok {
+		return nil, fmt.Errorf("%s: unknown classifier %q (want Expr, Const, LValue, or Var)", ctok.pos, ctok.text)
+	}
+	var out []VarPat
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, VarPat{Type: tp, Classifier: cls, Name: name.text})
+		if p.tok.kind != tComma {
+			return out, nil
+		}
+		// Lookahead: "E1, E2" continues this decl group; "C, where ..." and
+		// "decl ... : P" end it. A comma followed by an identifier that is
+		// not "where" continues the name list only if the token after it is
+		// ',' or ':' — otherwise it begins a new decl group's type.
+		t1, err := p.peek(1)
+		if err != nil {
+			return nil, err
+		}
+		if t1.kind != tIdent || t1.text == "where" {
+			return out, nil
+		}
+		t2, err := p.peek(2)
+		if err != nil {
+			return nil, err
+		}
+		if t2.kind != tComma && t2.kind != tColon {
+			return out, nil
+		}
+		if err := p.next(); err != nil { // consume ','
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseDef() (*Def, error) {
+	pos := p.tok.pos
+	kindTok, err := p.expectIdent("value", "ref")
+	if err != nil {
+		return nil, err
+	}
+	kind := ValueQualifier
+	if kindTok.text == "ref" {
+		kind = RefQualifier
+	}
+	if _, err := p.expectIdent("qualifier"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tLParen, "'('"); err != nil {
+		return nil, err
+	}
+	subjects, err := p.parseVarPats()
+	if err != nil {
+		return nil, err
+	}
+	if len(subjects) != 1 {
+		return nil, fmt.Errorf("%s: qualifier header declares exactly one variable", pos)
+	}
+	if err := p.expect(tRParen, "')'"); err != nil {
+		return nil, err
+	}
+	def := &Def{Pos: pos, Name: name.text, Kind: kind, Subject: subjects[0]}
+	for {
+		switch {
+		case p.isIdent("case"):
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expectIdent(def.Subject.Name); err != nil {
+				return nil, err
+			}
+			if _, err := p.expectIdent("of"); err != nil {
+				return nil, err
+			}
+			cs, err := p.parseClauses()
+			if err != nil {
+				return nil, err
+			}
+			def.Cases = append(def.Cases, cs...)
+		case p.isIdent("restrict"):
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			cs, err := p.parseClauses()
+			if err != nil {
+				return nil, err
+			}
+			def.Restricts = append(def.Restricts, cs...)
+		case p.isIdent("assign"):
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expectIdent(def.Subject.Name); err != nil {
+				return nil, err
+			}
+			cs, err := p.parseClauses()
+			if err != nil {
+				return nil, err
+			}
+			def.Assigns = append(def.Assigns, cs...)
+		case p.isIdent("disallow"):
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			for {
+				if p.tok.kind == tAmp {
+					if err := p.next(); err != nil {
+						return nil, err
+					}
+					if _, err := p.expectIdent(def.Subject.Name); err != nil {
+						return nil, err
+					}
+					def.Disallow.AddrOf = true
+				} else {
+					if _, err := p.expectIdent(def.Subject.Name); err != nil {
+						return nil, err
+					}
+					def.Disallow.Refer = true
+				}
+				if p.tok.kind != tPipe {
+					break
+				}
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			}
+		case p.isIdent("ondecl"):
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			def.OnDecl = true
+		case p.isIdent("noassign"):
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			def.NoAssign = true
+		case p.isIdent("invariant"):
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			pred, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			def.Invariant = pred
+		default:
+			return def, nil
+		}
+	}
+}
+
+// parseClauses parses clause ('|' clause)*.
+func (p *parser) parseClauses() ([]Clause, error) {
+	var out []Clause
+	for {
+		c, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+		if p.tok.kind != tPipe {
+			return out, nil
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseClause() (Clause, error) {
+	c := Clause{Pos: p.tok.pos}
+	if p.isIdent("decl") {
+		if err := p.next(); err != nil {
+			return c, err
+		}
+		for {
+			vps, err := p.parseVarPats()
+			if err != nil {
+				return c, err
+			}
+			c.Decls = append(c.Decls, vps...)
+			if p.tok.kind == tComma {
+				// Another decl group follows ("decl int Expr E1, T* Expr P").
+				if err := p.next(); err != nil {
+					return c, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expect(tColon, "':'"); err != nil {
+			return c, err
+		}
+	}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return c, err
+	}
+	c.Pat = pat
+	if p.tok.kind == tComma {
+		if err := p.next(); err != nil {
+			return c, err
+		}
+		if _, err := p.expectIdent("where"); err != nil {
+			return c, err
+		}
+		w, err := p.parsePred()
+		if err != nil {
+			return c, err
+		}
+		c.Where = w
+	}
+	return c, nil
+}
+
+func (p *parser) parsePattern() (Pattern, error) {
+	switch {
+	case p.isIdent("new"):
+		return PNew{}, p.next()
+	case p.isIdent("fresh"):
+		return PFresh{}, p.next()
+	case p.isIdent("NULL"):
+		return PNull{}, p.next()
+	case p.tok.kind == tStar:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return PDeref{Name: name.text}, nil
+	case p.tok.kind == tAmp:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return PAddrOf{Name: name.text}, nil
+	case p.tok.kind == tMinus:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return PUnop{Op: "-", Name: name.text}, nil
+	case p.tok.kind == tBang:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return PUnop{Op: "!", Name: name.text}, nil
+	case p.tok.kind == tIdent:
+		l := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		op, ok := patBinop(p.tok)
+		if !ok {
+			return PVar{Name: l}, nil
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return PBinop{Op: op, L: l, R: r.text}, nil
+	}
+	return nil, p.errf("expected a pattern, found %s", p.tok)
+}
+
+func patBinop(t token) (PatOp, bool) {
+	switch t.kind {
+	case tPlus:
+		return "+", true
+	case tMinus:
+		return "-", true
+	case tStar:
+		return "*", true
+	case tSlash:
+		return "/", true
+	case tPercent:
+		return "%", true
+	case tEq:
+		return "==", true
+	case tNe:
+		return "!=", true
+	case tLt:
+		return "<", true
+	case tLe:
+		return "<=", true
+	case tGt:
+		return ">", true
+	case tGe:
+		return ">=", true
+	case tAndAnd:
+		return "&&", true
+	case tOrOr:
+		return "||", true
+	}
+	return "", false
+}
+
+// ---- Predicates ----
+
+func (p *parser) parsePred() (Pred, error) { return p.parseImp() }
+
+func (p *parser) parseImp() (Pred, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tArrow {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseImp()
+		if err != nil {
+			return nil, err
+		}
+		return PImp{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (Pred, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tOrOr {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = POr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Pred, error) {
+	l, err := p.parsePredUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tAndAnd {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parsePredUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = PAnd{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parsePredUnary() (Pred, error) {
+	switch {
+	case p.tok.kind == tBang:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parsePredUnary()
+		if err != nil {
+			return nil, err
+		}
+		return PNot{P: inner}, nil
+	case p.tok.kind == tLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case p.isIdent("forall"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		tp, err := p.parseTypePat()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tColon, "':'"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseImp()
+		if err != nil {
+			return nil, err
+		}
+		return PForall{Type: tp, Var: name.text, Body: body}, nil
+	case p.isIdent("isHeapLoc"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tLParen, "'('"); err != nil {
+			return nil, err
+		}
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return PIsHeapLoc{T: t}, nil
+	}
+	// Qualifier check q(X)?
+	if p.tok.kind == tIdent && p.tok.text != "value" && p.tok.text != "location" && p.tok.text != "initvalue" && p.tok.text != "NULL" {
+		t1, err := p.peek(1)
+		if err != nil {
+			return nil, err
+		}
+		if t1.kind == tLParen {
+			q := p.tok.text
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if err := p.next(); err != nil { // '('
+				return nil, err
+			}
+			arg, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tRParen, "')'"); err != nil {
+				return nil, err
+			}
+			return PQual{Qual: q, Arg: arg.text}, nil
+		}
+	}
+	// Comparison.
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	op, ok := cmpOp(p.tok)
+	if !ok {
+		return nil, p.errf("expected a comparison operator, found %s", p.tok)
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	r, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return PCmp{Op: op, L: l, R: r}, nil
+}
+
+func cmpOp(t token) (PatOp, bool) {
+	switch t.kind {
+	case tEq:
+		return "==", true
+	case tNe:
+		return "!=", true
+	case tLt:
+		return "<", true
+	case tLe:
+		return "<=", true
+	case tGt:
+		return ">", true
+	case tGe:
+		return ">=", true
+	}
+	return "", false
+}
+
+// ---- Terms ----
+
+func (p *parser) parseTerm() (Term, error) {
+	l, err := p.parseTermFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tPlus || p.tok.kind == tMinus {
+		op := PatOp("+")
+		if p.tok.kind == tMinus {
+			op = "-"
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseTermFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = TArith{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseTermFactor() (Term, error) {
+	l, err := p.parseTermAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tStar || p.tok.kind == tSlash || p.tok.kind == tPercent {
+		var op PatOp
+		switch p.tok.kind {
+		case tStar:
+			op = "*"
+		case tSlash:
+			op = "/"
+		default:
+			op = "%"
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseTermAtom()
+		if err != nil {
+			return nil, err
+		}
+		l = TArith{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseTermAtom() (Term, error) {
+	switch {
+	case p.tok.kind == tInt:
+		v := p.tok.val
+		return TInt{Value: v}, p.next()
+	case p.tok.kind == tMinus:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tInt {
+			v := p.tok.val
+			return TInt{Value: -v}, p.next()
+		}
+		inner, err := p.parseTermAtom()
+		if err != nil {
+			return nil, err
+		}
+		return TArith{Op: "-", L: TInt{Value: 0}, R: inner}, nil
+	case p.tok.kind == tStar:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return TDeref{Name: name.text}, nil
+	case p.tok.kind == tLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return t, nil
+	case p.isIdent("NULL"):
+		return TNull{}, p.next()
+	case p.isIdent("initvalue"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tLParen, "'('"); err != nil {
+			return nil, err
+		}
+		arg, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return TInitValue{Name: arg.text}, nil
+	case p.isIdent("value") || p.isIdent("location"):
+		fn := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tLParen, "'('"); err != nil {
+			return nil, err
+		}
+		arg, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		if fn == "value" {
+			return TValue{Name: arg.text}, nil
+		}
+		return TLocation{Name: arg.text}, nil
+	case p.tok.kind == tIdent:
+		name := p.tok.text
+		return TVar{Name: name}, p.next()
+	}
+	return nil, p.errf("expected a term, found %s", p.tok)
+}

@@ -1,0 +1,17 @@
+package quals
+
+// FileContents maps the on-disk qualifier definition files shipped in the
+// repository's qualifiers/ directory to their contents. cmd/qualcheck and
+// cmd/qualprove accept these files directly (e.g. "qualprove
+// qualifiers/pos.qdl"); the TestShippedFilesMatch test keeps them in sync
+// with the embedded sources.
+func FileContents() map[string]string {
+	out := map[string]string{}
+	for k, v := range Sources() {
+		out[k] = v
+	}
+	for k, v := range ExtrasSources() {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package quals
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("module root not found")
+		}
+		dir = parent
+	}
+}
+
+// TestShippedFilesMatch keeps the qualifiers/ directory in sync with the
+// embedded sources.
+func TestShippedFilesMatch(t *testing.T) {
+	root := repoRoot(t)
+	for name, want := range FileContents() {
+		path := filepath.Join(root, "qualifiers", name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("missing shipped file %s: %v", path, err)
+			continue
+		}
+		if string(data) != want {
+			t.Errorf("%s out of sync with the embedded source", path)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package simplify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// linExpr is a linear expression: a constant plus a sum of integer
+// coefficients over opaque atoms. An atom is any term the arithmetic solver
+// does not interpret (an uninterpreted application, a non-linear product,
+// ...), keyed by its printed form.
+type linExpr struct {
+	consts int64
+	coeffs map[string]int64
+}
+
+func newLinExpr() linExpr { return linExpr{coeffs: map[string]int64{}} }
+
+func (l linExpr) addAtom(key string, c int64) linExpr {
+	l.coeffs[key] += c
+	if l.coeffs[key] == 0 {
+		delete(l.coeffs, key)
+	}
+	return l
+}
+
+func (l linExpr) add(o linExpr, scale int64) linExpr {
+	l.consts += o.consts * scale
+	for k, c := range o.coeffs {
+		l.coeffs[k] += c * scale
+		if l.coeffs[k] == 0 {
+			delete(l.coeffs, k)
+		}
+	}
+	return l
+}
+
+func (l linExpr) clone() linExpr {
+	c := linExpr{consts: l.consts, coeffs: make(map[string]int64, len(l.coeffs))}
+	for k, v := range l.coeffs {
+		c.coeffs[k] = v
+	}
+	return c
+}
+
+func (l linExpr) String() string {
+	keys := make([]string, 0, len(l.coeffs))
+	for k := range l.coeffs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := fmt.Sprintf("%d", l.consts)
+	for _, k := range keys {
+		s += fmt.Sprintf(" + %d*%s", l.coeffs[k], k)
+	}
+	return s
+}
+
+// linearize decomposes a ground term into a linear expression. Non-linear
+// subterms (products of two non-constant terms, uninterpreted applications)
+// become opaque atoms.
+func linearize(t logic.Term) linExpr {
+	switch t := t.(type) {
+	case logic.IntLit:
+		l := newLinExpr()
+		l.consts = t.Value
+		return l
+	case logic.App:
+		switch t.Fn {
+		case "+":
+			l := newLinExpr()
+			for _, a := range t.Args {
+				l = l.add(linearize(a), 1)
+			}
+			return l
+		case "-":
+			if len(t.Args) == 2 {
+				l := linearize(t.Args[0])
+				return l.add(linearize(t.Args[1]), -1)
+			}
+			if len(t.Args) == 1 {
+				return newLinExpr().add(linearize(t.Args[0]), -1)
+			}
+		case "~":
+			if len(t.Args) == 1 {
+				return newLinExpr().add(linearize(t.Args[0]), -1)
+			}
+		case "*":
+			if len(t.Args) == 2 {
+				l0 := linearize(t.Args[0])
+				l1 := linearize(t.Args[1])
+				if len(l0.coeffs) == 0 {
+					return newLinExpr().add(l1, l0.consts)
+				}
+				if len(l1.coeffs) == 0 {
+					return newLinExpr().add(l0, l1.consts)
+				}
+				// Non-linear product: opaque atom (sign axioms reason about it).
+				return newLinExpr().addAtom(t.String(), 1)
+			}
+		}
+		return newLinExpr().addAtom(t.String(), 1)
+	case logic.Var:
+		panic("simplify: variable in ground arithmetic term: " + t.Name)
+	}
+	panic("simplify: unknown term kind in linearize")
+}
+
+// linConstraint represents expr <= 0 over the integers (strict constraints
+// are tightened to <= -1 at construction).
+type linConstraint struct {
+	expr linExpr
+}
+
+// arithSolver accumulates linear constraints and decides satisfiability by
+// Fourier-Motzkin elimination. Sound for refutation: the rational relaxation
+// of the integer-tightened system being infeasible implies the integer
+// system is.
+type arithSolver struct {
+	constraints []linConstraint
+}
+
+func newArithSolver() *arithSolver { return &arithSolver{} }
+
+// assertCmp asserts l op r. EqOp contributes two inequalities; NeOp is not
+// handled here (the prover splits disequalities of numeric terms into
+// clauses before reaching the solver).
+func (s *arithSolver) assertCmp(op logic.CmpOp, l, r logic.Term) {
+	le := linearize(l)
+	re := linearize(r)
+	switch op {
+	case logic.LeOp: // l - r <= 0
+		s.push(le.clone().add(re, -1))
+	case logic.LtOp: // l - r <= -1
+		e := le.clone().add(re, -1)
+		e.consts++
+		s.push(e)
+	case logic.GeOp: // r - l <= 0
+		s.push(re.clone().add(le, -1))
+	case logic.GtOp: // r - l <= -1
+		e := re.clone().add(le, -1)
+		e.consts++
+		s.push(e)
+	case logic.EqOp:
+		s.push(le.clone().add(re, -1))
+		s.push(re.clone().add(le, -1))
+	case logic.NeOp:
+		// Ignored: handled by case splitting in the prover and by EUF.
+	}
+}
+
+// assertEqAtoms asserts equality of two opaque atoms (used for EUF -> LA
+// propagation).
+func (s *arithSolver) assertEqAtoms(a, b string) {
+	e1 := newLinExpr().addAtom(a, 1).addAtom(b, -1)
+	e2 := newLinExpr().addAtom(b, 1).addAtom(a, -1)
+	s.push(e1)
+	s.push(e2)
+}
+
+func (s *arithSolver) push(e linExpr) {
+	s.constraints = append(s.constraints, linConstraint{expr: e})
+}
+
+// maxFMConstraints caps Fourier-Motzkin blowup; past the cap the solver
+// reports "consistent" (sound: the prover then simply fails to close this
+// branch).
+const maxFMConstraints = 20000
+
+// inconsistent reports whether the asserted constraints are infeasible.
+func (s *arithSolver) inconsistent() bool {
+	work := make([]linExpr, 0, len(s.constraints))
+	for _, c := range s.constraints {
+		work = append(work, c.expr.clone())
+	}
+	for {
+		// Constant-only constraints decide immediately.
+		rest := work[:0]
+		for _, e := range work {
+			if len(e.coeffs) == 0 {
+				if e.consts > 0 {
+					return true
+				}
+				continue
+			}
+			rest = append(rest, e)
+		}
+		work = rest
+		if len(work) == 0 {
+			return false
+		}
+		// Pick the atom minimizing the pos*neg product.
+		counts := map[string][2]int{}
+		for _, e := range work {
+			for k, c := range e.coeffs {
+				pc := counts[k]
+				if c > 0 {
+					pc[0]++
+				} else {
+					pc[1]++
+				}
+				counts[k] = pc
+			}
+		}
+		bestKey := ""
+		bestCost := -1
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic elimination order
+		for _, k := range keys {
+			pc := counts[k]
+			cost := pc[0]*pc[1] + pc[0] + pc[1]
+			if bestCost == -1 || cost < bestCost {
+				bestCost = cost
+				bestKey = k
+			}
+		}
+		var pos, neg, rest2 []linExpr
+		for _, e := range work {
+			c := e.coeffs[bestKey]
+			switch {
+			case c > 0:
+				pos = append(pos, e)
+			case c < 0:
+				neg = append(neg, e)
+			default:
+				rest2 = append(rest2, e)
+			}
+		}
+		// Eliminate bestKey: combine each pos with each neg.
+		next := rest2
+		for _, p := range pos {
+			cp := p.coeffs[bestKey]
+			for _, n := range neg {
+				cn := -n.coeffs[bestKey]
+				// cn*p + cp*n eliminates the atom. Normalize by gcd to keep
+				// coefficients small.
+				comb := newLinExpr()
+				comb = comb.add(p, cn)
+				comb = comb.add(n, cp)
+				delete(comb.coeffs, bestKey)
+				comb = normalizeGCD(comb)
+				next = append(next, comb)
+				if len(next) > maxFMConstraints {
+					return false
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		work = next
+	}
+}
+
+func normalizeGCD(e linExpr) linExpr {
+	g := int64(0)
+	abs := func(v int64) int64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	for _, c := range e.coeffs {
+		g = gcd64(g, abs(c))
+	}
+	if g <= 1 {
+		return e
+	}
+	// e <= 0 with all coefficients divisible by g: divide, rounding the
+	// constant down (floor), which is sound for integer feasibility in the
+	// <=0 form: sum(g*ci*xi) + k <= 0  <=>  sum(ci*xi) <= floor(-k/g)
+	// i.e. sum(ci*xi) + ceil(k/g) <= 0.
+	for k, c := range e.coeffs {
+		e.coeffs[k] = c / g
+	}
+	e.consts = ceilDiv(e.consts, g)
+	return e
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}

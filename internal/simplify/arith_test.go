@@ -1,0 +1,162 @@
+package simplify
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestLinearizeConstant(t *testing.T) {
+	l := linearize(logic.Num(5))
+	if l.consts != 5 || len(l.coeffs) != 0 {
+		t.Errorf("linearize(5) = %s", l)
+	}
+}
+
+func TestLinearizeSum(t *testing.T) {
+	// x + (y - 3)
+	tm := logic.Add(logic.Const("x"), logic.Sub(logic.Const("y"), logic.Num(3)))
+	l := linearize(tm)
+	if l.consts != -3 || l.coeffs["x"] != 1 || l.coeffs["y"] != 1 {
+		t.Errorf("linearize = %s", l)
+	}
+}
+
+func TestLinearizeScaledProduct(t *testing.T) {
+	// 2 * x is linear; x * y is opaque.
+	l := linearize(logic.Mul(logic.Num(2), logic.Const("x")))
+	if l.coeffs["x"] != 2 {
+		t.Errorf("2*x = %s", l)
+	}
+	l2 := linearize(logic.Mul(logic.Const("x"), logic.Const("y")))
+	if len(l2.coeffs) != 1 {
+		t.Errorf("x*y should be one opaque atom: %s", l2)
+	}
+}
+
+func TestLinearizeNegation(t *testing.T) {
+	l := linearize(logic.Neg(logic.Const("x")))
+	if l.coeffs["x"] != -1 {
+		t.Errorf("~x = %s", l)
+	}
+}
+
+func TestLinearizeCancellation(t *testing.T) {
+	l := linearize(logic.Sub(logic.Const("x"), logic.Const("x")))
+	if len(l.coeffs) != 0 || l.consts != 0 {
+		t.Errorf("x - x = %s, want 0", l)
+	}
+}
+
+func TestArithConsistent(t *testing.T) {
+	s := newArithSolver()
+	x := logic.Const("x")
+	s.assertCmp(logic.GtOp, x, logic.Num(0))
+	s.assertCmp(logic.LtOp, x, logic.Num(10))
+	if s.inconsistent() {
+		t.Error("0 < x < 10 reported inconsistent")
+	}
+}
+
+func TestArithDirectConflict(t *testing.T) {
+	s := newArithSolver()
+	x := logic.Const("x")
+	s.assertCmp(logic.GtOp, x, logic.Num(5))
+	s.assertCmp(logic.LtOp, x, logic.Num(3))
+	if !s.inconsistent() {
+		t.Error("x > 5 and x < 3 not detected")
+	}
+}
+
+func TestArithStrictIntegerTightening(t *testing.T) {
+	// Over the integers, x > 0 and x < 1 is inconsistent (no integer in
+	// (0,1)), though it is rationally satisfiable.
+	s := newArithSolver()
+	x := logic.Const("x")
+	s.assertCmp(logic.GtOp, x, logic.Num(0))
+	s.assertCmp(logic.LtOp, x, logic.Num(1))
+	if !s.inconsistent() {
+		t.Error("integer tightening failed: 0 < x < 1 over ints")
+	}
+}
+
+func TestArithChain(t *testing.T) {
+	s := newArithSolver()
+	x, y, z := logic.Const("x"), logic.Const("y"), logic.Const("z")
+	s.assertCmp(logic.LtOp, x, y)
+	s.assertCmp(logic.LtOp, y, z)
+	s.assertCmp(logic.LtOp, z, x)
+	if !s.inconsistent() {
+		t.Error("x<y<z<x not detected")
+	}
+}
+
+func TestArithEquality(t *testing.T) {
+	s := newArithSolver()
+	x, y := logic.Const("x"), logic.Const("y")
+	s.assertCmp(logic.EqOp, x, y)
+	s.assertCmp(logic.GtOp, x, y)
+	if !s.inconsistent() {
+		t.Error("x = y and x > y not detected")
+	}
+}
+
+func TestArithCoefficients(t *testing.T) {
+	// 2x + 3y <= 6, x >= 2, y >= 1 -> 2*2+3*1 = 7 > 6: inconsistent.
+	s := newArithSolver()
+	x, y := logic.Const("x"), logic.Const("y")
+	lhs := logic.Add(logic.Mul(logic.Num(2), x), logic.Mul(logic.Num(3), y))
+	s.assertCmp(logic.LeOp, lhs, logic.Num(6))
+	s.assertCmp(logic.GeOp, x, logic.Num(2))
+	s.assertCmp(logic.GeOp, y, logic.Num(1))
+	if !s.inconsistent() {
+		t.Error("coefficient conflict not detected")
+	}
+}
+
+func TestArithEqAtomsPropagation(t *testing.T) {
+	s := newArithSolver()
+	s.assertEqAtoms("a", "b")
+	s.assertCmp(logic.GtOp, logic.Const("a"), logic.Num(0))
+	s.assertCmp(logic.LtOp, logic.Const("b"), logic.Num(0))
+	if !s.inconsistent() {
+		t.Error("a = b with a > 0, b < 0 not detected")
+	}
+}
+
+func TestArithUninterpretedAtoms(t *testing.T) {
+	// f(x) > 0 and f(x) < 0 conflict; f(x) and f(y) are independent.
+	s := newArithSolver()
+	fx := logic.Fn("f", logic.Const("x"))
+	fy := logic.Fn("f", logic.Const("y"))
+	s.assertCmp(logic.GtOp, fx, logic.Num(0))
+	s.assertCmp(logic.LtOp, fy, logic.Num(0))
+	if s.inconsistent() {
+		t.Fatal("f(x) > 0, f(y) < 0 should be consistent")
+	}
+	s.assertCmp(logic.LtOp, fx, logic.Num(0))
+	if !s.inconsistent() {
+		t.Error("f(x) > 0 and f(x) < 0 not detected")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 4}, {6, 2, 3}, {-7, 2, -3}, {0, 5, 0}, {1, 3, 1}, {-1, 3, 0},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.want {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGCDNormalization(t *testing.T) {
+	// 2x <= -1 over ints means x <= -1 (ceil(1/2) = 1).
+	e := newLinExpr().addAtom("x", 2)
+	e.consts = 1
+	n := normalizeGCD(e)
+	if n.coeffs["x"] != 1 || n.consts != 1 {
+		t.Errorf("normalizeGCD(2x+1<=0) = %s, want x+1<=0", n)
+	}
+}

@@ -1,0 +1,275 @@
+// Package simplify implements an automatic theorem prover in the style of
+// the Simplify prover used by the paper's soundness checker (Detlefs, Nelson,
+// Saxe; Nelson-Oppen cooperation). It combines:
+//
+//   - congruence closure for equality over uninterpreted function symbols,
+//   - Fourier-Motzkin linear integer arithmetic,
+//   - DPLL-style propositional search with per-branch theory consistency,
+//   - trigger-based (e-matching) instantiation of universally quantified
+//     axioms, and
+//   - background sign axioms for multiplication (Simplify's limited
+//     non-linear support), which the paper's pos/neg/nonzero obligations
+//     require.
+//
+// The prover is sound and incomplete: Valid means the goal is proved;
+// Unknown means no proof was found within the instantiation budget.
+package simplify
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// nodeID identifies an interned ground term.
+type nodeID int
+
+// node is an interned ground term: either an integer literal (args empty,
+// isInt true) or an application fn(args).
+type node struct {
+	fn     string
+	isInt  bool
+	intVal int64
+	args   []nodeID
+}
+
+// egraph is a congruence-closure engine over ground terms. It is rebuilt per
+// DPLL branch (the prover's obligations are small, so rebuilds are cheaper
+// than a backtrackable implementation would be to maintain).
+type egraph struct {
+	nodes  []node
+	intern map[string]nodeID
+	// union-find over node ids
+	parent []nodeID
+	rank   []int
+	// uses[r] lists nodes that have a member of class r as an argument, for
+	// congruence propagation.
+	uses map[nodeID][]nodeID
+	// congruence signature table: signature -> representative node
+	sigs map[string]nodeID
+	// disequalities: pairs of node ids asserted distinct, with a description
+	// for diagnostics.
+	diseqs []diseq
+
+	trueID  nodeID
+	falseID nodeID
+}
+
+type diseq struct {
+	a, b   nodeID
+	reason string
+}
+
+func newEgraph() *egraph {
+	e := &egraph{
+		intern: map[string]nodeID{},
+		uses:   map[nodeID][]nodeID{},
+		sigs:   map[string]nodeID{},
+	}
+	e.trueID = e.internTerm(logic.Const("@true"))
+	e.falseID = e.internTerm(logic.Const("@false"))
+	e.diseqs = append(e.diseqs, diseq{e.trueID, e.falseID, "true != false"})
+	return e
+}
+
+// internTerm interns a ground term, returning its node id.
+func (e *egraph) internTerm(t logic.Term) nodeID {
+	switch t := t.(type) {
+	case logic.IntLit:
+		key := fmt.Sprintf("#%d", t.Value)
+		if id, ok := e.intern[key]; ok {
+			return id
+		}
+		id := e.newNode(node{isInt: true, intVal: t.Value})
+		e.intern[key] = id
+		return id
+	case logic.App:
+		args := make([]nodeID, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = e.internTerm(a)
+		}
+		return e.internApp(t.Fn, args)
+	case logic.Var:
+		// Ground-only engine: free variables indicate a prover bug upstream.
+		panic("simplify: variable term asserted into egraph: " + t.Name)
+	}
+	panic("simplify: unknown term kind")
+}
+
+func (e *egraph) internApp(fn string, args []nodeID) nodeID {
+	var sb strings.Builder
+	sb.WriteString(fn)
+	for _, a := range args {
+		fmt.Fprintf(&sb, " %d", a)
+	}
+	key := sb.String()
+	if id, ok := e.intern[key]; ok {
+		return id
+	}
+	id := e.newNode(node{fn: fn, args: args})
+	e.intern[key] = id
+	for _, a := range args {
+		r := e.find(a)
+		e.uses[r] = append(e.uses[r], id)
+	}
+	e.addSig(id)
+	return id
+}
+
+func (e *egraph) newNode(n node) nodeID {
+	id := nodeID(len(e.nodes))
+	e.nodes = append(e.nodes, n)
+	e.parent = append(e.parent, id)
+	e.rank = append(e.rank, 0)
+	return id
+}
+
+func (e *egraph) find(x nodeID) nodeID {
+	for e.parent[x] != x {
+		e.parent[x] = e.parent[e.parent[x]]
+		x = e.parent[x]
+	}
+	return x
+}
+
+// signature returns the congruence key of a node under current reps.
+func (e *egraph) signature(id nodeID) string {
+	n := e.nodes[id]
+	if n.isInt {
+		return fmt.Sprintf("#%d", n.intVal)
+	}
+	var sb strings.Builder
+	sb.WriteString(n.fn)
+	for _, a := range n.args {
+		fmt.Fprintf(&sb, " %d", e.find(a))
+	}
+	return sb.String()
+}
+
+// addSig records id's signature, merging with an existing congruent node.
+func (e *egraph) addSig(id nodeID) {
+	sig := e.signature(id)
+	if other, ok := e.sigs[sig]; ok {
+		e.merge(id, other)
+		return
+	}
+	e.sigs[sig] = id
+}
+
+// merge unions the classes of a and b and propagates congruences.
+func (e *egraph) merge(a, b nodeID) {
+	ra, rb := e.find(a), e.find(b)
+	if ra == rb {
+		return
+	}
+	if e.rank[ra] < e.rank[rb] {
+		ra, rb = rb, ra
+	}
+	e.parent[rb] = ra
+	if e.rank[ra] == e.rank[rb] {
+		e.rank[ra]++
+	}
+	// Distinct integer literals must not merge; record an implicit conflict
+	// by a reserved disequality (checked in inconsistent).
+	moved := e.uses[rb]
+	e.uses[ra] = append(e.uses[ra], moved...)
+	delete(e.uses, rb)
+	// Recompute signatures of users of the merged class.
+	for _, u := range moved {
+		sig := e.signature(u)
+		if other, ok := e.sigs[sig]; ok {
+			if e.find(other) != e.find(u) {
+				e.merge(u, other)
+			}
+		} else {
+			e.sigs[sig] = u
+		}
+	}
+	// Users of ra may now collide with users of rb too.
+	for _, u := range e.uses[ra] {
+		sig := e.signature(u)
+		if other, ok := e.sigs[sig]; ok {
+			if e.find(other) != e.find(u) {
+				e.merge(u, other)
+			}
+		} else {
+			e.sigs[sig] = u
+		}
+	}
+}
+
+// assertEq asserts t1 = t2.
+func (e *egraph) assertEq(t1, t2 logic.Term) {
+	e.merge(e.internTerm(t1), e.internTerm(t2))
+}
+
+// assertNe asserts t1 != t2.
+func (e *egraph) assertNe(t1, t2 logic.Term, reason string) {
+	e.diseqs = append(e.diseqs, diseq{e.internTerm(t1), e.internTerm(t2), reason})
+}
+
+// assertPred asserts the truth value of an uninterpreted predicate atom by
+// equating its term encoding with @true or @false.
+func (e *egraph) assertPred(p logic.Pred, val bool) {
+	id := e.internTerm(logic.App{Fn: "@pred$" + p.Name, Args: p.Args})
+	if val {
+		e.merge(id, e.trueID)
+	} else {
+		e.merge(id, e.falseID)
+	}
+}
+
+// inconsistent reports whether the asserted facts are contradictory, with a
+// human-readable reason.
+func (e *egraph) inconsistent() (bool, string) {
+	for _, d := range e.diseqs {
+		if e.find(d.a) == e.find(d.b) {
+			return true, "disequality violated: " + d.reason
+		}
+	}
+	// Distinct integer literals in one class.
+	intRep := map[nodeID]int64{}
+	for id, n := range e.nodes {
+		if !n.isInt {
+			continue
+		}
+		r := e.find(nodeID(id))
+		if prev, ok := intRep[r]; ok && prev != n.intVal {
+			return true, fmt.Sprintf("distinct integers %d and %d equated", prev, n.intVal)
+		}
+		intRep[r] = n.intVal
+	}
+	return false, ""
+}
+
+// sameClass reports whether two terms are currently known equal.
+func (e *egraph) sameClass(t1, t2 logic.Term) bool {
+	return e.find(e.internTerm(t1)) == e.find(e.internTerm(t2))
+}
+
+// classes groups node ids by representative.
+func (e *egraph) classes() map[nodeID][]nodeID {
+	out := map[nodeID][]nodeID{}
+	for id := range e.nodes {
+		r := e.find(nodeID(id))
+		out[r] = append(out[r], nodeID(id))
+	}
+	return out
+}
+
+// termString renders an interned node back to a readable term.
+func (e *egraph) termString(id nodeID) string {
+	n := e.nodes[id]
+	if n.isInt {
+		return fmt.Sprintf("%d", n.intVal)
+	}
+	if len(n.args) == 0 {
+		return n.fn
+	}
+	parts := []string{n.fn}
+	for _, a := range n.args {
+		parts = append(parts, e.termString(a))
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}

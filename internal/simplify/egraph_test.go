@@ -1,0 +1,112 @@
+package simplify
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestEgraphBasicMerge(t *testing.T) {
+	e := newEgraph()
+	a, b := logic.Const("a"), logic.Const("b")
+	e.assertEq(a, b)
+	if !e.sameClass(a, b) {
+		t.Error("a and b not merged")
+	}
+	if bad, _ := e.inconsistent(); bad {
+		t.Error("spurious inconsistency")
+	}
+}
+
+func TestEgraphCongruence(t *testing.T) {
+	e := newEgraph()
+	a, b := logic.Const("a"), logic.Const("b")
+	fa, fb := logic.Fn("f", a), logic.Fn("f", b)
+	e.internTerm(fa)
+	e.internTerm(fb)
+	e.assertEq(a, b)
+	if !e.sameClass(fa, fb) {
+		t.Error("congruence f(a)=f(b) not derived from a=b")
+	}
+}
+
+func TestEgraphCongruenceAfterTheFact(t *testing.T) {
+	// Terms interned after the merge must still land in the right class.
+	e := newEgraph()
+	a, b := logic.Const("a"), logic.Const("b")
+	e.assertEq(a, b)
+	fa, fb := logic.Fn("f", a), logic.Fn("f", b)
+	ia := e.internTerm(fa)
+	ib := e.internTerm(fb)
+	if e.find(ia) != e.find(ib) {
+		t.Error("congruence not applied to newly interned terms")
+	}
+}
+
+func TestEgraphTransitivity(t *testing.T) {
+	e := newEgraph()
+	a, b, c := logic.Const("a"), logic.Const("b"), logic.Const("c")
+	e.assertEq(a, b)
+	e.assertEq(b, c)
+	if !e.sameClass(a, c) {
+		t.Error("transitivity failed")
+	}
+}
+
+func TestEgraphDisequalityConflict(t *testing.T) {
+	e := newEgraph()
+	a, b := logic.Const("a"), logic.Const("b")
+	e.assertNe(a, b, "a != b")
+	e.assertEq(a, b)
+	if bad, _ := e.inconsistent(); !bad {
+		t.Error("a=b with a!=b not detected")
+	}
+}
+
+func TestEgraphDeepCongruenceConflict(t *testing.T) {
+	// a=b, g(f(a)) != g(f(b)) is inconsistent.
+	e := newEgraph()
+	a, b := logic.Const("a"), logic.Const("b")
+	gfa := logic.Fn("g", logic.Fn("f", a))
+	gfb := logic.Fn("g", logic.Fn("f", b))
+	e.assertNe(gfa, gfb, "gfa != gfb")
+	e.assertEq(a, b)
+	if bad, _ := e.inconsistent(); !bad {
+		t.Error("nested congruence conflict not detected")
+	}
+}
+
+func TestEgraphIntLiterals(t *testing.T) {
+	e := newEgraph()
+	e.assertEq(logic.Const("x"), logic.Num(3))
+	e.assertEq(logic.Const("x"), logic.Num(4))
+	if bad, _ := e.inconsistent(); !bad {
+		t.Error("3 = 4 via x not detected")
+	}
+}
+
+func TestEgraphPredicates(t *testing.T) {
+	e := newEgraph()
+	a, b := logic.Const("a"), logic.Const("b")
+	e.assertPred(logic.Pred{Name: "p", Args: []logic.Term{a}}, true)
+	e.assertPred(logic.Pred{Name: "p", Args: []logic.Term{b}}, false)
+	if bad, _ := e.inconsistent(); bad {
+		t.Fatal("p(a) and !p(b) should be consistent")
+	}
+	e.assertEq(a, b)
+	if bad, _ := e.inconsistent(); !bad {
+		t.Error("p(a), !p(b), a=b not detected as inconsistent")
+	}
+}
+
+func TestEgraphDistinctFunctionSymbols(t *testing.T) {
+	e := newEgraph()
+	a := logic.Const("a")
+	e.assertEq(logic.Fn("f", a), logic.Fn("g", a))
+	if bad, _ := e.inconsistent(); bad {
+		t.Error("f(a)=g(a) must be consistent (uninterpreted symbols)")
+	}
+	if e.sameClass(a, logic.Const("b")) {
+		t.Error("unrelated constants merged")
+	}
+}

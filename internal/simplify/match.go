@@ -1,0 +1,231 @@
+package simplify
+
+import (
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// This file implements trigger-based instantiation (e-matching) of
+// quantified clauses against the prover's ground term bank.
+
+// termBank is the set of ground terms (including all subterms) seen so far,
+// deduplicated by printed form.
+type termBank struct {
+	terms []logic.Term
+	seen  map[string]bool
+}
+
+func newTermBank() *termBank {
+	return &termBank{seen: map[string]bool{}}
+}
+
+// add inserts t and all its subterms.
+func (b *termBank) add(t logic.Term) {
+	key := t.String()
+	if b.seen[key] {
+		return
+	}
+	b.seen[key] = true
+	b.terms = append(b.terms, t)
+	if app, ok := t.(logic.App); ok {
+		for _, a := range app.Args {
+			b.add(a)
+		}
+	}
+}
+
+// predTermFn is the function-symbol prefix used to encode predicate atoms
+// as terms, so that predicate applications can serve as triggers and match
+// against the bank (mirroring the e-graph's encoding).
+const predTermFn = "@pred$"
+
+// predAsTerm encodes a predicate atom as a term.
+func predAsTerm(p logic.Pred) logic.Term {
+	return logic.App{Fn: predTermFn + p.Name, Args: p.Args}
+}
+
+// addLiteral inserts the terms of a ground literal. Predicate atoms are
+// inserted in their term encoding so predicate-based triggers can match.
+func (b *termBank) addLiteral(l logic.Literal) {
+	if l.IsCmp {
+		b.add(l.Cmp.L)
+		b.add(l.Cmp.R)
+		return
+	}
+	b.add(predAsTerm(l.Pred))
+}
+
+// matchTerm attempts to match pattern against ground term t, extending sub.
+// It returns the extended substitutions (zero or one here; the slice form
+// keeps the interface uniform with multi-pattern joins).
+func matchTerm(pattern, t logic.Term, sub map[string]logic.Term) (map[string]logic.Term, bool) {
+	switch p := pattern.(type) {
+	case logic.Var:
+		if bound, ok := sub[p.Name]; ok {
+			if logic.TermEqual(bound, t) {
+				return sub, true
+			}
+			return nil, false
+		}
+		ext := make(map[string]logic.Term, len(sub)+1)
+		for k, v := range sub {
+			ext[k] = v
+		}
+		ext[p.Name] = t
+		return ext, true
+	case logic.IntLit:
+		if lit, ok := t.(logic.IntLit); ok && lit.Value == p.Value {
+			return sub, true
+		}
+		return nil, false
+	case logic.App:
+		app, ok := t.(logic.App)
+		if !ok || app.Fn != p.Fn || len(app.Args) != len(p.Args) {
+			return nil, false
+		}
+		cur := sub
+		for i := range p.Args {
+			next, ok := matchTerm(p.Args[i], app.Args[i], cur)
+			if !ok {
+				return nil, false
+			}
+			cur = next
+		}
+		return cur, true
+	}
+	return nil, false
+}
+
+// matchPattern returns all substitutions matching one pattern term against
+// the bank.
+func matchPattern(pattern logic.Term, bank *termBank, base map[string]logic.Term) []map[string]logic.Term {
+	var out []map[string]logic.Term
+	for _, t := range bank.terms {
+		if sub, ok := matchTerm(pattern, t, base); ok {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// matchTrigger matches a multi-pattern trigger (all patterns must match,
+// sharing variable bindings) against the bank.
+func matchTrigger(trigger []logic.Term, bank *termBank) []map[string]logic.Term {
+	subs := []map[string]logic.Term{{}}
+	for _, pat := range trigger {
+		var next []map[string]logic.Term
+		for _, base := range subs {
+			next = append(next, matchPattern(pat, bank, base)...)
+		}
+		subs = next
+		if len(subs) == 0 {
+			return nil
+		}
+	}
+	return subs
+}
+
+// inferTriggers selects trigger patterns for a quantified clause that has no
+// explicit ones: the smallest non-arithmetic application subterms of the
+// clause's literals that cover all clause variables, preferring a single
+// covering term, falling back to a greedy multi-pattern.
+func inferTriggers(c logic.Clause) [][]logic.Term {
+	vars := map[string]bool{}
+	for _, v := range c.Vars() {
+		vars[v] = true
+	}
+	if len(vars) == 0 {
+		return nil
+	}
+	var candidates []logic.Term
+	var collect func(t logic.Term)
+	collect = func(t logic.Term) {
+		app, ok := t.(logic.App)
+		if !ok {
+			return
+		}
+		if !isArithFn(app.Fn) && len(app.Args) > 0 && !logic.TermIsGround(t) {
+			candidates = append(candidates, t)
+		}
+		for _, a := range app.Args {
+			collect(a)
+		}
+	}
+	for _, l := range c.Lits {
+		if l.IsCmp {
+			collect(l.Cmp.L)
+			collect(l.Cmp.R)
+		} else {
+			collect(predAsTerm(l.Pred))
+		}
+	}
+	// Dedup, smallest first.
+	seen := map[string]bool{}
+	uniq := candidates[:0]
+	for _, t := range candidates {
+		k := t.String()
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, t)
+		}
+	}
+	sort.SliceStable(uniq, func(i, j int) bool {
+		return logic.TermSize(uniq[i]) < logic.TermSize(uniq[j])
+	})
+	covered := func(t logic.Term) map[string]bool {
+		out := map[string]bool{}
+		for _, v := range logic.TermVars(t) {
+			if vars[v] {
+				out[v] = true
+			}
+		}
+		return out
+	}
+	// Single covering term?
+	for _, t := range uniq {
+		if len(covered(t)) == len(vars) {
+			return [][]logic.Term{{t}}
+		}
+	}
+	// Greedy multi-pattern.
+	var multi []logic.Term
+	remaining := map[string]bool{}
+	for v := range vars {
+		remaining[v] = true
+	}
+	for len(remaining) > 0 {
+		best := -1
+		bestGain := 0
+		for i, t := range uniq {
+			gain := 0
+			for v := range covered(t) {
+				if remaining[v] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestGain = gain
+				best = i
+			}
+		}
+		if best < 0 {
+			// Some variable occurs in no candidate subterm; cannot build a
+			// trigger, so the clause will never instantiate.
+			return nil
+		}
+		multi = append(multi, uniq[best])
+		for v := range covered(uniq[best]) {
+			delete(remaining, v)
+		}
+	}
+	return [][]logic.Term{multi}
+}
+
+func isArithFn(fn string) bool {
+	switch fn {
+	case "+", "-", "*", "~":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,602 @@
+package simplify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// Result is the prover's verdict on a goal.
+type Result int
+
+const (
+	// Unknown means no proof was found within the search budget. The prover
+	// is sound but incomplete, so Unknown does not mean the goal is false.
+	Unknown Result = iota
+	// Valid means the goal is proved: its negation, together with the
+	// axioms, is unsatisfiable.
+	Valid
+)
+
+func (r Result) String() string {
+	if r == Valid {
+		return "Valid"
+	}
+	return "Unknown"
+}
+
+// Options configures the prover's search budget.
+type Options struct {
+	// MaxRounds bounds the quantifier-instantiation rounds (default 8).
+	MaxRounds int
+	// MaxInstances bounds the total instantiated clauses (default 20000).
+	MaxInstances int
+	// MaxDecisions bounds DPLL branching decisions per round (default 200000).
+	MaxDecisions int
+	// NonlinearAxioms, when true (the default via DefaultOptions), loads the
+	// multiplication sign axioms that Simplify's limited non-linear
+	// arithmetic support provides.
+	NonlinearAxioms bool
+}
+
+// DefaultOptions returns the standard search budget.
+func DefaultOptions() Options {
+	return Options{MaxRounds: 8, MaxInstances: 20000, MaxDecisions: 200000, NonlinearAxioms: true}
+}
+
+// Outcome reports the verdict plus search statistics.
+type Outcome struct {
+	Result        Result
+	Rounds        int
+	Instances     int
+	GroundClauses int
+	Decisions     int
+	Reason        string
+	// CounterExample lists the literals of a theory-consistent assignment
+	// found while the goal remained unrefuted (populated on Unknown when
+	// the search saturated). It is the prover's explanation of "why not":
+	// a candidate situation in which the hypotheses hold but the goal
+	// fails.
+	CounterExample []string
+}
+
+func (o Outcome) String() string {
+	return fmt.Sprintf("%s (rounds=%d instances=%d ground=%d decisions=%d)",
+		o.Result, o.Rounds, o.Instances, o.GroundClauses, o.Decisions)
+}
+
+// Prover holds a background axiom set and proves goals against it.
+type Prover struct {
+	axioms []logic.Formula
+	opts   Options
+}
+
+// New creates a prover over the given background axioms.
+func New(axioms []logic.Formula, opts Options) *Prover {
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 8
+	}
+	if opts.MaxInstances == 0 {
+		opts.MaxInstances = 20000
+	}
+	if opts.MaxDecisions == 0 {
+		opts.MaxDecisions = 200000
+	}
+	return &Prover{axioms: axioms, opts: opts}
+}
+
+// MulSignAxioms returns the background axioms for the sign of products,
+// triggered on product terms. These let the prover discharge obligations
+// like "the product of two positives is positive" (the paper's pos and
+// nonzero qualifiers) without a complete non-linear procedure.
+func MulSignAxioms() []logic.Formula {
+	x, y := logic.V("x"), logic.V("y")
+	xy := logic.Mul(x, y)
+	trig := [][]logic.Term{{xy}}
+	zero := logic.Num(0)
+	return []logic.Formula{
+		logic.AllPats([]string{"x", "y"}, trig,
+			logic.Imp(logic.Conj(logic.Gt(x, zero), logic.Gt(y, zero)), logic.Gt(xy, zero))),
+		logic.AllPats([]string{"x", "y"}, trig,
+			logic.Imp(logic.Conj(logic.Lt(x, zero), logic.Lt(y, zero)), logic.Gt(xy, zero))),
+		logic.AllPats([]string{"x", "y"}, trig,
+			logic.Imp(logic.Conj(logic.Gt(x, zero), logic.Lt(y, zero)), logic.Lt(xy, zero))),
+		logic.AllPats([]string{"x", "y"}, trig,
+			logic.Imp(logic.Conj(logic.Lt(x, zero), logic.Gt(y, zero)), logic.Lt(xy, zero))),
+		logic.AllPats([]string{"x", "y"}, trig,
+			logic.Imp(logic.Eq(x, zero), logic.Eq(xy, zero))),
+		logic.AllPats([]string{"x", "y"}, trig,
+			logic.Imp(logic.Eq(y, zero), logic.Eq(xy, zero))),
+	}
+}
+
+// Prove attempts to prove goal from the prover's axioms.
+func (p *Prover) Prove(goal logic.Formula) Outcome {
+	sk := logic.NewSkolemizer("sk")
+	var ground []logic.Clause
+	var quant []logic.Clause
+	addFormula := func(f logic.Formula) error {
+		cs, err := logic.Clausify(f, sk)
+		if err != nil {
+			return err
+		}
+		for _, c := range cs {
+			if c.IsGround() {
+				ground = append(ground, c)
+			} else {
+				if len(c.Triggers) == 0 {
+					c.Triggers = inferTriggers(c)
+				}
+				quant = append(quant, c)
+			}
+		}
+		return nil
+	}
+	for _, ax := range p.axioms {
+		if err := addFormula(ax); err != nil {
+			return Outcome{Result: Unknown, Reason: err.Error()}
+		}
+	}
+	if p.opts.NonlinearAxioms {
+		for _, ax := range MulSignAxioms() {
+			if err := addFormula(ax); err != nil {
+				return Outcome{Result: Unknown, Reason: err.Error()}
+			}
+		}
+	}
+	if err := addFormula(logic.Not{F: goal}); err != nil {
+		return Outcome{Result: Unknown, Reason: err.Error()}
+	}
+
+	seenClause := map[string]bool{}
+	for _, c := range ground {
+		seenClause[c.String()] = true
+	}
+	seenTrichotomy := map[string]bool{}
+	out := Outcome{}
+	var lastModel []string
+	for round := 0; round <= p.opts.MaxRounds; round++ {
+		out.Rounds = round + 1
+		ground = append(ground, p.trichotomyClauses(ground, seenTrichotomy, seenClause)...)
+		out.GroundClauses = len(ground)
+		s := &search{maxDecisions: p.opts.MaxDecisions}
+		unsat := s.refute(ground)
+		out.Decisions += s.decisions
+		lastModel = s.model
+		if unsat {
+			out.Result = Valid
+			return out
+		}
+		if round == p.opts.MaxRounds {
+			break
+		}
+		// Saturate: instantiate quantified clauses against the term bank.
+		bank := newTermBank()
+		for _, c := range ground {
+			for _, l := range c.Lits {
+				bank.addLiteral(l)
+			}
+		}
+		added := 0
+		for _, qc := range quant {
+			for _, trig := range qc.Triggers {
+				for _, sub := range matchTrigger(trig, bank) {
+					inst := instantiateClause(qc, sub)
+					if inst == nil {
+						continue
+					}
+					key := inst.String()
+					if seenClause[key] {
+						continue
+					}
+					seenClause[key] = true
+					ground = append(ground, *inst)
+					added++
+					out.Instances++
+					if out.Instances >= p.opts.MaxInstances {
+						out.Result = Unknown
+						out.Reason = "instance budget exhausted"
+						out.GroundClauses = len(ground)
+						return out
+					}
+				}
+			}
+		}
+		if added == 0 {
+			out.Result = Unknown
+			out.Reason = "saturated without contradiction"
+			out.CounterExample = s.model
+			return out
+		}
+	}
+	out.Result = Unknown
+	out.Reason = "round budget exhausted"
+	out.CounterExample = lastModel
+	return out
+}
+
+// instantiateClause applies sub to qc; returns nil when the result is not
+// fully ground (the trigger did not cover every variable).
+func instantiateClause(qc logic.Clause, sub map[string]logic.Term) *logic.Clause {
+	lits := make([]logic.Literal, len(qc.Lits))
+	for i, l := range qc.Lits {
+		if l.IsCmp {
+			lits[i] = logic.Literal{IsCmp: true, Cmp: logic.Cmp{
+				Op: l.Cmp.Op,
+				L:  logic.SubstTerm(l.Cmp.L, sub),
+				R:  logic.SubstTerm(l.Cmp.R, sub),
+			}}
+		} else {
+			args := make([]logic.Term, len(l.Pred.Args))
+			for j, a := range l.Pred.Args {
+				args[j] = logic.SubstTerm(a, sub)
+			}
+			lits[i] = logic.Literal{Neg: l.Neg, Pred: logic.Pred{Name: l.Pred.Name, Args: args}}
+		}
+	}
+	c := logic.Clause{Lits: lits}
+	if !c.IsGround() {
+		return nil
+	}
+	return &c
+}
+
+// trichotomyClauses adds (l < r) || (l = r) || (l > r) for every equality or
+// disequality atom over numeric terms, enabling the case splits that the
+// integer theory needs (e.g. x != 0 |- x < 0 or x > 0). A term is numeric if
+// it appears under an order comparison or an arithmetic operator, closed
+// under equalities.
+func (p *Prover) trichotomyClauses(ground []logic.Clause, seenTri, seenClause map[string]bool) []logic.Clause {
+	numeric := map[string]bool{}
+	markArith := func(t logic.Term) {
+		for _, a := range collectOpaqueAtoms(t) {
+			numeric[a.String()] = true
+		}
+		numeric[t.String()] = true
+	}
+	type eqPair struct{ l, r logic.Term }
+	var eqs []eqPair
+	for _, c := range ground {
+		for _, lit := range c.Lits {
+			if !lit.IsCmp {
+				continue
+			}
+			switch lit.Cmp.Op {
+			case logic.LtOp, logic.LeOp, logic.GtOp, logic.GeOp:
+				markArith(lit.Cmp.L)
+				markArith(lit.Cmp.R)
+			case logic.EqOp, logic.NeOp:
+				eqs = append(eqs, eqPair{lit.Cmp.L, lit.Cmp.R})
+			}
+		}
+	}
+	// Close numeric-ness over eq/ne pairs until fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, pr := range eqs {
+			lk, rk := pr.l.String(), pr.r.String()
+			_, lInt := pr.l.(logic.IntLit)
+			_, rInt := pr.r.(logic.IntLit)
+			ln := numeric[lk] || lInt
+			rn := numeric[rk] || rInt
+			if ln && !numeric[rk] {
+				numeric[rk] = true
+				changed = true
+			}
+			if rn && !numeric[lk] {
+				numeric[lk] = true
+				changed = true
+			}
+		}
+	}
+	var out []logic.Clause
+	for _, pr := range eqs {
+		_, lInt := pr.l.(logic.IntLit)
+		_, rInt := pr.r.(logic.IntLit)
+		if !(numeric[pr.l.String()] || lInt) || !(numeric[pr.r.String()] || rInt) {
+			continue
+		}
+		key := pr.l.String() + "|" + pr.r.String()
+		if seenTri[key] {
+			continue
+		}
+		seenTri[key] = true
+		c := logic.Clause{Lits: []logic.Literal{
+			{IsCmp: true, Cmp: logic.Cmp{Op: logic.LtOp, L: pr.l, R: pr.r}},
+			{IsCmp: true, Cmp: logic.Cmp{Op: logic.EqOp, L: pr.l, R: pr.r}},
+			{IsCmp: true, Cmp: logic.Cmp{Op: logic.GtOp, L: pr.l, R: pr.r}},
+		}}
+		if !seenClause[c.String()] {
+			seenClause[c.String()] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// collectOpaqueAtoms returns the opaque (non-arithmetic) maximal subterms of
+// t, mirroring the decomposition done by linearize.
+func collectOpaqueAtoms(t logic.Term) []logic.Term {
+	var out []logic.Term
+	var walk func(t logic.Term)
+	walk = func(t logic.Term) {
+		app, ok := t.(logic.App)
+		if !ok {
+			return
+		}
+		switch app.Fn {
+		case "+", "-", "~":
+			for _, a := range app.Args {
+				walk(a)
+			}
+		case "*":
+			if len(app.Args) == 2 {
+				l0 := linearize(app.Args[0])
+				l1 := linearize(app.Args[1])
+				if len(l0.coeffs) == 0 || len(l1.coeffs) == 0 {
+					walk(app.Args[0])
+					walk(app.Args[1])
+					return
+				}
+			}
+			out = append(out, t)
+		default:
+			out = append(out, t)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// search is one DPLL refutation attempt over a fixed ground clause set.
+type search struct {
+	atoms        map[string]logic.Literal // canonical atom key -> positive atom
+	assign       map[string]bool
+	decisions    int
+	maxDecisions int
+	// model captures the satisfying assignment of the last consistent
+	// branch found (the countermodel candidate reported on Unknown).
+	model []string
+}
+
+// canonLit normalizes a ground literal to (atom key, negated). NeOp folds
+// into a negated EqOp; Gt/Ge swap into Lt/Le so that complementary literals
+// share one propositional atom.
+func canonLit(l logic.Literal) (string, bool, logic.Literal) {
+	if !l.IsCmp {
+		key := l.Pred.String()
+		pos := logic.Literal{Pred: l.Pred}
+		return "P" + key, l.Neg, pos
+	}
+	op, L, R, neg := l.Cmp.Op, l.Cmp.L, l.Cmp.R, false
+	switch op {
+	case logic.NeOp:
+		op, neg = logic.EqOp, true
+	case logic.GtOp:
+		op, L, R = logic.LtOp, R, L
+	case logic.GeOp:
+		op, L, R = logic.LeOp, R, L
+	}
+	atom := logic.Literal{IsCmp: true, Cmp: logic.Cmp{Op: op, L: L, R: R}}
+	key := fmt.Sprintf("C%d|%s|%s", op, L, R)
+	return key, neg, atom
+}
+
+// refute returns true when the clause set is unsatisfiable modulo theories.
+func (s *search) refute(clauses []logic.Clause) bool {
+	s.atoms = map[string]logic.Literal{}
+	type clit struct {
+		key string
+		neg bool
+	}
+	cls := make([][]clit, 0, len(clauses))
+	for _, c := range clauses {
+		lits := make([]clit, len(c.Lits))
+		for i, l := range c.Lits {
+			key, neg, atom := canonLit(l)
+			s.atoms[key] = atom
+			lits[i] = clit{key: key, neg: neg}
+		}
+		cls = append(cls, lits)
+	}
+	s.assign = map[string]bool{}
+	var rec func() bool
+	rec = func() bool {
+		if s.decisions > s.maxDecisions {
+			return false // budget: treat as consistent (sound)
+		}
+		// Unit propagation to fixpoint.
+		trail := []string{}
+		undo := func() {
+			for _, k := range trail {
+				delete(s.assign, k)
+			}
+		}
+		for {
+			progress := false
+			for _, c := range cls {
+				unassigned := -1
+				satisfied := false
+				nUnassigned := 0
+				for i, l := range c {
+					v, ok := s.assign[l.key]
+					if !ok {
+						nUnassigned++
+						unassigned = i
+						continue
+					}
+					if v != l.neg { // literal true
+						satisfied = true
+						break
+					}
+				}
+				if satisfied {
+					continue
+				}
+				if nUnassigned == 0 {
+					undo()
+					return true // propositional conflict
+				}
+				if nUnassigned == 1 {
+					l := c[unassigned]
+					s.assign[l.key] = !l.neg
+					trail = append(trail, l.key)
+					progress = true
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+		if s.theoryConflict() {
+			undo()
+			return true
+		}
+		// Pick an unassigned atom from an unsatisfied clause.
+		pick := ""
+		for _, c := range cls {
+			satisfied := false
+			cand := ""
+			for _, l := range c {
+				v, ok := s.assign[l.key]
+				if !ok {
+					if cand == "" {
+						cand = l.key
+					}
+					continue
+				}
+				if v != l.neg {
+					satisfied = true
+					break
+				}
+			}
+			if !satisfied && cand != "" {
+				pick = cand
+				break
+			}
+		}
+		if pick == "" {
+			// All clauses satisfied and theory consistent: countermodel.
+			s.captureModel()
+			undo()
+			return false
+		}
+		s.decisions++
+		s.assign[pick] = true
+		if !rec() {
+			delete(s.assign, pick)
+			undo()
+			return false
+		}
+		s.assign[pick] = false
+		if !rec() {
+			delete(s.assign, pick)
+			undo()
+			return false
+		}
+		delete(s.assign, pick)
+		undo()
+		return true
+	}
+	return rec()
+}
+
+// captureModel snapshots the current assignment as readable literals.
+func (s *search) captureModel() {
+	var out []string
+	for key, val := range s.assign {
+		atom := s.atoms[key]
+		lit := atom
+		if !val {
+			lit = atom.Negated()
+		}
+		out = append(out, lit.String())
+	}
+	sort.Strings(out)
+	s.model = out
+}
+
+// theoryConflict rebuilds the EUF and arithmetic solvers from the current
+// assignment and reports inconsistency.
+func (s *search) theoryConflict() bool {
+	eg := newEgraph()
+	ar := newArithSolver()
+	var arithAtomTerms []logic.Term
+	assertCmpBoth := func(op logic.CmpOp, L, R logic.Term) {
+		switch op {
+		case logic.EqOp:
+			eg.assertEq(L, R)
+			ar.assertCmp(logic.EqOp, L, R)
+		case logic.NeOp:
+			eg.assertNe(L, R, L.String()+" != "+R.String())
+		default:
+			ar.assertCmp(op, L, R)
+			arithAtomTerms = append(arithAtomTerms, collectOpaqueAtoms(L)...)
+			arithAtomTerms = append(arithAtomTerms, collectOpaqueAtoms(R)...)
+		}
+	}
+	for key, val := range s.assign {
+		atom := s.atoms[key]
+		if atom.IsCmp {
+			op := atom.Cmp.Op
+			if !val {
+				op = op.Negate()
+			}
+			assertCmpBoth(op, atom.Cmp.L, atom.Cmp.R)
+		} else {
+			eg.assertPred(atom.Pred, val)
+		}
+	}
+	if bad, _ := eg.inconsistent(); bad {
+		return true
+	}
+	// EUF -> LA propagation: equalities among arithmetic atoms, and integer
+	// values for atoms congruent to literals.
+	// Intern every arithmetic atom before computing representatives: a later
+	// intern can trigger the congruence merge that relates earlier atoms.
+	type atomEntry struct {
+		key string
+		id  nodeID
+	}
+	var entries []atomEntry
+	seenAtom := map[string]bool{}
+	for _, t := range arithAtomTerms {
+		k := t.String()
+		if seenAtom[k] {
+			continue
+		}
+		seenAtom[k] = true
+		entries = append(entries, atomEntry{key: k, id: eg.internTerm(t)})
+	}
+	classOf := map[nodeID][]string{}
+	for _, en := range entries {
+		r := eg.find(en.id)
+		classOf[r] = append(classOf[r], en.key)
+	}
+	if bad, _ := eg.inconsistent(); bad {
+		// Interning alone cannot create conflicts, but congruence
+		// propagation from new terms can.
+		return true
+	}
+	for rep, keys := range classOf {
+		for i := 1; i < len(keys); i++ {
+			ar.assertEqAtoms(keys[0], keys[i])
+		}
+		// If the class contains an integer literal, pin the atoms to it.
+		for id, n := range eg.nodes {
+			if n.isInt && eg.find(nodeID(id)) == eg.find(rep) {
+				for _, k := range keys {
+					e1 := newLinExpr().addAtom(k, 1)
+					e1.consts = -n.intVal
+					ar.push(e1)
+					e2 := newLinExpr().addAtom(k, -1)
+					e2.consts = n.intVal
+					ar.push(e2)
+				}
+				break
+			}
+		}
+	}
+	return ar.inconsistent()
+}

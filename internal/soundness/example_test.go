@@ -1,0 +1,67 @@
+package soundness_test
+
+import (
+	"fmt"
+
+	"repro/internal/qdl"
+	"repro/internal/soundness"
+)
+
+// ExampleProve shows the paper's core workflow: define a qualifier with its
+// type rules and invariant, and let the soundness checker prove the rules
+// correct for all programs.
+func ExampleProve() {
+	reg, err := qdl.Load(map[string]string{"even10.qdl": `
+value qualifier even10(int Expr E)
+  case E of
+    decl int Const C:
+      C, where C >= 10
+  | decl int Expr E1, E2:
+      E1 + E2, where even10(E1) && even10(E2)
+  invariant value(E) >= 10
+`})
+	if err != nil {
+		fmt.Println("load:", err)
+		return
+	}
+	report, err := soundness.Prove(reg.Lookup("even10"), reg, soundness.DefaultOptions())
+	if err != nil {
+		fmt.Println("prove:", err)
+		return
+	}
+	fmt.Println("sound:", report.Sound())
+	fmt.Println("obligations:", len(report.Results))
+	// Output:
+	// sound: true
+	// obligations: 2
+}
+
+// ExampleProve_broken shows the negative side: an erroneous rule is caught
+// before any program is ever checked (section 2.1.3).
+func ExampleProve_broken() {
+	reg, err := qdl.Load(map[string]string{"bad.qdl": `
+value qualifier atleast10(int Expr E)
+  case E of
+    decl int Const C:
+      C, where C >= 10
+  | decl int Expr E1, E2:
+      E1 - E2, where atleast10(E1) && atleast10(E2)
+  invariant value(E) >= 10
+`})
+	if err != nil {
+		fmt.Println("load:", err)
+		return
+	}
+	report, err := soundness.Prove(reg.Lookup("atleast10"), reg, soundness.DefaultOptions())
+	if err != nil {
+		fmt.Println("prove:", err)
+		return
+	}
+	fmt.Println("sound:", report.Sound())
+	for _, f := range report.Failed() {
+		fmt.Println("failed:", f.Obligation.Description)
+	}
+	// Output:
+	// sound: false
+	// failed: atleast10 case 2: decl int Expr E1, int Expr E2: E1 - E2, where (atleast10(E1) && atleast10(E2))
+}

@@ -1,0 +1,117 @@
+package soundness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/quals"
+)
+
+// Golden fidelity tests: the generated obligations must have the logical
+// shape section 4.2 of the paper prints.
+
+// "forall rho, e1, e2. (pos(rho,e1) && pos(rho,e2)) => pos(rho, multExpr(e1,e2))"
+// with pos(rho,e) = evalExpr(rho,e) > 0 inlined.
+func TestGoldenPosMultiplicationObligation(t *testing.T) {
+	reg := quals.MustStandard()
+	obls, err := Obligations(reg.Lookup("pos"), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mult string
+	for _, o := range obls {
+		if strings.Contains(o.Description, "E1 * E2") {
+			mult = o.Formula.String()
+		}
+	}
+	if mult == "" {
+		t.Fatal("multiplication obligation not found")
+	}
+	for _, want := range []string{
+		"FORALL",
+		"(> (evalExpr rho e!E1) 0)", // hypothesis: pos's invariant on E1
+		"(> (evalExpr rho e!E2) 0)",
+		"(> (evalExpr rho (multE e!E1 e!E2)) 0)", // conclusion on the product
+	} {
+		if !strings.Contains(mult, want) {
+			t.Errorf("obligation %q\nlacks %q", mult, want)
+		}
+	}
+}
+
+// "forall rho, l. (getStmt(rho) = assign(l, new)) => unique(stepState(rho), l)"
+// — our rendering makes the post-state store explicit:
+// store(getStore(RHO), LOC_L, newLoc(RHO)).
+func TestGoldenUniqueNewObligation(t *testing.T) {
+	reg := quals.MustStandard()
+	obls, err := Obligations(reg.Lookup("unique"), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newObl string
+	for _, o := range obls {
+		if o.Kind == AssignClause && strings.Contains(o.Description, "new") {
+			newObl = o.Formula.String()
+		}
+	}
+	if newObl == "" {
+		t.Fatal("new-assignment obligation not found")
+	}
+	for _, want := range []string{
+		"(isHeapLoc (newLoc RHO))",                  // allocation is on the heap
+		"(store (getStore RHO) LOC_L (newLoc RHO))", // explicit post store
+		"(EQ (select",  // invariant reads the post store
+		"FORALL (p!P)", // the uniqueness quantifier
+	} {
+		if !strings.Contains(newObl, want) {
+			t.Errorf("obligation %q\nlacks %q", newObl, want)
+		}
+	}
+}
+
+// The constant clause: forall rho, c. c > 0 => evalExpr(rho, constE(c)) > 0.
+func TestGoldenPosConstObligation(t *testing.T) {
+	reg := quals.MustStandard()
+	obls, err := Obligations(reg.Lookup("pos"), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := obls[0].Formula.String()
+	for _, want := range []string{
+		"(> c!C 0)",
+		"(> (evalExpr rho (constE c!C)) 0)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("obligation %q\nlacks %q", got, want)
+		}
+	}
+}
+
+// Preservation obligations carry the frame condition and the
+// different-target hypothesis.
+func TestGoldenPreservationShape(t *testing.T) {
+	reg := quals.MustStandard()
+	obls, err := Obligations(reg.Lookup("unique"), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pres string
+	for _, o := range obls {
+		if o.Kind == Preservation && strings.Contains(o.Description, "derefRead") {
+			pres = o.Formula.String()
+		}
+	}
+	if pres == "" {
+		t.Fatal("derefRead preservation obligation not found")
+	}
+	for _, want := range []string{
+		"(NEQ LOC_PRIME LOC_L)",                                 // assignment to another l-value
+		"(NEQ (select (getStore RHO) p) LOC_L)",                 // the frame condition's quantified literal
+		"(store (getStore RHO) LOC_PRIME",                       // post store writes elsewhere
+		"(select (getStore RHO) (select (getStore RHO) Y_LOC))", // *y's value
+	} {
+		if !strings.Contains(pres, want) {
+			t.Errorf("obligation %q\nlacks %q", pres, want)
+		}
+	}
+}

@@ -1,0 +1,574 @@
+package soundness
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/qdl"
+)
+
+// ObligationKind classifies the type rule an obligation verifies.
+type ObligationKind int
+
+// Obligation kinds.
+const (
+	// CaseClause is definition 5.1's local soundness of a value qualifier's
+	// case clause.
+	CaseClause ObligationKind = iota
+	// AssignClause establishes a reference qualifier's invariant when its
+	// subject is assigned a matching right-hand side.
+	AssignClause
+	// OnDecl establishes the invariant at variable declaration.
+	OnDecl
+	// Preservation shows the invariant survives an assignment to a
+	// different l-value, per right-hand-side form (section 2.2.3).
+	Preservation
+)
+
+func (k ObligationKind) String() string {
+	switch k {
+	case CaseClause:
+		return "case"
+	case AssignClause:
+		return "assign"
+	case OnDecl:
+		return "ondecl"
+	case Preservation:
+		return "preservation"
+	}
+	return "?"
+}
+
+// Obligation is one proof obligation generated from a qualifier definition.
+type Obligation struct {
+	Kind        ObligationKind
+	Qualifier   string
+	ClauseIndex int // clause index for case/assign; form index for preservation
+	Description string
+	Formula     logic.Formula
+	// Vacuous marks obligations that are trivially true because the
+	// qualifier declares no invariant (flow qualifiers, section 2.1.4).
+	Vacuous bool
+}
+
+// clauseVars carries the logic terms introduced for a clause's pattern
+// variables.
+type clauseVars struct {
+	names []string              // quantified variable names
+	expr  map[string]logic.Term // pattern var -> expression term
+	lval  map[string]logic.Term // pattern var -> l-value term
+	cval  map[string]logic.Term // Const pattern var -> integer value term
+}
+
+// introduceVars creates logic variables for a clause's declared pattern
+// variables (and the subject, for patterns that mention it).
+func introduceVars(d *qdl.Def, cl qdl.Clause) *clauseVars {
+	cv := &clauseVars{
+		expr: map[string]logic.Term{},
+		lval: map[string]logic.Term{},
+		cval: map[string]logic.Term{},
+	}
+	add := func(vp qdl.VarPat) {
+		switch vp.Classifier {
+		case qdl.ClassConst:
+			v := "c!" + vp.Name
+			cv.names = append(cv.names, v)
+			cv.cval[vp.Name] = logic.V(v)
+			cv.expr[vp.Name] = logic.Fn("constE", logic.V(v))
+		case qdl.ClassExpr:
+			v := "e!" + vp.Name
+			cv.names = append(cv.names, v)
+			cv.expr[vp.Name] = logic.V(v)
+		case qdl.ClassLValue:
+			v := "l!" + vp.Name
+			cv.names = append(cv.names, v)
+			cv.lval[vp.Name] = logic.V(v)
+			cv.expr[vp.Name] = logic.Fn("lvExpr", logic.V(v))
+		case qdl.ClassVar:
+			v := "x!" + vp.Name
+			cv.names = append(cv.names, v)
+			cv.lval[vp.Name] = logic.Fn("varL", logic.V(v))
+			cv.expr[vp.Name] = logic.Fn("lvExpr", logic.Fn("varL", logic.V(v)))
+		}
+	}
+	for _, vp := range cl.Decls {
+		add(vp)
+	}
+	// The subject may appear as a pattern variable ("case E of E").
+	if _, ok := cv.expr[d.Subject.Name]; !ok {
+		add(d.Subject)
+	}
+	return cv
+}
+
+var binopExprFn = map[qdl.PatOp]string{
+	"*": "multE", "+": "plusE", "-": "minusE", "/": "divE", "%": "modE",
+	"==": "eqE", "!=": "neE", "<": "ltE", "<=": "leE", ">": "gtE", ">=": "geE",
+	"&&": "andE", "||": "orE",
+}
+
+// patternTerm builds the expression term for a clause's pattern.
+func patternTerm(cl qdl.Clause, cv *clauseVars) (logic.Term, error) {
+	switch pat := cl.Pat.(type) {
+	case qdl.PVar:
+		t, ok := cv.expr[pat.Name]
+		if !ok {
+			return nil, fmt.Errorf("soundness: unbound pattern variable %s", pat.Name)
+		}
+		return t, nil
+	case qdl.PDeref:
+		t, ok := cv.expr[pat.Name]
+		if !ok {
+			return nil, fmt.Errorf("soundness: unbound pattern variable %s", pat.Name)
+		}
+		return logic.Fn("lvExpr", logic.Fn("derefL", t)), nil
+	case qdl.PAddrOf:
+		t, ok := cv.lval[pat.Name]
+		if !ok {
+			return nil, fmt.Errorf("soundness: &%s requires an LValue or Var variable", pat.Name)
+		}
+		return logic.Fn("addrE", t), nil
+	case qdl.PUnop:
+		t, ok := cv.expr[pat.Name]
+		if !ok {
+			return nil, fmt.Errorf("soundness: unbound pattern variable %s", pat.Name)
+		}
+		if pat.Op == "-" {
+			return logic.Fn("negE", t), nil
+		}
+		return logic.Fn("notE", t), nil
+	case qdl.PBinop:
+		l, ok := cv.expr[pat.L]
+		if !ok {
+			return nil, fmt.Errorf("soundness: unbound pattern variable %s", pat.L)
+		}
+		r, ok := cv.expr[pat.R]
+		if !ok {
+			return nil, fmt.Errorf("soundness: unbound pattern variable %s", pat.R)
+		}
+		fn, ok := binopExprFn[pat.Op]
+		if !ok {
+			return nil, fmt.Errorf("soundness: unsupported pattern operator %q", pat.Op)
+		}
+		return logic.Fn(fn, l, r), nil
+	case qdl.PNull:
+		return logic.Const("nullE"), nil
+	case qdl.PNew:
+		return nil, fmt.Errorf("soundness: new is only valid in assign clauses")
+	}
+	return nil, fmt.Errorf("soundness: unknown pattern %v", cl.Pat)
+}
+
+// whereHypothesis translates a clause's where-predicate into logic: a
+// qualifier check becomes the checked qualifier's invariant (definition
+// 5.1), and constant comparisons become arithmetic over the Const variables.
+func whereHypothesis(reg *qdl.Registry, p qdl.Pred, cv *clauseVars, state logic.Term) (logic.Formula, error) {
+	if p == nil {
+		return logic.TrueF{}, nil
+	}
+	switch p := p.(type) {
+	case qdl.PQual:
+		qd := reg.Lookup(p.Qual)
+		if qd == nil {
+			return nil, fmt.Errorf("soundness: unknown qualifier %s in where clause", p.Qual)
+		}
+		subj, ok := cv.expr[p.Arg]
+		if !ok {
+			return nil, fmt.Errorf("soundness: unbound variable %s in qualifier check", p.Arg)
+		}
+		return valueInvariant(qd, state, subj)
+	case qdl.PCmp:
+		l, err := constTerm(p.L, cv)
+		if err != nil {
+			return nil, err
+		}
+		r, err := constTerm(p.R, cv)
+		if err != nil {
+			return nil, err
+		}
+		return cmpFormula(p.Op, l, r)
+	case qdl.PAnd:
+		l, err := whereHypothesis(reg, p.L, cv, state)
+		if err != nil {
+			return nil, err
+		}
+		r, err := whereHypothesis(reg, p.R, cv, state)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Conj(l, r), nil
+	case qdl.POr:
+		l, err := whereHypothesis(reg, p.L, cv, state)
+		if err != nil {
+			return nil, err
+		}
+		r, err := whereHypothesis(reg, p.R, cv, state)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Disj(l, r), nil
+	case qdl.PNot:
+		inner, err := whereHypothesis(reg, p.P, cv, state)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Not{F: inner}, nil
+	}
+	return nil, fmt.Errorf("soundness: predicate %s not supported in where clauses", p)
+}
+
+func constTerm(t qdl.Term, cv *clauseVars) (logic.Term, error) {
+	switch t := t.(type) {
+	case qdl.TInt:
+		return logic.Num(t.Value), nil
+	case qdl.TNull:
+		return nullT, nil
+	case qdl.TVar:
+		v, ok := cv.cval[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("soundness: %s is not a Const variable", t.Name)
+		}
+		return v, nil
+	case qdl.TArith:
+		l, err := constTerm(t.L, cv)
+		if err != nil {
+			return nil, err
+		}
+		r, err := constTerm(t.R, cv)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Op {
+		case "+":
+			return logic.Add(l, r), nil
+		case "-":
+			return logic.Sub(l, r), nil
+		case "*":
+			return logic.Mul(l, r), nil
+		}
+		return nil, fmt.Errorf("soundness: unsupported constant arithmetic %q", t.Op)
+	}
+	return nil, fmt.Errorf("soundness: term %s not allowed over constants", t)
+}
+
+// Obligations generates every proof obligation for a qualifier definition.
+func Obligations(d *qdl.Def, reg *qdl.Registry) ([]Obligation, error) {
+	switch d.Kind {
+	case qdl.ValueQualifier:
+		return valueObligations(d, reg)
+	case qdl.RefQualifier:
+		return refObligations(d, reg)
+	}
+	return nil, fmt.Errorf("soundness: unknown qualifier kind")
+}
+
+// valueObligations: one obligation per case clause (definition 5.1).
+// Restrict clauses do not affect soundness and generate none (section
+// 2.1.3).
+func valueObligations(d *qdl.Def, reg *qdl.Registry) ([]Obligation, error) {
+	var out []Obligation
+	for i, cl := range d.Cases {
+		desc := fmt.Sprintf("%s case %d: %s", d.Name, i+1, cl)
+		if d.Invariant == nil {
+			out = append(out, Obligation{
+				Kind: CaseClause, Qualifier: d.Name, ClauseIndex: i,
+				Description: desc + " (no invariant: vacuously sound)",
+				Formula:     logic.TrueF{}, Vacuous: true,
+			})
+			continue
+		}
+		cv := introduceVars(d, cl)
+		rho := logic.V("rho")
+		pat, err := patternTerm(cl, cv)
+		if err != nil {
+			return nil, err
+		}
+		hyp, err := whereHypothesis(reg, cl.Where, cv, rho)
+		if err != nil {
+			return nil, err
+		}
+		goal, err := valueInvariant(d, rho, pat)
+		if err != nil {
+			return nil, err
+		}
+		vars := append([]string{"rho"}, cv.names...)
+		out = append(out, Obligation{
+			Kind: CaseClause, Qualifier: d.Name, ClauseIndex: i,
+			Description: desc,
+			Formula:     logic.All(vars, logic.Imp(hyp, goal)),
+		})
+	}
+	if len(out) == 0 {
+		// A flow qualifier with no case block at all (untainted): sound for
+		// free via subtyping.
+		out = append(out, Obligation{
+			Kind: CaseClause, Qualifier: d.Name, ClauseIndex: 0,
+			Description: d.Name + ": no case clauses and no invariant (flow qualifier, vacuously sound)",
+			Formula:     logic.TrueF{}, Vacuous: true,
+		})
+	}
+	return out, nil
+}
+
+// preservationForms enumerates the right-hand-side forms of the
+// preservation case analysis. Under the paper's logical memory model,
+// pointer arithmetic has its base pointer's value, so arithmetic forms fold
+// into varRead.
+var preservationForms = []string{"NULL", "new", "varRead", "derefRead", "addrOfVar"}
+
+func refObligations(d *qdl.Def, reg *qdl.Registry) ([]Obligation, error) {
+	var out []Obligation
+	rho := logic.Const("RHO")
+	sigma := getStore(rho)
+	env := getEnv(rho)
+
+	// The subject's location: variables locate through the environment;
+	// abstract l-values get an abstract location constant.
+	var locL logic.Term
+	var subjectHyps []logic.Formula
+	if d.Subject.Classifier == qdl.ClassVar {
+		locL = sel(env, logic.Const("x!subj"))
+	} else {
+		locL = logic.Const("LOC_L")
+		// Subject locations are locations of l-values: never NULL.
+		subjectHyps = append(subjectHyps, logic.Ne(locL, nullT))
+	}
+
+	// Establishment: assign clauses.
+	for i, cl := range d.Assigns {
+		desc := fmt.Sprintf("%s assign %d: %s", d.Name, i+1, cl)
+		v, hyps, err := rhsValue(d, reg, cl, rho, sigma)
+		if err != nil {
+			return nil, err
+		}
+		hyps = append(hyps, subjectHyps...)
+		post := sto(sigma, locL, v)
+		goal, err := refInvariant(d, post, env, locL)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Obligation{
+			Kind: AssignClause, Qualifier: d.Name, ClauseIndex: i,
+			Description: desc,
+			Formula:     logic.Imp(logic.Conj(hyps...), goal),
+		})
+	}
+
+	// Establishment: ondecl.
+	if d.OnDecl {
+		fresh := logic.Const("FRESH_LOC")
+		xname := logic.Const("x!subj")
+		postEnv := sto(env, xname, fresh)
+		hyps := []logic.Formula{
+			// The new variable's location is fresh: nothing stored points
+			// to it.
+			logic.AllPats([]string{"p"}, [][]logic.Term{{sel(sigma, logic.V("p"))}},
+				logic.Ne(sel(sigma, logic.V("p")), fresh)),
+			logic.Ne(fresh, nullT),
+		}
+		if usesInitValue(d.Invariant) {
+			// Ghost definition: initValue records the declared variable's
+			// value at this point.
+			hyps = append(hyps, logic.Eq(logic.Fn("initValue", fresh), sel(sigma, fresh)))
+		}
+		goal, err := refInvariant(d, sigma, postEnv, sel(postEnv, xname))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Obligation{
+			Kind: OnDecl, Qualifier: d.Name,
+			Description: d.Name + " ondecl: invariant holds at declaration",
+			Formula:     logic.Imp(logic.Conj(hyps...), goal),
+		})
+	}
+
+	// Preservation: an assignment to a different l-value, with a right-hand
+	// side consistent with the disallow clause, preserves the invariant.
+	preInv, err := refInvariant(d, sigma, env, locL)
+	if err != nil {
+		return nil, err
+	}
+	// formValue builds the stored value and per-form hypotheses for one
+	// right-hand-side form of the case analysis.
+	formValue := func(form string) (logic.Term, []logic.Formula) {
+		var hyps []logic.Formula
+		var v logic.Term
+		switch form {
+		case "NULL":
+			v = nullT
+		case "new":
+			v = logic.Fn("newLoc", rho)
+			hyps = append(hyps,
+				isHeapLoc(v),
+				logic.Ne(v, nullT),
+				logic.AllPats([]string{"p"}, [][]logic.Term{{sel(sigma, logic.V("p"))}},
+					logic.Ne(sel(sigma, logic.V("p")), v)),
+			)
+		case "varRead":
+			yloc := logic.Const("Y_LOC")
+			v = sel(sigma, yloc)
+			if d.Disallow.Refer {
+				// The disallow clause forbids the right-hand side from
+				// referring to the subject, so the read location differs.
+				hyps = append(hyps, logic.Ne(yloc, locL))
+			}
+		case "derefRead":
+			yloc := logic.Const("Y_LOC")
+			v = sel(sigma, sel(sigma, yloc))
+		case "addrOfVar":
+			yname := logic.Const("y!other")
+			v = sel(env, yname)
+			if d.Disallow.AddrOf && d.Subject.Classifier == qdl.ClassVar {
+				// disallow &X: the address taken is of a different variable.
+				hyps = append(hyps, logic.Ne(yname, logic.Const("x!subj")))
+			}
+		}
+		return v, hyps
+	}
+	// Frame condition (see DESIGN.md): no stored pointer to the subject
+	// exists; the extensible typechecker enforces this by rejecting
+	// address-of on reference-qualified l-values.
+	frame := logic.AllPats([]string{"p"}, [][]logic.Term{{sel(sigma, logic.V("p"))}},
+		logic.Ne(sel(sigma, logic.V("p")), locL))
+	for i, form := range preservationForms {
+		locPrime := logic.Const("LOC_PRIME")
+		v, formHyps := formValue(form)
+		hyps := append([]logic.Formula{
+			preInv,
+			// Assignments to the subject itself are covered by the assign
+			// obligations (or the unrestricted-assignment obligations
+			// below); preservation considers other targets.
+			logic.Ne(locPrime, locL),
+			frame,
+		}, formHyps...)
+		hyps = append(hyps, subjectHyps...)
+		post := sto(sigma, locPrime, v)
+		goal, err := refInvariant(d, post, env, locL)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Obligation{
+			Kind: Preservation, Qualifier: d.Name, ClauseIndex: i,
+			Description: fmt.Sprintf("%s preservation: assignment of form %s to another l-value", d.Name, form),
+			Formula:     logic.Imp(logic.Conj(hyps...), goal),
+		})
+	}
+	// A reference qualifier with no assign block and no noassign implicitly
+	// allows any type-correct assignment to the subject (the paper's
+	// unaliased, section 2.2.1). That implicit claim must itself be sound:
+	// one obligation per right-hand-side form, targeting the subject.
+	// (For unaliased these all prove — the invariant is address-only; for a
+	// value-dependent invariant like constq's they would fail, which is why
+	// constq needs noassign.)
+	if len(d.Assigns) == 0 && !d.NoAssign {
+		for i, form := range preservationForms {
+			v, formHyps := formValue(form)
+			hyps := append([]logic.Formula{preInv, frame}, formHyps...)
+			hyps = append(hyps, subjectHyps...)
+			post := sto(sigma, locL, v)
+			goal, err := refInvariant(d, post, env, locL)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Obligation{
+				Kind: AssignClause, Qualifier: d.Name, ClauseIndex: i,
+				Description: fmt.Sprintf("%s unrestricted assignment of form %s to the subject", d.Name, form),
+				Formula:     logic.Imp(logic.Conj(hyps...), goal),
+			})
+		}
+	}
+	return out, nil
+}
+
+// usesInitValue reports whether the invariant mentions the initvalue ghost.
+func usesInitValue(p qdl.Pred) bool {
+	var termHas func(t qdl.Term) bool
+	termHas = func(t qdl.Term) bool {
+		switch t := t.(type) {
+		case qdl.TInitValue:
+			return true
+		case qdl.TArith:
+			return termHas(t.L) || termHas(t.R)
+		}
+		return false
+	}
+	switch p := p.(type) {
+	case qdl.PCmp:
+		return termHas(p.L) || termHas(p.R)
+	case qdl.PIsHeapLoc:
+		return termHas(p.T)
+	case qdl.PAnd:
+		return usesInitValue(p.L) || usesInitValue(p.R)
+	case qdl.POr:
+		return usesInitValue(p.L) || usesInitValue(p.R)
+	case qdl.PImp:
+		return usesInitValue(p.L) || usesInitValue(p.R)
+	case qdl.PNot:
+		return usesInitValue(p.P)
+	case qdl.PForall:
+		return usesInitValue(p.Body)
+	}
+	return false
+}
+
+// rhsValue builds the stored value and hypotheses for an assign clause's
+// right-hand-side pattern.
+func rhsValue(d *qdl.Def, reg *qdl.Registry, cl qdl.Clause, rho, sigma logic.Term) (logic.Term, []logic.Formula, error) {
+	var hyps []logic.Formula
+	switch cl.Pat.(type) {
+	case qdl.PNull:
+		return nullT, hyps, nil
+	case qdl.PFresh:
+		// A fresh reference (the section 2.2.1 extension): the callee
+		// returned a unique-qualified local, whose invariant allowed only
+		// its own stack cell to reference the value — and that cell died
+		// with the callee's frame. So the value is NULL or an unreferenced
+		// heap location.
+		v := logic.Const("FRESH_RET")
+		hyps = append(hyps, logic.Disj(
+			logic.Eq(v, nullT),
+			logic.Conj(
+				isHeapLoc(v),
+				logic.AllPats([]string{"p"}, [][]logic.Term{{sel(sigma, logic.V("p"))}},
+					logic.Ne(sel(sigma, logic.V("p")), v)),
+			),
+		))
+		return v, hyps, nil
+	case qdl.PNew:
+		v := logic.Fn("newLoc", rho)
+		hyps = append(hyps,
+			// Allocation returns a non-NULL heap location that nothing in
+			// the store references (section 4.1: "we explicitly model
+			// memory allocation via a new function symbol").
+			isHeapLoc(v),
+			logic.Ne(v, nullT),
+			logic.AllPats([]string{"p"}, [][]logic.Term{{sel(sigma, logic.V("p"))}},
+				logic.Ne(sel(sigma, logic.V("p")), v)),
+		)
+		return v, hyps, nil
+	default:
+		cv := introduceVars(d, cl)
+		pt, err := patternTerm(cl, cv)
+		if err != nil {
+			return nil, nil, err
+		}
+		where, err := whereHypothesis(reg, cl.Where, cv, rho)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, isTrue := where.(logic.TrueF); !isTrue {
+			hyps = append(hyps, where)
+		}
+		// The clause variables become skolem constants: replace variables
+		// with constants of the same name.
+		sub := map[string]logic.Term{}
+		for _, n := range cv.names {
+			sub[n] = logic.Const("k!" + n)
+		}
+		v := logic.SubstTerm(eval(rho, pt), sub)
+		for i, h := range hyps {
+			hyps[i] = logic.Subst(h, sub)
+		}
+		return v, hyps, nil
+	}
+}

@@ -1,0 +1,132 @@
+package soundness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/qdl"
+	"repro/internal/simplify"
+)
+
+// ObligationResult is one obligation plus its verdict.
+type ObligationResult struct {
+	Obligation Obligation
+	Outcome    simplify.Outcome
+	Valid      bool
+	Elapsed    time.Duration
+}
+
+// Report is the soundness verdict for one qualifier.
+type Report struct {
+	Qualifier string
+	Kind      qdl.Kind
+	Results   []ObligationResult
+	Elapsed   time.Duration
+}
+
+// Sound reports whether every obligation was discharged.
+func (r *Report) Sound() bool {
+	for _, res := range r.Results {
+		if !res.Valid {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed returns the failed obligations.
+func (r *Report) Failed() []ObligationResult {
+	var out []ObligationResult
+	for _, res := range r.Results {
+		if !res.Valid {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+func (r *Report) String() string {
+	var sb strings.Builder
+	verdict := "SOUND"
+	if !r.Sound() {
+		verdict = "NOT PROVEN"
+	}
+	fmt.Fprintf(&sb, "qualifier %s: %s (%d obligations, %v)\n", r.Qualifier, verdict, len(r.Results), r.Elapsed.Round(time.Millisecond))
+	for _, res := range r.Results {
+		mark := "✓"
+		if !res.Valid {
+			mark = "✗"
+		}
+		fmt.Fprintf(&sb, "  %s [%s] %s (%v)\n", mark, res.Obligation.Kind, res.Obligation.Description, res.Elapsed.Round(time.Microsecond))
+		if !res.Valid && len(res.Outcome.CounterExample) > 0 {
+			sb.WriteString("      counterexample candidate (hypotheses hold, invariant fails):\n")
+			shown := 0
+			for _, lit := range res.Outcome.CounterExample {
+				if shown >= 8 {
+					fmt.Fprintf(&sb, "        ... (%d more literals)\n", len(res.Outcome.CounterExample)-shown)
+					break
+				}
+				fmt.Fprintf(&sb, "        %s\n", lit)
+				shown++
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Options configures soundness checking.
+type Options struct {
+	Prover simplify.Options
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{Prover: simplify.DefaultOptions()}
+}
+
+// Prove generates and discharges every proof obligation for one qualifier
+// definition, using the registry to resolve qualifier checks in where
+// clauses.
+func Prove(d *qdl.Def, reg *qdl.Registry, opts Options) (*Report, error) {
+	obls, err := Obligations(d, reg)
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Qualifier: d.Name, Kind: d.Kind}
+	prover := simplify.New(Axioms(), opts.Prover)
+	start := time.Now()
+	for _, o := range obls {
+		if o.Vacuous {
+			report.Results = append(report.Results, ObligationResult{
+				Obligation: o,
+				Outcome:    simplify.Outcome{Result: simplify.Valid},
+				Valid:      true,
+			})
+			continue
+		}
+		t0 := time.Now()
+		outcome := prover.Prove(o.Formula)
+		report.Results = append(report.Results, ObligationResult{
+			Obligation: o,
+			Outcome:    outcome,
+			Valid:      outcome.Result == simplify.Valid,
+			Elapsed:    time.Since(t0),
+		})
+	}
+	report.Elapsed = time.Since(start)
+	return report, nil
+}
+
+// ProveAll proves every qualifier in the registry, in registration order.
+func ProveAll(reg *qdl.Registry, opts Options) ([]*Report, error) {
+	var out []*Report
+	for _, d := range reg.Defs() {
+		r, err := Prove(d, reg, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

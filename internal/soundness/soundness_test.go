@@ -1,0 +1,282 @@
+package soundness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qdl"
+	"repro/internal/quals"
+)
+
+func standard(t *testing.T) *qdl.Registry {
+	t.Helper()
+	return quals.MustStandard()
+}
+
+func proveQual(t *testing.T, reg *qdl.Registry, name string) *Report {
+	t.Helper()
+	d := reg.Lookup(name)
+	if d == nil {
+		t.Fatalf("qualifier %s not in registry", name)
+	}
+	r, err := Prove(d, reg, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Prove(%s): %v", name, err)
+	}
+	return r
+}
+
+func TestPosSound(t *testing.T) {
+	r := proveQual(t, standard(t), "pos")
+	if !r.Sound() {
+		t.Errorf("pos not proven sound:\n%s", r)
+	}
+	if len(r.Results) != 4 {
+		t.Errorf("pos has %d obligations, want 4 (one per case clause)", len(r.Results))
+	}
+}
+
+func TestNegSound(t *testing.T) {
+	r := proveQual(t, standard(t), "neg")
+	if !r.Sound() {
+		t.Errorf("neg not proven sound:\n%s", r)
+	}
+}
+
+func TestNonzeroSound(t *testing.T) {
+	r := proveQual(t, standard(t), "nonzero")
+	if !r.Sound() {
+		t.Errorf("nonzero not proven sound:\n%s", r)
+	}
+}
+
+func TestNonnullSound(t *testing.T) {
+	r := proveQual(t, standard(t), "nonnull")
+	if !r.Sound() {
+		t.Errorf("nonnull not proven sound:\n%s", r)
+	}
+}
+
+func TestFlowQualifiersVacuouslySound(t *testing.T) {
+	reg := standard(t)
+	for _, name := range []string{"tainted", "untainted"} {
+		r := proveQual(t, reg, name)
+		if !r.Sound() {
+			t.Errorf("%s not sound:\n%s", name, r)
+		}
+		for _, res := range r.Results {
+			if !res.Obligation.Vacuous {
+				t.Errorf("%s obligation not marked vacuous", name)
+			}
+		}
+	}
+}
+
+func TestUniqueSound(t *testing.T) {
+	r := proveQual(t, standard(t), "unique")
+	if !r.Sound() {
+		t.Errorf("unique not proven sound:\n%s", r)
+	}
+	// 2 assign + 5 preservation forms.
+	if len(r.Results) != 7 {
+		t.Errorf("unique has %d obligations, want 7", len(r.Results))
+	}
+}
+
+func TestUnaliasedSound(t *testing.T) {
+	r := proveQual(t, standard(t), "unaliased")
+	if !r.Sound() {
+		t.Errorf("unaliased not proven sound:\n%s", r)
+	}
+	// 1 ondecl + 5 preservation forms + 5 unrestricted-assignment forms
+	// (unaliased has no assign block, so the implicit any-value-is-fine
+	// claim is itself proven; see obligations.go).
+	if len(r.Results) != 11 {
+		t.Errorf("unaliased has %d obligations, want 11", len(r.Results))
+	}
+}
+
+// Section 2.1.3: the erroneous E1 - E2 rule for pos must be caught.
+func TestPosSubtractionMutationCaught(t *testing.T) {
+	broken := strings.Replace(quals.Pos, "E1 * E2", "E1 - E2", 1)
+	reg, err := qdl.Load(map[string]string{"pos.qdl": broken, "neg.qdl": quals.Neg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proveQual(t, reg, "pos")
+	if r.Sound() {
+		t.Fatal("broken pos (E1 - E2) was proven sound")
+	}
+	failed := r.Failed()
+	if len(failed) != 1 {
+		t.Fatalf("want exactly the subtraction clause to fail, got %d failures", len(failed))
+	}
+	if !strings.Contains(failed[0].Obligation.Description, "E1 - E2") {
+		t.Errorf("wrong failing obligation: %s", failed[0].Obligation.Description)
+	}
+}
+
+// Section 2.2.3: dropping unique's disallow clause must break preservation.
+func TestUniqueWithoutDisallowCaught(t *testing.T) {
+	broken := strings.Replace(quals.Unique, "disallow L\n", "", 1)
+	reg, err := qdl.Load(map[string]string{"unique.qdl": broken})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proveQual(t, reg, "unique")
+	if r.Sound() {
+		t.Fatal("unique without disallow was proven sound")
+	}
+	var sawVarRead bool
+	for _, f := range r.Failed() {
+		if strings.Contains(f.Obligation.Description, "varRead") {
+			sawVarRead = true
+		}
+	}
+	if !sawVarRead {
+		t.Errorf("expected the varRead preservation form to fail; failures: %v", r.Failed())
+	}
+}
+
+// Dropping unaliased's disallow &X must break the address-of preservation
+// form.
+func TestUnaliasedWithoutDisallowCaught(t *testing.T) {
+	broken := strings.Replace(quals.Unaliased, "disallow &X\n", "", 1)
+	reg, err := qdl.Load(map[string]string{"unaliased.qdl": broken})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proveQual(t, reg, "unaliased")
+	if r.Sound() {
+		t.Fatal("unaliased without disallow was proven sound")
+	}
+}
+
+// A wrong constant rule (C >= 0 for pos) must fail.
+func TestPosWrongConstantBoundCaught(t *testing.T) {
+	broken := strings.Replace(quals.Pos, "C > 0", "C >= 0", 1)
+	reg, err := qdl.Load(map[string]string{"pos.qdl": broken, "neg.qdl": quals.Neg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proveQual(t, reg, "pos")
+	if r.Sound() {
+		t.Fatal("pos with C >= 0 was proven sound")
+	}
+}
+
+// A case clause admitting any expression cannot be sound for a qualifier
+// with a real invariant.
+func TestUnconstrainedClauseCaught(t *testing.T) {
+	src := `
+value qualifier bogus(int Expr E)
+  case E of
+    E
+  invariant value(E) > 0
+`
+	reg, err := qdl.Load(map[string]string{"bogus.qdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proveQual(t, reg, "bogus")
+	if r.Sound() {
+		t.Fatal("bogus qualifier proven sound")
+	}
+}
+
+// The subtype-encoding clause (pos implies nonzero) must be provable on its
+// own.
+func TestSubtypeEncodingClause(t *testing.T) {
+	src := `
+value qualifier nz(int Expr E)
+  case E of
+    decl int Expr E1:
+      E1, where p(E1)
+  invariant value(E) != 0
+
+value qualifier p(int Expr E)
+  case E of
+    decl int Const C:
+      C, where C > 0
+  invariant value(E) > 0
+`
+	reg, err := qdl.Load(map[string]string{"nz.qdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proveQual(t, reg, "nz")
+	if !r.Sound() {
+		t.Errorf("subtype-encoding clause not proven:\n%s", r)
+	}
+}
+
+func TestProveAllStandard(t *testing.T) {
+	reg := standard(t)
+	reports, err := ProveAll(reg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 8 {
+		t.Fatalf("got %d reports, want 8", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Sound() {
+			t.Errorf("%s not sound:\n%s", r.Qualifier, r)
+		}
+	}
+}
+
+func TestObligationDescriptions(t *testing.T) {
+	reg := standard(t)
+	obls, err := Obligations(reg.Lookup("unique"), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[ObligationKind]int{}
+	for _, o := range obls {
+		kinds[o.Kind]++
+		if o.Description == "" {
+			t.Error("empty obligation description")
+		}
+	}
+	if kinds[AssignClause] != 2 || kinds[Preservation] != 5 {
+		t.Errorf("unique obligation kinds = %v", kinds)
+	}
+}
+
+// The timing claims of section 4: each value qualifier proves in well under
+// a second; reference qualifiers take longer but stay within 30 seconds.
+func TestTimingClaims(t *testing.T) {
+	reg := standard(t)
+	for _, name := range []string{"pos", "neg", "nonzero", "nonnull"} {
+		r := proveQual(t, reg, name)
+		if r.Elapsed.Seconds() >= 1 {
+			t.Errorf("value qualifier %s took %v, want < 1s", name, r.Elapsed)
+		}
+	}
+	for _, name := range []string{"unique", "unaliased"} {
+		r := proveQual(t, reg, name)
+		if r.Elapsed.Seconds() >= 30 {
+			t.Errorf("reference qualifier %s took %v, want < 30s", name, r.Elapsed)
+		}
+	}
+}
+
+func TestFailedObligationHasCounterexample(t *testing.T) {
+	broken := strings.Replace(quals.Pos, "E1 * E2", "E1 - E2", 1)
+	reg, err := qdl.Load(map[string]string{"pos.qdl": broken, "neg.qdl": quals.Neg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proveQual(t, reg, "pos")
+	failed := r.Failed()
+	if len(failed) != 1 {
+		t.Fatalf("failures = %d", len(failed))
+	}
+	if len(failed[0].Outcome.CounterExample) == 0 {
+		t.Error("failed obligation has no counterexample")
+	}
+	if !strings.Contains(r.String(), "counterexample candidate") {
+		t.Error("report does not render the counterexample")
+	}
+}

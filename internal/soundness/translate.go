@@ -1,0 +1,254 @@
+package soundness
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/qdl"
+)
+
+// helpers for building semantics terms.
+
+func sel(m, k logic.Term) logic.Term       { return logic.Fn("select", m, k) }
+func sto(m, k, v logic.Term) logic.Term    { return logic.Fn("store", m, k, v) }
+func eval(r, e logic.Term) logic.Term      { return logic.Fn("evalExpr", r, e) }
+func getStore(r logic.Term) logic.Term     { return logic.Fn("getStore", r) }
+func getEnv(r logic.Term) logic.Term       { return logic.Fn("getEnv", r) }
+func isHeapLoc(t logic.Term) logic.Formula { return logic.P("isHeapLoc", t) }
+
+var nullT = logic.Const("NULL")
+
+func cmpFormula(op qdl.PatOp, l, r logic.Term) (logic.Formula, error) {
+	switch op {
+	case "==":
+		return logic.Eq(l, r), nil
+	case "!=":
+		return logic.Ne(l, r), nil
+	case "<":
+		return logic.Lt(l, r), nil
+	case "<=":
+		return logic.Le(l, r), nil
+	case ">":
+		return logic.Gt(l, r), nil
+	case ">=":
+		return logic.Ge(l, r), nil
+	}
+	return nil, fmt.Errorf("soundness: unsupported comparison %q", op)
+}
+
+// valueInvariant translates a value qualifier's invariant for subject
+// expression term subj in state. A qualifier without an invariant (a flow
+// qualifier) translates to TRUE.
+func valueInvariant(d *qdl.Def, state, subj logic.Term) (logic.Formula, error) {
+	if d.Invariant == nil {
+		return logic.TrueF{}, nil
+	}
+	return transValuePred(d, d.Invariant, state, subj)
+}
+
+func transValuePred(d *qdl.Def, p qdl.Pred, state, subj logic.Term) (logic.Formula, error) {
+	term := func(t qdl.Term) (logic.Term, error) {
+		return transValueTerm(d, t, state, subj)
+	}
+	switch p := p.(type) {
+	case qdl.PCmp:
+		l, err := term(p.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := term(p.R)
+		if err != nil {
+			return nil, err
+		}
+		return cmpFormula(p.Op, l, r)
+	case qdl.PIsHeapLoc:
+		t, err := term(p.T)
+		if err != nil {
+			return nil, err
+		}
+		return isHeapLoc(t), nil
+	case qdl.PAnd:
+		l, err := transValuePred(d, p.L, state, subj)
+		if err != nil {
+			return nil, err
+		}
+		r, err := transValuePred(d, p.R, state, subj)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Conj(l, r), nil
+	case qdl.POr:
+		l, err := transValuePred(d, p.L, state, subj)
+		if err != nil {
+			return nil, err
+		}
+		r, err := transValuePred(d, p.R, state, subj)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Disj(l, r), nil
+	case qdl.PImp:
+		l, err := transValuePred(d, p.L, state, subj)
+		if err != nil {
+			return nil, err
+		}
+		r, err := transValuePred(d, p.R, state, subj)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Imp(l, r), nil
+	case qdl.PNot:
+		inner, err := transValuePred(d, p.P, state, subj)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Not{F: inner}, nil
+	}
+	return nil, fmt.Errorf("soundness: predicate %s not supported in value invariants", p)
+}
+
+func transValueTerm(d *qdl.Def, t qdl.Term, state, subj logic.Term) (logic.Term, error) {
+	switch t := t.(type) {
+	case qdl.TValue:
+		return eval(state, subj), nil
+	case qdl.TNull:
+		return nullT, nil
+	case qdl.TInt:
+		return logic.Num(t.Value), nil
+	case qdl.TArith:
+		l, err := transValueTerm(d, t.L, state, subj)
+		if err != nil {
+			return nil, err
+		}
+		r, err := transValueTerm(d, t.R, state, subj)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Op {
+		case "+":
+			return logic.Add(l, r), nil
+		case "-":
+			return logic.Sub(l, r), nil
+		case "*":
+			return logic.Mul(l, r), nil
+		}
+		return nil, fmt.Errorf("soundness: unsupported arithmetic %q in invariant", t.Op)
+	}
+	return nil, fmt.Errorf("soundness: term %s not supported in value invariants", t)
+}
+
+// refInvariant translates a reference qualifier's invariant over an explicit
+// store term, environment term, and subject location term. Writing post
+// states as explicit store(...) terms keeps the select/store triggers
+// matchable.
+func refInvariant(d *qdl.Def, storeT, envT, locT logic.Term) (logic.Formula, error) {
+	if d.Invariant == nil {
+		return logic.TrueF{}, nil
+	}
+	return transRefPred(d, d.Invariant, storeT, envT, locT, map[string]logic.Term{})
+}
+
+func transRefPred(d *qdl.Def, p qdl.Pred, storeT, envT, locT logic.Term, bound map[string]logic.Term) (logic.Formula, error) {
+	term := func(t qdl.Term) (logic.Term, error) {
+		return transRefTerm(d, t, storeT, envT, locT, bound)
+	}
+	switch p := p.(type) {
+	case qdl.PCmp:
+		l, err := term(p.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := term(p.R)
+		if err != nil {
+			return nil, err
+		}
+		return cmpFormula(p.Op, l, r)
+	case qdl.PIsHeapLoc:
+		t, err := term(p.T)
+		if err != nil {
+			return nil, err
+		}
+		return isHeapLoc(t), nil
+	case qdl.PAnd:
+		l, err := transRefPred(d, p.L, storeT, envT, locT, bound)
+		if err != nil {
+			return nil, err
+		}
+		r, err := transRefPred(d, p.R, storeT, envT, locT, bound)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Conj(l, r), nil
+	case qdl.POr:
+		l, err := transRefPred(d, p.L, storeT, envT, locT, bound)
+		if err != nil {
+			return nil, err
+		}
+		r, err := transRefPred(d, p.R, storeT, envT, locT, bound)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Disj(l, r), nil
+	case qdl.PImp:
+		l, err := transRefPred(d, p.L, storeT, envT, locT, bound)
+		if err != nil {
+			return nil, err
+		}
+		r, err := transRefPred(d, p.R, storeT, envT, locT, bound)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Imp(l, r), nil
+	case qdl.PNot:
+		inner, err := transRefPred(d, p.P, storeT, envT, locT, bound)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Not{F: inner}, nil
+	case qdl.PForall:
+		// Quantification over all locations of the appropriate type
+		// (typing predicates elided, as in the paper).
+		v := "p!" + p.Var
+		inner := make(map[string]logic.Term, len(bound)+1)
+		for k, t := range bound {
+			inner[k] = t
+		}
+		inner[p.Var] = logic.V(v)
+		body, err := transRefPred(d, p.Body, storeT, envT, locT, inner)
+		if err != nil {
+			return nil, err
+		}
+		return logic.All([]string{v}, body), nil
+	}
+	return nil, fmt.Errorf("soundness: predicate %s not supported in reference invariants", p)
+}
+
+func transRefTerm(d *qdl.Def, t qdl.Term, storeT, envT, locT logic.Term, bound map[string]logic.Term) (logic.Term, error) {
+	switch t := t.(type) {
+	case qdl.TValue:
+		return sel(storeT, locT), nil
+	case qdl.TInitValue:
+		// Ghost state (section 8's trace-to-state conversion): the value the
+		// subject held at its declaration, a function of the location only.
+		return logic.Fn("initValue", locT), nil
+	case qdl.TLocation:
+		return locT, nil
+	case qdl.TDeref:
+		b, ok := bound[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("soundness: *%s unbound in invariant", t.Name)
+		}
+		return sel(storeT, b), nil
+	case qdl.TVar:
+		b, ok := bound[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("soundness: %s unbound in invariant", t.Name)
+		}
+		return b, nil
+	case qdl.TNull:
+		return nullT, nil
+	case qdl.TInt:
+		return logic.Num(t.Value), nil
+	}
+	return nil, fmt.Errorf("soundness: term %s not supported in reference invariants", t)
+}

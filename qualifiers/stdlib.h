@@ -1,0 +1,14 @@
+/* Alternate library signatures (the paper's section 3.3 header-replacement
+ * mechanism): prepend with `qualcheck -header qualifiers/stdlib.h ...` so
+ * library calls are checked against annotated types. Uses the standard
+ * registry (nonnull + untainted); for the -taint configuration use
+ * qualifiers/taint.h instead. */
+
+int printf(char * untainted nonnull format, ...);
+int fprintf(int stream, char * untainted nonnull format, ...);
+int syslog(int priority, char * untainted nonnull format, ...);
+int puts(char* nonnull s);
+int putchar(int c);
+int strlen(char* nonnull s);
+void exit(int code);
+void abort();

@@ -1,0 +1,15 @@
+/* Alternate library signatures for the taintedness configuration (use with
+ * `qualcheck -taint -header qualifiers/taint.h ...`). With the
+ * constants-are-trusted clause loaded, string-literal formats need no
+ * casts (section 6.3). */
+
+int printf(char * untainted format, ...);
+int fprintf(int stream, char * untainted format, ...);
+int syslog(int priority, char * untainted format, ...);
+int sendstrf(int sock, char * untainted format, ...);
+int error(char * untainted format, ...);
+int puts(char* s);
+int putchar(int c);
+int strlen(char* s);
+void exit(int code);
+void abort();
