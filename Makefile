@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race bench experiments ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector; the parallel-vs-serial
+# equivalence tests in internal/soundness and internal/checker exercise the
+# concurrent prover, cache, and checker paths.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x .
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+# ci is the gate: everything must build, vet clean, and pass under -race.
+ci: build vet race

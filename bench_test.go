@@ -7,6 +7,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -525,6 +526,100 @@ func lambdaGenProgram(seed int64) lambda.Stmt {
 			S2: stmt(depth-1, append(vars, name))}
 	}
 	return stmt(3, nil)
+}
+
+// ---- Parallel proof discharge + memoizing prover cache ----
+
+// BenchmarkProveAllParallel compares serial (j=1, the pre-parallelism
+// baseline) against fully parallel discharge of the whole standard library.
+// Each iteration gets a fresh cache so the measured cost is the real proof
+// search, not memo lookups. Verdicts are asserted identical between the two
+// modes; on a machine with >=4 cores the parallel variant is expected to be
+// >=1.5x faster.
+func BenchmarkProveAllParallel(b *testing.B) {
+	reg, err := quals.Standard()
+	if err != nil {
+		b.Fatal(err)
+	}
+	baselineOpts := soundness.DefaultOptions()
+	baselineOpts.Concurrency = 1
+	baseline, err := soundness.ProveAll(reg, baselineOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			opts := soundness.DefaultOptions()
+			opts.Concurrency = j
+			for i := 0; i < b.N; i++ {
+				opts.Cache = simplify.NewCache(0)
+				reports, err := soundness.ProveAll(reg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k, r := range reports {
+					if r.Sound() != baseline[k].Sound() {
+						b.Fatalf("%s: verdict differs from serial baseline", r.Qualifier)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(baseline)), "qualifiers")
+		})
+	}
+}
+
+// BenchmarkProveAllCacheHitRate measures the steady state of the memoizing
+// cache: a warm-up run populates it, then every non-vacuous obligation in
+// the measured iterations is served from memory.
+func BenchmarkProveAllCacheHitRate(b *testing.B) {
+	reg, err := quals.Standard()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := soundness.DefaultOptions()
+	opts.Cache = simplify.NewCache(0)
+	if _, err := soundness.ProveAll(reg, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		reports, err := soundness.ProveAll(reg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hits = 0
+		for _, r := range reports {
+			if !r.Sound() {
+				b.Fatalf("%s not sound", r.Qualifier)
+			}
+			hits += r.CacheHits
+		}
+	}
+	s := opts.Cache.Stats()
+	b.ReportMetric(float64(hits), "hits_per_run")
+	b.ReportMetric(100*s.HitRate(), "hit_rate_%")
+}
+
+// BenchmarkCheckWithParallel compares serial and parallel per-function
+// checking on the largest corpus subject.
+func BenchmarkCheckWithParallel(b *testing.B) {
+	reg, err := quals.Standard()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := corpus.GrepDFA()
+	prog, err := cminor.Parse(p.Name+".c", p.Source, reg.Names())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				checker.CheckWith(prog, reg, checker.Options{Concurrency: j})
+			}
+		})
+	}
 }
 
 // ---- Figures 1, 3, 4, 5, 7, 12: the qualifier definitions themselves ----

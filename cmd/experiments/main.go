@@ -81,6 +81,9 @@ func main() {
 				failed = true
 			}
 		}
+		s := experiments.ProverCacheStats()
+		fmt.Printf("shared prover cache across experiments: %d hits, %d misses, %d evictions (%.1f%% hit rate)\n\n",
+			s.Hits, s.Misses, s.Evictions, 100*s.HitRate())
 	}
 	if run(7) {
 		r, err := experiments.Inference()

@@ -44,6 +44,8 @@ func main() {
 	infer := flag.String("infer", "", "comma-separated value qualifiers to infer before checking (section 8 extension)")
 	flow := flag.Bool("flow", false, "enable flow-sensitive refinement of branch conditions (section 8 extension)")
 	header := flag.String("header", "", "prepend alternate library signatures from this file (section 3.3's header replacement)")
+	jobs := flag.Int("j", 0, "number of functions checked concurrently (default: all cores)")
+	cacheStats := flag.Bool("cache-stats", false, "print derivation-memo cache statistics after checking")
 	flag.Parse()
 
 	reg, err := loadRegistry(qualFiles, *taint)
@@ -92,12 +94,21 @@ func main() {
 			fmt.Println("inferred:", a)
 		}
 	}
-	res := checker.CheckWith(prog, reg, checker.Options{FlowSensitive: *flow})
+	res := checker.CheckWith(prog, reg, checker.Options{FlowSensitive: *flow, Concurrency: *jobs})
 	for _, d := range res.Diags {
 		fmt.Println(d)
 	}
 	if *stats {
 		printStats(res)
+	}
+	if *cacheStats {
+		total := res.Stats.MemoHits + res.Stats.MemoMisses
+		rate := 0.0
+		if total > 0 {
+			rate = 100 * float64(res.Stats.MemoHits) / float64(total)
+		}
+		fmt.Printf("derivation memo: %d hits, %d misses (%.1f%% hit rate)\n",
+			res.Stats.MemoHits, res.Stats.MemoMisses, rate)
 	}
 	if len(res.Diags) == 0 {
 		fmt.Printf("%s: no qualifier warnings\n", name)

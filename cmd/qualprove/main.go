@@ -26,11 +26,24 @@ func main() {
 	verbose := flag.Bool("v", false, "print each obligation formula")
 	goal := flag.String("goal", "", "prove a single Simplify-style formula against the semantics axioms")
 	rounds := flag.Int("rounds", 0, "override the prover's instantiation round budget")
+	jobs := flag.Int("j", 0, "number of concurrent proof workers (default: all cores)")
+	cacheStats := flag.Bool("cache-stats", false, "print memoizing prover-cache statistics after the run")
 	flag.Parse()
 
 	opts := soundness.DefaultOptions()
 	if *rounds > 0 {
 		opts.Prover.MaxRounds = *rounds
+	}
+	opts.Concurrency = *jobs
+	cache := simplify.NewCache(0)
+	opts.Cache = cache
+	printCacheStats := func() {
+		if !*cacheStats {
+			return
+		}
+		s := cache.Stats()
+		fmt.Printf("prover cache: %d hits, %d misses, %d evictions (%.1f%% hit rate, %d entries)\n",
+			s.Hits, s.Misses, s.Evictions, 100*s.HitRate(), cache.Len())
 	}
 
 	if *goal != "" {
@@ -38,10 +51,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		prover := simplify.New(soundness.Axioms(), opts.Prover)
+		prover := simplify.New(soundness.Axioms(), opts.Prover).WithCache(cache)
 		start := time.Now()
 		out := prover.Prove(f)
 		fmt.Printf("%s in %v\n", out, time.Since(start).Round(time.Microsecond))
+		printCacheStats()
 		if out.Result != simplify.Valid {
 			os.Exit(1)
 		}
@@ -67,15 +81,16 @@ func main() {
 		fatal(err)
 	}
 
+	// ProveAll proves qualifiers and their obligations concurrently over the
+	// shared cache; reports still come back in registration order, and a
+	// qualifier whose obligations cannot be generated gets an ERROR report
+	// instead of hiding the rest.
+	reports, _ := soundness.ProveAll(reg, opts)
 	allSound := true
-	for _, d := range reg.Defs() {
-		report, err := soundness.Prove(d, reg, opts)
-		if err != nil {
-			fatal(err)
-		}
+	for _, report := range reports {
 		fmt.Print(report)
-		if *verbose {
-			obls, _ := soundness.Obligations(d, reg)
+		if *verbose && report.Err == nil {
+			obls, _ := soundness.Obligations(reg.Lookup(report.Qualifier), reg)
 			for _, o := range obls {
 				if !o.Vacuous {
 					fmt.Printf("    %s\n", o.Formula)
@@ -86,6 +101,7 @@ func main() {
 			allSound = false
 		}
 	}
+	printCacheStats()
 	if !allSound {
 		os.Exit(1)
 	}

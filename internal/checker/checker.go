@@ -2,6 +2,8 @@ package checker
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/cminor"
 	"repro/internal/qdl"
@@ -37,6 +39,11 @@ type Stats struct {
 	// RestrictChecks / RestrictFailures count restrict-clause applications.
 	RestrictChecks   int
 	RestrictFailures int
+	// MemoHits / MemoMisses count qualifier-derivation memo lookups (the
+	// per-AST-node qualSet cache), the checker's analogue of the prover's
+	// cache counters.
+	MemoHits   int
+	MemoMisses int
 }
 
 // Result is the outcome of qualifier checking.
@@ -104,6 +111,19 @@ type Options struct {
 	// "if (x != NULL)" the variable x additionally carries every value
 	// qualifier whose invariant the condition implies.
 	FlowSensitive bool
+	// Concurrency bounds the worker pool checking functions in parallel.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces the serial walk. Diagnostics
+	// are merged back into source order, so the result is identical at any
+	// setting.
+	Concurrency int
+}
+
+// concurrency resolves the effective worker count.
+func (o Options) concurrency() int {
+	if o.Concurrency > 0 {
+		return o.Concurrency
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Check performs qualifier checking of prog against the registry's type
@@ -133,7 +153,7 @@ func CheckWith(prog *cminor.Program, reg *qdl.Registry, opts Options) *Result {
 		en.diags = append(en.diags, Diagnostic{Pos: d.Pos, Code: "base", Msg: d.Msg})
 	}
 	en.validateAnnotations()
-	en.checkProgram()
+	en.checkProgram(opts.concurrency())
 	result := &Result{Diags: en.diags, Stats: en.stats, Info: info}
 	// Collect value-qualified casts for instrumentation and count stats.
 	cminor.Walk(prog, cminor.Visitor{
@@ -242,7 +262,7 @@ func (en *engine) validateAnnotations() {
 
 // ---- Main checking pass ----
 
-func (en *engine) checkProgram() {
+func (en *engine) checkProgram(workers int) {
 	// Precompute restrict clauses; they are applied to every expression and
 	// dereference during the statement walk below.
 	for _, d := range en.reg.Defs() {
@@ -260,16 +280,86 @@ func (en *engine) checkProgram() {
 			en.checkAssignTo(g.Pos, g.Type, g.Init, "initialization of "+g.Name)
 		}
 	}
-	for _, f := range en.prog.Funcs {
-		if f.Body == nil {
+	en.checkFuncs(workers)
+	en.addrOfPass()
+}
+
+// checkFunc checks one function body under a fresh refinement environment.
+func (en *engine) checkFunc(f *cminor.FuncDef) {
+	if f.Body == nil {
+		return
+	}
+	en.curFn = f
+	en.env = refEnv{}
+	en.checkStmt(f.Body)
+	en.curFn = nil
+}
+
+// checkFuncs checks every function, fanning the bodies out over a bounded
+// worker pool. Functions are independent: the only engine state a body walk
+// touches is its own diagnostics, restrict counters, derivation memo, and
+// refinement environment, so each worker gets a private child engine sharing
+// the immutable registry/type-info/clause tables, and the children's
+// diagnostics are merged back in source (declaration) order — the result is
+// byte-identical to the serial walk.
+func (en *engine) checkFuncs(workers int) {
+	funcs := en.prog.Funcs
+	if workers > len(funcs) {
+		workers = len(funcs)
+	}
+	if workers <= 1 {
+		for _, f := range funcs {
+			en.checkFunc(f)
+		}
+		return
+	}
+	children := make([]*engine, len(funcs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				child := en.childEngine()
+				child.checkFunc(funcs[i])
+				children[i] = child
+			}
+		}()
+	}
+	for i := range funcs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, child := range children {
+		if child == nil {
 			continue
 		}
-		en.curFn = f
-		en.env = refEnv{}
-		en.checkStmt(f.Body)
+		en.diags = append(en.diags, child.diags...)
+		en.stats.RestrictChecks += child.stats.RestrictChecks
+		en.stats.RestrictFailures += child.stats.RestrictFailures
+		en.stats.MemoHits += child.stats.MemoHits
+		en.stats.MemoMisses += child.stats.MemoMisses
 	}
-	en.curFn = nil
-	en.addrOfPass()
+}
+
+// childEngine clones the engine for one worker: immutable tables (registry,
+// type info, clause lists, flow precomputation) are shared; diagnostic,
+// statistic, memo, and environment state is private.
+func (en *engine) childEngine() *engine {
+	return &engine{
+		reg:           en.reg,
+		info:          en.info,
+		prog:          en.prog,
+		memo:          map[cminor.Expr]map[string]bool{},
+		flow:          en.flow,
+		env:           refEnv{},
+		addrTaken:     en.addrTaken,
+		globalNames:   en.globalNames,
+		rExprClauses:  en.rExprClauses,
+		rDerefClauses: en.rDerefClauses,
+	}
 }
 
 // checkStmt checks one statement under the current refinement environment,

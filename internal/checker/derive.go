@@ -367,8 +367,10 @@ func (en *engine) evalConstTerm(t qdl.Term, b *bindings) (int64, bool) {
 // recursive, section 2.1.1). Results are memoized per AST node.
 func (en *engine) qualSet(e cminor.Expr) map[string]bool {
 	if s, ok := en.memo[e]; ok {
+		en.stats.MemoHits++
 		return s
 	}
+	en.stats.MemoMisses++
 	set := en.staticQuals(e)
 	en.memo[e] = set // registered before iterating so cycles see the growing set
 	// Logical memory model (section 3.3): p+i has p's type, qualifiers

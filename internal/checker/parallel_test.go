@@ -1,0 +1,80 @@
+package checker
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cminor"
+	"repro/internal/corpus"
+	"repro/internal/qdl"
+	"repro/internal/quals"
+)
+
+// checkCorpus parses prog fresh (checking annotates the AST, so runs must
+// not share one) and checks it at the given concurrency.
+func checkCorpus(t *testing.T, reg *qdl.Registry, p corpus.Program, opts Options) *Result {
+	t.Helper()
+	prog, err := cminor.Parse(p.Name+".c", p.Source, reg.Names())
+	if err != nil {
+		t.Fatalf("%s: parse: %v", p.Name, err)
+	}
+	return CheckWith(prog, reg, opts)
+}
+
+// TestCheckWithParallelMatchesSerial is the checker's determinism contract:
+// per-function parallel checking must produce the same diagnostics in the
+// same source order, and the same statistics, as the serial pass. Run under
+// -race it also exercises the shared engine tables concurrently.
+func TestCheckWithParallelMatchesSerial(t *testing.T) {
+	reg := quals.MustStandard()
+	for _, p := range corpus.All() {
+		for _, flow := range []bool{false, true} {
+			serial := checkCorpus(t, reg, p, Options{FlowSensitive: flow, Concurrency: 1})
+			parallel := checkCorpus(t, reg, p, Options{FlowSensitive: flow, Concurrency: 8})
+
+			if len(serial.Diags) != len(parallel.Diags) {
+				t.Errorf("%s (flow=%t): diag counts differ: serial %d, parallel %d",
+					p.Name, flow, len(serial.Diags), len(parallel.Diags))
+				continue
+			}
+			for i := range serial.Diags {
+				if s, par := serial.Diags[i].String(), parallel.Diags[i].String(); s != par {
+					t.Errorf("%s (flow=%t): diag %d differs:\nserial:   %s\nparallel: %s",
+						p.Name, flow, i, s, par)
+				}
+			}
+			if !reflect.DeepEqual(serial.Stats, parallel.Stats) {
+				t.Errorf("%s (flow=%t): stats differ:\nserial:   %+v\nparallel: %+v",
+					p.Name, flow, serial.Stats, parallel.Stats)
+			}
+			if len(serial.Casts) != len(parallel.Casts) {
+				t.Errorf("%s (flow=%t): cast counts differ: serial %d, parallel %d",
+					p.Name, flow, len(serial.Casts), len(parallel.Casts))
+			}
+		}
+	}
+}
+
+// TestCheckWithParallelTaintCorpus repeats the contract under the taint
+// configuration the Table 2 experiment uses, where bftpd produces real
+// warnings whose order must be stable.
+func TestCheckWithParallelTaintCorpus(t *testing.T) {
+	reg, err := quals.TaintWithConstants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := corpus.Bftpd()
+	serial := checkCorpus(t, reg, p, Options{Concurrency: 1})
+	parallel := checkCorpus(t, reg, p, Options{Concurrency: 8})
+	if len(serial.Diags) != len(parallel.Diags) {
+		t.Fatalf("diag counts differ: serial %d, parallel %d", len(serial.Diags), len(parallel.Diags))
+	}
+	for i := range serial.Diags {
+		if s, par := serial.Diags[i].String(), parallel.Diags[i].String(); s != par {
+			t.Errorf("diag %d differs:\nserial:   %s\nparallel: %s", i, s, par)
+		}
+	}
+	if !reflect.DeepEqual(serial.Stats, parallel.Stats) {
+		t.Errorf("stats differ:\nserial:   %+v\nparallel: %+v", serial.Stats, parallel.Stats)
+	}
+}

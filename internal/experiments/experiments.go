@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/checker"
@@ -16,8 +17,26 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/qdl"
 	"repro/internal/quals"
+	"repro/internal/simplify"
 	"repro/internal/soundness"
 )
+
+// proverCache memoizes prover outcomes across the whole experiments run.
+// ProverTimes proves the standard library; the Mutations experiment then
+// re-proves mutated registries whose unchanged obligations are served from
+// this cache instead of being searched again — the paper's once-per-
+// qualifier economics applied across experiments.
+var proverCache = simplify.NewCache(0)
+
+// ProverCacheStats exposes the shared cache's counters for reporting.
+func ProverCacheStats() simplify.CacheStats { return proverCache.Stats() }
+
+// soundnessOptions is DefaultOptions over the run-wide shared prover cache.
+func soundnessOptions() soundness.Options {
+	opts := soundness.DefaultOptions()
+	opts.Cache = proverCache
+	return opts
+}
 
 // printfFamily lists the format-string sinks counted as "printf calls".
 var printfFamily = map[string]bool{
@@ -129,26 +148,43 @@ type Table2Row struct {
 	Errors      int
 }
 
-// Table2 runs the untainted experiment on the three taint subjects.
+// Table2 runs the untainted experiment on the three taint subjects. The
+// programs are parsed and checked in parallel (each is independent; the
+// registry is read-only during checking), with rows reported in the paper's
+// order.
 func Table2() ([]Table2Row, error) {
 	reg, err := quals.TaintWithConstants()
 	if err != nil {
 		return nil, err
 	}
-	var rows []Table2Row
-	for _, p := range []corpus.Program{corpus.Bftpd(), corpus.Mingetty(), corpus.Identd()} {
-		prog, res, err := checkProgram(p, reg)
+	programs := []corpus.Program{corpus.Bftpd(), corpus.Mingetty(), corpus.Identd()}
+	rows := make([]Table2Row, len(programs))
+	errs := make([]error, len(programs))
+	var wg sync.WaitGroup
+	for i, p := range programs {
+		wg.Add(1)
+		go func(i int, p corpus.Program) {
+			defer wg.Done()
+			prog, res, err := checkProgram(p, reg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows[i] = Table2Row{
+				Program:     p.Name,
+				Lines:       p.Lines(),
+				PrintfCalls: countPrintfCalls(prog),
+				Annotations: res.Stats.Annotations["untainted"] - libraryAnnotations(prog, "untainted"),
+				Casts:       res.Stats.QualCasts["untainted"],
+				Errors:      len(res.Diags),
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, Table2Row{
-			Program:     p.Name,
-			Lines:       p.Lines(),
-			PrintfCalls: countPrintfCalls(prog),
-			Annotations: res.Stats.Annotations["untainted"] - libraryAnnotations(prog, "untainted"),
-			Casts:       res.Stats.QualCasts["untainted"],
-			Errors:      len(res.Diags),
-		})
 	}
 	return rows, nil
 }
@@ -244,6 +280,9 @@ type ProverRow struct {
 	Obligations int
 	Sound       bool
 	Elapsed     time.Duration
+	// CacheHits counts obligations served by the shared memoizing prover
+	// cache rather than a fresh search.
+	CacheHits int
 	// Bound is the paper's reported ceiling for this qualifier kind
 	// (1s for value qualifiers, 30s for reference qualifiers).
 	Bound time.Duration
@@ -256,7 +295,7 @@ func ProverTimes() ([]ProverRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	reports, err := soundness.ProveAll(reg, soundness.DefaultOptions())
+	reports, err := soundness.ProveAll(reg, soundnessOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -272,6 +311,7 @@ func ProverTimes() ([]ProverRow, error) {
 			Obligations: len(r.Results),
 			Sound:       r.Sound(),
 			Elapsed:     r.Elapsed,
+			CacheHits:   r.CacheHits,
 			Bound:       bound,
 		})
 	}
@@ -389,7 +429,7 @@ func Mutations() ([]MutationRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}
-		rep, err := soundness.Prove(reg.Lookup(c.qual), reg, soundness.DefaultOptions())
+		rep, err := soundness.Prove(reg.Lookup(c.qual), reg, soundnessOptions())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}

@@ -1,0 +1,163 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CanonicalString serializes f like String, except that bound variables are
+// renamed to their binding order (cv!0, cv!1, ...), so alpha-equivalent
+// formulas — identical up to the names chosen for quantified variables —
+// serialize to the same string. Free variables, constants, and function
+// symbols keep their names. The simplify prover's memoizing cache keys
+// goals by this form, letting structurally identical obligations that
+// differ only in generated pattern-variable names share one proof.
+func CanonicalString(f Formula) string {
+	var sb strings.Builder
+	c := &canonPrinter{env: map[string]string{}}
+	c.formula(&sb, f)
+	return sb.String()
+}
+
+// canonPrinter tracks the renaming environment: bound name -> canonical
+// name, with counter n numbering binders in serialization order.
+type canonPrinter struct {
+	env map[string]string
+	n   int
+}
+
+// bind maps vars to fresh canonical names and returns a restore function
+// reinstating the outer scope (quantifiers shadow).
+func (c *canonPrinter) bind(vars []string) func() {
+	type saved struct {
+		name, prev string
+		had        bool
+	}
+	olds := make([]saved, len(vars))
+	for i, v := range vars {
+		prev, had := c.env[v]
+		olds[i] = saved{name: v, prev: prev, had: had}
+		c.env[v] = fmt.Sprintf("cv!%d", c.n)
+		c.n++
+	}
+	return func() {
+		for i := len(olds) - 1; i >= 0; i-- {
+			if olds[i].had {
+				c.env[olds[i].name] = olds[i].prev
+			} else {
+				delete(c.env, olds[i].name)
+			}
+		}
+	}
+}
+
+func (c *canonPrinter) boundNames(vars []string) []string {
+	out := make([]string, len(vars))
+	for i, v := range vars {
+		out[i] = c.env[v]
+	}
+	return out
+}
+
+func (c *canonPrinter) formula(sb *strings.Builder, f Formula) {
+	switch f := f.(type) {
+	case TrueF:
+		sb.WriteString("TRUE")
+	case FalseF:
+		sb.WriteString("FALSE")
+	case Cmp:
+		sb.WriteString("(" + f.Op.String() + " ")
+		c.term(sb, f.L)
+		sb.WriteString(" ")
+		c.term(sb, f.R)
+		sb.WriteString(")")
+	case Pred:
+		if len(f.Args) == 0 {
+			sb.WriteString(f.Name)
+			return
+		}
+		sb.WriteString("(" + f.Name)
+		for _, a := range f.Args {
+			sb.WriteString(" ")
+			c.term(sb, a)
+		}
+		sb.WriteString(")")
+	case Not:
+		sb.WriteString("(NOT ")
+		c.formula(sb, f.F)
+		sb.WriteString(")")
+	case And:
+		c.join(sb, "AND", f.Fs)
+	case Or:
+		c.join(sb, "OR", f.Fs)
+	case Implies:
+		sb.WriteString("(IMPLIES ")
+		c.formula(sb, f.Hyp)
+		sb.WriteString(" ")
+		c.formula(sb, f.Concl)
+		sb.WriteString(")")
+	case Iff:
+		sb.WriteString("(IFF ")
+		c.formula(sb, f.L)
+		sb.WriteString(" ")
+		c.formula(sb, f.R)
+		sb.WriteString(")")
+	case Forall:
+		restore := c.bind(f.Vars)
+		sb.WriteString("(FORALL (" + strings.Join(c.boundNames(f.Vars), " ") + ")")
+		for _, trig := range f.Triggers {
+			sb.WriteString(" (PATS")
+			for _, t := range trig {
+				sb.WriteString(" ")
+				c.term(sb, t)
+			}
+			sb.WriteString(")")
+		}
+		sb.WriteString(" ")
+		c.formula(sb, f.Body)
+		sb.WriteString(")")
+		restore()
+	case Exists:
+		restore := c.bind(f.Vars)
+		sb.WriteString("(EXISTS (" + strings.Join(c.boundNames(f.Vars), " ") + ") ")
+		c.formula(sb, f.Body)
+		sb.WriteString(")")
+		restore()
+	default:
+		// Unknown formula kinds fall back to their own serialization.
+		sb.WriteString(f.String())
+	}
+}
+
+func (c *canonPrinter) join(sb *strings.Builder, op string, fs []Formula) {
+	sb.WriteString("(" + op)
+	for _, f := range fs {
+		sb.WriteString(" ")
+		c.formula(sb, f)
+	}
+	sb.WriteString(")")
+}
+
+func (c *canonPrinter) term(sb *strings.Builder, t Term) {
+	switch t := t.(type) {
+	case Var:
+		if canon, ok := c.env[t.Name]; ok {
+			sb.WriteString(canon)
+		} else {
+			sb.WriteString(t.Name)
+		}
+	case IntLit:
+		fmt.Fprintf(sb, "%d", t.Value)
+	case App:
+		if len(t.Args) == 0 {
+			sb.WriteString(t.Fn)
+			return
+		}
+		sb.WriteString("(" + t.Fn)
+		for _, a := range t.Args {
+			sb.WriteString(" ")
+			c.term(sb, a)
+		}
+		sb.WriteString(")")
+	}
+}

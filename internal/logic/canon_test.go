@@ -1,0 +1,68 @@
+package logic
+
+import "testing"
+
+func canon(t *testing.T, s string) string {
+	t.Helper()
+	f, err := ParseFormula(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return CanonicalString(f)
+}
+
+func TestCanonicalStringAlphaEquivalence(t *testing.T) {
+	cases := [][2]string{
+		{"(FORALL (x) (IMPLIES (p x) (p x)))", "(FORALL (y) (IMPLIES (p y) (p y)))"},
+		{"(EXISTS (a b) (EQ a b))", "(EXISTS (u v) (EQ u v))"},
+		{
+			"(FORALL (x) (PATS (f x)) (EQ (f x) x))",
+			"(FORALL (z) (PATS (f z)) (EQ (f z) z))",
+		},
+		// Nested binders number in serialization order regardless of names.
+		{
+			"(FORALL (x) (EXISTS (y) (EQ x y)))",
+			"(FORALL (y) (EXISTS (x) (EQ y x)))",
+		},
+	}
+	for _, c := range cases {
+		a, b := canon(t, c[0]), canon(t, c[1])
+		if a != b {
+			t.Errorf("alpha-equivalent formulas canonicalize differently:\n  %s -> %s\n  %s -> %s", c[0], a, c[1], b)
+		}
+	}
+}
+
+func TestCanonicalStringKeepsFreeNames(t *testing.T) {
+	// Free constants are meaningful relative to the axiom set, so they must
+	// not be renamed: (> a 0) and (> b 0) are different goals.
+	if a, b := canon(t, "(> a 0)"), canon(t, "(> b 0)"); a == b {
+		t.Errorf("distinct free names collapsed: %s", a)
+	}
+	// A bound occurrence is renamed, a free one in the same formula is not.
+	s := canon(t, "(AND (p free) (FORALL (x) (p x)))")
+	want := "(AND (p free) (FORALL (cv!0) (p cv!0)))"
+	if s != want {
+		t.Errorf("canon = %s, want %s", s, want)
+	}
+}
+
+func TestCanonicalStringShadowing(t *testing.T) {
+	// The inner binder shadows the outer one and gets its own number; after
+	// the inner scope closes, the outer renaming is restored.
+	s := canon(t, "(FORALL (x) (AND (p x) (FORALL (x) (p x)) (q x)))")
+	want := "(AND (p cv!0) (FORALL (cv!1) (p cv!1)) (q cv!0))"
+	if got := "(FORALL (cv!0) " + want + ")"; s != got {
+		t.Errorf("canon = %s, want %s", s, got)
+	}
+}
+
+func TestCanonicalStringDistinguishesStructure(t *testing.T) {
+	// Canonicalization must not conflate genuinely different formulas.
+	if a, b := canon(t, "(FORALL (x) (p x))"), canon(t, "(FORALL (x) (q x))"); a == b {
+		t.Errorf("different predicates collapsed: %s", a)
+	}
+	if a, b := canon(t, "(FORALL (x y) (EQ x y))"), canon(t, "(FORALL (x y) (EQ y x))"); a == b {
+		t.Errorf("different argument orders collapsed: %s", a)
+	}
+}

@@ -1,0 +1,106 @@
+package simplify
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheCapacity bounds a cache created with capacity <= 0.
+const DefaultCacheCapacity = 4096
+
+// CacheStats is a snapshot of a cache's counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a thread-safe memoizing store of proof outcomes, keyed by the
+// canonical serialized form of (axiom-set fingerprint, search options, goal
+// formula). Because the prover is deterministic, a cached outcome is
+// byte-identical to what a fresh search would produce, so sharing one cache
+// across qualifiers (or across whole ProveAll runs) never changes verdicts —
+// it only skips repeated searches. Eviction is least-recently-used.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // of *cacheEntry; front is most recently used
+	entries  map[string]*list.Element
+	stats    CacheStats
+}
+
+type cacheEntry struct {
+	key     string
+	outcome Outcome
+}
+
+// NewCache returns an empty cache holding at most capacity outcomes
+// (DefaultCacheCapacity when capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  map[string]*list.Element{},
+	}
+}
+
+// get returns the cached outcome for key, marking it most recently used.
+func (c *Cache) get(key string) (Outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return Outcome{}, false
+	}
+	c.stats.Hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).outcome, true
+}
+
+// put stores the outcome for key, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache) put(key string, out Outcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).outcome = out
+		c.lru.MoveToFront(el)
+		return
+	}
+	if c.lru.Len() >= c.capacity {
+		oldest := c.lru.Back()
+		if oldest != nil {
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.stats.Evictions++
+		}
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, outcome: out})
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of cached outcomes.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,6 +1,8 @@
 package simplify
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 
@@ -59,6 +61,10 @@ type Outcome struct {
 	// a candidate situation in which the hypotheses hold but the goal
 	// fails.
 	CounterExample []string
+	// CacheHit reports that this outcome was served from a memoizing Cache
+	// rather than a fresh search. All other fields are the stored search's;
+	// the prover is deterministic, so they equal what a re-run would find.
+	CacheHit bool
 }
 
 func (o Outcome) String() string {
@@ -67,9 +73,24 @@ func (o Outcome) String() string {
 }
 
 // Prover holds a background axiom set and proves goals against it.
+//
+// The axioms are clausified once at construction into an immutable base;
+// every Prove call works on its own copy of that base, so a single Prover is
+// safe for concurrent use by multiple goroutines. Attach a shared Cache with
+// WithCache (before the first concurrent Prove) to memoize outcomes across
+// calls and across provers built over the same axioms and options.
 type Prover struct {
 	axioms []logic.Formula
 	opts   Options
+
+	// Immutable clausified base, built once in New.
+	baseGround  []logic.Clause
+	baseQuant   []logic.Clause
+	baseSk      *logic.Skolemizer
+	baseErr     error
+	fingerprint string
+
+	cache *Cache
 }
 
 // New creates a prover over the given background axioms.
@@ -83,7 +104,66 @@ func New(axioms []logic.Formula, opts Options) *Prover {
 	if opts.MaxDecisions == 0 {
 		opts.MaxDecisions = 200000
 	}
-	return &Prover{axioms: axioms, opts: opts}
+	p := &Prover{axioms: axioms, opts: opts}
+	p.buildBase()
+	return p
+}
+
+// WithCache attaches a memoizing cache and returns p. The cache may be
+// shared across provers; outcomes are keyed by (axioms, options, goal), so
+// provers over different axiom sets never cross-contaminate. Attach before
+// handing the prover to multiple goroutines.
+func (p *Prover) WithCache(c *Cache) *Prover {
+	p.cache = c
+	return p
+}
+
+// Cache returns the attached cache, or nil.
+func (p *Prover) Cache() *Cache { return p.cache }
+
+// buildBase clausifies the background axioms (plus the non-linear sign
+// axioms when enabled) once, infers triggers for the quantified clauses, and
+// fingerprints the (axioms, options) pair for cache keying. Errors are
+// deferred to Prove, which historically reported clausification failures as
+// Unknown outcomes.
+func (p *Prover) buildBase() {
+	sk := logic.NewSkolemizer("sk")
+	addFormula := func(f logic.Formula) error {
+		cs, err := logic.Clausify(f, sk)
+		if err != nil {
+			return err
+		}
+		for _, c := range cs {
+			if c.IsGround() {
+				p.baseGround = append(p.baseGround, c)
+			} else {
+				if len(c.Triggers) == 0 {
+					c.Triggers = inferTriggers(c)
+				}
+				p.baseQuant = append(p.baseQuant, c)
+			}
+		}
+		return nil
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "opts|%d|%d|%d|%t\n", p.opts.MaxRounds, p.opts.MaxInstances, p.opts.MaxDecisions, p.opts.NonlinearAxioms)
+	for _, ax := range p.axioms {
+		fmt.Fprintf(h, "ax|%s\n", ax)
+		if err := addFormula(ax); err != nil {
+			p.baseErr = err
+			return
+		}
+	}
+	if p.opts.NonlinearAxioms {
+		for _, ax := range MulSignAxioms() {
+			if err := addFormula(ax); err != nil {
+				p.baseErr = err
+				return
+			}
+		}
+	}
+	p.baseSk = sk
+	p.fingerprint = hex.EncodeToString(h.Sum(nil))
 }
 
 // MulSignAxioms returns the background axioms for the sign of products,
@@ -111,11 +191,35 @@ func MulSignAxioms() []logic.Formula {
 	}
 }
 
-// Prove attempts to prove goal from the prover's axioms.
+// Prove attempts to prove goal from the prover's axioms. It is safe to call
+// concurrently from multiple goroutines.
 func (p *Prover) Prove(goal logic.Formula) Outcome {
-	sk := logic.NewSkolemizer("sk")
-	var ground []logic.Clause
-	var quant []logic.Clause
+	if p.baseErr != nil {
+		return Outcome{Result: Unknown, Reason: p.baseErr.Error()}
+	}
+	var key string
+	if p.cache != nil {
+		key = p.fingerprint + "\x00" + logic.CanonicalString(goal)
+		if out, ok := p.cache.get(key); ok {
+			out.CacheHit = true
+			return out
+		}
+	}
+	out := p.prove(goal)
+	if p.cache != nil {
+		p.cache.put(key, out)
+	}
+	return out
+}
+
+// prove runs one refutation search over a private copy of the clausified
+// axiom base extended with the negated goal.
+func (p *Prover) prove(goal logic.Formula) Outcome {
+	sk := p.baseSk.Clone()
+	ground := make([]logic.Clause, len(p.baseGround), len(p.baseGround)+16)
+	copy(ground, p.baseGround)
+	quant := make([]logic.Clause, len(p.baseQuant), len(p.baseQuant)+16)
+	copy(quant, p.baseQuant)
 	addFormula := func(f logic.Formula) error {
 		cs, err := logic.Clausify(f, sk)
 		if err != nil {
@@ -132,18 +236,6 @@ func (p *Prover) Prove(goal logic.Formula) Outcome {
 			}
 		}
 		return nil
-	}
-	for _, ax := range p.axioms {
-		if err := addFormula(ax); err != nil {
-			return Outcome{Result: Unknown, Reason: err.Error()}
-		}
-	}
-	if p.opts.NonlinearAxioms {
-		for _, ax := range MulSignAxioms() {
-			if err := addFormula(ax); err != nil {
-				return Outcome{Result: Unknown, Reason: err.Error()}
-			}
-		}
 	}
 	if err := addFormula(logic.Not{F: goal}); err != nil {
 		return Outcome{Result: Unknown, Reason: err.Error()}

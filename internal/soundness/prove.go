@@ -1,13 +1,21 @@
 package soundness
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/qdl"
 	"repro/internal/simplify"
 )
+
+// DefaultCounterExampleLimit is the number of counterexample literals a
+// report prints per failed obligation before truncating (see
+// Options.CounterExampleLimit).
+const DefaultCounterExampleLimit = 8
 
 // ObligationResult is one obligation plus its verdict.
 type ObligationResult struct {
@@ -23,10 +31,24 @@ type Report struct {
 	Kind      qdl.Kind
 	Results   []ObligationResult
 	Elapsed   time.Duration
+	// Err is set when the qualifier's obligations could not be generated at
+	// all (e.g. an invariant outside the prover's theories). ProveAll
+	// records such failures here instead of aborting the whole run.
+	Err error
+	// CacheHits counts the obligations whose outcome was served from the
+	// memoizing prover cache instead of a fresh search.
+	CacheHits int
+	// CounterExampleLimit caps the counterexample literals printed per
+	// failed obligation (0 means DefaultCounterExampleLimit). It echoes
+	// Options.CounterExampleLimit so String needs no extra context.
+	CounterExampleLimit int
 }
 
 // Sound reports whether every obligation was discharged.
 func (r *Report) Sound() bool {
+	if r.Err != nil {
+		return false
+	}
 	for _, res := range r.Results {
 		if !res.Valid {
 			return false
@@ -46,13 +68,25 @@ func (r *Report) Failed() []ObligationResult {
 	return out
 }
 
+func (r *Report) counterExampleLimit() int {
+	if r.CounterExampleLimit > 0 {
+		return r.CounterExampleLimit
+	}
+	return DefaultCounterExampleLimit
+}
+
 func (r *Report) String() string {
 	var sb strings.Builder
+	if r.Err != nil {
+		fmt.Fprintf(&sb, "qualifier %s: ERROR (%v)\n", r.Qualifier, r.Err)
+		return sb.String()
+	}
 	verdict := "SOUND"
 	if !r.Sound() {
 		verdict = "NOT PROVEN"
 	}
 	fmt.Fprintf(&sb, "qualifier %s: %s (%d obligations, %v)\n", r.Qualifier, verdict, len(r.Results), r.Elapsed.Round(time.Millisecond))
+	limit := r.counterExampleLimit()
 	for _, res := range r.Results {
 		mark := "✓"
 		if !res.Valid {
@@ -63,7 +97,7 @@ func (r *Report) String() string {
 			sb.WriteString("      counterexample candidate (hypotheses hold, invariant fails):\n")
 			shown := 0
 			for _, lit := range res.Outcome.CounterExample {
-				if shown >= 8 {
+				if shown >= limit {
 					fmt.Fprintf(&sb, "        ... (%d more literals)\n", len(res.Outcome.CounterExample)-shown)
 					break
 				}
@@ -78,6 +112,20 @@ func (r *Report) String() string {
 // Options configures soundness checking.
 type Options struct {
 	Prover simplify.Options
+	// Concurrency bounds the worker pool that discharges obligations (and,
+	// in ProveAll, proves qualifiers). 0 means runtime.GOMAXPROCS(0); 1
+	// forces the serial order. Reports and results are always returned in
+	// registration order regardless of the setting.
+	Concurrency int
+	// Cache memoizes prover outcomes across obligations. When nil, Prove
+	// and ProveAll each install a fresh cache for the run, so structurally
+	// identical formulas (e.g. the shared arithmetic lemma shapes of
+	// pos/neg/nonneg) are proven once. Pass an explicit cache to share
+	// memoized outcomes across runs.
+	Cache *simplify.Cache
+	// CounterExampleLimit caps the counterexample literals printed per
+	// failed obligation in Report.String (0 = DefaultCounterExampleLimit).
+	CounterExampleLimit int
 }
 
 // DefaultOptions returns the standard configuration.
@@ -85,48 +133,126 @@ func DefaultOptions() Options {
 	return Options{Prover: simplify.DefaultOptions()}
 }
 
+// concurrency resolves the effective worker count.
+func (o Options) concurrency() int {
+	if o.Concurrency > 0 {
+		return o.Concurrency
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Prove generates and discharges every proof obligation for one qualifier
 // definition, using the registry to resolve qualifier checks in where
-// clauses.
+// clauses. Obligations are discharged concurrently (bounded by
+// opts.Concurrency) but reported in generation order.
 func Prove(d *qdl.Def, reg *qdl.Registry, opts Options) (*Report, error) {
 	obls, err := Obligations(d, reg)
 	if err != nil {
 		return nil, err
 	}
-	report := &Report{Qualifier: d.Name, Kind: d.Kind}
-	prover := simplify.New(Axioms(), opts.Prover)
-	start := time.Now()
-	for _, o := range obls {
-		if o.Vacuous {
-			report.Results = append(report.Results, ObligationResult{
-				Obligation: o,
-				Outcome:    simplify.Outcome{Result: simplify.Valid},
-				Valid:      true,
-			})
-			continue
-		}
-		t0 := time.Now()
-		outcome := prover.Prove(o.Formula)
-		report.Results = append(report.Results, ObligationResult{
-			Obligation: o,
-			Outcome:    outcome,
-			Valid:      outcome.Result == simplify.Valid,
-			Elapsed:    time.Since(t0),
-		})
+	report := &Report{Qualifier: d.Name, Kind: d.Kind, CounterExampleLimit: opts.CounterExampleLimit}
+	cache := opts.Cache
+	if cache == nil {
+		cache = simplify.NewCache(0)
 	}
+	prover := simplify.New(Axioms(), opts.Prover).WithCache(cache)
+	start := time.Now()
+	report.Results = proveObligations(prover, obls, opts.concurrency())
 	report.Elapsed = time.Since(start)
+	for _, res := range report.Results {
+		if res.Outcome.CacheHit {
+			report.CacheHits++
+		}
+	}
 	return report, nil
 }
 
+// proveObligations discharges obls on a bounded worker pool, writing each
+// result into its obligation's slot so the order is deterministic.
+func proveObligations(prover *simplify.Prover, obls []Obligation, workers int) []ObligationResult {
+	results := make([]ObligationResult, len(obls))
+	forEachIndex(len(obls), workers, func(i int) {
+		results[i] = discharge(prover, obls[i])
+	})
+	return results
+}
+
+// discharge proves one obligation.
+func discharge(prover *simplify.Prover, o Obligation) ObligationResult {
+	if o.Vacuous {
+		return ObligationResult{
+			Obligation: o,
+			Outcome:    simplify.Outcome{Result: simplify.Valid},
+			Valid:      true,
+		}
+	}
+	t0 := time.Now()
+	outcome := prover.Prove(o.Formula)
+	return ObligationResult{
+		Obligation: o,
+		Outcome:    outcome,
+		Valid:      outcome.Result == simplify.Valid,
+		Elapsed:    time.Since(t0),
+	}
+}
+
+// forEachIndex runs fn(0..n-1) on a pool of at most `workers` goroutines
+// (inline when the pool would be trivial). fn must write only to its own
+// index's state.
+func forEachIndex(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
 // ProveAll proves every qualifier in the registry, in registration order.
+// Qualifiers are proven concurrently (bounded by opts.Concurrency) over a
+// shared memoizing prover cache, so obligations repeated across qualifiers
+// are proven once. A qualifier whose obligations cannot be generated yields
+// a Report with Err set instead of hiding the other qualifiers' results; the
+// joined per-qualifier errors are also returned alongside the complete
+// report slice.
 func ProveAll(reg *qdl.Registry, opts Options) ([]*Report, error) {
-	var out []*Report
-	for _, d := range reg.Defs() {
+	if opts.Cache == nil {
+		opts.Cache = simplify.NewCache(0)
+	}
+	defs := reg.Defs()
+	out := make([]*Report, len(defs))
+	forEachIndex(len(defs), opts.concurrency(), func(i int) {
+		d := defs[i]
 		r, err := Prove(d, reg, opts)
 		if err != nil {
-			return nil, err
+			r = &Report{Qualifier: d.Name, Kind: d.Kind, Err: err, CounterExampleLimit: opts.CounterExampleLimit}
 		}
-		out = append(out, r)
+		out[i] = r
+	})
+	var errs []error
+	for _, r := range out {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", r.Qualifier, r.Err))
+		}
 	}
-	return out, nil
+	return out, errors.Join(errs...)
 }
