@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments ci
+.PHONY: all build vet test race bench experiments fuzz-smoke ci
+
+# Seconds of fuzzing per target in fuzz-smoke.
+FUZZTIME ?= 30s
 
 all: build
 
@@ -25,5 +28,14 @@ bench:
 experiments:
 	$(GO) run ./cmd/experiments
 
-# ci is the gate: everything must build, vet clean, and pass under -race.
-ci: build vet race
+# fuzz-smoke gives each native fuzz target a short budget: the two front-end
+# parsers must never panic on arbitrary bytes, and the prover must never
+# disagree with the ground-formula oracle.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/cminor
+	$(GO) test -run '^$$' -fuzz '^FuzzParseQDL$$' -fuzztime $(FUZZTIME) ./internal/qdl
+	$(GO) test -run '^$$' -fuzz '^FuzzProveGround$$' -fuzztime $(FUZZTIME) ./internal/simplify
+
+# ci is the gate: everything must build, vet clean, pass under -race, and
+# survive a short fuzzing budget on each fuzz target.
+ci: build vet race fuzz-smoke

@@ -13,16 +13,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	table := flag.Int("table", 0, "run a single experiment (1-6); 0 runs all")
+	timeout := flag.Duration("timeout", 0, "per-goal wall-clock budget for prover-backed experiments (0 = prover default)")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels in-flight proof searches in the prover-backed
+	// experiments (tables 4 and 6).
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		experiments.SetGoalTimeout(*timeout)
+	}
 
 	run := func(n int) bool { return *table == 0 || *table == n }
 	failed := false
@@ -52,7 +64,7 @@ func main() {
 		}
 	}
 	if run(4) {
-		rows, err := experiments.ProverTimes()
+		rows, err := experiments.ProverTimesContext(ctx)
 		if err != nil {
 			fatal(err)
 		}
@@ -71,7 +83,7 @@ func main() {
 		fmt.Println(experiments.FormatCheckTimes(rows))
 	}
 	if run(6) {
-		rows, err := experiments.Mutations()
+		rows, err := experiments.MutationsContext(ctx)
 		if err != nil {
 			fatal(err)
 		}

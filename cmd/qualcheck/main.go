@@ -14,11 +14,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/checker"
 	"repro/internal/cminor"
@@ -46,7 +50,18 @@ func main() {
 	header := flag.String("header", "", "prepend alternate library signatures from this file (section 3.3's header replacement)")
 	jobs := flag.Int("j", 0, "number of functions checked concurrently (default: all cores)")
 	cacheStats := flag.Bool("cache-stats", false, "print derivation-memo cache statistics after checking")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the check; 0 means unlimited")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM (and -timeout) cut the function walk short; the run
+	// then reports what it has and exits non-zero as inconclusive.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+	}
 
 	reg, err := loadRegistry(qualFiles, *taint)
 	if err != nil {
@@ -94,9 +109,15 @@ func main() {
 			fmt.Println("inferred:", a)
 		}
 	}
-	res := checker.CheckWith(prog, reg, checker.Options{FlowSensitive: *flow, Concurrency: *jobs})
+	start := time.Now()
+	res := checker.CheckWithContext(ctx, prog, reg, checker.Options{FlowSensitive: *flow, Concurrency: *jobs})
 	for _, d := range res.Diags {
 		fmt.Println(d)
+	}
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "qualcheck: check stopped after %v: %v (results are incomplete)\n",
+			time.Since(start).Round(time.Millisecond), res.Err)
+		os.Exit(2)
 	}
 	if *stats {
 		printStats(res)

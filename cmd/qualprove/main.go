@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/logic"
@@ -28,15 +31,32 @@ func main() {
 	rounds := flag.Int("rounds", 0, "override the prover's instantiation round budget")
 	jobs := flag.Int("j", 0, "number of concurrent proof workers (default: all cores)")
 	cacheStats := flag.Bool("cache-stats", false, "print memoizing prover-cache statistics after the run")
+	timeout := flag.Duration("timeout", simplify.DefaultGoalTimeout, "per-goal wall-clock budget; 0 means unlimited")
+	stats := flag.Bool("stats", false, "print per-qualifier search statistics (decisions, instantiations, ...)")
+	trace := flag.String("trace", "", "write a per-obligation JSONL search trace to this file")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels in-flight proof searches; stopped goals report
+	// Unknown rather than wedging the run.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	opts := soundness.DefaultOptions()
 	if *rounds > 0 {
 		opts.Prover.MaxRounds = *rounds
 	}
+	opts.Prover.GoalTimeout = *timeout
 	opts.Concurrency = *jobs
 	cache := simplify.NewCache(0)
 	opts.Cache = cache
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts.Trace = f
+	}
 	printCacheStats := func() {
 		if !*cacheStats {
 			return
@@ -53,8 +73,14 @@ func main() {
 		}
 		prover := simplify.New(soundness.Axioms(), opts.Prover).WithCache(cache)
 		start := time.Now()
-		out := prover.Prove(f)
+		out := prover.ProveContext(ctx, f)
 		fmt.Printf("%s in %v\n", out, time.Since(start).Round(time.Microsecond))
+		if out.Reason != "" {
+			fmt.Printf("reason: %s\n", out.Reason)
+		}
+		if *stats {
+			fmt.Printf("stats: %s\n", statsLine(out.Stats))
+		}
 		printCacheStats()
 		if out.Result != simplify.Valid {
 			os.Exit(1)
@@ -85,10 +111,13 @@ func main() {
 	// shared cache; reports still come back in registration order, and a
 	// qualifier whose obligations cannot be generated gets an ERROR report
 	// instead of hiding the rest.
-	reports, _ := soundness.ProveAll(reg, opts)
+	reports, _ := soundness.ProveAllContext(ctx, reg, opts)
 	allSound := true
 	for _, report := range reports {
 		fmt.Print(report)
+		if *stats && report.Err == nil {
+			fmt.Printf("  stats: %s\n", statsLine(report.Stats))
+		}
 		if *verbose && report.Err == nil {
 			obls, _ := soundness.Obligations(reg.Lookup(report.Qualifier), reg)
 			for _, o := range obls {
@@ -105,6 +134,13 @@ func main() {
 	if !allSound {
 		os.Exit(1)
 	}
+}
+
+// statsLine renders search telemetry as one compact line.
+func statsLine(s simplify.Stats) string {
+	return fmt.Sprintf("rounds=%d decisions=%d case-splits=%d instantiations=%d ground=%d merges=%d fm-elims=%d theory-checks=%d search=%v",
+		s.Rounds, s.Decisions, s.CaseSplits, s.Instantiations, s.GroundClauses,
+		s.CongruenceMerges, s.FMEliminations, s.TheoryChecks, s.WallTime.Round(time.Microsecond))
 }
 
 func fatal(err error) {

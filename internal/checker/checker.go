@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,7 +12,8 @@ import (
 
 // Diagnostic is a qualifier-checking warning. Code classifies the rule that
 // fired: "base" (ordinary typechecking), "qual" (missing value qualifier),
-// "restrict", "assign", "disallow", "addrof", or "annotation".
+// "restrict", "assign", "disallow", "addrof", "annotation", or "internal"
+// (a checker panic recovered while walking one function).
 type Diagnostic struct {
 	Pos  cminor.Pos
 	Code string
@@ -54,6 +56,10 @@ type Result struct {
 	Casts []*cminor.Cast
 	Stats Stats
 	Info  *cminor.TypeInfo
+	// Err is set when the run was cut short (context canceled or deadline
+	// expired): diagnostics for functions not yet walked are missing, so an
+	// absent warning is inconclusive rather than a clean bill.
+	Err error
 }
 
 // Errors returns the diagnostics with the given codes (all when none given).
@@ -134,6 +140,13 @@ func Check(prog *cminor.Program, reg *qdl.Registry) *Result {
 
 // CheckWith is Check with explicit options.
 func CheckWith(prog *cminor.Program, reg *qdl.Registry, opts Options) *Result {
+	return CheckWithContext(context.Background(), prog, reg, opts)
+}
+
+// CheckWithContext is CheckWith with cancellation: a canceled context stops
+// the function-body walk early and records the cancellation on Result.Err
+// (diagnostics gathered so far are still returned).
+func CheckWithContext(ctx context.Context, prog *cminor.Program, reg *qdl.Registry, opts Options) *Result {
 	info, baseDiags := cminor.TypeCheck(prog)
 	en := &engine{
 		reg:  reg,
@@ -153,8 +166,8 @@ func CheckWith(prog *cminor.Program, reg *qdl.Registry, opts Options) *Result {
 		en.diags = append(en.diags, Diagnostic{Pos: d.Pos, Code: "base", Msg: d.Msg})
 	}
 	en.validateAnnotations()
-	en.checkProgram(opts.concurrency())
-	result := &Result{Diags: en.diags, Stats: en.stats, Info: info}
+	en.checkProgram(ctx, opts.concurrency())
+	result := &Result{Diags: en.diags, Stats: en.stats, Info: info, Err: ctx.Err()}
 	// Collect value-qualified casts for instrumentation and count stats.
 	cminor.Walk(prog, cminor.Visitor{
 		Expr: func(e cminor.Expr) {
@@ -262,7 +275,7 @@ func (en *engine) validateAnnotations() {
 
 // ---- Main checking pass ----
 
-func (en *engine) checkProgram(workers int) {
+func (en *engine) checkProgram(ctx context.Context, workers int) {
 	// Precompute restrict clauses; they are applied to every expression and
 	// dereference during the statement walk below.
 	for _, d := range en.reg.Defs() {
@@ -280,7 +293,7 @@ func (en *engine) checkProgram(workers int) {
 			en.checkAssignTo(g.Pos, g.Type, g.Init, "initialization of "+g.Name)
 		}
 	}
-	en.checkFuncs(workers)
+	en.checkFuncs(ctx, workers)
 	en.addrOfPass()
 }
 
@@ -295,21 +308,45 @@ func (en *engine) checkFunc(f *cminor.FuncDef) {
 	en.curFn = nil
 }
 
+// checkFuncHook, when non-nil, runs before every function-body walk. Tests
+// use it to inject faults into the worker pool.
+var checkFuncHook func(f *cminor.FuncDef)
+
+// safeCheckFunc walks one function body, converting a panic anywhere in the
+// walk into an "internal" diagnostic on that function, so one pathological
+// body cannot take down the whole check (or leak a pool worker).
+func (en *engine) safeCheckFunc(f *cminor.FuncDef) {
+	defer func() {
+		if r := recover(); r != nil {
+			en.errorf(f.Pos, "internal", "checker panic in function %s: %v", f.Name, r)
+		}
+	}()
+	if checkFuncHook != nil {
+		checkFuncHook(f)
+	}
+	en.checkFunc(f)
+}
+
 // checkFuncs checks every function, fanning the bodies out over a bounded
 // worker pool. Functions are independent: the only engine state a body walk
 // touches is its own diagnostics, restrict counters, derivation memo, and
 // refinement environment, so each worker gets a private child engine sharing
 // the immutable registry/type-info/clause tables, and the children's
 // diagnostics are merged back in source (declaration) order — the result is
-// byte-identical to the serial walk.
-func (en *engine) checkFuncs(workers int) {
+// byte-identical to the serial walk. A canceled context stops handing out
+// functions; bodies not walked report nothing (Result.Err marks the run
+// inconclusive).
+func (en *engine) checkFuncs(ctx context.Context, workers int) {
 	funcs := en.prog.Funcs
 	if workers > len(funcs) {
 		workers = len(funcs)
 	}
 	if workers <= 1 {
 		for _, f := range funcs {
-			en.checkFunc(f)
+			if ctx.Err() != nil {
+				return
+			}
+			en.safeCheckFunc(f)
 		}
 		return
 	}
@@ -322,12 +359,15 @@ func (en *engine) checkFuncs(workers int) {
 			defer wg.Done()
 			for i := range idx {
 				child := en.childEngine()
-				child.checkFunc(funcs[i])
+				child.safeCheckFunc(funcs[i])
 				children[i] = child
 			}
 		}()
 	}
 	for i := range funcs {
+		if ctx.Err() != nil {
+			break
+		}
 		idx <- i
 	}
 	close(idx)

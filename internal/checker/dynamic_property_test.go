@@ -206,6 +206,141 @@ func TestDynamicSoundnessProperty(t *testing.T) {
 	}
 }
 
+// generatePointer builds a random pointer program exercising nonnull (and
+// nonzero on the pointed-to data): int locals, nonnull pointers initialized
+// from &local (the derivable shape) or adversarially from NULL / a plain
+// pointer variable, guards that return a distinct code when a nonnull
+// pointer is NULL at run time, and dereference reads/writes through the
+// qualified pointers. Returns the source and the number of qualified
+// pointer declarations.
+func (g *dynGen) generatePointer(seed int64) (string, int) {
+	s := seed
+	var sb strings.Builder
+	sb.WriteString("int main() {\n")
+	// A small pool of int locals to point at.
+	nInts := g.next(&s)%3 + 2
+	var ints []string
+	for i := int64(0); i < nInts; i++ {
+		name := fmt.Sprintf("v%d", i)
+		fmt.Fprintf(&sb, "  int %s = %d;\n", name, g.next(&s)%19-9)
+		ints = append(ints, name)
+	}
+	pickInt := func() string { return ints[g.next(&s)%int64(len(ints))] }
+	var ptrs []string
+	qualified := 0
+	failCode := 1
+	n := g.next(&s)%5 + 1
+	for i := int64(0); i < n; i++ {
+		name := fmt.Sprintf("p%d", i)
+		// Bias 2/3 toward the derivable &L initializer; the rest are
+		// adversarial shapes the checker must reject.
+		if g.next(&s)%3 != 0 {
+			fmt.Fprintf(&sb, "  int* nonnull %s = &%s;\n", name, pickInt())
+			qualified++
+			// Occasional re-assignment, again through an assign-rule shape.
+			if g.next(&s)%3 == 0 {
+				fmt.Fprintf(&sb, "  %s = &%s;\n", name, pickInt())
+			}
+			// Run-time invariant guard: a nonnull pointer must never be NULL.
+			fmt.Fprintf(&sb, "  if (%s == NULL) { return %d; }\n", name, failCode)
+			failCode++
+			// Exercise the pointer: read through it, sometimes write.
+			fmt.Fprintf(&sb, "  int r%d = *%s;\n", i, name)
+			if g.next(&s)%2 == 0 {
+				fmt.Fprintf(&sb, "  *%s = %d;\n", name, g.next(&s)%19-9)
+			}
+			ptrs = append(ptrs, name)
+		} else {
+			switch g.next(&s) % 3 {
+			case 0:
+				fmt.Fprintf(&sb, "  int* nonnull %s = NULL;\n", name)
+				qualified++
+			case 1:
+				fmt.Fprintf(&sb, "  int* t%d = NULL;\n  int* nonnull %s = t%d;\n", i, name, i)
+				qualified++
+			default:
+				// A plain pointer flowing into a nonnull one: also rejected
+				// (the checker's derivation is per-expression, and a plain
+				// variable carries no nonnull evidence).
+				fmt.Fprintf(&sb, "  int* u%d = &%s;\n  int* nonnull %s = u%d;\n", i, pickInt(), name, i)
+				qualified++
+			}
+			fmt.Fprintf(&sb, "  if (%s == NULL) { return %d; }\n", name, failCode)
+			failCode++
+		}
+	}
+	sb.WriteString("  return 0;\n}\n")
+	return sb.String(), qualified
+}
+
+// TestDynamicPointerSoundnessProperty is the pointer-shaped instance of the
+// dynamic soundness property: when the checker accepts a program with
+// nonnull-annotated pointers without warnings, no nonnull guard may fire at
+// run time — and the adversarial NULL-flow shapes must be rejected.
+func TestDynamicPointerSoundnessProperty(t *testing.T) {
+	reg := quals.MustStandard()
+	names := reg.Names()
+	gen := &dynGen{}
+	accepted := 0
+	check := func(seed int64) bool {
+		src, qualified := gen.generatePointer(seed)
+		prog, err := cminor.Parse("gen.c", src, names)
+		if err != nil {
+			t.Logf("generator produced invalid program: %v\n%s", err, src)
+			return false
+		}
+		res := checker.Check(prog, reg)
+		// Any NULL-flow shape must be diagnosed: an accepted program with a
+		// "= NULL" or plain-pointer initializer of a nonnull pointer would
+		// itself be a soundness bug, which the run below would then catch.
+		if len(res.Diags) > 0 {
+			return true // rejected programs are outside the run-time property
+		}
+		if qualified == 0 {
+			return true
+		}
+		accepted++
+		out, err := interp.Run(prog, reg, interp.Options{RuntimeChecks: true})
+		if err != nil {
+			t.Logf("accepted pointer program failed to run: %v\n%s", err, src)
+			return false
+		}
+		if out.Exit != 0 {
+			t.Logf("SOUNDNESS VIOLATION: accepted program's nonnull guard %d fired:\n%s", out.Exit, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	if accepted < 100 {
+		t.Errorf("only %d accepted pointer programs with nonnull variables; property undersampled", accepted)
+	}
+}
+
+// TestDynamicPointerNullFlowRejected pins the adversarial direction: every
+// program that initializes a nonnull pointer from NULL (directly or through
+// a plain pointer variable) must be rejected statically.
+func TestDynamicPointerNullFlowRejected(t *testing.T) {
+	reg := quals.MustStandard()
+	names := reg.Names()
+	for _, src := range []string{
+		"int main() {\n  int* nonnull p = NULL;\n  return 0;\n}\n",
+		"int main() {\n  int* t = NULL;\n  int* nonnull p = t;\n  return 0;\n}\n",
+		"int main() {\n  int v = 1;\n  int* u = &v;\n  int* nonnull p = u;\n  return 0;\n}\n",
+		"int main() {\n  int v = 1;\n  int* nonnull p = &v;\n  p = NULL;\n  return 0;\n}\n",
+	} {
+		prog, err := cminor.Parse("gen.c", src, names)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		if res := checker.Check(prog, reg); len(res.Diags) == 0 {
+			t.Errorf("NULL-flow program accepted without warnings:\n%s", src)
+		}
+	}
+}
+
 // TestDynamicSoundnessWithCasts: with casts in play, an accepted program
 // may fail a cast's run-time check — but then the run must halt AT the cast
 // (fatal error semantics) rather than continue into a state that violates a

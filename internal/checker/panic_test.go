@@ -1,0 +1,72 @@
+package checker
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/cminor"
+	"repro/internal/quals"
+)
+
+const twoFuncSrc = `
+int good() {
+  int pos x = 3;
+  return x;
+}
+int other() {
+  int pos y = 7;
+  return y;
+}
+`
+
+// TestCheckFuncPanicIsolation: a panic while walking one function body must
+// surface as an "internal" diagnostic on that function only; the other
+// functions still check (at every concurrency setting).
+func TestCheckFuncPanicIsolation(t *testing.T) {
+	reg := quals.MustStandard()
+	prog, err := cminor.Parse("test.c", twoFuncSrc, reg.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFuncHook = func(f *cminor.FuncDef) {
+		if f.Name == "good" {
+			panic("injected checker fault")
+		}
+	}
+	defer func() { checkFuncHook = nil }()
+
+	for _, workers := range []int{1, 4} {
+		res := CheckWith(prog, reg, Options{Concurrency: workers})
+		internal := res.Errors("internal")
+		if len(internal) != 1 {
+			t.Fatalf("workers=%d: %d internal diagnostics, want 1: %v", workers, len(internal), res.Diags)
+		}
+		if !strings.Contains(internal[0].Msg, "good") || !strings.Contains(internal[0].Msg, "injected checker fault") {
+			t.Errorf("workers=%d: internal diagnostic misses context: %s", workers, internal[0].Msg)
+		}
+		if len(res.Diags) != 1 {
+			t.Errorf("workers=%d: unrelated diagnostics alongside the panic: %v", workers, res.Diags)
+		}
+	}
+}
+
+// TestCheckWithContextCancel: a pre-canceled context skips the function walk
+// and marks the result inconclusive via Err.
+func TestCheckWithContextCancel(t *testing.T) {
+	reg := quals.MustStandard()
+	prog, err := cminor.Parse("test.c", twoFuncSrc, reg.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := CheckWithContext(ctx, prog, reg, Options{})
+	if res.Err == nil {
+		t.Error("canceled check reported no Err")
+	}
+	// And an un-canceled context reports a clean run.
+	if res := CheckWithContext(context.Background(), prog, reg, Options{}); res.Err != nil || len(res.Diags) != 0 {
+		t.Errorf("clean program: err=%v diags=%v", res.Err, res.Diags)
+	}
+}

@@ -1,0 +1,37 @@
+package cminor
+
+import (
+	"testing"
+)
+
+// FuzzParse is the native fuzz target for the C-minor front end: any byte
+// string must either parse (and then survive typechecking and printing) or
+// return an error — never panic. `make fuzz-smoke` runs it for a short
+// budget; without -fuzz it replays the seed corpus as a regression test.
+func FuzzParse(f *testing.F) {
+	f.Add(`int main() { return 0; }`)
+	f.Add(`
+struct s { int x; int* next; };
+int* unique g;
+int f(int* nonnull p, int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) s += p[i];
+  if (s > 0 && p != NULL) return *p;
+  return (int)(s / 2);
+}
+`)
+	f.Add(`int pos g = 1; int main() { int pos x = (int pos) g; return x; }`)
+	f.Add(`int main() { while (1) { if (0) break; } return 0; }`)
+	f.Add(`struct t { struct t* next; }; void walk(struct t* nonnull p) { *&p; }`)
+	f.Add("int main() { return \x00; }")
+	quals := map[string]bool{"nonnull": true, "unique": true, "pos": true}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse("fuzz.c", src, quals)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must survive the rest of the front end.
+		TypeCheck(prog)
+		Print(prog)
+	})
+}

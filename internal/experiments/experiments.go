@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -31,10 +32,20 @@ var proverCache = simplify.NewCache(0)
 // ProverCacheStats exposes the shared cache's counters for reporting.
 func ProverCacheStats() simplify.CacheStats { return proverCache.Stats() }
 
+// goalTimeout is the per-goal wall-clock budget prover-backed experiments
+// run under (cmd/experiments' -timeout flag overrides it via SetGoalTimeout).
+var goalTimeout = simplify.DefaultGoalTimeout
+
+// SetGoalTimeout overrides the per-goal deadline for subsequent prover-backed
+// experiments (0 means unlimited). Not safe to call concurrently with a
+// running experiment.
+func SetGoalTimeout(d time.Duration) { goalTimeout = d }
+
 // soundnessOptions is DefaultOptions over the run-wide shared prover cache.
 func soundnessOptions() soundness.Options {
 	opts := soundness.DefaultOptions()
 	opts.Cache = proverCache
+	opts.Prover.GoalTimeout = goalTimeout
 	return opts
 }
 
@@ -283,6 +294,11 @@ type ProverRow struct {
 	// CacheHits counts obligations served by the shared memoizing prover
 	// cache rather than a fresh search.
 	CacheHits int
+	// Decisions / Instantiations summarize the qualifier's search effort
+	// (simplify.Stats aggregated over its obligations): DPLL branching
+	// decisions and e-matching instances.
+	Decisions      int
+	Instantiations int
 	// Bound is the paper's reported ceiling for this qualifier kind
 	// (1s for value qualifiers, 30s for reference qualifiers).
 	Bound time.Duration
@@ -291,11 +307,16 @@ type ProverRow struct {
 // ProverTimes proves the whole standard library and reports per-qualifier
 // timing against the paper's claims.
 func ProverTimes() ([]ProverRow, error) {
+	return ProverTimesContext(context.Background())
+}
+
+// ProverTimesContext is ProverTimes with cancellation.
+func ProverTimesContext(ctx context.Context) ([]ProverRow, error) {
 	reg, err := quals.Standard()
 	if err != nil {
 		return nil, err
 	}
-	reports, err := soundness.ProveAll(reg, soundnessOptions())
+	reports, err := soundness.ProveAllContext(ctx, reg, soundnessOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -306,13 +327,15 @@ func ProverTimes() ([]ProverRow, error) {
 			bound = 30 * time.Second
 		}
 		rows = append(rows, ProverRow{
-			Qualifier:   r.Qualifier,
-			Kind:        r.Kind,
-			Obligations: len(r.Results),
-			Sound:       r.Sound(),
-			Elapsed:     r.Elapsed,
-			CacheHits:   r.CacheHits,
-			Bound:       bound,
+			Qualifier:      r.Qualifier,
+			Kind:           r.Kind,
+			Obligations:    len(r.Results),
+			Sound:          r.Sound(),
+			Elapsed:        r.Elapsed,
+			CacheHits:      r.CacheHits,
+			Decisions:      r.Stats.Decisions,
+			Instantiations: r.Stats.Instantiations,
+			Bound:          bound,
 		})
 	}
 	return rows, nil
@@ -372,6 +395,11 @@ type MutationRow struct {
 // Mutations runs the negative experiments: each broken type rule must fail
 // its soundness obligation.
 func Mutations() ([]MutationRow, error) {
+	return MutationsContext(context.Background())
+}
+
+// MutationsContext is Mutations with cancellation.
+func MutationsContext(ctx context.Context) ([]MutationRow, error) {
 	cases := []struct {
 		name    string
 		sources map[string]string
@@ -429,7 +457,7 @@ func Mutations() ([]MutationRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}
-		rep, err := soundness.Prove(reg.Lookup(c.qual), reg, soundnessOptions())
+		rep, err := soundness.ProveContext(ctx, reg.Lookup(c.qual), reg, soundnessOptions())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}

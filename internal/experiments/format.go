@@ -64,12 +64,12 @@ func FormatUniqueness(r UniquenessResult) string {
 func FormatProverTimes(rows []ProverRow) string {
 	var sb strings.Builder
 	sb.WriteString("Section 4. Automated soundness checking.\n")
-	fmt.Fprintf(&sb, "  %-12s %-6s %-12s %-8s %-12s %-10s %s\n",
-		"qualifier", "kind", "obligations", "sound", "time", "cachehits", "paper bound")
+	fmt.Fprintf(&sb, "  %-12s %-6s %-12s %-8s %-12s %-10s %-10s %-10s %s\n",
+		"qualifier", "kind", "obligations", "sound", "time", "cachehits", "decisions", "instances", "paper bound")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "  %-12s %-6s %-12d %-8v %-12s %-10d < %s\n",
+		fmt.Fprintf(&sb, "  %-12s %-6s %-12d %-8v %-12s %-10d %-10d %-10d < %s\n",
 			r.Qualifier, r.Kind, r.Obligations, r.Sound,
-			r.Elapsed.Round(time.Microsecond), r.CacheHits, r.Bound)
+			r.Elapsed.Round(time.Microsecond), r.CacheHits, r.Decisions, r.Instantiations, r.Bound)
 	}
 	return sb.String()
 }

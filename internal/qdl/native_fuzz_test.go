@@ -1,0 +1,43 @@
+package qdl
+
+import (
+	"testing"
+)
+
+// FuzzParseQDL is the native fuzz target for the qualifier-definition
+// language: any byte string must either parse (and then survive registry
+// validation and printing) or return an error — never panic. `make
+// fuzz-smoke` runs it for a short budget; without -fuzz it replays the seed
+// corpus as a regression test.
+func FuzzParseQDL(f *testing.F) {
+	f.Add(`
+value qualifier pos(int Expr E)
+  case E of
+    decl int Const C:
+      C, where C > 0
+  invariant value(E) > 0
+`)
+	f.Add(`
+ref qualifier unique(T* LValue L)
+  assign L
+    NULL
+  | new
+  disallow L
+  invariant value(L) == NULL || (isHeapLoc(value(L)) && forall T** P: *P == value(L) => P == location(L))
+`)
+	f.Add(`value qualifier q(int Expr E)`)
+	f.Add("qualifier \x00(")
+	f.Fuzz(func(t *testing.T, src string) {
+		defs, err := Parse("fuzz.qdl", src)
+		if err != nil {
+			return
+		}
+		r := NewRegistry()
+		for _, d := range defs {
+			if err := r.Add(d); err != nil {
+				return
+			}
+			_ = d.String()
+		}
+	})
+}

@@ -120,6 +120,12 @@ type linConstraint struct {
 // system is.
 type arithSolver struct {
 	constraints []linConstraint
+	// elims counts eliminated atoms (telemetry surfaced as
+	// Stats.FMEliminations).
+	elims int
+	// tick, when set, lets a long elimination observe the goal's deadline;
+	// a tripped ticker reports "consistent", which is sound.
+	tick *ticker
 }
 
 func newArithSolver() *arithSolver { return &arithSolver{} }
@@ -232,9 +238,13 @@ func (s *arithSolver) inconsistent() bool {
 			}
 		}
 		// Eliminate bestKey: combine each pos with each neg.
+		s.elims++
 		next := rest2
 		for _, p := range pos {
 			cp := p.coeffs[bestKey]
+			if s.tick.stop() {
+				return false // deadline: treat as consistent (sound)
+			}
 			for _, n := range neg {
 				cn := -n.coeffs[bestKey]
 				// cn*p + cp*n eliminates the atom. Normalize by gcd to keep

@@ -51,6 +51,9 @@ type egraph struct {
 	// disequalities: pairs of node ids asserted distinct, with a description
 	// for diagnostics.
 	diseqs []diseq
+	// merges counts class unions (telemetry surfaced as
+	// Stats.CongruenceMerges).
+	merges int
 
 	trueID  nodeID
 	falseID nodeID
@@ -163,6 +166,7 @@ func (e *egraph) merge(a, b nodeID) {
 	if ra == rb {
 		return
 	}
+	e.merges++
 	if e.rank[ra] < e.rank[rb] {
 		ra, rb = rb, ra
 	}

@@ -98,10 +98,14 @@ func matchTerm(pattern, t logic.Term, sub map[string]logic.Term) (map[string]log
 }
 
 // matchPattern returns all substitutions matching one pattern term against
-// the bank.
-func matchPattern(pattern logic.Term, bank *termBank, base map[string]logic.Term) []map[string]logic.Term {
+// the bank. A tripped ticker truncates the scan (the caller observes the
+// trip and abandons the round, so partial results are never acted on).
+func matchPattern(pattern logic.Term, bank *termBank, base map[string]logic.Term, tk *ticker) []map[string]logic.Term {
 	var out []map[string]logic.Term
 	for _, t := range bank.terms {
+		if tk.stop() {
+			return out
+		}
 		if sub, ok := matchTerm(pattern, t, base); ok {
 			out = append(out, sub)
 		}
@@ -110,13 +114,18 @@ func matchPattern(pattern logic.Term, bank *termBank, base map[string]logic.Term
 }
 
 // matchTrigger matches a multi-pattern trigger (all patterns must match,
-// sharing variable bindings) against the bank.
-func matchTrigger(trigger []logic.Term, bank *termBank) []map[string]logic.Term {
+// sharing variable bindings) against the bank. Multi-pattern joins are the
+// matcher's combinatorial hot spot, so the goal's deadline is observed per
+// candidate substitution.
+func matchTrigger(trigger []logic.Term, bank *termBank, tk *ticker) []map[string]logic.Term {
 	subs := []map[string]logic.Term{{}}
 	for _, pat := range trigger {
 		var next []map[string]logic.Term
 		for _, base := range subs {
-			next = append(next, matchPattern(pat, bank, base)...)
+			if tk.stop() {
+				return next
+			}
+			next = append(next, matchPattern(pat, bank, base, tk)...)
 		}
 		subs = next
 		if len(subs) == 0 {

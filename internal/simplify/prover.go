@@ -1,10 +1,13 @@
 package simplify
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/logic"
 )
@@ -36,15 +39,34 @@ type Options struct {
 	MaxInstances int
 	// MaxDecisions bounds DPLL branching decisions per round (default 200000).
 	MaxDecisions int
+	// GoalTimeout bounds the wall-clock time of one Prove call (default 5s
+	// via DefaultOptions; 0 disables the bound, leaving only the static step
+	// budgets above). The deadline is checked at DPLL decision points, unit
+	// propagation, e-matching, and Fourier-Motzkin elimination, so a
+	// pathological goal (e.g. a trigger loop) returns Unknown with reason
+	// ReasonDeadline instead of wedging its worker.
+	GoalTimeout time.Duration
 	// NonlinearAxioms, when true (the default via DefaultOptions), loads the
 	// multiplication sign axioms that Simplify's limited non-linear
 	// arithmetic support provides.
 	NonlinearAxioms bool
 }
 
+// DefaultGoalTimeout is DefaultOptions' per-goal wall-clock bound. The
+// paper's obligations discharge in milliseconds; anything near this bound is
+// a runaway search, and Simplify's own discipline is to report a resource
+// limit rather than hang.
+const DefaultGoalTimeout = 5 * time.Second
+
 // DefaultOptions returns the standard search budget.
 func DefaultOptions() Options {
-	return Options{MaxRounds: 8, MaxInstances: 20000, MaxDecisions: 200000, NonlinearAxioms: true}
+	return Options{
+		MaxRounds:       8,
+		MaxInstances:    20000,
+		MaxDecisions:    200000,
+		GoalTimeout:     DefaultGoalTimeout,
+		NonlinearAxioms: true,
+	}
 }
 
 // Outcome reports the verdict plus search statistics.
@@ -63,8 +85,12 @@ type Outcome struct {
 	CounterExample []string
 	// CacheHit reports that this outcome was served from a memoizing Cache
 	// rather than a fresh search. All other fields are the stored search's;
-	// the prover is deterministic, so they equal what a re-run would find.
+	// the prover is deterministic (up to wall-clock telemetry), so they equal
+	// what a re-run would find.
 	CacheHit bool
+	// Stats is the goal's search telemetry (duplicating the counters above
+	// plus the theory-level ones and wall time, in one aggregatable struct).
+	Stats Stats
 }
 
 func (o Outcome) String() string {
@@ -146,7 +172,8 @@ func (p *Prover) buildBase() {
 		return nil
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "opts|%d|%d|%d|%t\n", p.opts.MaxRounds, p.opts.MaxInstances, p.opts.MaxDecisions, p.opts.NonlinearAxioms)
+	fmt.Fprintf(h, "opts|%d|%d|%d|%d|%t\n", p.opts.MaxRounds, p.opts.MaxInstances, p.opts.MaxDecisions,
+		p.opts.GoalTimeout, p.opts.NonlinearAxioms)
 	for _, ax := range p.axioms {
 		fmt.Fprintf(h, "ax|%s\n", ax)
 		if err := addFormula(ax); err != nil {
@@ -194,6 +221,17 @@ func MulSignAxioms() []logic.Formula {
 // Prove attempts to prove goal from the prover's axioms. It is safe to call
 // concurrently from multiple goroutines.
 func (p *Prover) Prove(goal logic.Formula) Outcome {
+	return p.ProveContext(context.Background(), goal)
+}
+
+// ProveContext is Prove under a context: the search observes ctx
+// cancellation and ctx's deadline (in addition to Options.GoalTimeout,
+// whichever is sooner) at its decision points, returning Unknown with reason
+// ReasonCanceled or ReasonDeadline. Like Simplify itself, the call always
+// terminates and reports: panics inside the search are recovered into an
+// Unknown outcome with a "panic: ..." reason rather than escaping to the
+// caller.
+func (p *Prover) ProveContext(ctx context.Context, goal logic.Formula) Outcome {
 	if p.baseErr != nil {
 		return Outcome{Result: Unknown, Reason: p.baseErr.Error()}
 	}
@@ -205,16 +243,48 @@ func (p *Prover) Prove(goal logic.Formula) Outcome {
 			return out
 		}
 	}
-	out := p.prove(goal)
-	if p.cache != nil {
+	out := p.proveSafe(ctx, goal)
+	if p.cache != nil && cacheable(out) {
 		p.cache.put(key, out)
 	}
 	return out
 }
 
+// cacheable reports whether an outcome may be memoized. Transient outcomes —
+// deadline expiry, cancellation, recovered panics — must not be: a rerun
+// with more time (or a fixed bug) may legitimately differ.
+func cacheable(o Outcome) bool {
+	switch o.Reason {
+	case ReasonDeadline, ReasonCanceled:
+		return false
+	}
+	return !strings.HasPrefix(o.Reason, "panic:")
+}
+
+// proveRoundHook, when non-nil, runs once per instantiation round. It exists
+// for tests that inject faults (panics, delays) into the search.
+var proveRoundHook func()
+
+// proveSafe wraps one search with wall-clock telemetry and panic recovery.
+func (p *Prover) proveSafe(ctx context.Context, goal logic.Formula) (out Outcome) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			out = Outcome{Result: Unknown, Reason: fmt.Sprintf("panic: %v", r)}
+		}
+		// Mirror the legacy counters into the aggregatable Stats view.
+		out.Stats.Rounds = out.Rounds
+		out.Stats.Decisions = out.Decisions
+		out.Stats.Instantiations = out.Instances
+		out.Stats.GroundClauses = out.GroundClauses
+		out.Stats.WallTime = time.Since(start)
+	}()
+	return p.prove(goal, newTicker(ctx, start, p.opts.GoalTimeout))
+}
+
 // prove runs one refutation search over a private copy of the clausified
 // axiom base extended with the negated goal.
-func (p *Prover) prove(goal logic.Formula) Outcome {
+func (p *Prover) prove(goal logic.Formula, tk *ticker) Outcome {
 	sk := p.baseSk.Clone()
 	ground := make([]logic.Clause, len(p.baseGround), len(p.baseGround)+16)
 	copy(ground, p.baseGround)
@@ -247,15 +317,34 @@ func (p *Prover) prove(goal logic.Formula) Outcome {
 	}
 	seenTrichotomy := map[string]bool{}
 	out := Outcome{}
+	stopped := func() Outcome {
+		out.Result = Unknown
+		out.Reason = tk.reason
+		out.GroundClauses = len(ground)
+		return out
+	}
 	var lastModel []string
 	for round := 0; round <= p.opts.MaxRounds; round++ {
 		out.Rounds = round + 1
-		ground = append(ground, p.trichotomyClauses(ground, seenTrichotomy, seenClause)...)
+		if proveRoundHook != nil {
+			proveRoundHook()
+		}
+		tri := p.trichotomyClauses(ground, seenTrichotomy, seenClause, tk)
+		out.Stats.CaseSplits += len(tri)
+		ground = append(ground, tri...)
 		out.GroundClauses = len(ground)
-		s := &search{maxDecisions: p.opts.MaxDecisions}
+		s := &search{maxDecisions: p.opts.MaxDecisions, tick: tk}
 		unsat := s.refute(ground)
 		out.Decisions += s.decisions
+		out.Stats.CongruenceMerges += s.merges
+		out.Stats.FMEliminations += s.fmElims
+		out.Stats.TheoryChecks += s.theoryChecks
 		lastModel = s.model
+		if tk.reason != "" {
+			// A stopped search unwinds as "consistent", so unsat can never be
+			// a cancellation artifact; still, report the stop, not a verdict.
+			return stopped()
+		}
 		if unsat {
 			out.Result = Valid
 			return out
@@ -273,7 +362,11 @@ func (p *Prover) prove(goal logic.Formula) Outcome {
 		added := 0
 		for _, qc := range quant {
 			for _, trig := range qc.Triggers {
-				for _, sub := range matchTrigger(trig, bank) {
+				subs := matchTrigger(trig, bank, tk)
+				if tk.reason != "" {
+					return stopped()
+				}
+				for _, sub := range subs {
 					inst := instantiateClause(qc, sub)
 					if inst == nil {
 						continue
@@ -339,7 +432,7 @@ func instantiateClause(qc logic.Clause, sub map[string]logic.Term) *logic.Clause
 // integer theory needs (e.g. x != 0 |- x < 0 or x > 0). A term is numeric if
 // it appears under an order comparison or an arithmetic operator, closed
 // under equalities.
-func (p *Prover) trichotomyClauses(ground []logic.Clause, seenTri, seenClause map[string]bool) []logic.Clause {
+func (p *Prover) trichotomyClauses(ground []logic.Clause, seenTri, seenClause map[string]bool, tk *ticker) []logic.Clause {
 	numeric := map[string]bool{}
 	markArith := func(t logic.Term) {
 		for _, a := range collectOpaqueAtoms(t) {
@@ -364,7 +457,7 @@ func (p *Prover) trichotomyClauses(ground []logic.Clause, seenTri, seenClause ma
 		}
 	}
 	// Close numeric-ness over eq/ne pairs until fixpoint.
-	for changed := true; changed; {
+	for changed := true; changed && !tk.stop(); {
 		changed = false
 		for _, pr := range eqs {
 			lk, rk := pr.l.String(), pr.r.String()
@@ -447,6 +540,13 @@ type search struct {
 	assign       map[string]bool
 	decisions    int
 	maxDecisions int
+	// tick carries the goal's deadline/cancellation state; a tripped ticker
+	// makes every branch report "consistent" (sound) so the search unwinds.
+	tick *ticker
+	// Theory telemetry, accumulated across the branch consistency checks.
+	merges       int
+	fmElims      int
+	theoryChecks int
 	// model captures the satisfying assignment of the last consistent
 	// branch found (the countermodel candidate reported on Unknown).
 	model []string
@@ -498,6 +598,9 @@ func (s *search) refute(clauses []logic.Clause) bool {
 		if s.decisions > s.maxDecisions {
 			return false // budget: treat as consistent (sound)
 		}
+		if s.tick.stop() {
+			return false // deadline/cancel: treat as consistent (sound)
+		}
 		// Unit propagation to fixpoint.
 		trail := []string{}
 		undo := func() {
@@ -508,6 +611,10 @@ func (s *search) refute(clauses []logic.Clause) bool {
 		for {
 			progress := false
 			for _, c := range cls {
+				if s.tick.stop() {
+					undo()
+					return false
+				}
 				unassigned := -1
 				satisfied := false
 				nUnassigned := 0
@@ -614,6 +721,12 @@ func (s *search) captureModel() {
 func (s *search) theoryConflict() bool {
 	eg := newEgraph()
 	ar := newArithSolver()
+	ar.tick = s.tick
+	s.theoryChecks++
+	defer func() {
+		s.merges += eg.merges
+		s.fmElims += ar.elims
+	}()
 	var arithAtomTerms []logic.Term
 	assertCmpBoth := func(op logic.CmpOp, L, R logic.Term) {
 		switch op {

@@ -1,0 +1,130 @@
+package simplify
+
+import (
+	"context"
+	"time"
+)
+
+// Stats is the per-goal search telemetry a Prove call accumulates. It rides
+// on the Outcome (and, in the soundness checker, is aggregated per qualifier
+// report), so slow qualifiers and hot obligations are diagnosable without
+// re-running the search under a profiler.
+//
+// A cached outcome carries the stored search's counters and wall time, not
+// the (near-zero) cost of the lookup itself; Outcome.CacheHit distinguishes
+// the two.
+type Stats struct {
+	// Rounds is the number of instantiation rounds entered.
+	Rounds int
+	// Decisions counts DPLL branching decisions across all rounds.
+	Decisions int
+	// CaseSplits counts trichotomy clauses added for numeric (dis)equalities
+	// (the integer theory's case splits).
+	CaseSplits int
+	// Instantiations counts quantified-clause instances added by e-matching.
+	Instantiations int
+	// GroundClauses is the final size of the ground clause set.
+	GroundClauses int
+	// CongruenceMerges counts e-graph class unions (including congruence
+	// propagation) across all theory checks.
+	CongruenceMerges int
+	// FMEliminations counts variables eliminated by Fourier-Motzkin across
+	// all theory checks.
+	FMEliminations int
+	// TheoryChecks counts consistency checks of DPLL branches against the
+	// EUF + arithmetic theories.
+	TheoryChecks int
+	// WallTime is the goal's wall-clock search time.
+	WallTime time.Duration
+}
+
+// Add accumulates o into s. Wall times sum, which for a concurrently
+// discharged report means "total CPU-ish search time", not elapsed time.
+func (s *Stats) Add(o Stats) {
+	s.Rounds += o.Rounds
+	s.Decisions += o.Decisions
+	s.CaseSplits += o.CaseSplits
+	s.Instantiations += o.Instantiations
+	s.GroundClauses += o.GroundClauses
+	s.CongruenceMerges += o.CongruenceMerges
+	s.FMEliminations += o.FMEliminations
+	s.TheoryChecks += o.TheoryChecks
+	s.WallTime += o.WallTime
+}
+
+// Outcome reasons reported when a search is stopped rather than finished.
+const (
+	// ReasonDeadline is reported when the per-goal wall-clock budget
+	// (Options.GoalTimeout or the context's deadline) expired mid-search.
+	ReasonDeadline = "deadline exceeded"
+	// ReasonCanceled is reported when the Prove call's context was canceled.
+	ReasonCanceled = "canceled"
+)
+
+// tickMask throttles the wall-clock and context checks: the expensive
+// time.Now/channel polls run once per tickMask+1 stop() calls, so ticking
+// from tight search loops stays a counter increment in the common case.
+const tickMask = 255
+
+// ticker carries a goal's cancellation state through the search: an optional
+// context and an optional wall-clock deadline. It is not safe for concurrent
+// use; every Prove call builds its own.
+type ticker struct {
+	ctx      context.Context
+	deadline time.Time
+	n        uint32
+	reason   string
+}
+
+// newTicker builds the per-goal cancellation state. A zero timeout means no
+// wall-clock bound beyond the context's own deadline (if any).
+func newTicker(ctx context.Context, start time.Time, timeout time.Duration) *ticker {
+	t := &ticker{ctx: ctx}
+	if timeout > 0 {
+		t.deadline = start.Add(timeout)
+	}
+	if ctx != nil {
+		if d, ok := ctx.Deadline(); ok && (t.deadline.IsZero() || d.Before(t.deadline)) {
+			t.deadline = d
+		}
+	}
+	return t
+}
+
+// stop reports whether the search must abandon the goal, polling the clock
+// and context only every tickMask+1 calls. Once tripped it stays tripped
+// (reason records why), so deeply nested loops unwind quickly. A nil ticker
+// never stops, so components can run without a deadline.
+func (t *ticker) stop() bool {
+	if t == nil {
+		return false
+	}
+	if t.reason != "" {
+		return true
+	}
+	t.n++
+	if t.n&tickMask != 0 {
+		return false
+	}
+	return t.poll()
+}
+
+// poll performs the real deadline/context check.
+func (t *ticker) poll() bool {
+	if t.reason != "" {
+		return true
+	}
+	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		t.reason = ReasonDeadline
+		return true
+	}
+	if t.ctx != nil {
+		select {
+		case <-t.ctx.Done():
+			t.reason = ReasonCanceled
+			return true
+		default:
+		}
+	}
+	return false
+}

@@ -1,13 +1,16 @@
 package soundness
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/logic"
 	"repro/internal/qdl"
 	"repro/internal/simplify"
 )
@@ -42,6 +45,11 @@ type Report struct {
 	// failed obligation (0 means DefaultCounterExampleLimit). It echoes
 	// Options.CounterExampleLimit so String needs no extra context.
 	CounterExampleLimit int
+	// Stats aggregates the per-goal search telemetry of every obligation
+	// (cache hits contribute the stored search's counters). Wall times sum,
+	// so under concurrent discharge Stats.WallTime is total search time, not
+	// elapsed time (that is Elapsed).
+	Stats simplify.Stats
 }
 
 // Sound reports whether every obligation was discharged.
@@ -93,6 +101,9 @@ func (r *Report) String() string {
 			mark = "✗"
 		}
 		fmt.Fprintf(&sb, "  %s [%s] %s (%v)\n", mark, res.Obligation.Kind, res.Obligation.Description, res.Elapsed.Round(time.Microsecond))
+		if !res.Valid && res.Outcome.Reason != "" {
+			fmt.Fprintf(&sb, "      reason: %s\n", res.Outcome.Reason)
+		}
 		if !res.Valid && len(res.Outcome.CounterExample) > 0 {
 			sb.WriteString("      counterexample candidate (hypotheses hold, invariant fails):\n")
 			shown := 0
@@ -126,6 +137,15 @@ type Options struct {
 	// CounterExampleLimit caps the counterexample literals printed per
 	// failed obligation in Report.String (0 = DefaultCounterExampleLimit).
 	CounterExampleLimit int
+	// ExtraAxioms are appended to the standard background axiom set. Tests
+	// use this to inject pathological axioms (e.g. trigger loops); callers
+	// can use it to extend the theory with domain facts.
+	ExtraAxioms []logic.Formula
+	// Trace, when non-nil, receives one JSON object per discharged
+	// obligation (JSON Lines), carrying the verdict and the per-goal search
+	// telemetry. Writes are serialized; records for one qualifier appear as
+	// a contiguous block in obligation-generation order.
+	Trace io.Writer
 }
 
 // DefaultOptions returns the standard configuration.
@@ -146,6 +166,14 @@ func (o Options) concurrency() int {
 // clauses. Obligations are discharged concurrently (bounded by
 // opts.Concurrency) but reported in generation order.
 func Prove(d *qdl.Def, reg *qdl.Registry, opts Options) (*Report, error) {
+	return ProveContext(context.Background(), d, reg, opts)
+}
+
+// ProveContext is Prove with cancellation: a canceled (or deadline-expired)
+// context stops the in-flight proof searches, which then report Unknown with
+// a cancellation reason. The report is still returned — a stopped search is
+// sound, just inconclusive.
+func ProveContext(ctx context.Context, d *qdl.Def, reg *qdl.Registry, opts Options) (*Report, error) {
 	obls, err := Obligations(d, reg)
 	if err != nil {
 		return nil, err
@@ -155,30 +183,61 @@ func Prove(d *qdl.Def, reg *qdl.Registry, opts Options) (*Report, error) {
 	if cache == nil {
 		cache = simplify.NewCache(0)
 	}
-	prover := simplify.New(Axioms(), opts.Prover).WithCache(cache)
+	axioms := Axioms()
+	if len(opts.ExtraAxioms) > 0 {
+		axioms = append(append([]logic.Formula{}, axioms...), opts.ExtraAxioms...)
+	}
+	prover := simplify.New(axioms, opts.Prover).WithCache(cache)
 	start := time.Now()
-	report.Results = proveObligations(prover, obls, opts.concurrency())
+	report.Results = proveObligations(ctx, prover, obls, opts.concurrency())
 	report.Elapsed = time.Since(start)
 	for _, res := range report.Results {
 		if res.Outcome.CacheHit {
 			report.CacheHits++
 		}
+		report.Stats.Add(res.Outcome.Stats)
+	}
+	if opts.Trace != nil {
+		writeTrace(opts.Trace, report)
 	}
 	return report, nil
 }
 
 // proveObligations discharges obls on a bounded worker pool, writing each
 // result into its obligation's slot so the order is deterministic.
-func proveObligations(prover *simplify.Prover, obls []Obligation, workers int) []ObligationResult {
+func proveObligations(ctx context.Context, prover *simplify.Prover, obls []Obligation, workers int) []ObligationResult {
 	results := make([]ObligationResult, len(obls))
 	forEachIndex(len(obls), workers, func(i int) {
-		results[i] = discharge(prover, obls[i])
+		results[i] = discharge(ctx, prover, obls[i])
 	})
 	return results
 }
 
-// discharge proves one obligation.
-func discharge(prover *simplify.Prover, o Obligation) ObligationResult {
+// dischargeHook, when non-nil, runs at the start of every discharge. Tests
+// use it to observe pool behaviour and to inject faults.
+var dischargeHook func(o Obligation)
+
+// discharge proves one obligation. A panic anywhere in the goal's discharge
+// (the prover has its own recovery; this guards the surrounding machinery)
+// is converted into a failing result for this obligation only, so one broken
+// goal cannot take down the whole report or its worker pool.
+func discharge(ctx context.Context, prover *simplify.Prover, o Obligation) (res ObligationResult) {
+	t0 := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res = ObligationResult{
+				Obligation: o,
+				Outcome: simplify.Outcome{
+					Result: simplify.Unknown,
+					Reason: fmt.Sprintf("panic: %v", r),
+				},
+				Elapsed: time.Since(t0),
+			}
+		}
+	}()
+	if dischargeHook != nil {
+		dischargeHook(o)
+	}
 	if o.Vacuous {
 		return ObligationResult{
 			Obligation: o,
@@ -186,8 +245,7 @@ func discharge(prover *simplify.Prover, o Obligation) ObligationResult {
 			Valid:      true,
 		}
 	}
-	t0 := time.Now()
-	outcome := prover.Prove(o.Formula)
+	outcome := prover.ProveContext(ctx, o.Formula)
 	return ObligationResult{
 		Obligation: o,
 		Outcome:    outcome,
@@ -235,14 +293,37 @@ func forEachIndex(n, workers int, fn func(i int)) {
 // joined per-qualifier errors are also returned alongside the complete
 // report slice.
 func ProveAll(reg *qdl.Registry, opts Options) ([]*Report, error) {
+	return ProveAllContext(context.Background(), reg, opts)
+}
+
+// ProveAllContext is ProveAll with cancellation (see ProveContext).
+func ProveAllContext(ctx context.Context, reg *qdl.Registry, opts Options) ([]*Report, error) {
 	if opts.Cache == nil {
 		opts.Cache = simplify.NewCache(0)
 	}
 	defs := reg.Defs()
+	// Split the concurrency budget between the qualifier pool and each
+	// qualifier's obligation pool so the total never exceeds opts'
+	// concurrency: with C workers and fewer qualifiers than C, the leftover
+	// budget goes to inner obligation discharge instead of idle outer
+	// workers (and instead of the C*C goroutines nested pools would spawn).
+	total := opts.concurrency()
+	outer := total
+	if outer > len(defs) {
+		outer = len(defs)
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	inner := opts
+	inner.Concurrency = total / outer
+	if inner.Concurrency < 1 {
+		inner.Concurrency = 1
+	}
 	out := make([]*Report, len(defs))
-	forEachIndex(len(defs), opts.concurrency(), func(i int) {
+	forEachIndex(len(defs), outer, func(i int) {
 		d := defs[i]
-		r, err := Prove(d, reg, opts)
+		r, err := ProveContext(ctx, d, reg, inner)
 		if err != nil {
 			r = &Report{Qualifier: d.Name, Kind: d.Kind, Err: err, CounterExampleLimit: opts.CounterExampleLimit}
 		}
