@@ -1,9 +1,24 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments fuzz-smoke ci
+.PHONY: all build vet test race bench bench-smoke experiments fuzz-smoke ci
 
 # Seconds of fuzzing per target in fuzz-smoke.
 FUZZTIME ?= 30s
+
+# Fixed iteration and repetition counts for `make bench`: pinning -benchtime
+# keeps run-to-run numbers comparable (ns/op ratios against the baseline are
+# iteration-count independent, but the variance isn't).
+BENCHTIME ?= 100x
+BENCHCOUNT ?= 3
+# Raw `go test -bench` output of the benchmark suite at the commit before the
+# interned search engine landed; `make bench` joins against it for speedups.
+BENCH_BASELINE ?= BENCH_head_baseline.txt
+
+# The benchmark subset recorded in BENCH_prover.json: the two acceptance
+# families (soundness obligations, Table 2 checking) plus the prover and
+# engine microbenchmarks.
+BENCH_ROOT = ^(BenchmarkTable2Untainted|BenchmarkSoundness|BenchmarkAblationCongruenceChain|BenchmarkProverPosMultiplication|BenchmarkProverSelectStore)$$
+BENCH_SIMPLIFY = ^(BenchmarkRefute|BenchmarkTheoryConflict)$$
 
 all: build
 
@@ -22,8 +37,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench reruns the recorded prover benchmark suite with fixed -benchtime and
+# -count and rewrites BENCH_prover.json, the committed performance record,
+# including per-family geomean speedups against $(BENCH_BASELINE).
 bench:
-	$(GO) test -bench . -benchtime 1x .
+	{ $(GO) test -run '^$$' -bench '$(BENCH_ROOT)' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . ; \
+	  $(GO) test -run '^$$' -bench '$(BENCH_SIMPLIFY)' -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/simplify ; } \
+	| $(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) \
+	    -note "benchtime=$(BENCHTIME) count=$(BENCHCOUNT); baseline: pre-interning HEAD ($(BENCH_BASELINE))" \
+	    -o BENCH_prover.json
+	@echo wrote BENCH_prover.json
+
+# bench-smoke compiles and runs every benchmark for one iteration; it is the
+# CI guard that keeps the benchmark suite building and panic-free.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/simplify
 
 experiments:
 	$(GO) run ./cmd/experiments
@@ -36,6 +64,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQDL$$' -fuzztime $(FUZZTIME) ./internal/qdl
 	$(GO) test -run '^$$' -fuzz '^FuzzProveGround$$' -fuzztime $(FUZZTIME) ./internal/simplify
 
-# ci is the gate: everything must build, vet clean, pass under -race, and
-# survive a short fuzzing budget on each fuzz target.
-ci: build vet race fuzz-smoke
+# ci is the gate: everything must build, vet clean, pass under -race, run
+# every benchmark for one smoke iteration, and survive a short fuzzing budget
+# on each fuzz target.
+ci: build vet race bench-smoke fuzz-smoke

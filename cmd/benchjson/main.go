@@ -1,0 +1,232 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document, optionally joining it against a baseline run of the same
+// benchmarks to compute per-benchmark and per-family geomean speedups. The
+// repo's `make bench` target pipes the prover benchmark suite through it to
+// produce BENCH_prover.json, the committed performance record.
+//
+// Usage:
+//
+//	go test -bench . -count 3 . | benchjson -baseline old.txt -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// run is one benchmark line's measurements.
+type run struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasMem      bool
+}
+
+// gomaxprocsSuffix strips the "-8"-style GOMAXPROCS suffix go test appends
+// to benchmark names on multi-core runs.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts per-name runs from go test -bench output, ignoring
+// headers, PASS/ok trailers, and custom ReportMetric columns.
+func parseBench(r io.Reader) (map[string][]run, []string, error) {
+	runs := map[string][]run{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		rn := run{nsPerOp: ns}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				rn.bytesPerOp = v
+				rn.hasMem = true
+			case "allocs/op":
+				rn.allocsPerOp = v
+				rn.hasMem = true
+			}
+		}
+		if _, seen := runs[name]; !seen {
+			order = append(order, name)
+		}
+		runs[name] = append(runs[name], rn)
+	}
+	return runs, order, sc.Err()
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func geomean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// round2 keeps the JSON readable: two decimals is plenty for speedups.
+func round2(x float64) float64 { return math.Round(x*100) / 100 }
+
+// benchEntry is one benchmark's JSON record.
+type benchEntry struct {
+	Name              string    `json:"name"`
+	RunsNsPerOp       []float64 `json:"runs_ns_per_op"`
+	MeanNsPerOp       float64   `json:"mean_ns_per_op"`
+	BytesPerOp        *float64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp       *float64  `json:"allocs_per_op,omitempty"`
+	BaselineNsPerOp   *float64  `json:"baseline_mean_ns_per_op,omitempty"`
+	SpeedupVsBaseline *float64  `json:"speedup_vs_baseline,omitempty"`
+}
+
+// familyEntry aggregates speedups over a top-level benchmark family (the
+// name up to the first '/').
+type familyEntry struct {
+	Name           string  `json:"name"`
+	Benchmarks     int     `json:"benchmarks"`
+	GeomeanSpeedup float64 `json:"geomean_speedup_vs_baseline"`
+}
+
+type doc struct {
+	Note           string        `json:"note"`
+	Benchmarks     []benchEntry  `json:"benchmarks"`
+	Families       []familyEntry `json:"families,omitempty"`
+	GeomeanSpeedup *float64      `json:"geomean_speedup_vs_baseline,omitempty"`
+}
+
+func family(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default: stdout)")
+	baselinePath := flag.String("baseline", "", "prior go test -bench output to compute speedups against")
+	note := flag.String("note", "", "free-form provenance note stored in the document")
+	flag.Parse()
+
+	cur, order, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cur) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	base := map[string][]run{}
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		base, _, err = parseBench(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	d := doc{Note: *note}
+	famSpeedups := map[string][]float64{}
+	var allSpeedups []float64
+	for _, name := range order {
+		rs := cur[name]
+		e := benchEntry{Name: name}
+		for _, r := range rs {
+			e.RunsNsPerOp = append(e.RunsNsPerOp, r.nsPerOp)
+		}
+		e.MeanNsPerOp = round2(mean(e.RunsNsPerOp))
+		var bytesRuns, allocRuns []float64
+		for _, r := range rs {
+			if r.hasMem {
+				bytesRuns = append(bytesRuns, r.bytesPerOp)
+				allocRuns = append(allocRuns, r.allocsPerOp)
+			}
+		}
+		if len(bytesRuns) > 0 {
+			b, a := round2(mean(bytesRuns)), round2(mean(allocRuns))
+			e.BytesPerOp, e.AllocsPerOp = &b, &a
+		}
+		if brs, ok := base[name]; ok {
+			bm := mean(func() []float64 {
+				xs := make([]float64, len(brs))
+				for i, r := range brs {
+					xs[i] = r.nsPerOp
+				}
+				return xs
+			}())
+			bmr := round2(bm)
+			sp := round2(bm / mean(e.RunsNsPerOp))
+			e.BaselineNsPerOp, e.SpeedupVsBaseline = &bmr, &sp
+			famSpeedups[family(name)] = append(famSpeedups[family(name)], bm/mean(e.RunsNsPerOp))
+			allSpeedups = append(allSpeedups, bm/mean(e.RunsNsPerOp))
+		}
+		d.Benchmarks = append(d.Benchmarks, e)
+	}
+	var fams []string
+	for f := range famSpeedups {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, f := range fams {
+		d.Families = append(d.Families, familyEntry{
+			Name:           f,
+			Benchmarks:     len(famSpeedups[f]),
+			GeomeanSpeedup: round2(geomean(famSpeedups[f])),
+		})
+	}
+	if len(allSpeedups) > 0 {
+		g := round2(geomean(allSpeedups))
+		d.GeomeanSpeedup = &g
+	}
+
+	enc, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

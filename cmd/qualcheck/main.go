@@ -27,9 +27,20 @@ import (
 	"repro/internal/checker"
 	"repro/internal/cminor"
 	"repro/internal/corpus"
+	"repro/internal/profiling"
 	"repro/internal/qdl"
 	"repro/internal/quals"
 )
+
+// stopProfiles flushes any active pprof profiles; set once in main, and
+// called on every exit path (deferred calls do not survive os.Exit).
+var stopProfiles = func() {}
+
+// exit flushes profiles and terminates with the given status.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
 
 type stringList []string
 
@@ -51,7 +62,16 @@ func main() {
 	jobs := flag.Int("j", 0, "number of functions checked concurrently (default: all cores)")
 	cacheStats := flag.Bool("cache-stats", false, "print derivation-memo cache statistics after checking")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the check; 0 means unlimited")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	stop, perr := profiling.Start(*cpuprofile, *memprofile)
+	if perr != nil {
+		fatal(perr)
+	}
+	stopProfiles = stop
+	defer stopProfiles()
 
 	// Ctrl-C / SIGTERM (and -timeout) cut the function walk short; the run
 	// then reports what it has and exits non-zero as inconclusive.
@@ -84,7 +104,7 @@ func main() {
 		name, source = flag.Arg(0), string(data)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 
 	if *header != "" {
@@ -117,7 +137,7 @@ func main() {
 	if res.Err != nil {
 		fmt.Fprintf(os.Stderr, "qualcheck: check stopped after %v: %v (results are incomplete)\n",
 			time.Since(start).Round(time.Millisecond), res.Err)
-		os.Exit(2)
+		exit(2)
 	}
 	if *stats {
 		printStats(res)
@@ -135,7 +155,7 @@ func main() {
 		fmt.Printf("%s: no qualifier warnings\n", name)
 	} else {
 		fmt.Printf("%s: %d warning(s)\n", name, len(res.Diags))
-		os.Exit(1)
+		exit(1)
 	}
 }
 
@@ -191,5 +211,5 @@ func printStats(res *checker.Result) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "qualcheck:", err)
-	os.Exit(2)
+	exit(2)
 }

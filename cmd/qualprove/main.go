@@ -19,11 +19,22 @@ import (
 	"time"
 
 	"repro/internal/logic"
+	"repro/internal/profiling"
 	"repro/internal/qdl"
 	"repro/internal/quals"
 	"repro/internal/simplify"
 	"repro/internal/soundness"
 )
+
+// stopProfiles flushes any active pprof profiles; set once in main, and
+// called on every exit path (deferred calls do not survive os.Exit).
+var stopProfiles = func() {}
+
+// exit flushes profiles and terminates with the given status.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
 
 func main() {
 	verbose := flag.Bool("v", false, "print each obligation formula")
@@ -34,7 +45,16 @@ func main() {
 	timeout := flag.Duration("timeout", simplify.DefaultGoalTimeout, "per-goal wall-clock budget; 0 means unlimited")
 	stats := flag.Bool("stats", false, "print per-qualifier search statistics (decisions, instantiations, ...)")
 	trace := flag.String("trace", "", "write a per-obligation JSONL search trace to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stopProfiles()
 
 	// Ctrl-C / SIGTERM cancels in-flight proof searches; stopped goals report
 	// Unknown rather than wedging the run.
@@ -83,13 +103,12 @@ func main() {
 		}
 		printCacheStats()
 		if out.Result != simplify.Valid {
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
 
 	var reg *qdl.Registry
-	var err error
 	if flag.NArg() == 0 {
 		reg, err = quals.Standard()
 	} else {
@@ -132,7 +151,7 @@ func main() {
 	}
 	printCacheStats()
 	if !allSound {
-		os.Exit(1)
+		exit(1)
 	}
 }
 
@@ -145,5 +164,5 @@ func statsLine(s simplify.Stats) string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "qualprove:", err)
-	os.Exit(2)
+	exit(2)
 }

@@ -104,6 +104,14 @@ type engine struct {
 	// progress are pinned false (least fixpoint: recursion must bottom out
 	// in a syntactically fresh return).
 	freshMemo map[string]bool
+
+	// Derivation tables (see prepareDerive): the case-bearing value
+	// qualifier definitions and, per definition, whether its where-clauses
+	// consult qualifier sets. Built lazily on first qualSet call and shared
+	// read-only with child engines.
+	deriveReady bool
+	valueDefs   []*qdl.Def
+	defCurDep   []bool
 }
 
 type rclause struct {
@@ -122,6 +130,13 @@ type Options struct {
 	// are merged back into source order, so the result is identical at any
 	// setting.
 	Concurrency int
+	// Types supplies precomputed base type information (with TypeDiags, the
+	// diagnostics the same cminor.TypeCheck run produced) so repeated checks
+	// of one unchanged program skip re-typechecking. The caller must not
+	// have mutated the program since the TypeCheck run. Nil means typecheck
+	// here.
+	Types     *cminor.TypeInfo
+	TypeDiags []cminor.Diagnostic
 }
 
 // concurrency resolves the effective worker count.
@@ -147,7 +162,10 @@ func CheckWith(prog *cminor.Program, reg *qdl.Registry, opts Options) *Result {
 // the function-body walk early and records the cancellation on Result.Err
 // (diagnostics gathered so far are still returned).
 func CheckWithContext(ctx context.Context, prog *cminor.Program, reg *qdl.Registry, opts Options) *Result {
-	info, baseDiags := cminor.TypeCheck(prog)
+	info, baseDiags := opts.Types, opts.TypeDiags
+	if info == nil {
+		info, baseDiags = cminor.TypeCheck(prog)
+	}
 	en := &engine{
 		reg:  reg,
 		info: info,
@@ -290,7 +308,7 @@ func (en *engine) checkProgram(ctx context.Context, workers int) {
 	for _, g := range en.prog.Globals {
 		if g.Init != nil {
 			en.visitExprTree(g.Init)
-			en.checkAssignTo(g.Pos, g.Type, g.Init, "initialization of "+g.Name)
+			en.checkAssignTo(g.Pos, g.Type, g.Init, func() string { return "initialization of " + g.Name })
 		}
 	}
 	en.checkFuncs(ctx, workers)
@@ -399,6 +417,9 @@ func (en *engine) childEngine() *engine {
 		globalNames:   en.globalNames,
 		rExprClauses:  en.rExprClauses,
 		rDerefClauses: en.rDerefClauses,
+		deriveReady:   en.deriveReady,
+		valueDefs:     en.valueDefs,
+		defCurDep:     en.defCurDep,
 	}
 }
 
@@ -414,12 +435,14 @@ func (en *engine) checkStmt(s cminor.Stmt) {
 	case *cminor.DeclStmt:
 		if s.Decl.Init != nil {
 			en.visitExprTree(s.Decl.Init)
-			en.checkAssignTo(s.Pos, s.Decl.Type, s.Decl.Init, "initialization of "+s.Decl.Name)
+			en.checkAssignTo(s.Pos, s.Decl.Type, s.Decl.Init, func() string { return "initialization of " + s.Decl.Name })
 		}
 		delete(en.env, s.Decl.Name) // a fresh declaration shadows refinements
 	case *cminor.InstrStmt:
 		en.checkInstr(s.Instr)
-		en.env = en.applyKills(en.env, collectKills(s, en.info))
+		if en.flow {
+			en.env = en.applyKills(en.env, collectKills(s, en.info))
+		}
 	case *cminor.If:
 		en.visitExprTree(s.Cond)
 		saved := en.env
@@ -427,15 +450,19 @@ func (en *engine) checkStmt(s cminor.Stmt) {
 			en.env = saved.merge(en.refinementsFromCond(s.Cond, false))
 		}
 		en.checkStmt(s.Then)
-		thenKills := collectKills(s.Then, en.info)
-		var elseKills map[string]bool
+		var thenKills, elseKills map[string]bool
+		if en.flow {
+			thenKills = collectKills(s.Then, en.info)
+		}
 		if s.Else != nil {
 			en.env = saved
 			if en.flow {
 				en.env = saved.merge(en.refinementsFromCond(s.Cond, true))
 			}
 			en.checkStmt(s.Else)
-			elseKills = collectKills(s.Else, en.info)
+			if en.flow {
+				elseKills = collectKills(s.Else, en.info)
+			}
 		}
 		after := saved
 		// Early-exit refinement: when the then-branch never falls through,
@@ -443,26 +470,33 @@ func (en *engine) checkStmt(s cminor.Stmt) {
 		if en.flow && s.Else == nil && terminates(s.Then) {
 			after = saved.merge(en.refinementsFromCond(s.Cond, true))
 		}
-		en.env = en.applyKills(en.applyKills(after, thenKills), elseKills)
+		if en.flow {
+			after = en.applyKills(en.applyKills(after, thenKills), elseKills)
+		}
+		en.env = after
 	case *cminor.While:
 		// Loop bodies run after arbitrary iterations: check cond and body
 		// under the environment weakened by everything the body may kill.
-		en.env = en.applyKills(en.env, collectKills(s.Body, en.info))
+		if en.flow {
+			en.env = en.applyKills(en.env, collectKills(s.Body, en.info))
+		}
 		en.visitExprTree(s.Cond)
 		en.checkStmt(s.Body)
 	case *cminor.For:
 		if s.Init != nil {
 			en.checkStmt(s.Init)
 		}
-		kills := collectKills(s.Body, en.info)
-		if s.Post != nil {
-			for k, v := range collectKills(s.Post, en.info) {
-				if v {
-					kills[k] = true
+		if en.flow {
+			kills := collectKills(s.Body, en.info)
+			if s.Post != nil {
+				for k, v := range collectKills(s.Post, en.info) {
+					if v {
+						kills[k] = true
+					}
 				}
 			}
+			en.env = en.applyKills(en.env, kills)
 		}
-		en.env = en.applyKills(en.env, kills)
 		if s.Cond != nil {
 			en.visitExprTree(s.Cond)
 		}
@@ -484,7 +518,7 @@ func (en *engine) checkStmt(s cminor.Stmt) {
 			if lve, ok := s.X.(*cminor.LVExpr); ok && en.freshTransferReturn(lve) {
 				skipDisallow = true
 			}
-			en.checkAssignToWith(s.Pos, en.curFn.Result, s.X, "return from "+en.curFn.Name, skipDisallow)
+			en.checkAssignToWith(s.Pos, en.curFn.Result, s.X, func() string { return "return from " + en.curFn.Name }, skipDisallow)
 		}
 	}
 }
@@ -556,7 +590,7 @@ func (en *engine) checkInstr(in cminor.Instr) {
 		en.visitExprTree(in.RHS)
 		lt := en.info.LVTypeOf(in.LHS)
 		en.checkNoAssign(in.Pos, lt, in.LHS)
-		en.checkAssignTo(in.Pos, lt, in.RHS, "assignment to "+cminor.LValueString(in.LHS))
+		en.checkAssignTo(in.Pos, lt, in.RHS, func() string { return "assignment to " + cminor.LValueString(in.LHS) })
 	case *cminor.CallInstr:
 		if in.LHS != nil {
 			en.visitLValueTree(in.LHS)
@@ -572,7 +606,7 @@ func (en *engine) checkInstr(in cminor.Instr) {
 		for i, a := range in.Args {
 			if i < len(sig.Params) {
 				en.checkAssignTo(a.Position(), sig.Params[i], a,
-					fmt.Sprintf("argument %d of %s", i+1, in.Fn))
+					func() string { return fmt.Sprintf("argument %d of %s", i+1, in.Fn) })
 			} else {
 				// Variadic arguments still may not leak disallowed values.
 				en.disallowValueFlow(a, true)
@@ -635,7 +669,7 @@ func (en *engine) checkCallResult(in *cminor.CallInstr, resultType cminor.Type) 
 				in.Fn, resultType, q, cminor.LValueString(in.LHS))
 		}
 	}
-	en.checkDeepTypes(in.Pos, lt, resultType, "result of "+in.Fn)
+	en.checkDeepTypes(in.Pos, lt, resultType, func() string { return "result of " + in.Fn })
 }
 
 // freshTransferReturn reports whether the returned l-value is a
@@ -707,14 +741,16 @@ func (en *engine) returnsFresh(fnName, q string) bool {
 }
 
 // checkAssignTo checks an explicit or implicit assignment of rhs into a
-// location of declared type dst.
-func (en *engine) checkAssignTo(pos cminor.Pos, dst cminor.Type, rhs cminor.Expr, what string) {
+// location of declared type dst. what describes the assignment for
+// diagnostics; it is a thunk so the common no-diagnostic path never builds
+// the string.
+func (en *engine) checkAssignTo(pos cminor.Pos, dst cminor.Type, rhs cminor.Expr, what func() string) {
 	en.checkAssignToWith(pos, dst, rhs, what, false)
 }
 
 // checkAssignToWith is checkAssignTo with the disallow flow check optionally
 // skipped (fresh ownership-transfer returns).
-func (en *engine) checkAssignToWith(pos cminor.Pos, dst cminor.Type, rhs cminor.Expr, what string, skipDisallow bool) {
+func (en *engine) checkAssignToWith(pos cminor.Pos, dst cminor.Type, rhs cminor.Expr, what func() string, skipDisallow bool) {
 	// Reference qualifiers on the destination: the right-hand side must
 	// match one of the qualifier's assign clauses (when it declares any).
 	for _, q := range en.refQualsOf(dst) {
@@ -724,7 +760,7 @@ func (en *engine) checkAssignToWith(pos cminor.Pos, dst cminor.Type, rhs cminor.
 		}
 		if !en.matchesAssignClauses(d, dst, rhs) {
 			en.errorf(pos, "assign", "%s: right-hand side %s matches no assign rule of qualifier %s",
-				what, cminor.ExprString(rhs), q)
+				what(), cminor.ExprString(rhs), q)
 		}
 	}
 	// Value qualifiers on the destination: derivable on the right-hand side
@@ -733,7 +769,7 @@ func (en *engine) checkAssignToWith(pos cminor.Pos, dst cminor.Type, rhs cminor.
 	for _, q := range en.valueQualsOf(dst) {
 		if !set[q] {
 			en.errorf(pos, "qual", "%s: %s cannot be given qualifier %s (a cast would insert a run-time check)",
-				what, cminor.ExprString(rhs), q)
+				what(), cminor.ExprString(rhs), q)
 		}
 	}
 	// Deeper qualifiers admit no subtyping (section 2.1.2).
@@ -753,7 +789,7 @@ func (en *engine) rTypeOf(e cminor.Expr) cminor.Type {
 
 // checkDeepTypes enforces invariance of qualifiers below the top level:
 // int pos* is neither a subtype nor a supertype of int*.
-func (en *engine) checkDeepTypes(pos cminor.Pos, dst, src cminor.Type, what string) {
+func (en *engine) checkDeepTypes(pos cminor.Pos, dst, src cminor.Type, what func() string) {
 	if isNullish(src) {
 		return
 	}
@@ -771,7 +807,7 @@ func (en *engine) checkDeepTypes(pos cminor.Pos, dst, src cminor.Type, what stri
 	}
 	if !cminor.TypeEqual(cminor.Decay(dp), cminor.Decay(sp)) {
 		en.errorf(pos, "qual", "%s: pointee types %s and %s must agree exactly (no subtyping under pointers)",
-			what, dp, sp)
+			what(), dp, sp)
 	}
 }
 

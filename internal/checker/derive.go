@@ -14,18 +14,92 @@ import (
 
 // bindings is the result of matching a clause pattern: pattern variables
 // bound to program fragments, and type variables bound to cminor types.
+// Clauses bind at most a handful of variables, so the bindings are small
+// inline key/value lists (spilling to the heap past the inline capacity)
+// with linear-scan lookups — far cheaper than the three maps this used to
+// allocate per match attempt.
 type bindings struct {
-	exprs map[string]cminor.Expr
-	lvs   map[string]cminor.LValue
-	types map[string]cminor.Type
+	exprs    []exprBind
+	lvs      []lvBind
+	types    []typeBind
+	exprsBuf [3]exprBind
+	lvsBuf   [2]lvBind
+	typesBuf [2]typeBind
 }
 
-func newBindings() *bindings {
-	return &bindings{
-		exprs: map[string]cminor.Expr{},
-		lvs:   map[string]cminor.LValue{},
-		types: map[string]cminor.Type{},
+type exprBind struct {
+	name string
+	e    cminor.Expr
+}
+
+type lvBind struct {
+	name string
+	lv   cminor.LValue
+}
+
+type typeBind struct {
+	name string
+	t    cminor.Type
+}
+
+// newBindings returns an empty binding set.
+func newBindings() *bindings { return &bindings{} }
+
+func (b *bindings) setExpr(name string, e cminor.Expr) {
+	for i := range b.exprs {
+		if b.exprs[i].name == name {
+			b.exprs[i].e = e
+			return
+		}
 	}
+	if b.exprs == nil {
+		b.exprs = b.exprsBuf[:0]
+	}
+	b.exprs = append(b.exprs, exprBind{name, e})
+}
+
+func (b *bindings) getExpr(name string) (cminor.Expr, bool) {
+	for i := range b.exprs {
+		if b.exprs[i].name == name {
+			return b.exprs[i].e, true
+		}
+	}
+	return nil, false
+}
+
+func (b *bindings) setLV(name string, lv cminor.LValue) {
+	for i := range b.lvs {
+		if b.lvs[i].name == name {
+			b.lvs[i].lv = lv
+			return
+		}
+	}
+	if b.lvs == nil {
+		b.lvs = b.lvsBuf[:0]
+	}
+	b.lvs = append(b.lvs, lvBind{name, lv})
+}
+
+func (b *bindings) setType(name string, t cminor.Type) {
+	for i := range b.types {
+		if b.types[i].name == name {
+			b.types[i].t = t
+			return
+		}
+	}
+	if b.types == nil {
+		b.types = b.typesBuf[:0]
+	}
+	b.types = append(b.types, typeBind{name, t})
+}
+
+func (b *bindings) getType(name string) (cminor.Type, bool) {
+	for i := range b.types {
+		if b.types[i].name == name {
+			return b.types[i].t, true
+		}
+	}
+	return nil, false
 }
 
 // matchTypePat unifies a type pattern with a cminor type, binding type
@@ -40,10 +114,10 @@ func (en *engine) matchTypePat(tp qdl.TypePat, t cminor.Type, b *bindings) bool 
 		cur = cminor.Decay(cminor.StripQuals(pt.Elem))
 	}
 	if tp.Var != "" {
-		if prev, ok := b.types[tp.Var]; ok {
+		if prev, ok := b.getType(tp.Var); ok {
 			return cminor.BaseTypeEqual(prev, cur)
 		}
-		b.types[tp.Var] = cur
+		b.setType(tp.Var, cur)
 		return true
 	}
 	return cminor.BaseTypeEqual(tp.Base, cur)
@@ -81,8 +155,8 @@ func (en *engine) bindExpr(vp qdl.VarPat, e cminor.Expr, b *bindings) bool {
 		if !en.matchTypePat(vp.Type, en.info.LVTypeOf(lve.LV), b) {
 			return false
 		}
-		b.lvs[vp.Name] = lve.LV
-		b.exprs[vp.Name] = e
+		b.setLV(vp.Name, lve.LV)
+		b.setExpr(vp.Name, e)
 		return true
 	case qdl.ClassVar:
 		lve, ok := e.(*cminor.LVExpr)
@@ -95,14 +169,14 @@ func (en *engine) bindExpr(vp qdl.VarPat, e cminor.Expr, b *bindings) bool {
 		if !en.matchTypePat(vp.Type, en.info.LVTypeOf(lve.LV), b) {
 			return false
 		}
-		b.lvs[vp.Name] = lve.LV
-		b.exprs[vp.Name] = e
+		b.setLV(vp.Name, lve.LV)
+		b.setExpr(vp.Name, e)
 		return true
 	}
 	if !en.matchTypePat(vp.Type, en.info.TypeOf(e), b) {
 		return false
 	}
-	b.exprs[vp.Name] = e
+	b.setExpr(vp.Name, e)
 	return true
 }
 
@@ -119,7 +193,7 @@ func (en *engine) bindLValue(vp qdl.VarPat, lv cminor.LValue, b *bindings) bool 
 	if !en.matchTypePat(vp.Type, en.info.LVTypeOf(lv), b) {
 		return false
 	}
-	b.lvs[vp.Name] = lv
+	b.setLV(vp.Name, lv)
 	return true
 }
 
@@ -235,7 +309,7 @@ func isNullRHS(e cminor.Expr) bool {
 func (en *engine) evalWhere(p qdl.Pred, b *bindings, subject cminor.Expr, cur map[string]bool) bool {
 	switch p := p.(type) {
 	case qdl.PQual:
-		sub, ok := b.exprs[p.Arg]
+		sub, ok := b.getExpr(p.Arg)
 		if !ok {
 			return false
 		}
@@ -301,7 +375,7 @@ func (en *engine) nullness(t qdl.Term, b *bindings) (bool, bool) {
 	case qdl.TNull:
 		return true, true
 	case qdl.TVar:
-		e, ok := b.exprs[t.Name]
+		e, ok := b.getExpr(t.Name)
 		if !ok {
 			return false, false
 		}
@@ -324,7 +398,7 @@ func (en *engine) evalConstTerm(t qdl.Term, b *bindings) (int64, bool) {
 	case qdl.TInt:
 		return t.Value, true
 	case qdl.TVar:
-		e, ok := b.exprs[t.Name]
+		e, ok := b.getExpr(t.Name)
 		if !ok {
 			return 0, false
 		}
@@ -388,10 +462,19 @@ func (en *engine) qualSet(e cminor.Expr) map[string]bool {
 			}
 		}
 	}
-	for changed := true; changed; {
-		changed = false
-		for _, d := range en.reg.Defs() {
-			if d.Kind != qdl.ValueQualifier || set[d.Name] || len(d.Cases) == 0 {
+	if !en.deriveReady {
+		en.prepareDerive()
+	}
+	for round := 0; ; round++ {
+		changed := false
+		for i, d := range en.valueDefs {
+			if set[d.Name] {
+				continue
+			}
+			// A definition whose where-clauses never consult qualifier sets
+			// matches deterministically: its round-0 failure cannot turn into
+			// a success, so later rounds skip it.
+			if round > 0 && !en.defCurDep[i] {
 				continue
 			}
 			if en.matchesAnyCase(d, e, set) {
@@ -399,22 +482,74 @@ func (en *engine) qualSet(e cminor.Expr) map[string]bool {
 				changed = true
 			}
 		}
+		if !changed {
+			break
+		}
 	}
 	return set
 }
 
+// prepareDerive precomputes the case-bearing value-qualifier definitions and,
+// for each, whether any case's where-clause consults qualifier sets (directly
+// on the subject or via another expression's derivation). Pattern and type
+// matching depend only on the fixed AST, so a definition without such a
+// clause is evaluated once per expression instead of once per fixpoint round.
+func (en *engine) prepareDerive() {
+	defs := en.reg.Defs()
+	en.valueDefs = make([]*qdl.Def, 0, len(defs))
+	en.defCurDep = make([]bool, 0, len(defs))
+	for _, d := range defs {
+		if d.Kind != qdl.ValueQualifier || len(d.Cases) == 0 {
+			continue
+		}
+		dep := false
+		for _, cl := range d.Cases {
+			if cl.Where != nil && predConsultsQuals(cl.Where) {
+				dep = true
+				break
+			}
+		}
+		en.valueDefs = append(en.valueDefs, d)
+		en.defCurDep = append(en.defCurDep, dep)
+	}
+	en.deriveReady = true
+}
+
+// predConsultsQuals reports whether p contains a qualifier check.
+func predConsultsQuals(p qdl.Pred) bool {
+	switch p := p.(type) {
+	case qdl.PQual:
+		return true
+	case qdl.PAnd:
+		return predConsultsQuals(p.L) || predConsultsQuals(p.R)
+	case qdl.POr:
+		return predConsultsQuals(p.L) || predConsultsQuals(p.R)
+	case qdl.PImp:
+		return predConsultsQuals(p.L) || predConsultsQuals(p.R)
+	case qdl.PNot:
+		return predConsultsQuals(p.P)
+	case qdl.PForall:
+		return predConsultsQuals(p.Body)
+	}
+	return false
+}
+
 // matchesAnyCase reports whether any case clause of d gives e the qualifier.
 func (en *engine) matchesAnyCase(d *qdl.Def, e cminor.Expr, cur map[string]bool) bool {
+	// The subject's type pattern must match e's type; it is the same check
+	// for every case, so one failed probe rejects the whole definition.
+	et := en.info.TypeOf(e)
+	var probe bindings
+	if !en.matchTypePat(d.Subject.Type, et, &probe) {
+		return false
+	}
 	for _, cl := range d.Cases {
-		b := newBindings()
-		// The subject's type pattern must match e's type.
-		if !en.matchTypePat(d.Subject.Type, en.info.TypeOf(e), b) {
+		var b bindings
+		en.matchTypePat(d.Subject.Type, et, &b)
+		if !en.matchPattern(d, cl, cl.Pat, e, &b) {
 			continue
 		}
-		if !en.matchPattern(d, cl, cl.Pat, e, b) {
-			continue
-		}
-		if cl.Where != nil && !en.evalWhere(cl.Where, b, e, cur) {
+		if cl.Where != nil && !en.evalWhere(cl.Where, &b, e, cur) {
 			continue
 		}
 		return true

@@ -211,8 +211,55 @@ func TypeEqual(a, b Type) bool {
 
 // BaseTypeEqual reports equality of the types with all qualifiers erased,
 // recursively. This is the "ordinary C typechecking" notion of equality.
+// Qualifier wrappers are skipped in place rather than erased into freshly
+// rebuilt type trees (this comparison is the checker's hottest primitive).
 func BaseTypeEqual(a, b Type) bool {
-	return TypeEqual(EraseQuals(a), EraseQuals(b))
+	for {
+		if qt, ok := a.(QualType); ok {
+			a = qt.Base
+			continue
+		}
+		break
+	}
+	for {
+		if qt, ok := b.(QualType); ok {
+			b = qt.Base
+			continue
+		}
+		break
+	}
+	switch a := a.(type) {
+	case IntType:
+		_, ok := b.(IntType)
+		return ok
+	case CharType:
+		_, ok := b.(CharType)
+		return ok
+	case VoidType:
+		_, ok := b.(VoidType)
+		return ok
+	case PointerType:
+		b, ok := b.(PointerType)
+		return ok && BaseTypeEqual(a.Elem, b.Elem)
+	case ArrayType:
+		b, ok := b.(ArrayType)
+		return ok && a.Size == b.Size && BaseTypeEqual(a.Elem, b.Elem)
+	case StructType:
+		b, ok := b.(StructType)
+		return ok && a.Name == b.Name
+	case FuncType:
+		b, ok := b.(FuncType)
+		if !ok || len(a.Params) != len(b.Params) || a.Variadic != b.Variadic || !BaseTypeEqual(a.Result, b.Result) {
+			return false
+		}
+		for i := range a.Params {
+			if !BaseTypeEqual(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // EraseQuals removes all qualifiers from t, recursively.

@@ -58,13 +58,50 @@ var printfFamily = map[string]bool{
 // (section 3.3); their annotations are not counted as user annotations.
 var libraryFns = map[string]bool{"printf": true, "fprintf": true}
 
+// parsedPrograms memoizes corpus parses: the sources are fixed constants,
+// the checker never mutates a parsed program, and the quals registries are
+// process-wide singletons (so the registry pointer identifies the qualifier
+// name set the parser resolves against). Keyed by source text as well, so
+// experiments that check modified copies of a program parse them separately.
+var parsedPrograms sync.Map // parseKey -> *parseEntry
+
+type parseKey struct {
+	name   string
+	source string
+	reg    *qdl.Registry
+}
+
+type parseEntry struct {
+	once      sync.Once
+	prog      *cminor.Program
+	info      *cminor.TypeInfo
+	typeDiags []cminor.Diagnostic
+	err       error
+}
+
+// parseProgram parses and base-typechecks one corpus program, served from
+// the memo when the same (name, source, registry) triple has been seen
+// before. The returned program and type info are shared — read-only.
+func parseProgram(p corpus.Program, reg *qdl.Registry) (*parseEntry, error) {
+	v, _ := parsedPrograms.LoadOrStore(parseKey{p.Name, p.Source, reg}, &parseEntry{})
+	e := v.(*parseEntry)
+	e.once.Do(func() {
+		e.prog, e.err = cminor.Parse(p.Name+".c", p.Source, reg.Names())
+		if e.err == nil {
+			e.info, e.typeDiags = cminor.TypeCheck(e.prog)
+		}
+	})
+	return e, e.err
+}
+
 // checkProgram parses and qualifier-checks one corpus program.
 func checkProgram(p corpus.Program, reg *qdl.Registry) (*cminor.Program, *checker.Result, error) {
-	prog, err := cminor.Parse(p.Name+".c", p.Source, reg.Names())
+	e, err := parseProgram(p, reg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("parse %s: %w", p.Name, err)
 	}
-	return prog, checker.Check(prog, reg), nil
+	res := checker.CheckWith(e.prog, reg, checker.Options{Types: e.info, TypeDiags: e.typeDiags})
+	return e.prog, res, nil
 }
 
 // libraryAnnotations counts qualifier occurrences in library prototypes.

@@ -1,0 +1,55 @@
+// Package profiling wires runtime/pprof into the CLI flag surface: every
+// command that does measurable work (qualprove's proof search, qualcheck's
+// derivation engine) exposes -cpuprofile/-memprofile, and this package holds
+// the shared start/stop plumbing so each main stays a two-liner.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins profiling according to the two flag values; empty paths
+// disable the corresponding profile. The returned stop function finishes the
+// CPU profile and writes the heap profile; it is idempotent, so callers can
+// both defer it and invoke it explicitly before os.Exit (deferred calls do
+// not run past os.Exit, which is why the explicit call matters).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "profiling:", err)
+					return
+				}
+				defer f.Close()
+				// An explicit GC makes the heap profile reflect live objects
+				// rather than whatever the last cycle happened to leave.
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "profiling: write heap profile:", err)
+				}
+			}
+		})
+	}, nil
+}

@@ -5,7 +5,11 @@
 // parse, validate, and are proven sound by the soundness checker.
 package quals
 
-import "repro/internal/qdl"
+import (
+	"sync"
+
+	"repro/internal/qdl"
+)
 
 // Pos is figure 1: positive integers.
 const Pos = `
@@ -127,9 +131,17 @@ func Sources() map[string]string {
 	}
 }
 
-// Standard loads the full standard library into a registry.
-func Standard() (*qdl.Registry, error) {
+// standardOnce memoizes the standard library load: the sources are fixed
+// constants and a loaded registry is read-only (nothing outside qdl.Load
+// adds definitions or mutates a Def), so every caller shares one registry.
+var standardOnce = sync.OnceValues(func() (*qdl.Registry, error) {
 	return qdl.Load(Sources())
+})
+
+// Standard loads the full standard library into a registry. The result is a
+// process-wide shared instance; treat it as immutable.
+func Standard() (*qdl.Registry, error) {
+	return standardOnce()
 }
 
 // MustStandard is Standard for tests and examples; it panics on error.
@@ -141,12 +153,18 @@ func MustStandard() *qdl.Registry {
 	return r
 }
 
-// TaintWithConstants loads the section 6.3 taintedness configuration:
-// untainted augmented with the constants-are-trusted case clause, plus
-// tainted.
-func TaintWithConstants() (*qdl.Registry, error) {
+// taintOnce memoizes the taint configuration load (see standardOnce).
+var taintOnce = sync.OnceValues(func() (*qdl.Registry, error) {
 	return qdl.Load(map[string]string{
 		"untainted.qdl": UntaintedConst,
 		"tainted.qdl":   Tainted,
 	})
+})
+
+// TaintWithConstants loads the section 6.3 taintedness configuration:
+// untainted augmented with the constants-are-trusted case clause, plus
+// tainted. The result is a process-wide shared instance; treat it as
+// immutable.
+func TaintWithConstants() (*qdl.Registry, error) {
+	return taintOnce()
 }

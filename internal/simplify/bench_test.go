@@ -1,0 +1,90 @@
+package simplify
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// Microbenchmarks comparing the interned watched-literal engine against the
+// legacy recursive search it replaced. Run with -benchmem: the allocation
+// columns are the before/after evidence for the interning work (the legacy
+// engine re-prints terms into string keys throughout its hot path; the
+// interned engine keys everything by dense IDs).
+
+// benchEngines enumerates the two search engines for sub-benchmarks.
+var benchEngines = []struct {
+	name   string
+	legacy bool
+}{
+	{"interned", false},
+	{"legacy", true},
+}
+
+func benchProver(legacy bool) *Prover {
+	opts := DefaultOptions()
+	opts.LegacySearch = legacy
+	return New(nil, opts)
+}
+
+// BenchmarkRefute proves a fixed slice of the differential corpus — the
+// ground EUF+LA formulas the checker's obligations look like — measuring the
+// full refutation pipeline: clausify, trichotomy splits, DPLL, theory checks.
+func BenchmarkRefute(b *testing.B) {
+	r := &diffRNG{s: 0x5eed5eed5eed5eed}
+	forms := make([]logic.Formula, 128)
+	for i := range forms {
+		forms[i] = genGroundFormula(r, 2+r.intn(2))
+	}
+	for _, eng := range benchEngines {
+		b.Run(eng.name, func(b *testing.B) {
+			p := benchProver(eng.legacy)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Prove(forms[i%len(forms)])
+			}
+		})
+	}
+}
+
+// theoryConflictGoal builds an obligation whose refutation needs the theory
+// stack end to end: an equality chain x0=x1=...=xn forces n congruence
+// merges before f(x0) and f(xn) share a class, and the f(x0) > 0 hypothesis
+// must then flow through the EUF->LA bridge to discharge f(xn) > 0.
+func theoryConflictGoal(n int) logic.Formula {
+	xs := make([]logic.Term, n+1)
+	for i := range xs {
+		xs[i] = logic.Const(fmt.Sprintf("x%d", i))
+	}
+	hyps := make([]logic.Formula, 0, n+1)
+	for i := 0; i < n; i++ {
+		hyps = append(hyps, logic.Eq(xs[i], xs[i+1]))
+	}
+	hyps = append(hyps, logic.Gt(logic.Fn("f", xs[0]), logic.Num(0)))
+	return logic.Imp(logic.Conj(hyps...), logic.Gt(logic.Fn("f", xs[n]), logic.Num(0)))
+}
+
+// BenchmarkTheoryConflict measures theory-conflict detection as the asserted
+// equality chain grows. The legacy engine rebuilds both solvers at every DPLL
+// branch, so its cost scales with chain length times branch count; the
+// incremental engine asserts each literal once and rolls back by trail marks.
+func BenchmarkTheoryConflict(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		goal := theoryConflictGoal(n)
+		for _, eng := range benchEngines {
+			b.Run(fmt.Sprintf("%s/chain=%d", eng.name, n), func(b *testing.B) {
+				p := benchProver(eng.legacy)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out := p.Prove(goal)
+					if out.Result != Valid {
+						b.Fatalf("goal unexpectedly %v (%s)", out.Result, out.Reason)
+					}
+				}
+			})
+		}
+	}
+}

@@ -345,6 +345,55 @@ func TestDifferentialProveGround(t *testing.T) {
 	t.Logf("differential corpus: %d/%d Valid, zero discrepancies", valid, n)
 }
 
+// TestDifferentialNewVsLegacySearch runs the same fixed-seed corpus through
+// both search engines — the interned watched-literal engine (the default) and
+// the legacy recursive map-based engine kept behind Options.LegacySearch —
+// and requires verdict-for-verdict agreement. Zero discrepancies is an
+// acceptance criterion for the incremental engine: the legacy search is its
+// differential oracle.
+func TestDifferentialNewVsLegacySearch(t *testing.T) {
+	n := 10000
+	if testing.Short() {
+		n = 2000
+	}
+	r := &diffRNG{s: 0x5eed5eed5eed5eed}
+	interned := New(nil, DefaultOptions())
+	legacyOpts := DefaultOptions()
+	legacyOpts.LegacySearch = true
+	legacy := New(nil, legacyOpts)
+	valid := 0
+	for i := 0; i < n; i++ {
+		f := genGroundFormula(r, 2+r.intn(2))
+		a := interned.Prove(f)
+		b := legacy.Prove(f)
+		if a.Result != b.Result {
+			t.Fatalf("search engines disagree on corpus formula %d:\n  formula: %s\n  interned=%v (%s)  legacy=%v (%s)",
+				i, f, a.Result, a.Reason, b.Result, b.Reason)
+		}
+		if a.Result == Valid {
+			valid++
+		}
+	}
+	floor := n / 10
+	if valid < floor {
+		t.Fatalf("only %d/%d corpus formulas proved Valid (floor %d); the differential check lost its teeth", valid, n, floor)
+	}
+	t.Logf("engine differential: %d formulas, %d Valid on both engines, zero discrepancies", n, valid)
+}
+
+// TestLegacySearchInFingerprint: the search engine participates in the cache
+// fingerprint, so memoized outcomes can never cross between the interned and
+// legacy engines.
+func TestLegacySearchInFingerprint(t *testing.T) {
+	interned := New(nil, DefaultOptions())
+	legacyOpts := DefaultOptions()
+	legacyOpts.LegacySearch = true
+	legacy := New(nil, legacyOpts)
+	if interned.fingerprint == legacy.fingerprint {
+		t.Fatalf("LegacySearch does not alter the cache fingerprint; cached outcomes could cross engines")
+	}
+}
+
 // FuzzProveGround is the native fuzz target behind the same oracle: the
 // fuzzer mutates the generator seed and shape, and every Valid verdict is
 // checked for a bounded counter-model.

@@ -1,0 +1,221 @@
+package simplify
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// These tests pin the backtrackable e-graph's core contract: after any
+// interleaving of assertions, marks, and undoTo calls, the incremental graph
+// must be observationally identical to a fresh e-graph built by replaying
+// only the still-active assertions. "Observationally identical" means the
+// conflict verdict (check) and the partition the graph induces on every term
+// mentioned by the active assertions.
+
+// egOpKind enumerates the three mutations the search performs on egraph2.
+type egOpKind int
+
+const (
+	egOpMerge egOpKind = iota
+	egOpDiseq
+	egOpPred
+)
+
+// egOp is one replayable mutation; terms are shared-table TermIDs so the
+// fresh oracle graph sees the exact same interned terms.
+type egOp struct {
+	kind   egOpKind
+	t1, t2 logic.TermID
+	val    bool
+}
+
+func applyEgOp(e *egraph2, op egOp) {
+	switch op.kind {
+	case egOpMerge:
+		e.mergeTerms(op.t1, op.t2)
+	case egOpDiseq:
+		e.assertDiseq(op.t1, op.t2, "test diseq")
+	case egOpPred:
+		e.assertPredID(op.t1, op.val)
+	}
+}
+
+// genEgTerm builds a random ground term over a small signature: constants
+// a..d, integer literals -2..2, unary f and g, binary h. Variables are
+// excluded (egraph2 rejects them by contract).
+func genEgTerm(r *diffRNG, tt *logic.TermTable, depth int) logic.TermID {
+	egConsts := []string{"a", "b", "c", "d"}
+	if depth <= 0 {
+		if r.intn(2) == 0 {
+			return tt.InternApp(egConsts[r.intn(len(egConsts))], nil)
+		}
+		return tt.InternInt(int64(r.intn(5) - 2))
+	}
+	switch r.intn(6) {
+	case 0:
+		return tt.InternApp(egConsts[r.intn(len(egConsts))], nil)
+	case 1:
+		return tt.InternInt(int64(r.intn(5) - 2))
+	case 2:
+		return tt.InternApp("f", []logic.TermID{genEgTerm(r, tt, depth-1)})
+	case 3:
+		return tt.InternApp("g", []logic.TermID{genEgTerm(r, tt, depth-1)})
+	default:
+		return tt.InternApp("h", []logic.TermID{genEgTerm(r, tt, depth-1), genEgTerm(r, tt, depth-1)})
+	}
+}
+
+// genEgOp builds a random mutation. Predicate assertions are encoded the way
+// prove2 encodes them: an application of a "@pred$"-prefixed symbol.
+func genEgOp(r *diffRNG, tt *logic.TermTable) egOp {
+	d := 1 + r.intn(2)
+	switch r.intn(4) {
+	case 0, 1:
+		return egOp{kind: egOpMerge, t1: genEgTerm(r, tt, d), t2: genEgTerm(r, tt, d)}
+	case 2:
+		return egOp{kind: egOpDiseq, t1: genEgTerm(r, tt, d), t2: genEgTerm(r, tt, d)}
+	default:
+		p := tt.InternApp("@pred$P", []logic.TermID{genEgTerm(r, tt, d)})
+		return egOp{kind: egOpPred, t1: p, val: r.intn(2) == 0}
+	}
+}
+
+// egProbes collects the distinct top-level terms mentioned by ops; they are
+// the observation points for the partition comparison. Every probe is
+// guaranteed to have an e-node in any graph that applied all of ops.
+func egProbes(ops []egOp) []logic.TermID {
+	seen := map[logic.TermID]bool{}
+	var out []logic.TermID
+	add := func(t logic.TermID) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for _, op := range ops {
+		add(op.t1)
+		if op.kind != egOpPred {
+			add(op.t2)
+		}
+	}
+	return out
+}
+
+// egPartition canonicalizes the equivalence classes over the probes: probe i
+// gets the index of the first probe in its class. Canonical labels make the
+// comparison independent of internal representative choice.
+func egPartition(e *egraph2, probes []logic.TermID) []int {
+	label := map[enodeID]int{}
+	out := make([]int, len(probes))
+	for i, p := range probes {
+		id, ok := e.nodeOf[p]
+		if !ok {
+			out[i] = -1
+			continue
+		}
+		r := e.find(id)
+		if l, ok := label[r]; ok {
+			out[i] = l
+		} else {
+			label[r] = i
+			out[i] = i
+		}
+	}
+	return out
+}
+
+// requireEgraphsAgree compares the rolled-back incremental graph against a
+// freshly built oracle graph that replayed only the active prefix.
+func requireEgraphsAgree(t *testing.T, ctx string, inc, fresh *egraph2, ops []egOp) {
+	t.Helper()
+	if gi, gf := inc.check(), fresh.check(); gi != gf {
+		t.Fatalf("%s: conflict verdict diverged: incremental=%t fresh=%t", ctx, gi, gf)
+	}
+	probes := egProbes(ops)
+	pi := egPartition(inc, probes)
+	pf := egPartition(fresh, probes)
+	for i := range probes {
+		if pi[i] != pf[i] {
+			t.Fatalf("%s: partition diverged at probe %d (%s): incremental class %d, fresh class %d",
+				ctx, i, inc.tt.Term(probes[i]), pi[i], pf[i])
+		}
+	}
+}
+
+// TestEgraph2UndoMatchesRebuild applies a random op sequence, recording a
+// mark before every op, then unwinds level by level; at every level the
+// rolled-back graph must agree with a from-scratch replay of the remaining
+// prefix.
+func TestEgraph2UndoMatchesRebuild(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := 0; seed < seeds; seed++ {
+		r := &diffRNG{s: uint64(seed)*0x9e3779b97f4a7c15 + 1}
+		tt := logic.NewTermTable()
+		eg := newEgraph2(tt)
+		nOps := 20 + r.intn(30)
+		ops := make([]egOp, nOps)
+		marks := make([]int, nOps+1)
+		marks[0] = eg.mark()
+		for i := range ops {
+			ops[i] = genEgOp(r, tt)
+			applyEgOp(eg, ops[i])
+			marks[i+1] = eg.mark()
+		}
+		for level := nOps; level >= 0; level-- {
+			eg.undoTo(marks[level])
+			fresh := newEgraph2(tt)
+			for _, op := range ops[:level] {
+				applyEgOp(fresh, op)
+			}
+			requireEgraphsAgree(t, fmt.Sprintf("seed %d level %d", seed, level), eg, fresh, ops[:level])
+		}
+	}
+}
+
+// TestEgraph2RandomInterleaving drives a random interleaving of assertions
+// and rollbacks — the access pattern of the watched-literal search, where
+// backtracking pops to arbitrary earlier decision levels — checking the
+// graph against a fresh replay of the active sequence after every step.
+func TestEgraph2RandomInterleaving(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := 0; seed < seeds; seed++ {
+		r := &diffRNG{s: uint64(seed)*0xd1342543de82ef95 + 7}
+		tt := logic.NewTermTable()
+		eg := newEgraph2(tt)
+		// active mirrors the ops currently asserted; markBefore[i] is the
+		// trail mark taken just before active[i] was applied.
+		var active []egOp
+		var markBefore []int
+		steps := 60
+		if testing.Short() {
+			steps = 25
+		}
+		for step := 0; step < steps; step++ {
+			if len(active) > 0 && r.intn(3) == 0 {
+				// Backtrack to a random earlier level.
+				k := r.intn(len(active))
+				eg.undoTo(markBefore[k])
+				active = active[:k]
+				markBefore = markBefore[:k]
+			} else {
+				op := genEgOp(r, tt)
+				markBefore = append(markBefore, eg.mark())
+				applyEgOp(eg, op)
+				active = append(active, op)
+			}
+			fresh := newEgraph2(tt)
+			for _, op := range active {
+				applyEgOp(fresh, op)
+			}
+			requireEgraphsAgree(t, fmt.Sprintf("seed %d step %d (%d active)", seed, step, len(active)), eg, fresh, active)
+		}
+	}
+}

@@ -50,6 +50,13 @@ type Options struct {
 	// multiplication sign axioms that Simplify's limited non-linear
 	// arithmetic support provides.
 	NonlinearAxioms bool
+	// LegacySearch selects the original recursive map-based DPLL (string
+	// atom keys, theory solvers rebuilt per branch) instead of the interned
+	// watched-literal engine with incremental theory state. It exists as a
+	// differential oracle: both engines must agree on every Result, and the
+	// differential corpus pins that. The engines participate in the cache
+	// fingerprint, so cached outcomes never cross between them.
+	LegacySearch bool
 }
 
 // DefaultGoalTimeout is DefaultOptions' per-goal wall-clock bound. The
@@ -147,6 +154,17 @@ func (p *Prover) WithCache(c *Cache) *Prover {
 // Cache returns the attached cache, or nil.
 func (p *Prover) Cache() *Cache { return p.cache }
 
+// Fork returns a new Prover sharing p's immutable clausified axiom base but
+// carrying its own cache attachment. Clausifying a large background theory
+// dominates the cost of proving small goals, so callers that repeatedly
+// prove against the same (axioms, options) pair should build the base once
+// and Fork per run. The fork is as concurrency-safe as the original.
+func (p *Prover) Fork(c *Cache) *Prover {
+	q := *p
+	q.cache = c
+	return &q
+}
+
 // buildBase clausifies the background axioms (plus the non-linear sign
 // axioms when enabled) once, infers triggers for the quantified clauses, and
 // fingerprints the (axioms, options) pair for cache keying. Errors are
@@ -172,8 +190,8 @@ func (p *Prover) buildBase() {
 		return nil
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "opts|%d|%d|%d|%d|%t\n", p.opts.MaxRounds, p.opts.MaxInstances, p.opts.MaxDecisions,
-		p.opts.GoalTimeout, p.opts.NonlinearAxioms)
+	fmt.Fprintf(h, "opts|%d|%d|%d|%d|%t|legacy=%t\n", p.opts.MaxRounds, p.opts.MaxInstances, p.opts.MaxDecisions,
+		p.opts.GoalTimeout, p.opts.NonlinearAxioms, p.opts.LegacySearch)
 	for _, ax := range p.axioms {
 		fmt.Fprintf(h, "ax|%s\n", ax)
 		if err := addFormula(ax); err != nil {
@@ -279,12 +297,18 @@ func (p *Prover) proveSafe(ctx context.Context, goal logic.Formula) (out Outcome
 		out.Stats.GroundClauses = out.GroundClauses
 		out.Stats.WallTime = time.Since(start)
 	}()
-	return p.prove(goal, newTicker(ctx, start, p.opts.GoalTimeout))
+	tk := newTicker(ctx, start, p.opts.GoalTimeout)
+	if p.opts.LegacySearch {
+		return p.proveLegacy(goal, tk)
+	}
+	return p.prove2(goal, tk)
 }
 
-// prove runs one refutation search over a private copy of the clausified
-// axiom base extended with the negated goal.
-func (p *Prover) prove(goal logic.Formula, tk *ticker) Outcome {
+// proveLegacy runs one refutation search over a private copy of the
+// clausified axiom base extended with the negated goal, using the original
+// recursive engine (see Options.LegacySearch). The interned engine's round
+// loop is prove2 (prover2.go).
+func (p *Prover) proveLegacy(goal logic.Formula, tk *ticker) Outcome {
 	sk := p.baseSk.Clone()
 	ground := make([]logic.Clause, len(p.baseGround), len(p.baseGround)+16)
 	copy(ground, p.baseGround)

@@ -1,0 +1,372 @@
+package simplify
+
+import (
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// This file is the interned search engine: a non-recursive DPLL over
+// ID-indexed clauses with two-watched-literal unit propagation and an
+// explicit trail. Theory literals are asserted into the backtrackable
+// e-graph and the incremental arithmetic solver as they join the trail;
+// backtracking rolls both theories to the decision's mark instead of
+// rebuilding them per branch (the legacy search's dominant cost).
+//
+// The search semantics mirror the legacy recursive engine (prover.go):
+// propagate to fixpoint, check the theories, branch on the first unassigned
+// atom of the first unsatisfied clause trying true before false, treat an
+// exhausted decision budget or a tripped ticker as "consistent" so the
+// whole search unwinds soundly, and report the first theory-consistent
+// satisfying assignment as the countermodel.
+
+// search2 is one refutation attempt over a fixed interned clause set.
+type search2 struct {
+	tt *logic.TermTable
+	at *atomTable
+	// clauses is shared with the caller's clause database; the watch scheme
+	// permutes literals within a clause (clauses are sets, so callers are
+	// insensitive to the order).
+	clauses [][]ilit
+
+	// watches[l] lists the indices of clauses currently watching literal l.
+	watches [][]int32
+	// assign[a] is 0 (unassigned), +1 (true) or -1 (false).
+	assign []int8
+	// trail holds the asserted-true literals in assertion order.
+	trail []ilit
+	// qhead is the propagation frontier: trail[:qhead] has been processed
+	// (watch lists visited, theories updated).
+	qhead int
+
+	eg *egraph2
+	ar *arithSolver2
+
+	decisions    int
+	maxDecisions int
+	theoryChecks int
+	tick         *ticker
+
+	// unsatAtSetup records a contradiction found while installing watches
+	// (an empty clause or contradictory unit clauses).
+	unsatAtSetup bool
+
+	// model captures the satisfying assignment of the last consistent
+	// branch (the countermodel candidate reported on Unknown).
+	model []string
+}
+
+func newSearch2(tt *logic.TermTable, at *atomTable, clauses [][]ilit, eg *egraph2, ar *arithSolver2, maxDecisions int, tk *ticker) *search2 {
+	s := &search2{
+		tt: tt, at: at, clauses: clauses,
+		watches:      make([][]int32, 2*at.len()),
+		assign:       make([]int8, at.len()),
+		eg:           eg,
+		ar:           ar,
+		maxDecisions: maxDecisions,
+		tick:         tk,
+	}
+	for ci, cl := range clauses {
+		switch len(cl) {
+		case 0:
+			s.unsatAtSetup = true
+		case 1:
+			if s.litFalse(cl[0]) {
+				s.unsatAtSetup = true
+			} else {
+				s.enqueue(cl[0])
+			}
+		default:
+			s.watches[cl[0]] = append(s.watches[cl[0]], int32(ci))
+			s.watches[cl[1]] = append(s.watches[cl[1]], int32(ci))
+		}
+	}
+	return s
+}
+
+func (s *search2) litTrue(l ilit) bool {
+	v := s.assign[l.atom()]
+	return v != 0 && (v == 1) != l.negated()
+}
+
+func (s *search2) litFalse(l ilit) bool {
+	v := s.assign[l.atom()]
+	return v != 0 && (v == 1) == l.negated()
+}
+
+// enqueue asserts l true (no-op when already assigned; callers check the
+// false case themselves).
+func (s *search2) enqueue(l ilit) {
+	a := l.atom()
+	if s.assign[a] != 0 {
+		return
+	}
+	if l.negated() {
+		s.assign[a] = -1
+	} else {
+		s.assign[a] = 1
+	}
+	s.trail = append(s.trail, l)
+}
+
+// assertTheory pushes one trail literal into the e-graph and the arithmetic
+// solver, mirroring the legacy theoryConflict's per-atom assertions:
+// equalities merge and constrain, disequalities assert an EUF diseq only,
+// order comparisons constrain and register their opaque atoms (also
+// interning them into the e-graph so congruence relates them before the
+// EUF->LA propagation reads their classes).
+func (s *search2) assertTheory(p ilit) {
+	k := s.at.keys[p.atom()]
+	val := !p.negated()
+	if k.op == predOp {
+		s.eg.assertPredID(k.l, val)
+		return
+	}
+	op := logic.CmpOp(k.op)
+	if !val {
+		op = op.Negate()
+	}
+	switch op {
+	case logic.EqOp:
+		s.eg.mergeTerms(k.l, k.r)
+		s.ar.assertCmp(logic.EqOp, k.l, k.r)
+	case logic.NeOp:
+		s.eg.assertDiseq(k.l, k.r, "")
+	default:
+		s.ar.assertCmp(op, k.l, k.r)
+		s.registerArithAtoms(k.l)
+		s.registerArithAtoms(k.r)
+	}
+}
+
+func (s *search2) registerArithAtoms(t logic.TermID) {
+	for _, a := range s.ar.atomsOf(t) {
+		s.ar.registerAtom(a)
+		s.eg.internNode(a)
+	}
+}
+
+// propagate runs two-watched-literal unit propagation (and the incremental
+// theory assertions) until fixpoint or a propositional conflict.
+func (s *search2) propagate() bool {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.assertTheory(p)
+		nl := p ^ 1 // the literal that just became false
+		ws := s.watches[nl]
+		i, j := 0, 0
+		for i < len(ws) {
+			ci := ws[i]
+			i++
+			cl := s.clauses[ci]
+			if cl[0] == nl {
+				cl[0], cl[1] = cl[1], cl[0]
+			}
+			if s.litTrue(cl[0]) {
+				ws[j] = ci
+				j++
+				continue
+			}
+			moved := false
+			for k := 2; k < len(cl); k++ {
+				if !s.litFalse(cl[k]) {
+					cl[1], cl[k] = cl[k], cl[1]
+					s.watches[cl[1]] = append(s.watches[cl[1]], ci)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			ws[j] = ci
+			j++
+			if s.litFalse(cl[0]) {
+				// Conflict: keep the remaining watches and bail out.
+				for i < len(ws) {
+					ws[j] = ws[i]
+					j++
+					i++
+				}
+				s.watches[nl] = ws[:j]
+				return true
+			}
+			s.enqueue(cl[0])
+		}
+		s.watches[nl] = ws[:j]
+	}
+	return false
+}
+
+// theoryConflict checks the incremental theory state at a propagation
+// fixpoint: e-graph conflicts (violated disequalities, distinct integers
+// equated), then Fourier-Motzkin over the asserted constraints plus the
+// per-check EUF->LA propagation facts.
+func (s *search2) theoryConflict() bool {
+	s.theoryChecks++
+	if s.eg.check() {
+		return true
+	}
+	return s.ar.infeasible(s.eufLA())
+}
+
+// eufLA derives the ephemeral EUF->LA constraints: equalities between
+// registered arithmetic atoms that congruence closure has put in one class,
+// and integer pinnings for atoms whose class contains an integer literal.
+// These are recomputed per check (class structure changes with the trail)
+// and passed to the solver without joining its persistent stack.
+func (s *search2) eufLA() []linExprI {
+	if len(s.ar.atomTerms) == 0 {
+		return nil
+	}
+	var uniq []logic.TermID
+	groups := map[enodeID][]logic.TermID{}
+	seen := map[logic.TermID]bool{}
+	for _, t := range s.ar.atomTerms {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		uniq = append(uniq, t)
+	}
+	for _, t := range uniq {
+		r := s.eg.find(s.eg.nodeOf[t])
+		groups[r] = append(groups[r], t)
+	}
+	var extra []linExprI
+	for r, ts := range groups {
+		for i := 1; i < len(ts); i++ {
+			extra = append(extra, newLinExprI().addAtom(ts[0], 1).addAtom(ts[i], -1))
+			extra = append(extra, newLinExprI().addAtom(ts[i], 1).addAtom(ts[0], -1))
+		}
+		if s.eg.hasInt[r] {
+			v := s.eg.intVal[r]
+			for _, t := range ts {
+				e1 := newLinExprI().addAtom(t, 1)
+				e1.consts = -v
+				e2 := newLinExprI().addAtom(t, -1)
+				e2.consts = v
+				extra = append(extra, e1, e2)
+			}
+		}
+	}
+	return extra
+}
+
+// pickBranch returns the first unassigned atom of the first unsatisfied
+// clause (the legacy branching rule), or -1 when every clause is satisfied.
+func (s *search2) pickBranch() atomID {
+	for _, cl := range s.clauses {
+		sat := false
+		cand := atomID(-1)
+		for _, l := range cl {
+			v := s.assign[l.atom()]
+			if v == 0 {
+				if cand < 0 {
+					cand = l.atom()
+				}
+				continue
+			}
+			if (v == 1) != l.negated() {
+				sat = true
+				break
+			}
+		}
+		if !sat && cand >= 0 {
+			return cand
+		}
+	}
+	return -1
+}
+
+// captureModel snapshots the current assignment as readable literals.
+func (s *search2) captureModel() {
+	out := make([]string, 0, len(s.trail))
+	for _, p := range s.trail {
+		lit := s.at.literal(p.atom(), s.tt)
+		if p.negated() {
+			lit = lit.Negated()
+		}
+		out = append(out, lit.String())
+	}
+	sort.Strings(out)
+	s.model = out
+}
+
+// decFrame is one decision on the explicit stack: the branched atom, which
+// polarity phase it is in, and the trail/theory marks to roll back to.
+type decFrame struct {
+	atom     atomID
+	flipped  bool
+	trailLen int
+	egMark   int
+	arCMark  int
+	arAMark  int
+}
+
+// undoTo rolls the assignment, the propagation frontier, and both theory
+// solvers back to a decision's marks.
+func (s *search2) undoTo(fr *decFrame) {
+	for len(s.trail) > fr.trailLen {
+		l := s.trail[len(s.trail)-1]
+		s.assign[l.atom()] = 0
+		s.trail = s.trail[:len(s.trail)-1]
+	}
+	s.qhead = fr.trailLen
+	s.eg.undoTo(fr.egMark)
+	s.ar.undoTo(fr.arCMark, fr.arAMark)
+}
+
+// refute returns true when the clause set is unsatisfiable modulo theories.
+func (s *search2) refute() bool {
+	if s.unsatAtSetup {
+		return true
+	}
+	var stack []decFrame
+	for {
+		conflict := s.propagate()
+		if !conflict {
+			if s.tick.stop() {
+				return false // deadline/cancel: unwind as consistent (sound)
+			}
+			conflict = s.theoryConflict()
+		}
+		if conflict {
+			// Chronological backtracking: flip the deepest unflipped
+			// decision; a conflict below every decision refutes the set.
+			flipped := false
+			for len(stack) > 0 {
+				fr := &stack[len(stack)-1]
+				s.undoTo(fr)
+				if !fr.flipped {
+					fr.flipped = true
+					s.enqueue(mkLit(fr.atom, true)) // try atom=false
+					flipped = true
+					break
+				}
+				stack = stack[:len(stack)-1]
+			}
+			if !flipped {
+				return true
+			}
+			continue
+		}
+		if s.decisions > s.maxDecisions {
+			return false // budget: treat as consistent (sound)
+		}
+		pick := s.pickBranch()
+		if pick < 0 {
+			// All clauses satisfied and theories consistent: countermodel.
+			s.captureModel()
+			return false
+		}
+		s.decisions++
+		cm, am := s.ar.mark()
+		stack = append(stack, decFrame{
+			atom: pick, trailLen: len(s.trail),
+			egMark: s.eg.mark(), arCMark: cm, arAMark: am,
+		})
+		s.enqueue(mkLit(pick, false)) // try atom=true first
+	}
+}

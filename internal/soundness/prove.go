@@ -153,6 +153,28 @@ func DefaultOptions() Options {
 	return Options{Prover: simplify.DefaultOptions()}
 }
 
+// stdProvers memoizes the prover built over the standard background axioms,
+// keyed by the (comparable) prover options. Clausifying the axiom base costs
+// more than discharging a typical obligation, and every Prove call uses the
+// same base, so rebuilding it per qualifier dominated small proofs. The base
+// is immutable and concurrency-safe; each run forks it with its own cache.
+var stdProvers sync.Map // simplify.Options -> *simplify.Prover
+
+// baseProver returns the prover base for opts, memoized when no extra
+// axioms are requested.
+func baseProver(opts Options) *simplify.Prover {
+	if len(opts.ExtraAxioms) > 0 {
+		axioms := append(append([]logic.Formula{}, Axioms()...), opts.ExtraAxioms...)
+		return simplify.New(axioms, opts.Prover)
+	}
+	if p, ok := stdProvers.Load(opts.Prover); ok {
+		return p.(*simplify.Prover)
+	}
+	p := simplify.New(Axioms(), opts.Prover)
+	actual, _ := stdProvers.LoadOrStore(opts.Prover, p)
+	return actual.(*simplify.Prover)
+}
+
 // concurrency resolves the effective worker count.
 func (o Options) concurrency() int {
 	if o.Concurrency > 0 {
@@ -183,11 +205,7 @@ func ProveContext(ctx context.Context, d *qdl.Def, reg *qdl.Registry, opts Optio
 	if cache == nil {
 		cache = simplify.NewCache(0)
 	}
-	axioms := Axioms()
-	if len(opts.ExtraAxioms) > 0 {
-		axioms = append(append([]logic.Formula{}, axioms...), opts.ExtraAxioms...)
-	}
-	prover := simplify.New(axioms, opts.Prover).WithCache(cache)
+	prover := baseProver(opts).Fork(cache)
 	start := time.Now()
 	report.Results = proveObligations(ctx, prover, obls, opts.concurrency())
 	report.Elapsed = time.Since(start)
