@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke experiments fuzz-smoke ci
+.PHONY: all build vet test race bench bench-smoke experiments fuzz-smoke serve-smoke ci
 
 # Seconds of fuzzing per target in fuzz-smoke.
 FUZZTIME ?= 30s
@@ -64,7 +64,14 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQDL$$' -fuzztime $(FUZZTIME) ./internal/qdl
 	$(GO) test -run '^$$' -fuzz '^FuzzProveGround$$' -fuzztime $(FUZZTIME) ./internal/simplify
 
+# serve-smoke builds the qualserve binary and runs the end-to-end smoke
+# test: the real binary on an ephemeral port, one /check round-trip, then a
+# clean SIGTERM drain.
+serve-smoke:
+	$(GO) build ./cmd/qualserve
+	$(GO) test -run '^TestQualserveSmoke$$' ./cmd/qualserve
+
 # ci is the gate: everything must build, vet clean, pass under -race, run
-# every benchmark for one smoke iteration, and survive a short fuzzing budget
-# on each fuzz target.
-ci: build vet race bench-smoke fuzz-smoke
+# every benchmark for one smoke iteration, survive a short fuzzing budget on
+# each fuzz target, and serve one checking request end to end.
+ci: build vet race bench-smoke fuzz-smoke serve-smoke

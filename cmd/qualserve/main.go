@@ -1,0 +1,72 @@
+// Command qualserve runs the qualifier checking service: an HTTP+JSON API
+// over the extensible typechecker and the soundness prover, built for
+// long-lived concurrent serving with content-addressed incremental
+// re-checking.
+//
+// Usage:
+//
+//	qualserve [-addr :8080] [-workers N] [-queue N] [-timeout 30s] [-drain 10s]
+//
+// Endpoints:
+//
+//	POST /check   — qualifier-check a cminor program (JSON body: source,
+//	                optional quals/taint/flow_sensitive/timeout_ms)
+//	POST /prove   — discharge a qualifier set's soundness obligations
+//	GET  /metrics — request counts, p50/p99 latency, queue depth, shed
+//	                count, and cache hit rates
+//	GET  /healthz — liveness (503 while draining)
+//
+// SIGINT/SIGTERM starts a graceful drain: in-flight requests finish (up to
+// -drain), new ones are answered 503, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+	workers := flag.Int("workers", 0, "worker pool size (default: all cores)")
+	queue := flag.Int("queue", 0, "admission queue capacity (default: 2*workers)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	funcCache := flag.Int("func-cache", 0, "function result cache capacity (default 8192)")
+	proverCache := flag.Int("prover-cache", 0, "prover outcome cache capacity (default 4096)")
+	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	srv := server.New(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		RequestTimeout:  *timeout,
+		DrainTimeout:    *drain,
+		FuncCacheSize:   *funcCache,
+		ProverCacheSize: *proverCache,
+	})
+	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
+		// The announce line is machine-readable: the smoke test (and any
+		// supervisor binding port 0) parses the bound address from it.
+		fmt.Printf("qualserve listening on %s\n", a)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qualserve:", err)
+		return 1
+	}
+	fmt.Println("qualserve: drained, bye")
+	return 0
+}

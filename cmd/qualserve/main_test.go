@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the smoke-test child: when re-executed with
+// QUALSERVE_SMOKE_CHILD=1 the test binary runs the real main loop, so the
+// smoke test exercises the actual flag parsing, signal handling, and
+// graceful drain of the shipped binary without needing a separate build.
+func TestMain(m *testing.M) {
+	if os.Getenv("QUALSERVE_SMOKE_CHILD") == "1" {
+		os.Exit(run())
+	}
+	os.Exit(m.Run())
+}
+
+// TestQualserveSmoke starts qualserve on an ephemeral port, performs one
+// /check round-trip, sends SIGTERM, and requires a clean drained exit.
+func TestQualserveSmoke(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "-addr", "127.0.0.1:0", "-drain", "5s")
+	cmd.Env = append(os.Environ(), "QUALSERVE_SMOKE_CHILD=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	var tail []string
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "qualserve listening on "); ok {
+				addrCh <- rest
+				continue
+			}
+			tail = append(tail, line)
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for the listening announcement")
+	}
+
+	body, _ := json.Marshal(map[string]any{
+		"filename": "smoke.c",
+		"source":   "int main() { int x = 1; return x; }",
+	})
+	resp, err := http.Post(fmt.Sprintf("http://%s/check", addr), "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /check: %v", err)
+	}
+	var checkResp struct {
+		Warnings int `json:"warnings"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&checkResp); err != nil {
+		t.Fatalf("decoding /check response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /check: status %d", resp.StatusCode)
+	}
+	if checkResp.Warnings != 0 {
+		t.Fatalf("smoke program reported %d warnings, want 0", checkResp.Warnings)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("qualserve exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("qualserve did not exit within 15s of SIGTERM")
+	}
+}

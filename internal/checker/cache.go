@@ -1,0 +1,299 @@
+package checker
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/cminor"
+	"repro/internal/qdl"
+)
+
+// This file implements content-addressed, function-granular result caching:
+// the unit of reuse for a long-lived checking service is one function body,
+// so that editing a file re-checks only the functions whose text changed.
+//
+// A cached entry is keyed by two hashes:
+//
+//   - the function fingerprint: the position-free rendering of the function
+//     (cminor.FuncString), so a body that merely moved within the file still
+//     hits;
+//   - the context key: everything outside the body the walk can observe —
+//     the qualifier registry fingerprint, the checker options that change
+//     verdicts (flow sensitivity), the program interface (struct layouts,
+//     global declarations, every function signature), the address-taken
+//     variable set consulted by flow refinement, and the returns-fresh facts
+//     (the one piece of cross-function body information the checker uses,
+//     via the section 2.2.1 fresh-assignment extension).
+//
+// Diagnostics are stored with line numbers relative to the function's own
+// first line and rebased on replay, so an unchanged function shifted by an
+// edit above it replays its warnings at the new positions.
+
+// DefaultFuncCacheCapacity bounds a cache created with capacity <= 0.
+const DefaultFuncCacheCapacity = 8192
+
+// FuncCacheStats is a snapshot of a function cache's counters.
+type FuncCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s FuncCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// FuncCache is a thread-safe LRU cache of per-function checking results.
+// Share one across CheckWithCache calls (and across programs — the context
+// key isolates unrelated programs and registries) to make repeated checks of
+// mostly-unchanged sources cheap.
+type FuncCache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // of *funcCacheEntry; front is most recently used
+	entries  map[string]*list.Element
+	stats    FuncCacheStats
+}
+
+// funcCacheEntry is the replayable outcome of walking one function body.
+type funcCacheEntry struct {
+	key   string
+	diags []relDiag
+	// The statistic deltas a body walk contributes (the program-level
+	// counters — dereferences, annotations, ref uses — are recomputed by the
+	// surrounding CheckWithCache pass and never cached).
+	restrictChecks   int
+	restrictFailures int
+	memoHits         int
+	memoMisses       int
+}
+
+// relDiag is a diagnostic with its line stored relative to the function's
+// first line.
+type relDiag struct {
+	relLine int
+	col     int
+	code    string
+	msg     string
+}
+
+// NewFuncCache returns an empty cache holding at most capacity function
+// results (DefaultFuncCacheCapacity when capacity <= 0).
+func NewFuncCache(capacity int) *FuncCache {
+	if capacity <= 0 {
+		capacity = DefaultFuncCacheCapacity
+	}
+	return &FuncCache{
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  map[string]*list.Element{},
+	}
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters.
+func (c *FuncCache) Stats() FuncCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of cached function results.
+func (c *FuncCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// get returns the cached entry for key, marking it most recently used.
+func (c *FuncCache) get(key string) (*funcCacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*funcCacheEntry), true
+}
+
+// put stores entry under key, evicting the least recently used entry when
+// full. Storing an already-present key refreshes its value and recency
+// without counting an eviction.
+func (c *FuncCache) put(key string, entry *funcCacheEntry) {
+	entry.key = key
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value = entry
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.capacity {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*funcCacheEntry).key)
+		c.stats.Evictions++
+	}
+	c.entries[key] = c.lru.PushFront(entry)
+}
+
+// funcKey is the full cache key for one function under one context.
+func funcKey(ctxKey string, f *cminor.FuncDef) string {
+	h := sha256.New()
+	io.WriteString(h, ctxKey)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, cminor.FuncString(f))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// contextKey hashes everything a function-body walk can observe besides the
+// body itself. It must be computed after prepareFlow (it hashes the
+// address-taken set) and conservatively includes the returns-fresh facts,
+// which depend on other functions' bodies.
+func (en *engine) contextKey(opts Options) string {
+	h := sha256.New()
+	io.WriteString(h, "reg\x00")
+	io.WriteString(h, en.reg.Fingerprint())
+	fmt.Fprintf(h, "\x00opts\x00flow=%v\x00", opts.FlowSensitive)
+	io.WriteString(h, "structs\x00")
+	for _, st := range en.prog.Structs {
+		fmt.Fprintf(h, "struct %s{", st.Name)
+		for _, f := range st.Fields {
+			fmt.Fprintf(h, "%s %s;", f.Type, f.Name)
+		}
+		io.WriteString(h, "}\x00")
+	}
+	io.WriteString(h, "globals\x00")
+	for _, g := range en.prog.Globals {
+		io.WriteString(h, cminor.DeclString(g))
+		io.WriteString(h, "\x00")
+	}
+	io.WriteString(h, "sigs\x00")
+	for _, f := range en.prog.Funcs {
+		io.WriteString(h, cminor.HeaderString(f))
+		if f.Body == nil {
+			io.WriteString(h, " <nobody>")
+		}
+		io.WriteString(h, "\x00")
+	}
+	// Flow refinement consults the address-taken set, which any function
+	// body can extend.
+	io.WriteString(h, "addrtaken\x00")
+	taken := make([]string, 0, len(en.addrTaken))
+	for name := range en.addrTaken {
+		taken = append(taken, name)
+	}
+	sort.Strings(taken)
+	for _, name := range taken {
+		io.WriteString(h, name)
+		io.WriteString(h, "\x00")
+	}
+	// Returns-fresh facts: for every qualifier with a fresh assign clause,
+	// whether each function provably returns a fresh reference. This is the
+	// only cross-function body information a walk consumes, so capturing the
+	// facts (rather than the bodies) keeps unrelated edits from invalidating
+	// every function.
+	io.WriteString(h, "fresh\x00")
+	for _, d := range en.reg.Defs() {
+		if !hasFreshAssign(d) {
+			continue
+		}
+		for _, f := range en.prog.Funcs {
+			fmt.Fprintf(h, "%s|%s=%v\x00", f.Name, d.Name, en.returnsFresh(f.Name, d.Name))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hasFreshAssign reports whether d declares a fresh assign clause.
+func hasFreshAssign(d *qdl.Def) bool {
+	for _, cl := range d.Assigns {
+		if _, ok := cl.Pat.(qdl.PFresh); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFuncCached walks one function on a fresh child engine, consulting and
+// populating the function cache. The receiver must be a freshly created
+// child (empty diagnostics and zero stats), so its whole post-walk state is
+// exactly the function's contribution.
+func (en *engine) checkFuncCached(f *cminor.FuncDef) {
+	if en.fc == nil {
+		en.safeCheckFunc(f)
+		return
+	}
+	key := funcKey(en.ctxKey, f)
+	if entry, ok := en.fc.get(key); ok {
+		en.stats.FuncCacheHits++
+		en.replayEntry(entry, f)
+		return
+	}
+	en.stats.FuncCacheMisses++
+	en.safeCheckFunc(f)
+	if entry, ok := en.entryFromWalk(f); ok {
+		en.fc.put(key, entry)
+	}
+}
+
+// replayEntry rebases and appends a cached function's diagnostics and
+// statistic deltas onto the (child) engine.
+func (en *engine) replayEntry(entry *funcCacheEntry, f *cminor.FuncDef) {
+	for _, d := range entry.diags {
+		en.diags = append(en.diags, Diagnostic{
+			Pos:  cminor.Pos{File: f.Pos.File, Line: f.Pos.Line + d.relLine, Col: d.col},
+			Code: d.code,
+			Msg:  d.msg,
+		})
+	}
+	en.stats.RestrictChecks += entry.restrictChecks
+	en.stats.RestrictFailures += entry.restrictFailures
+	en.stats.MemoHits += entry.memoHits
+	en.stats.MemoMisses += entry.memoMisses
+}
+
+// entryFromWalk converts a completed walk's child-engine state into a cache
+// entry. It refuses (ok=false) when the result is not safely replayable:
+// an "internal" diagnostic records a recovered panic (transient, like the
+// prover's uncached panic outcomes), and a diagnostic positioned outside the
+// function's own span cannot be rebased by line offset.
+func (en *engine) entryFromWalk(f *cminor.FuncDef) (*funcCacheEntry, bool) {
+	entry := &funcCacheEntry{
+		diags:            make([]relDiag, 0, len(en.diags)),
+		restrictChecks:   en.stats.RestrictChecks,
+		restrictFailures: en.stats.RestrictFailures,
+		memoHits:         en.stats.MemoHits,
+		memoMisses:       en.stats.MemoMisses,
+	}
+	for _, d := range en.diags {
+		if d.Code == "internal" {
+			return nil, false
+		}
+		if d.Pos.File != f.Pos.File || d.Pos.Line < f.Pos.Line {
+			return nil, false
+		}
+		entry.diags = append(entry.diags, relDiag{
+			relLine: d.Pos.Line - f.Pos.Line,
+			col:     d.Pos.Col,
+			code:    d.Code,
+			msg:     d.Msg,
+		})
+	}
+	return entry, true
+}

@@ -46,6 +46,11 @@ type Stats struct {
 	// cache counters.
 	MemoHits   int
 	MemoMisses int
+	// FuncCacheHits / FuncCacheMisses count function-granular result cache
+	// lookups (CheckWithCache only; zero otherwise). A hit means the
+	// function's body walk was skipped and its cached diagnostics replayed.
+	FuncCacheHits   int
+	FuncCacheMisses int
 }
 
 // Result is the outcome of qualifier checking.
@@ -112,6 +117,12 @@ type engine struct {
 	deriveReady bool
 	valueDefs   []*qdl.Def
 	defCurDep   []bool
+
+	// Function-granular result cache state (see cache.go). fc is nil for
+	// plain CheckWithContext runs; ctxKey is the context hash shared by every
+	// function key of this run.
+	fc     *FuncCache
+	ctxKey string
 }
 
 type rclause struct {
@@ -162,6 +173,18 @@ func CheckWith(prog *cminor.Program, reg *qdl.Registry, opts Options) *Result {
 // the function-body walk early and records the cancellation on Result.Err
 // (diagnostics gathered so far are still returned).
 func CheckWithContext(ctx context.Context, prog *cminor.Program, reg *qdl.Registry, opts Options) *Result {
+	return CheckWithCache(ctx, prog, reg, opts, nil)
+}
+
+// CheckWithCache is CheckWithContext backed by a function-granular result
+// cache: function bodies whose content-addressed key (position-free function
+// source × registry fingerprint × options × program interface, see cache.go)
+// is cached replay their stored diagnostics instead of being walked. A nil
+// cache disables caching. Program-level passes (typechecking unless
+// Options.Types is supplied, annotation validation, global initializers, the
+// address-of pass, statistics collection) always run; only body walks are
+// reused. Safe for concurrent use with a shared cache.
+func CheckWithCache(ctx context.Context, prog *cminor.Program, reg *qdl.Registry, opts Options, fc *FuncCache) *Result {
 	info, baseDiags := opts.Types, opts.TypeDiags
 	if info == nil {
 		info, baseDiags = cminor.TypeCheck(prog)
@@ -180,6 +203,10 @@ func CheckWithContext(ctx context.Context, prog *cminor.Program, reg *qdl.Regist
 		},
 	}
 	en.prepareFlow()
+	if fc != nil {
+		en.fc = fc
+		en.ctxKey = en.contextKey(opts)
+	}
 	for _, d := range baseDiags {
 		en.diags = append(en.diags, Diagnostic{Pos: d.Pos, Code: "base", Msg: d.Msg})
 	}
@@ -364,7 +391,16 @@ func (en *engine) checkFuncs(ctx context.Context, workers int) {
 			if ctx.Err() != nil {
 				return
 			}
-			en.safeCheckFunc(f)
+			if en.fc == nil {
+				en.safeCheckFunc(f)
+				continue
+			}
+			// With a function cache, the serial path also walks each body on
+			// a private child engine so the cache entry captures exactly one
+			// function's contribution.
+			child := en.childEngine()
+			child.checkFuncCached(f)
+			en.mergeChild(child)
 		}
 		return
 	}
@@ -377,7 +413,7 @@ func (en *engine) checkFuncs(ctx context.Context, workers int) {
 			defer wg.Done()
 			for i := range idx {
 				child := en.childEngine()
-				child.safeCheckFunc(funcs[i])
+				child.checkFuncCached(funcs[i])
 				children[i] = child
 			}
 		}()
@@ -394,12 +430,20 @@ func (en *engine) checkFuncs(ctx context.Context, workers int) {
 		if child == nil {
 			continue
 		}
-		en.diags = append(en.diags, child.diags...)
-		en.stats.RestrictChecks += child.stats.RestrictChecks
-		en.stats.RestrictFailures += child.stats.RestrictFailures
-		en.stats.MemoHits += child.stats.MemoHits
-		en.stats.MemoMisses += child.stats.MemoMisses
+		en.mergeChild(child)
 	}
+}
+
+// mergeChild folds one function's child-engine state back into the parent,
+// preserving source (declaration) order when called in function order.
+func (en *engine) mergeChild(child *engine) {
+	en.diags = append(en.diags, child.diags...)
+	en.stats.RestrictChecks += child.stats.RestrictChecks
+	en.stats.RestrictFailures += child.stats.RestrictFailures
+	en.stats.MemoHits += child.stats.MemoHits
+	en.stats.MemoMisses += child.stats.MemoMisses
+	en.stats.FuncCacheHits += child.stats.FuncCacheHits
+	en.stats.FuncCacheMisses += child.stats.FuncCacheMisses
 }
 
 // childEngine clones the engine for one worker: immutable tables (registry,
@@ -420,6 +464,8 @@ func (en *engine) childEngine() *engine {
 		deriveReady:   en.deriveReady,
 		valueDefs:     en.valueDefs,
 		defCurDep:     en.defCurDep,
+		fc:            en.fc,
+		ctxKey:        en.ctxKey,
 	}
 }
 

@@ -38,6 +38,30 @@ func Print(p *Program) string {
 	return sb.String()
 }
 
+// FuncString renders one function definition (header plus body) back to
+// source. The rendering is position-free: a function whose text is unchanged
+// renders identically no matter where it sits in the file, which is what
+// makes it usable as a content address for function-granular result caching.
+func FuncString(f *FuncDef) string {
+	var sb strings.Builder
+	sb.WriteString(funcHeader(f))
+	if f.Body == nil {
+		sb.WriteString(";\n")
+		return sb.String()
+	}
+	sb.WriteString(" ")
+	printStmt(&sb, f.Body, 0)
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// HeaderString renders a function's signature (result type, name, parameter
+// list) without its body.
+func HeaderString(f *FuncDef) string { return funcHeader(f) }
+
+// DeclString renders one variable declaration, including its initializer.
+func DeclString(d *VarDecl) string { return declString(d) }
+
 func funcHeader(f *FuncDef) string {
 	params := make([]string, 0, len(f.Params)+1)
 	for _, p := range f.Params {

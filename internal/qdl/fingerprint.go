@@ -1,0 +1,23 @@
+package qdl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+)
+
+// Fingerprint returns a content hash of every definition in the registry, in
+// registration order. Def.String serializes the full semantics of a
+// definition — kind, subject pattern, every case/restrict/assign clause,
+// disallow/ondecl/noassign flags, and the invariant — so two registries with
+// equal fingerprints execute identical type rules and generate identical
+// proof obligations. The checker's function-granular result cache and the
+// qualserve request cache key on it.
+func (r *Registry) Fingerprint() string {
+	h := sha256.New()
+	for _, d := range r.order {
+		io.WriteString(h, d.String())
+		io.WriteString(h, "\x00")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

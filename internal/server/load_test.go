@@ -1,0 +1,127 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// TestLoadConcurrentCheck fires 64 concurrent /check requests of the bftpd
+// corpus program at a deliberately small pool (4 workers, queue of 8) and
+// requires that every request is answered — 200 for the admitted ones, 503
+// with a JSON body for the shed ones (never dropped or hung) — and that a
+// warm pass afterwards is served from the function cache, visible in
+// /metrics. Run under -race (make race / make ci) this doubles as the
+// data-race gate for the shared caches, metrics, and pool.
+func TestLoadConcurrentCheck(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 8, RequestTimeout: 2 * time.Minute})
+	// Pin a floor under per-job service time so the storm reliably overruns
+	// the 4+8 admission capacity and exercises load shedding (a warm
+	// cache-served check is otherwise sub-millisecond).
+	testJobHook = func() { time.Sleep(20 * time.Millisecond) }
+	defer func() { testJobHook = nil }()
+	bftpd := corpus.Bftpd()
+	reqBody, err := json.Marshal(CheckRequest{Filename: "bftpd.c", Source: bftpd.Source})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold pass: populates the function cache.
+	var cold CheckResponse
+	if code := postJSON(t, ts.URL+"/check", CheckRequest{Filename: "bftpd.c", Source: bftpd.Source}, &cold); code != http.StatusOK {
+		t.Fatalf("cold check: status %d, want 200", code)
+	}
+	if cold.Stats.FuncCacheMisses == 0 {
+		t.Fatal("cold check recorded no function-cache misses")
+	}
+
+	// The storm. Every response must be 200 or 503, and every 503 must
+	// carry a decodable JSON error body (answered, not dropped).
+	const n = 64
+	type result struct {
+		code int
+		body []byte
+		err  error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/check", "application/json", bytes.NewReader(reqBody))
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			results[i] = result{code: resp.StatusCode, body: body, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	ok200, shed503 := 0, 0
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("request %d failed at the transport level: %v", i, r.err)
+		}
+		switch r.code {
+		case http.StatusOK:
+			ok200++
+			var resp CheckResponse
+			if err := json.Unmarshal(r.body, &resp); err != nil {
+				t.Fatalf("request %d: bad 200 body: %v", i, err)
+			}
+		case http.StatusServiceUnavailable:
+			shed503++
+			var eb errorBody
+			if err := json.Unmarshal(r.body, &eb); err != nil || eb.Error == "" {
+				t.Fatalf("request %d: shed without a JSON error body (%q, %v)", i, r.body, err)
+			}
+		default:
+			t.Fatalf("request %d: status %d, want 200 or 503", i, r.code)
+		}
+	}
+	if ok200 == 0 {
+		t.Fatal("no request succeeded under load")
+	}
+	if shed503 == 0 {
+		t.Fatal("no request was shed: admission control never engaged")
+	}
+	t.Logf("load: %d ok, %d shed of %d", ok200, shed503, n)
+
+	// Warm pass: the unchanged program replays entirely from the cache.
+	var warm CheckResponse
+	if code := postJSON(t, ts.URL+"/check", CheckRequest{Filename: "bftpd.c", Source: bftpd.Source}, &warm); code != http.StatusOK {
+		t.Fatalf("warm check: status %d, want 200", code)
+	}
+	if warm.Stats.FuncCacheHits == 0 {
+		t.Error("warm check recorded no function-cache hits")
+	}
+
+	var m MetricsResponse
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if m.FuncCache.Hits == 0 || m.FuncCache.HitRate <= 0 {
+		t.Errorf("metrics show no function-cache reuse: %+v", m.FuncCache)
+	}
+	if got := m.ShedTotal; got != uint64(shed503) {
+		t.Errorf("shed_total=%d, but %d requests saw 503", got, shed503)
+	}
+	ep := m.Endpoints["check"]
+	if ep.Count != uint64(n+2) {
+		t.Errorf("check count=%d, want %d", ep.Count, n+2)
+	}
+	if ep.P99Millis < ep.P50Millis {
+		t.Errorf("p99 (%v) below p50 (%v)", ep.P99Millis, ep.P50Millis)
+	}
+	_ = s
+}

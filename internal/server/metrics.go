@@ -1,0 +1,136 @@
+// Package server implements qualserve: a long-lived, concurrent qualifier
+// checking service over the checker and soundness pipelines. Requests run
+// through a bounded worker pool with admission control (a capped queue that
+// sheds overload as 503s) and per-request deadlines threaded into the
+// context plumbing; results are reused across requests via the
+// function-granular checker cache and the memoizing prover cache. See
+// DESIGN.md ("The serving architecture").
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencySamples bounds the per-endpoint latency reservoir: percentiles are
+// computed over the most recent latencySamples observations.
+const latencySamples = 2048
+
+// endpointMetrics accumulates per-endpoint counters. Guarded by Metrics.mu.
+type endpointMetrics struct {
+	count     uint64
+	codes     map[int]uint64
+	latencies []time.Duration // ring buffer, most recent latencySamples
+	next      int             // ring write cursor
+}
+
+// Metrics is the server's thread-safe counter set, rendered by GET /metrics.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*endpointMetrics
+	shed      uint64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: map[string]*endpointMetrics{}}
+}
+
+// observe records one finished request: its response code and latency.
+func (m *Metrics) observe(endpoint string, code int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := m.endpoints[endpoint]
+	if em == nil {
+		em = &endpointMetrics{codes: map[int]uint64{}}
+		m.endpoints[endpoint] = em
+	}
+	em.count++
+	em.codes[code]++
+	if len(em.latencies) < latencySamples {
+		em.latencies = append(em.latencies, elapsed)
+	} else {
+		em.latencies[em.next] = elapsed
+		em.next = (em.next + 1) % latencySamples
+	}
+}
+
+// observeShed records one load-shed request (also observed as a 503).
+func (m *Metrics) observeShed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+// EndpointSnapshot is the exported per-endpoint view.
+type EndpointSnapshot struct {
+	Count     uint64            `json:"count"`
+	Codes     map[string]uint64 `json:"codes"`
+	P50Millis float64           `json:"p50_ms"`
+	P99Millis float64           `json:"p99_ms"`
+}
+
+// Snapshot is the exported metrics view (the /metrics JSON body, minus the
+// cache and queue gauges the server adds).
+type Snapshot struct {
+	UptimeMillis int64                       `json:"uptime_ms"`
+	ShedTotal    uint64                      `json:"shed_total"`
+	Endpoints    map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// snapshot renders the counters. Percentiles are nearest-rank over the
+// recent-latency reservoir.
+func (m *Metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Snapshot{
+		UptimeMillis: time.Since(m.start).Milliseconds(),
+		ShedTotal:    m.shed,
+		Endpoints:    map[string]EndpointSnapshot{},
+	}
+	for name, em := range m.endpoints {
+		es := EndpointSnapshot{Count: em.count, Codes: map[string]uint64{}}
+		for code, n := range em.codes {
+			es.Codes[itoa(code)] = n
+		}
+		if len(em.latencies) > 0 {
+			sorted := append([]time.Duration(nil), em.latencies...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			es.P50Millis = float64(percentile(sorted, 50)) / float64(time.Millisecond)
+			es.P99Millis = float64(percentile(sorted, 99)) / float64(time.Millisecond)
+		}
+		out.Endpoints[name] = es
+	}
+	return out
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// itoa avoids strconv for the tiny code-to-key conversion.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

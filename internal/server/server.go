@@ -1,0 +1,561 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/cminor"
+	"repro/internal/qdl"
+	"repro/internal/quals"
+	"repro/internal/simplify"
+	"repro/internal/soundness"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers bounds the worker pool executing request bodies (parsing,
+	// checking, proving). 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth caps the admission queue of accepted-but-not-started
+	// requests. A full queue sheds new work with 503. 0 means 2*Workers.
+	QueueDepth int
+	// RequestTimeout is the per-request deadline (also the ceiling for a
+	// request's own timeout_ms). 0 means 30s.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: in-flight requests get this
+	// long to finish after the stop signal. 0 means 10s.
+	DrainTimeout time.Duration
+	// CheckConcurrency is the per-request function/obligation concurrency.
+	// Parallelism across requests comes from the worker pool, so this
+	// defaults to 1 to avoid oversubscription.
+	CheckConcurrency int
+	// FuncCacheSize caps the function-granular checker result cache
+	// (0 means checker.DefaultFuncCacheCapacity).
+	FuncCacheSize int
+	// ProverCacheSize caps the memoizing prover outcome cache
+	// (0 means simplify.DefaultCacheCapacity).
+	ProverCacheSize int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 2 * c.workers()
+}
+
+func (c Config) requestTimeout() time.Duration {
+	if c.RequestTimeout > 0 {
+		return c.RequestTimeout
+	}
+	return 30 * time.Second
+}
+
+func (c Config) drainTimeout() time.Duration {
+	if c.DrainTimeout > 0 {
+		return c.DrainTimeout
+	}
+	return 10 * time.Second
+}
+
+func (c Config) checkConcurrency() int {
+	if c.CheckConcurrency > 0 {
+		return c.CheckConcurrency
+	}
+	return 1
+}
+
+// job is one admitted request body waiting for a pool worker.
+type job struct {
+	ctx     context.Context
+	run     func()
+	done    chan struct{}
+	started atomic.Bool
+}
+
+// Server is the qualserve HTTP service. Create with New, mount Handler (or
+// call Serve), and stop with Shutdown.
+type Server struct {
+	cfg         Config
+	mux         *http.ServeMux
+	jobs        chan *job
+	quit        chan struct{}
+	wg          sync.WaitGroup
+	draining    atomic.Bool
+	metrics     *Metrics
+	funcCache   *checker.FuncCache
+	proverCache *simplify.Cache
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+}
+
+// testJobHook, when non-nil, runs on the worker goroutine at the start of
+// every executed job. Tests use it to hold requests in flight.
+var testJobHook func()
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:         cfg,
+		mux:         http.NewServeMux(),
+		jobs:        make(chan *job, cfg.queueDepth()),
+		quit:        make(chan struct{}),
+		metrics:     newMetrics(),
+		funcCache:   checker.NewFuncCache(cfg.FuncCacheSize),
+		proverCache: simplify.NewCache(cfg.ProverCacheSize),
+	}
+	s.mux.HandleFunc("POST /check", s.handleCheck)
+	s.mux.HandleFunc("POST /prove", s.handleProve)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for w := 0; w < cfg.workers(); w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// worker executes admitted jobs until shutdown. A job whose request context
+// is already dead is skipped — its handler has answered.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.jobs:
+			if j.ctx.Err() == nil {
+				j.started.Store(true)
+				if testJobHook != nil {
+					testJobHook()
+				}
+				j.run()
+			}
+			close(j.done)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// Serve accepts connections on l until Shutdown. It always returns a non-nil
+// error; after Shutdown the error is http.ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	return srv.Serve(l)
+}
+
+// Shutdown drains the server: new requests are answered 503 immediately,
+// in-flight requests (including queued ones whose handlers still wait) get
+// until ctx's deadline to finish, then the listener and worker pool stop.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	close(s.quit)
+	s.wg.Wait()
+	return err
+}
+
+// ---- Request execution ----
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// execute runs fn on the worker pool under the request's deadline and writes
+// its response. Admission control: a draining server or a full queue answers
+// 503 without queuing; a request whose deadline expires while still queued
+// is answered 503 (shed), while one that expires mid-run is answered 504.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, endpoint string, timeoutMillis int64, fn func(ctx context.Context) (int, any)) {
+	t0 := time.Now()
+	code := 0
+	defer func() {
+		s.metrics.observe(endpoint, code, time.Since(t0))
+	}()
+
+	if s.draining.Load() {
+		code = http.StatusServiceUnavailable
+		s.metrics.observeShed()
+		writeJSON(w, code, errorBody{Error: "server is draining"})
+		return
+	}
+	timeout := s.cfg.requestTimeout()
+	if timeoutMillis > 0 {
+		if d := time.Duration(timeoutMillis) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	var (
+		status  int
+		payload any
+	)
+	j := &job{ctx: ctx, done: make(chan struct{})}
+	j.run = func() { status, payload = fn(ctx) }
+	select {
+	case s.jobs <- j:
+	default:
+		code = http.StatusServiceUnavailable
+		s.metrics.observeShed()
+		writeJSON(w, code, errorBody{Error: "queue full"})
+		return
+	}
+	select {
+	case <-j.done:
+		if status == 0 {
+			// The worker skipped the job: its context died in the queue.
+			code = http.StatusServiceUnavailable
+			s.metrics.observeShed()
+			writeJSON(w, code, errorBody{Error: "deadline expired while queued"})
+			return
+		}
+		code = status
+		writeJSON(w, code, payload)
+	case <-ctx.Done():
+		if j.started.Load() {
+			code = http.StatusGatewayTimeout
+			writeJSON(w, code, errorBody{Error: "deadline exceeded"})
+		} else {
+			code = http.StatusServiceUnavailable
+			s.metrics.observeShed()
+			writeJSON(w, code, errorBody{Error: "deadline expired while queued"})
+		}
+	}
+}
+
+// loadRegistry resolves a request's qualifier set: explicit QDL sources,
+// the taint configuration, or the standard library.
+func loadRegistry(srcs map[string]string, taint bool) (*qdl.Registry, error) {
+	switch {
+	case len(srcs) > 0:
+		return qdl.Load(srcs)
+	case taint:
+		return quals.TaintWithConstants()
+	default:
+		return quals.Standard()
+	}
+}
+
+// ---- POST /check ----
+
+// CheckRequest is the body of POST /check.
+type CheckRequest struct {
+	// Filename labels positions in diagnostics (default "input.c").
+	Filename string `json:"filename,omitempty"`
+	// Source is the cminor program to check.
+	Source string `json:"source"`
+	// Quals maps file names to QDL sources; empty means the standard
+	// qualifier library (or the taint configuration when Taint is set).
+	Quals map[string]string `json:"quals,omitempty"`
+	Taint bool              `json:"taint,omitempty"`
+	// FlowSensitive enables branch-condition refinement (section 8).
+	FlowSensitive bool `json:"flow_sensitive,omitempty"`
+	// TimeoutMillis bounds this request (capped by the server's limit).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// CheckDiagnostic is one rendered diagnostic.
+type CheckDiagnostic struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+}
+
+// CheckStats is the subset of checker statistics the API exports.
+type CheckStats struct {
+	Dereferences     int `json:"dereferences"`
+	RestrictChecks   int `json:"restrict_checks"`
+	RestrictFailures int `json:"restrict_failures"`
+	FuncCacheHits    int `json:"func_cache_hits"`
+	FuncCacheMisses  int `json:"func_cache_misses"`
+}
+
+// CheckResponse is the body of a 200 answer to POST /check.
+type CheckResponse struct {
+	Filename      string            `json:"filename"`
+	Diagnostics   []CheckDiagnostic `json:"diagnostics"`
+	Warnings      int               `json:"warnings"`
+	Stats         CheckStats        `json:"stats"`
+	ElapsedMillis int64             `json:"elapsed_ms"`
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req CheckRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		s.metrics.observe("check", http.StatusBadRequest, 0)
+		return
+	}
+	s.execute(w, r, "check", req.TimeoutMillis, func(ctx context.Context) (int, any) {
+		return s.doCheck(ctx, &req)
+	})
+}
+
+func (s *Server) doCheck(ctx context.Context, req *CheckRequest) (int, any) {
+	t0 := time.Now()
+	reg, err := loadRegistry(req.Quals, req.Taint)
+	if err != nil {
+		return http.StatusUnprocessableEntity, errorBody{Error: "qualifier definitions: " + err.Error()}
+	}
+	name := req.Filename
+	if name == "" {
+		name = "input.c"
+	}
+	prog, err := cminor.Parse(name, req.Source, reg.Names())
+	if err != nil {
+		return http.StatusUnprocessableEntity, errorBody{Error: "parse: " + err.Error()}
+	}
+	res := checker.CheckWithCache(ctx, prog, reg, checker.Options{
+		FlowSensitive: req.FlowSensitive,
+		Concurrency:   s.cfg.checkConcurrency(),
+	}, s.funcCache)
+	if res.Err != nil {
+		return http.StatusGatewayTimeout, errorBody{Error: "check stopped: " + res.Err.Error()}
+	}
+	resp := CheckResponse{
+		Filename:    name,
+		Diagnostics: make([]CheckDiagnostic, 0, len(res.Diags)),
+		Warnings:    len(res.Diags),
+		Stats: CheckStats{
+			Dereferences:     res.Stats.Dereferences,
+			RestrictChecks:   res.Stats.RestrictChecks,
+			RestrictFailures: res.Stats.RestrictFailures,
+			FuncCacheHits:    res.Stats.FuncCacheHits,
+			FuncCacheMisses:  res.Stats.FuncCacheMisses,
+		},
+		ElapsedMillis: time.Since(t0).Milliseconds(),
+	}
+	for _, d := range res.Diags {
+		resp.Diagnostics = append(resp.Diagnostics, CheckDiagnostic{
+			File: d.Pos.File, Line: d.Pos.Line, Col: d.Pos.Col, Code: d.Code, Msg: d.Msg,
+		})
+	}
+	return http.StatusOK, resp
+}
+
+// ---- POST /prove ----
+
+// ProveRequest is the body of POST /prove.
+type ProveRequest struct {
+	// Quals maps file names to QDL sources; empty means the standard
+	// library (or the taint configuration when Taint is set).
+	Quals map[string]string `json:"quals,omitempty"`
+	Taint bool              `json:"taint,omitempty"`
+	// Qualifier, when set, proves only the named qualifier.
+	Qualifier     string `json:"qualifier,omitempty"`
+	TimeoutMillis int64  `json:"timeout_ms,omitempty"`
+}
+
+// ProveObligation is one discharged obligation.
+type ProveObligation struct {
+	Kind        string `json:"kind"`
+	Description string `json:"description"`
+	Valid       bool   `json:"valid"`
+	Result      string `json:"result"`
+	Reason      string `json:"reason,omitempty"`
+	CacheHit    bool   `json:"cache_hit,omitempty"`
+}
+
+// ProveReport is one qualifier's soundness verdict.
+type ProveReport struct {
+	Qualifier   string            `json:"qualifier"`
+	Kind        string            `json:"kind"`
+	Sound       bool              `json:"sound"`
+	Error       string            `json:"error,omitempty"`
+	CacheHits   int               `json:"cache_hits"`
+	Obligations []ProveObligation `json:"obligations"`
+}
+
+// ProveResponse is the body of a 200 answer to POST /prove.
+type ProveResponse struct {
+	Reports       []ProveReport `json:"reports"`
+	AllSound      bool          `json:"all_sound"`
+	ElapsedMillis int64         `json:"elapsed_ms"`
+}
+
+func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
+	var req ProveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		s.metrics.observe("prove", http.StatusBadRequest, 0)
+		return
+	}
+	s.execute(w, r, "prove", req.TimeoutMillis, func(ctx context.Context) (int, any) {
+		return s.doProve(ctx, &req)
+	})
+}
+
+func (s *Server) doProve(ctx context.Context, req *ProveRequest) (int, any) {
+	t0 := time.Now()
+	reg, err := loadRegistry(req.Quals, req.Taint)
+	if err != nil {
+		return http.StatusUnprocessableEntity, errorBody{Error: "qualifier definitions: " + err.Error()}
+	}
+	opts := soundness.DefaultOptions()
+	opts.Concurrency = s.cfg.checkConcurrency()
+	opts.Cache = s.proverCache
+	var reports []*soundness.Report
+	if req.Qualifier != "" {
+		d := reg.Lookup(req.Qualifier)
+		if d == nil {
+			return http.StatusUnprocessableEntity, errorBody{Error: "unknown qualifier " + req.Qualifier}
+		}
+		rep, err := soundness.ProveContext(ctx, d, reg, opts)
+		if err != nil {
+			rep = &soundness.Report{Qualifier: d.Name, Kind: d.Kind, Err: err}
+		}
+		reports = []*soundness.Report{rep}
+	} else {
+		reports, _ = soundness.ProveAllContext(ctx, reg, opts)
+	}
+	if err := ctx.Err(); err != nil {
+		return http.StatusGatewayTimeout, errorBody{Error: "prove stopped: " + err.Error()}
+	}
+	resp := ProveResponse{AllSound: true, ElapsedMillis: time.Since(t0).Milliseconds()}
+	for _, rep := range reports {
+		pr := ProveReport{
+			Qualifier: rep.Qualifier,
+			Kind:      rep.Kind.String(),
+			Sound:     rep.Sound(),
+			CacheHits: rep.CacheHits,
+		}
+		if rep.Err != nil {
+			pr.Error = rep.Err.Error()
+		}
+		for _, res := range rep.Results {
+			pr.Obligations = append(pr.Obligations, ProveObligation{
+				Kind:        res.Obligation.Kind.String(),
+				Description: res.Obligation.Description,
+				Valid:       res.Valid,
+				Result:      res.Outcome.Result.String(),
+				Reason:      res.Outcome.Reason,
+				CacheHit:    res.Outcome.CacheHit,
+			})
+		}
+		if !pr.Sound {
+			resp.AllSound = false
+		}
+		resp.Reports = append(resp.Reports, pr)
+	}
+	return http.StatusOK, resp
+}
+
+// ---- GET /metrics, GET /healthz ----
+
+// CacheSnapshot is the exported view of one cache's counters.
+type CacheSnapshot struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+	Len       int     `json:"len"`
+}
+
+// MetricsResponse is the body of GET /metrics.
+type MetricsResponse struct {
+	Snapshot
+	Workers       int           `json:"workers"`
+	QueueDepth    int           `json:"queue_depth"`
+	QueueCapacity int           `json:"queue_capacity"`
+	Draining      bool          `json:"draining"`
+	FuncCache     CacheSnapshot `json:"func_cache"`
+	ProverCache   CacheSnapshot `json:"prover_cache"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	fc := s.funcCache.Stats()
+	pc := s.proverCache.Stats()
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		Snapshot:      s.metrics.snapshot(),
+		Workers:       s.cfg.workers(),
+		QueueDepth:    len(s.jobs),
+		QueueCapacity: cap(s.jobs),
+		Draining:      s.draining.Load(),
+		FuncCache: CacheSnapshot{
+			Hits: fc.Hits, Misses: fc.Misses, Evictions: fc.Evictions,
+			HitRate: fc.HitRate(), Len: s.funcCache.Len(),
+		},
+		ProverCache: CacheSnapshot{
+			Hits: pc.Hits, Misses: pc.Misses, Evictions: pc.Evictions,
+			HitRate: pc.HitRate(), Len: s.proverCache.Len(),
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ListenAndServe listens on addr, announces the bound address via announce
+// (when non-nil; used by main to print the ephemeral port), and serves until
+// ctx is done, then drains within the configured DrainTimeout. It returns
+// nil on a clean drained shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, announce func(net.Addr)) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if announce != nil {
+		announce(l.Addr())
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.drainTimeout())
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}

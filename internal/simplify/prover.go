@@ -262,7 +262,15 @@ func (p *Prover) ProveContext(ctx context.Context, goal logic.Formula) Outcome {
 		}
 	}
 	out := p.proveSafe(ctx, goal)
-	if p.cache != nil && cacheable(out) {
+	// A canceled (or deadline-expired) parent context bypasses the cache no
+	// matter what reason the outcome carries: the context's deadline is not
+	// part of the cache fingerprint (unlike Options.GoalTimeout), and a search
+	// racing its cancellation may conclude with a nominally deterministic
+	// reason ("saturated", budget exhaustion) computed from a truncated
+	// search. Long-lived callers (qualserve) reuse one cache across requests
+	// with per-request deadlines, so a verdict minted under a dying request
+	// must never be replayed for a healthy one.
+	if p.cache != nil && cacheable(out) && ctx.Err() == nil {
 		p.cache.put(key, out)
 	}
 	return out
@@ -270,7 +278,9 @@ func (p *Prover) ProveContext(ctx context.Context, goal logic.Formula) Outcome {
 
 // cacheable reports whether an outcome may be memoized. Transient outcomes —
 // deadline expiry, cancellation, recovered panics — must not be: a rerun
-// with more time (or a fixed bug) may legitimately differ.
+// with more time (or a fixed bug) may legitimately differ. ProveContext
+// additionally refuses to cache any outcome produced under an already-done
+// context, whatever its reason.
 func cacheable(o Outcome) bool {
 	switch o.Reason {
 	case ReasonDeadline, ReasonCanceled:

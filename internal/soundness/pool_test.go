@@ -1,0 +1,133 @@
+package soundness
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Hardening tests for forEachIndex, the worker pool under ProveAll's
+// parallel discharge: degenerate sizes must not call fn or hang, every
+// index must be visited exactly once, and a panicking fn must propagate to
+// the caller without deadlocking the feeder or leaking worker goroutines.
+
+func TestForEachIndexZeroItems(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		forEachIndex(0, 8, func(i int) {
+			t.Errorf("fn called with i=%d for n=0", i)
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("forEachIndex(0, 8, fn) hung")
+	}
+}
+
+func TestForEachIndexMoreWorkersThanItems(t *testing.T) {
+	const n = 3
+	var visited [n]atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		forEachIndex(n, 64, func(i int) { visited[i].Add(1) })
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("forEachIndex with workers > n hung")
+	}
+	for i := range visited {
+		if got := visited[i].Load(); got != 1 {
+			t.Errorf("index %d visited %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestForEachIndexSerialFallback(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1} {
+		var count int // no lock: the serial path must stay on one goroutine
+		forEachIndex(5, workers, func(i int) { count++ })
+		if count != 5 {
+			t.Errorf("workers=%d: %d calls, want 5", workers, count)
+		}
+	}
+}
+
+// TestForEachIndexPanicPropagates requires that a panic inside fn reaches
+// the forEachIndex caller (so safeDischarge above it can turn it into a
+// diagnostic) instead of crashing a pool goroutine, and that the pool winds
+// down completely: no stuck feeder, no leaked workers.
+func TestForEachIndexPanicPropagates(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	recovered := make(chan any, 1)
+	go func() {
+		defer func() { recovered <- recover() }()
+		forEachIndex(1000, 8, func(i int) {
+			if i == 3 {
+				panic("boom at 3")
+			}
+		})
+	}()
+	select {
+	case r := <-recovered:
+		if r != "boom at 3" {
+			t.Fatalf("recovered %v, want the fn's panic value", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("panicking fn deadlocked forEachIndex")
+	}
+
+	// The workers must all have exited; give the runtime a moment to reap.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+1 && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+1 {
+		t.Errorf("goroutines grew from %d to %d: pool leaked workers after a panic", before, after)
+	}
+}
+
+// TestForEachIndexAllPanic floods every worker with panics at once; the
+// call must still return (with some panic value) rather than deadlock on
+// the unbuffered index channel.
+func TestForEachIndexAllPanic(t *testing.T) {
+	recovered := make(chan any, 1)
+	go func() {
+		defer func() { recovered <- recover() }()
+		forEachIndex(64, 8, func(i int) { panic(i) })
+	}()
+	select {
+	case r := <-recovered:
+		if r == nil {
+			t.Fatal("forEachIndex swallowed the workers' panics")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("all-panic workload deadlocked forEachIndex")
+	}
+}
+
+// TestForEachIndexConcurrentVisitsEachOnce is the -race gate for the pool:
+// heavy n, contended counters, every index exactly once.
+func TestForEachIndexConcurrentVisitsEachOnce(t *testing.T) {
+	const n = 4096
+	visited := make([]atomic.Int32, n)
+	var total atomic.Int64
+	forEachIndex(n, runtime.GOMAXPROCS(0), func(i int) {
+		visited[i].Add(1)
+		total.Add(1)
+	})
+	if got := total.Load(); got != n {
+		t.Fatalf("%d calls, want %d", got, n)
+	}
+	for i := range visited {
+		if got := visited[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/logic"
@@ -273,8 +274,15 @@ func discharge(ctx context.Context, prover *simplify.Prover, o Obligation) (res 
 }
 
 // forEachIndex runs fn(0..n-1) on a pool of at most `workers` goroutines
-// (inline when the pool would be trivial). fn must write only to its own
-// index's state.
+// (inline when the pool would be trivial, including n == 0). fn must write
+// only to its own index's state.
+//
+// The pool is panic-safe: a panic in fn (on any worker) stops the feed,
+// drains the pool without leaking goroutines or deadlocking the feeder, and
+// re-panics the first recovered value on the caller's goroutine — matching
+// the serial path, where fn's panic unwinds through forEachIndex itself.
+// Long-lived callers (the qualserve worker pool) rely on this: a poisoned
+// goal must surface as an error on its own request, not kill the process.
 func forEachIndex(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
@@ -286,21 +294,44 @@ func forEachIndex(n, workers int, fn func(i int)) {
 		return
 	}
 	idx := make(chan int)
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicMu  sync.Mutex
+		panicVal any
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicVal == nil {
+								panicVal = r
+							}
+							panicMu.Unlock()
+							panicked.Store(true)
+						}
+					}()
+					fn(i)
+				}()
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
+		if panicked.Load() {
+			break
+		}
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // ProveAll proves every qualifier in the registry, in registration order.
