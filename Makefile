@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke experiments fuzz-smoke serve-smoke ci
+.PHONY: all build vet test race bench bench-smoke experiments fuzz-smoke serve-smoke chaos-smoke ci
 
 # Seconds of fuzzing per target in fuzz-smoke.
 FUZZTIME ?= 30s
@@ -57,12 +57,22 @@ experiments:
 	$(GO) run ./cmd/experiments
 
 # fuzz-smoke gives each native fuzz target a short budget: the two front-end
-# parsers must never panic on arbitrary bytes, and the prover must never
-# disagree with the ground-formula oracle.
+# parsers must never panic on arbitrary bytes, the prover must never disagree
+# with the ground-formula oracle, and the /check handler must answer any body
+# with a contract status and a JSON payload.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/cminor
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQDL$$' -fuzztime $(FUZZTIME) ./internal/qdl
 	$(GO) test -run '^$$' -fuzz '^FuzzProveGround$$' -fuzztime $(FUZZTIME) ./internal/simplify
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckHandler$$' -fuzztime $(FUZZTIME) ./internal/server
+
+# chaos-smoke runs the fault-injection soak under the race detector: a
+# deterministic subset of the fault catalog armed, 64 concurrent clients,
+# every request answered from {200, 413, 503, 504} with a JSON body, no
+# goroutine leaks, no fault-minted cache entries, and full recovery (breaker
+# closed, sound verdicts) once the faults are disarmed.
+chaos-smoke:
+	$(GO) test -race -run '^TestChaosSoak$$' -count=1 ./internal/server
 
 # serve-smoke builds the qualserve binary and runs the end-to-end smoke
 # test: the real binary on an ephemeral port, one /check round-trip, then a
@@ -73,5 +83,6 @@ serve-smoke:
 
 # ci is the gate: everything must build, vet clean, pass under -race, run
 # every benchmark for one smoke iteration, survive a short fuzzing budget on
-# each fuzz target, and serve one checking request end to end.
-ci: build vet race bench-smoke fuzz-smoke serve-smoke
+# each fuzz target, serve one checking request end to end, and hold the
+# serving contract under injected faults.
+ci: build vet race bench-smoke fuzz-smoke serve-smoke chaos-smoke

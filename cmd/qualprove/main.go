@@ -40,6 +40,10 @@ func main() {
 	verbose := flag.Bool("v", false, "print each obligation formula")
 	goal := flag.String("goal", "", "prove a single Simplify-style formula against the semantics axioms")
 	rounds := flag.Int("rounds", 0, "override the prover's instantiation round budget")
+	maxTerms := flag.Int("max-terms", 0, "per-goal interned-term budget; a trip yields a transient Unknown (0 = unlimited)")
+	maxClauses := flag.Int("max-clauses", 0, "per-goal clause-database budget (0 = unlimited)")
+	maxInsts := flag.Int("max-insts", 0, "per-goal quantifier-instantiation budget (0 = default)")
+	memBudget := flag.Uint64("mem-budget", 0, "process live-heap watermark in bytes; searches trip when exceeded (0 = unlimited)")
 	jobs := flag.Int("j", 0, "number of concurrent proof workers (default: all cores)")
 	cacheStats := flag.Bool("cache-stats", false, "print memoizing prover-cache statistics after the run")
 	timeout := flag.Duration("timeout", simplify.DefaultGoalTimeout, "per-goal wall-clock budget; 0 means unlimited")
@@ -65,6 +69,12 @@ func main() {
 	if *rounds > 0 {
 		opts.Prover.MaxRounds = *rounds
 	}
+	opts.Prover.MaxTerms = *maxTerms
+	opts.Prover.MaxClauses = *maxClauses
+	if *maxInsts > 0 {
+		opts.Prover.MaxInstances = *maxInsts
+	}
+	opts.Prover.MaxMemoryBytes = *memBudget
 	opts.Prover.GoalTimeout = *timeout
 	opts.Concurrency = *jobs
 	cache := simplify.NewCache(0)
@@ -150,6 +160,11 @@ func main() {
 		}
 	}
 	printCacheStats()
+	if *stats {
+		if trips := simplify.BudgetTrips(); trips > 0 {
+			fmt.Printf("budget trips: %d (transient Unknowns; rerun with larger -max-terms/-max-clauses/-max-insts/-mem-budget)\n", trips)
+		}
+	}
 	if !allSound {
 		exit(1)
 	}

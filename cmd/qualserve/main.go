@@ -6,6 +6,9 @@
 // Usage:
 //
 //	qualserve [-addr :8080] [-workers N] [-queue N] [-timeout 30s] [-drain 10s]
+//	          [-max-body N] [-mem-limit N] [-breaker-threshold K] [-breaker-cooldown 5s]
+//	          [-max-terms N] [-max-clauses N] [-max-insts N]
+//	          [-faults spec]
 //
 // Endpoints:
 //
@@ -13,11 +16,21 @@
 //	                optional quals/taint/flow_sensitive/timeout_ms)
 //	POST /prove   — discharge a qualifier set's soundness obligations
 //	GET  /metrics — request counts, p50/p99 latency, queue depth, shed
-//	                count, and cache hit rates
+//	                count, cache hit rates, budget trips, fault fires, and
+//	                per-qualifier breaker state
 //	GET  /healthz — liveness (503 while draining)
 //
 // SIGINT/SIGTERM starts a graceful drain: in-flight requests finish (up to
 // -drain), new ones are answered 503, then the process exits 0.
+//
+// Failure containment (see DESIGN.md): request bodies over -max-body are
+// answered 413; prover searches past the -max-terms/-max-clauses/-max-insts
+// budgets yield transient "resource budget exceeded" Unknowns that are
+// retried, never cached, and counted against a per-qualifier circuit
+// breaker; requests arriving while the live heap exceeds -mem-limit are
+// shed 503 with Retry-After. The -faults flag (or the QUAL_FAULTS
+// environment variable) arms deterministic fault-injection points for chaos
+// drills — see internal/faults for the spec grammar.
 package main
 
 import (
@@ -30,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/server"
 )
 
@@ -45,18 +59,49 @@ func run() int {
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	funcCache := flag.Int("func-cache", 0, "function result cache capacity (default 8192)")
 	proverCache := flag.Int("prover-cache", 0, "prover outcome cache capacity (default 4096)")
+	maxBody := flag.Int64("max-body", 0, "request body size cap in bytes; larger bodies get 413 (default 8 MiB)")
+	memLimit := flag.Uint64("mem-limit", 0, "live-heap high-water mark in bytes; requests shed 503 above it (0 = off)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive infrastructure failures before a qualifier's breaker opens (default 3; negative = off)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (default 5s)")
+	retry := flag.Int("retry", 0, "transient-Unknown retries per obligation with jittered backoff (default 1; negative = off)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff between transient retries (default 5ms)")
+	maxTerms := flag.Int("max-terms", 0, "per-goal interned-term budget; trips become transient Unknowns (0 = unlimited)")
+	maxClauses := flag.Int("max-clauses", 0, "per-goal clause-database budget (0 = unlimited)")
+	maxInsts := flag.Int("max-insts", 0, "per-goal quantifier-instantiation budget (0 = default)")
+	faultSpec := flag.String("faults", "", "arm fault-injection points, e.g. 'simplify.prove.round=budget:every=100' (also QUAL_FAULTS)")
 	flag.Parse()
+
+	spec := *faultSpec
+	if spec == "" {
+		spec = os.Getenv("QUAL_FAULTS")
+	}
+	if err := faults.Arm(spec); err != nil {
+		fmt.Fprintln(os.Stderr, "qualserve:", err)
+		return 2
+	}
+	if faults.Armed() {
+		fmt.Fprintf(os.Stderr, "qualserve: FAULT INJECTION ARMED (%s) — this process serves degraded answers by design\n", spec)
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
 	srv := server.New(server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		RequestTimeout:  *timeout,
-		DrainTimeout:    *drain,
-		FuncCacheSize:   *funcCache,
-		ProverCacheSize: *proverCache,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		RequestTimeout:     *timeout,
+		DrainTimeout:       *drain,
+		FuncCacheSize:      *funcCache,
+		ProverCacheSize:    *proverCache,
+		MaxBodyBytes:       *maxBody,
+		MemoryHighWater:    *memLimit,
+		BreakerThreshold:   *breakerThreshold,
+		BreakerCooldown:    *breakerCooldown,
+		RetryTransient:     *retry,
+		RetryBackoff:       *retryBackoff,
+		ProverMaxTerms:     *maxTerms,
+		ProverMaxClauses:   *maxClauses,
+		ProverMaxInstances: *maxInsts,
 	})
 	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
 		// The announce line is machine-readable: the smoke test (and any

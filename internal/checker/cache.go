@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/cminor"
+	"repro/internal/faults"
 	"repro/internal/qdl"
 )
 
@@ -112,6 +113,26 @@ func (c *FuncCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// fpCacheReplay injects faults into the cache-replay path (see
+// checkFuncCached); any fired fault is treated as a miss.
+var fpCacheReplay = faults.Register("checker.cache.replay")
+
+// ForEach calls fn with every cached entry's diagnostic codes, under the
+// cache lock, without touching recency or the counters. Chaos tests use it to
+// assert that no transient ("internal") result was ever stored.
+func (c *FuncCache) ForEach(fn func(key string, diagCodes []string)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*funcCacheEntry)
+		codes := make([]string, len(e.diags))
+		for i, d := range e.diags {
+			codes[i] = d.code
+		}
+		fn(e.key, codes)
+	}
 }
 
 // get returns the cached entry for key, marking it most recently used.
@@ -236,6 +257,15 @@ func hasFreshAssign(d *qdl.Def) bool {
 // exactly the function's contribution.
 func (en *engine) checkFuncCached(f *cminor.FuncDef) {
 	if en.fc == nil {
+		en.safeCheckFunc(f)
+		return
+	}
+	// FireErr, not Fire: the parallel walk's pool workers have no recovery
+	// around the cache path, so an injected replay panic must be contained
+	// here. Any replay fault degrades to a fresh walk — never a crash, never
+	// a wrong replay.
+	if err := fpCacheReplay.FireErr(); err != nil {
+		en.stats.FuncCacheMisses++
 		en.safeCheckFunc(f)
 		return
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/cminor"
+	"repro/internal/faults"
 	"repro/internal/qdl"
 )
 
@@ -357,6 +358,11 @@ func (en *engine) checkFunc(f *cminor.FuncDef) {
 // use it to inject faults into the worker pool.
 var checkFuncHook func(f *cminor.FuncDef)
 
+// fpCheckWalk injects faults into the body walk; see internal/faults. Panics
+// are contained by safeCheckFunc's recovery, errors degrade to an "internal"
+// diagnostic — both transient, so entryFromWalk refuses to cache them.
+var fpCheckWalk = faults.Register("checker.walk")
+
 // safeCheckFunc walks one function body, converting a panic anywhere in the
 // walk into an "internal" diagnostic on that function, so one pathological
 // body cannot take down the whole check (or leak a pool worker).
@@ -368,6 +374,10 @@ func (en *engine) safeCheckFunc(f *cminor.FuncDef) {
 	}()
 	if checkFuncHook != nil {
 		checkFuncHook(f)
+	}
+	if err := fpCheckWalk.Fire(); err != nil {
+		en.errorf(f.Pos, "internal", "checker fault in function %s: %v", f.Name, err)
+		return
 	}
 	en.checkFunc(f)
 }

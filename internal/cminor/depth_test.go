@@ -1,0 +1,59 @@
+package cminor
+
+import (
+	"strings"
+	"testing"
+)
+
+// Input-hardening regressions: crafted sources must come back as parse
+// errors, never as a stack overflow (which no recover can catch) or an OOM.
+
+func TestParseDepthCapExpressions(t *testing.T) {
+	depth := 100000
+	src := "int x = " + strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth) + ";"
+	_, err := Parse("bomb.c", src, nil)
+	if err == nil {
+		t.Fatal("deeply nested expression parsed without error")
+	}
+	if !strings.Contains(err.Error(), "nesting") {
+		t.Fatalf("error %q does not mention the nesting cap", err)
+	}
+}
+
+func TestParseDepthCapBlocks(t *testing.T) {
+	depth := 100000
+	src := "void f() " + strings.Repeat("{", depth) + strings.Repeat("}", depth)
+	_, err := Parse("bomb.c", src, nil)
+	if err == nil {
+		t.Fatal("deeply nested blocks parsed without error")
+	}
+	if !strings.Contains(err.Error(), "nesting") {
+		t.Fatalf("error %q does not mention the nesting cap", err)
+	}
+}
+
+func TestParseDepthCapUnaryChain(t *testing.T) {
+	src := "int x = " + strings.Repeat("!", 100000) + "1;"
+	if _, err := Parse("bomb.c", src, nil); err == nil {
+		t.Fatal("unbounded unary chain parsed without error")
+	}
+}
+
+func TestParseModerateNestingStillAccepted(t *testing.T) {
+	depth := 100
+	src := "int x = " + strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth) + ";"
+	if _, err := Parse("ok.c", src, nil); err != nil {
+		t.Fatalf("%d-level nesting should parse: %v", depth, err)
+	}
+}
+
+func TestParseSizeCap(t *testing.T) {
+	src := "int x = 1; // " + strings.Repeat("a", MaxSourceBytes)
+	_, err := Parse("big.c", src, nil)
+	if err == nil {
+		t.Fatal("oversized source parsed without error")
+	}
+	if !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("error %q does not mention the size limit", err)
+	}
+}

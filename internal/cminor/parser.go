@@ -15,11 +15,38 @@ type Parser struct {
 	tok   Token
 	ahead []Token
 	quals map[string]bool
+	depth int
 }
+
+// MaxSourceBytes caps the size of one translation unit. The checker is
+// exposed to untrusted sources through qualserve, and parse structures are a
+// small multiple of the input size, so the cap is the first line of memory
+// defense (the HTTP layer enforces its own request-body bound).
+const MaxSourceBytes = 4 << 20
+
+// maxNestingDepth caps the parser's recursion (nested expressions, blocks,
+// statements). The recursive-descent grammar recurses once per nesting
+// level, so a crafted "((((..." would otherwise overflow the goroutine stack
+// — a panic no recover can catch. Deeper nesting returns a diagnostic.
+const maxNestingDepth = 1000
+
+// enter guards one recursion level; pair with leave.
+func (p *Parser) enter() error {
+	p.depth++
+	if p.depth > maxNestingDepth {
+		return p.errf("nesting exceeds the maximum depth of %d", maxNestingDepth)
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // Parse parses a translation unit. qualNames is the set of user-defined
 // qualifier names in scope.
 func Parse(file, src string, qualNames map[string]bool) (*Program, error) {
+	if len(src) > MaxSourceBytes {
+		return nil, fmt.Errorf("%s: source is %d bytes; the limit is %d", file, len(src), MaxSourceBytes)
+	}
 	p := &Parser{lex: NewLexer(file, src), quals: qualNames}
 	if p.quals == nil {
 		p.quals = map[string]bool{}
@@ -389,6 +416,10 @@ func (p *Parser) parseBlock() (*Block, error) {
 // parseStmt returns one or more statements (a multi-declarator declaration
 // expands to several DeclStmts).
 func (p *Parser) parseStmt() ([]Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	pos := p.tok.Pos
 	switch p.tok.Kind {
 	case TokLBrace:
@@ -819,6 +850,10 @@ func (p *Parser) parseBinary(level int) (Expr, error) {
 }
 
 func (p *Parser) parseUnary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	pos := p.tok.Pos
 	switch p.tok.Kind {
 	case TokMinus:

@@ -1,0 +1,339 @@
+// Package faults is a deterministic fault-injection framework for the
+// checking pipeline. Hot layers register named fault points at package init;
+// tests (and operators, via qualserve's -faults flag or the QUAL_FAULTS
+// environment variable) arm points with a failure mode, and every armed point
+// fires deterministically according to its hit counters — no randomness lives
+// in this package, so a chaos run is reproducible from its arming spec.
+//
+// A disarmed point costs one atomic pointer load per Fire call (no locks, no
+// map lookups, no allocation), so points may sit on hot paths such as DPLL
+// decisions and e-matching rounds.
+//
+// Modes:
+//
+//   - panic:  Fire panics with an injected value. Call sites that already
+//     recover panics (the prover, the soundness pool, the checker body walk)
+//     exercise their containment; sites without recovery use FireErr, which
+//     converts the panic into an error.
+//   - error:  Fire returns an injected error.
+//   - budget: Fire returns ErrBudget; the prover maps it onto its
+//     resource-budget trip path (a transient, uncached Unknown).
+//   - delay:  Fire sleeps for the armed duration, then returns nil.
+//
+// Arming specs are comma-separated entries of the form
+//
+//	name=mode[:arg][:after=N][:every=N][:limit=N]
+//
+// where arg is the sleep duration for delay (e.g. "5ms") and the message for
+// error. A name ending in "*" arms every registered point with that prefix.
+// "after=N" skips the first N hits, "every=K" fires on every K-th eligible
+// hit, and "limit=N" stops firing after N fires — together they make a fault
+// schedule deterministic for a fixed call sequence.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is a fault point's armed failure mode.
+type Mode uint8
+
+const (
+	// ModePanic makes Fire panic with "injected fault: <point>".
+	ModePanic Mode = iota
+	// ModeError makes Fire return an injected error.
+	ModeError
+	// ModeBudget makes Fire return ErrBudget (a simulated resource-budget
+	// exhaustion, mapped by the prover onto its transient Unknown path).
+	ModeBudget
+	// ModeDelay makes Fire sleep for the armed duration.
+	ModeDelay
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePanic:
+		return "panic"
+	case ModeError:
+		return "error"
+	case ModeBudget:
+		return "budget"
+	case ModeDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("mode(%d)", m)
+}
+
+// ParseMode parses a mode name.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "panic":
+		return ModePanic, nil
+	case "error":
+		return ModeError, nil
+	case "budget":
+		return ModeBudget, nil
+	case "delay":
+		return ModeDelay, nil
+	}
+	return 0, fmt.Errorf("faults: unknown mode %q (want panic, error, budget, or delay)", s)
+}
+
+// ErrBudget is the error a ModeBudget point returns; it simulates the
+// prover's resource-budget exhaustion without any real allocation pressure.
+var ErrBudget = errors.New("resource budget exceeded (injected fault)")
+
+// ErrInjected wraps every ModeError fire (and every FireErr-contained panic),
+// so callers can distinguish injected faults from organic errors.
+var ErrInjected = errors.New("injected fault")
+
+// Config arms one fault point.
+type Config struct {
+	Mode Mode
+	// Delay is the sleep duration for ModeDelay.
+	Delay time.Duration
+	// Msg customizes the ModeError message (default: the point name).
+	Msg string
+	// After skips the first After hits before the point becomes eligible.
+	After uint64
+	// Every fires on every Every-th eligible hit (0 and 1 both mean every
+	// eligible hit).
+	Every uint64
+	// Limit stops firing after Limit fires (0 means unlimited).
+	Limit uint64
+}
+
+// Point is one named fault site. Obtain with Register; call Fire (or
+// FireErr) at the site.
+type Point struct {
+	name  string
+	cfg   atomic.Pointer[Config]
+	hits  atomic.Uint64 // Fire calls while armed
+	fires atomic.Uint64 // faults actually delivered
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Fires returns how many faults this point has delivered since it was last
+// armed.
+func (p *Point) Fires() uint64 { return p.fires.Load() }
+
+// Fire delivers the armed fault, if any: it panics in ModePanic, returns an
+// error in ModeError/ModeBudget, sleeps in ModeDelay, and returns nil when
+// the point is disarmed or its deterministic schedule says this hit passes.
+func (p *Point) Fire() error {
+	cfg := p.cfg.Load()
+	if cfg == nil {
+		return nil
+	}
+	return p.fire(cfg)
+}
+
+// FireErr is Fire for call sites with no panic recovery of their own: a
+// ModePanic fire is contained here and returned as an error instead.
+func (p *Point) FireErr() (err error) {
+	cfg := p.cfg.Load()
+	if cfg == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrInjected, r)
+		}
+	}()
+	return p.fire(cfg)
+}
+
+func (p *Point) fire(cfg *Config) error {
+	hit := p.hits.Add(1)
+	if hit <= cfg.After {
+		return nil
+	}
+	eligible := hit - cfg.After
+	if cfg.Every > 1 && eligible%cfg.Every != 0 {
+		return nil
+	}
+	fire := p.fires.Add(1)
+	if cfg.Limit > 0 && fire > cfg.Limit {
+		p.fires.Add(^uint64(0)) // undo: hits past the limit are not fires
+		return nil
+	}
+	switch cfg.Mode {
+	case ModePanic:
+		panic("injected fault: " + p.name)
+	case ModeError:
+		msg := cfg.Msg
+		if msg == "" {
+			msg = p.name
+		}
+		return fmt.Errorf("%w: %s", ErrInjected, msg)
+	case ModeBudget:
+		return ErrBudget
+	case ModeDelay:
+		time.Sleep(cfg.Delay)
+	}
+	return nil
+}
+
+// arm installs cfg (resetting the point's counters); nil disarms.
+func (p *Point) arm(cfg *Config) {
+	p.hits.Store(0)
+	p.fires.Store(0)
+	p.cfg.Store(cfg)
+}
+
+// registry holds every registered point by name.
+var registry sync.Map // string -> *Point
+
+// Register returns the fault point with the given name, creating it
+// (disarmed) on first use. Names are dotted paths grouped by layer, e.g.
+// "simplify.search.decision". Registering the same name twice returns the
+// same point, so tests and the owning package may both reference it.
+func Register(name string) *Point {
+	if p, ok := registry.Load(name); ok {
+		return p.(*Point)
+	}
+	p, _ := registry.LoadOrStore(name, &Point{name: name})
+	return p.(*Point)
+}
+
+// Names returns the sorted catalog of registered fault points.
+func Names() []string {
+	var out []string
+	registry.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// Counters returns the fire count of every point that has delivered at least
+// one fault since it was last armed.
+func Counters() map[string]uint64 {
+	out := map[string]uint64{}
+	registry.Range(func(k, v any) bool {
+		if n := v.(*Point).Fires(); n > 0 {
+			out[k.(string)] = n
+		}
+		return true
+	})
+	return out
+}
+
+// Armed reports whether any point is currently armed.
+func Armed() bool {
+	armed := false
+	registry.Range(func(_, v any) bool {
+		if v.(*Point).cfg.Load() != nil {
+			armed = true
+			return false
+		}
+		return true
+	})
+	return armed
+}
+
+// ArmPoint arms one point by name. The name must be registered unless it
+// ends in "*", in which case every registered point with the prefix is armed
+// (zero matches is an error, to catch typos).
+func ArmPoint(name string, cfg Config) error {
+	if strings.HasSuffix(name, "*") {
+		prefix := strings.TrimSuffix(name, "*")
+		n := 0
+		registry.Range(func(k, v any) bool {
+			if strings.HasPrefix(k.(string), prefix) {
+				c := cfg
+				v.(*Point).arm(&c)
+				n++
+			}
+			return true
+		})
+		if n == 0 {
+			return fmt.Errorf("faults: no registered point matches %q (catalog: %s)", name, strings.Join(Names(), ", "))
+		}
+		return nil
+	}
+	p, ok := registry.Load(name)
+	if !ok {
+		return fmt.Errorf("faults: unknown point %q (catalog: %s)", name, strings.Join(Names(), ", "))
+	}
+	c := cfg
+	p.(*Point).arm(&c)
+	return nil
+}
+
+// DisarmAll disarms every registered point and resets its counters.
+func DisarmAll() {
+	registry.Range(func(_, v any) bool {
+		v.(*Point).arm(nil)
+		return true
+	})
+}
+
+// Arm parses and installs a comma-separated arming spec (see the package
+// comment for the grammar). An empty spec is a no-op.
+func Arm(spec string) error {
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("faults: malformed entry %q (want name=mode[:arg][:k=v...])", entry)
+		}
+		parts := strings.Split(rest, ":")
+		mode, err := ParseMode(parts[0])
+		if err != nil {
+			return err
+		}
+		cfg := Config{Mode: mode}
+		for _, part := range parts[1:] {
+			if k, v, isKV := strings.Cut(part, "="); isKV {
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					return fmt.Errorf("faults: bad %s value %q in %q", k, v, entry)
+				}
+				switch k {
+				case "after":
+					cfg.After = n
+				case "every":
+					cfg.Every = n
+				case "limit":
+					cfg.Limit = n
+				default:
+					return fmt.Errorf("faults: unknown option %q in %q", k, entry)
+				}
+				continue
+			}
+			switch mode {
+			case ModeDelay:
+				d, err := time.ParseDuration(part)
+				if err != nil {
+					return fmt.Errorf("faults: bad delay %q in %q: %v", part, entry, err)
+				}
+				cfg.Delay = d
+			case ModeError:
+				cfg.Msg = part
+			default:
+				return fmt.Errorf("faults: mode %s takes no argument (got %q in %q)", mode, part, entry)
+			}
+		}
+		if mode == ModeDelay && cfg.Delay <= 0 {
+			return fmt.Errorf("faults: delay mode needs a duration in %q", entry)
+		}
+		if err := ArmPoint(name, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package qdl
+
+import (
+	"strings"
+	"testing"
+)
+
+// Input-hardening regressions mirroring the cminor parser's: crafted QDL
+// must produce diagnostics, not stack overflows.
+
+func bombDef(pred string) string {
+	return `value qualifier bomb(int Expr E)
+  case E of
+    decl int Const C:
+      C, where ` + pred + `
+  invariant value(E) > 0
+`
+}
+
+func TestParseQDLDepthCapPred(t *testing.T) {
+	depth := 100000
+	pred := strings.Repeat("(", depth) + "C > 0" + strings.Repeat(")", depth)
+	_, err := Parse("bomb.qdl", bombDef(pred))
+	if err == nil {
+		t.Fatal("deeply nested predicate parsed without error")
+	}
+	if !strings.Contains(err.Error(), "nesting") {
+		t.Fatalf("error %q does not mention the nesting cap", err)
+	}
+}
+
+func TestParseQDLDepthCapTerm(t *testing.T) {
+	depth := 100000
+	pred := strings.Repeat("(", depth) + "C" + strings.Repeat(")", depth) + " > 0"
+	if _, err := Parse("bomb.qdl", bombDef(pred)); err == nil {
+		t.Fatal("deeply nested term parsed without error")
+	}
+}
+
+func TestParseQDLModerateNestingStillAccepted(t *testing.T) {
+	depth := 100
+	pred := strings.Repeat("(", depth) + "C > 0" + strings.Repeat(")", depth)
+	if _, err := Parse("ok.qdl", bombDef(pred)); err != nil {
+		t.Fatalf("%d-level nesting should parse: %v", depth, err)
+	}
+}
+
+func TestParseQDLSizeCap(t *testing.T) {
+	src := bombDef("C > 0") + "\n" + strings.Repeat(" ", MaxSourceBytes)
+	_, err := Parse("big.qdl", src)
+	if err == nil {
+		t.Fatal("oversized QDL source parsed without error")
+	}
+	if !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("error %q does not mention the size limit", err)
+	}
+}

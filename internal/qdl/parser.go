@@ -11,11 +11,35 @@ type parser struct {
 	lex   *lexer
 	tok   token
 	ahead []token
+	depth int
 }
+
+// MaxSourceBytes caps the size of one QDL source file; qualserve accepts
+// qualifier definitions from untrusted clients (see cminor.MaxSourceBytes
+// for the rationale).
+const MaxSourceBytes = 1 << 20
+
+// maxNestingDepth caps predicate/term recursion so a crafted "((((..."
+// returns a diagnostic instead of overflowing the goroutine stack.
+const maxNestingDepth = 1000
+
+// enter guards one recursion level; pair with leave.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxNestingDepth {
+		return p.errf("nesting exceeds the maximum depth of %d", maxNestingDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 // Parse parses a QDL source file containing one or more qualifier
 // definitions.
 func Parse(file, src string) ([]*Def, error) {
+	if len(src) > MaxSourceBytes {
+		return nil, fmt.Errorf("%s: source is %d bytes; the limit is %d", file, len(src), MaxSourceBytes)
+	}
 	p := &parser{lex: newLexer(file, src)}
 	if err := p.next(); err != nil {
 		return nil, err
@@ -528,6 +552,10 @@ func (p *parser) parseAnd() (Pred, error) {
 }
 
 func (p *parser) parsePredUnary() (Pred, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch {
 	case p.tok.kind == tBang:
 		if err := p.next(); err != nil {
@@ -699,6 +727,10 @@ func (p *parser) parseTermFactor() (Term, error) {
 }
 
 func (p *parser) parseTermAtom() (Term, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch {
 	case p.tok.kind == tInt:
 		v := p.tok.val

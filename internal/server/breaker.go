@@ -1,0 +1,187 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is one qualifier's position in the closed -> open ->
+// half-open cycle.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-qualifier circuit breaker guarding /prove. A qualifier
+// whose obligations keep failing for infrastructure reasons — tripped
+// resource budgets, recovered prover panics, injected faults — is cut off
+// after `threshold` consecutive failures: the breaker opens and the server
+// answers for that qualifier immediately with a degraded report and a
+// Retry-After hint instead of burning a worker on a discharge that will
+// fail again. After `cooldown` the breaker goes half-open and admits a
+// single probe; a clean probe closes it, a failed one re-opens it.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu          sync.Mutex
+	entries     map[string]*breakerEntry
+	transitions uint64
+}
+
+type breakerEntry struct {
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	probeAt  time.Time // when the probe was admitted
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		entries:   map[string]*breakerEntry{},
+	}
+}
+
+func (b *breaker) enabled() bool { return b != nil && b.threshold > 0 }
+
+// Allow reports whether a request for key may proceed. An open breaker
+// refuses until the cooldown elapses, then admits a single half-open probe;
+// requests arriving while that probe is in flight are refused. A probe
+// whose outcome never gets recorded (its request was shed while queued)
+// stops blocking after another cooldown, so a lost Record cannot wedge the
+// breaker open forever.
+func (b *breaker) Allow(key string) (ok bool, retryAfter time.Duration) {
+	if !b.enabled() {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil {
+		return true, 0
+	}
+	switch e.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if remaining := b.cooldown - b.now().Sub(e.openedAt); remaining > 0 {
+			return false, remaining
+		}
+		e.state = breakerHalfOpen
+		e.probing = true
+		e.probeAt = b.now()
+		b.transitions++
+		return true, 0
+	default: // half-open
+		if e.probing && b.now().Sub(e.probeAt) < b.cooldown {
+			return false, b.cooldown - b.now().Sub(e.probeAt)
+		}
+		e.probing = true
+		e.probeAt = b.now()
+		return true, 0
+	}
+}
+
+// Record reports the outcome of an admitted request: ok=false is a
+// breaker-relevant failure (a budget trip, recovered panic, or injected
+// fault — not an unsound-qualifier verdict, which is a correct answer).
+func (b *breaker) Record(key string, ok bool) {
+	if !b.enabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil {
+		if ok {
+			return
+		}
+		e = &breakerEntry{}
+		b.entries[key] = e
+	}
+	switch e.state {
+	case breakerHalfOpen:
+		e.probing = false
+		if ok {
+			e.state = breakerClosed
+			e.failures = 0
+		} else {
+			e.state = breakerOpen
+			e.openedAt = b.now()
+		}
+		b.transitions++
+	case breakerClosed:
+		if ok {
+			e.failures = 0
+			return
+		}
+		e.failures++
+		if e.failures >= b.threshold {
+			e.state = breakerOpen
+			e.openedAt = b.now()
+			b.transitions++
+		}
+	case breakerOpen:
+		// A late result from a request admitted before the trip; the probe
+		// cycle decides reopening, so ignore it.
+	}
+}
+
+// BreakerEntrySnapshot is one qualifier's exported breaker view.
+type BreakerEntrySnapshot struct {
+	State            string `json:"state"`
+	Failures         int    `json:"consecutive_failures"`
+	RetryAfterMillis int64  `json:"retry_after_ms,omitempty"`
+}
+
+// BreakerSnapshot is the exported breaker view rendered under /metrics.
+// Qualifiers in the quiescent closed state with no failure streak are
+// omitted.
+type BreakerSnapshot struct {
+	Transitions uint64                          `json:"transitions"`
+	Qualifiers  map[string]BreakerEntrySnapshot `json:"qualifiers,omitempty"`
+}
+
+func (b *breaker) snapshot() BreakerSnapshot {
+	if !b.enabled() {
+		return BreakerSnapshot{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := BreakerSnapshot{Transitions: b.transitions}
+	for key, e := range b.entries {
+		if e.state == breakerClosed && e.failures == 0 {
+			continue
+		}
+		es := BreakerEntrySnapshot{State: e.state.String(), Failures: e.failures}
+		if e.state == breakerOpen {
+			if remaining := b.cooldown - b.now().Sub(e.openedAt); remaining > 0 {
+				es.RetryAfterMillis = remaining.Milliseconds()
+			}
+		}
+		if out.Qualifiers == nil {
+			out.Qualifiers = map[string]BreakerEntrySnapshot{}
+		}
+		out.Qualifiers[key] = es
+	}
+	return out
+}

@@ -31,6 +31,9 @@ type Metrics struct {
 	start     time.Time
 	endpoints map[string]*endpointMetrics
 	shed      uint64
+	degraded  uint64
+	panics    uint64
+	memShed   uint64
 }
 
 func newMetrics() *Metrics {
@@ -63,6 +66,29 @@ func (m *Metrics) observeShed() {
 	m.mu.Unlock()
 }
 
+// observeDegraded records one degraded answer: a breaker-refused qualifier,
+// a budget-starved verdict, or a fault-containment fallback.
+func (m *Metrics) observeDegraded() {
+	m.mu.Lock()
+	m.degraded++
+	m.mu.Unlock()
+}
+
+// observePanic records one panic recovered on a pool worker.
+func (m *Metrics) observePanic() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// observeMemShed records one request shed for memory pressure (also
+// observed as a shed 503).
+func (m *Metrics) observeMemShed() {
+	m.mu.Lock()
+	m.memShed++
+	m.mu.Unlock()
+}
+
 // EndpointSnapshot is the exported per-endpoint view.
 type EndpointSnapshot struct {
 	Count     uint64            `json:"count"`
@@ -74,9 +100,12 @@ type EndpointSnapshot struct {
 // Snapshot is the exported metrics view (the /metrics JSON body, minus the
 // cache and queue gauges the server adds).
 type Snapshot struct {
-	UptimeMillis int64                       `json:"uptime_ms"`
-	ShedTotal    uint64                      `json:"shed_total"`
-	Endpoints    map[string]EndpointSnapshot `json:"endpoints"`
+	UptimeMillis    int64                       `json:"uptime_ms"`
+	ShedTotal       uint64                      `json:"shed_total"`
+	DegradedTotal   uint64                      `json:"degraded_total"`
+	PanicsRecovered uint64                      `json:"panics_recovered"`
+	MemShedTotal    uint64                      `json:"mem_shed_total"`
+	Endpoints       map[string]EndpointSnapshot `json:"endpoints"`
 }
 
 // snapshot renders the counters. Percentiles are nearest-rank over the
@@ -85,9 +114,12 @@ func (m *Metrics) snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := Snapshot{
-		UptimeMillis: time.Since(m.start).Milliseconds(),
-		ShedTotal:    m.shed,
-		Endpoints:    map[string]EndpointSnapshot{},
+		UptimeMillis:    time.Since(m.start).Milliseconds(),
+		ShedTotal:       m.shed,
+		DegradedTotal:   m.degraded,
+		PanicsRecovered: m.panics,
+		MemShedTotal:    m.memShed,
+		Endpoints:       map[string]EndpointSnapshot{},
 	}
 	for name, em := range m.endpoints {
 		es := EndpointSnapshot{Count: em.count, Codes: map[string]uint64{}}

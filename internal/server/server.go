@@ -8,16 +8,30 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/checker"
 	"repro/internal/cminor"
+	"repro/internal/faults"
+	"repro/internal/memwatch"
 	"repro/internal/qdl"
 	"repro/internal/quals"
 	"repro/internal/simplify"
 	"repro/internal/soundness"
+)
+
+// Fault-injection points for the request path, one per handler stage (see
+// internal/faults). Disarmed they are a single atomic load; armed (via the
+// qualserve -faults flag or QUAL_FAULTS) they let the chaos harness fail
+// admission, queuing, execution, or encoding deterministically.
+var (
+	fpAdmission = faults.Register("server.admission")
+	fpQueue     = faults.Register("server.queue")
+	fpRun       = faults.Register("server.run")
+	fpEncode    = faults.Register("server.encode")
 )
 
 // Config sizes the service.
@@ -44,6 +58,38 @@ type Config struct {
 	// ProverCacheSize caps the memoizing prover outcome cache
 	// (0 means simplify.DefaultCacheCapacity).
 	ProverCacheSize int
+	// MaxBodyBytes caps a request body; larger bodies are answered 413.
+	// 0 means 8 MiB.
+	MaxBodyBytes int64
+	// BreakerThreshold is the consecutive infrastructure-failure count
+	// (budget trips, recovered prover panics, injected faults) after which a
+	// qualifier's circuit breaker opens and /prove answers for it with a
+	// degraded report plus Retry-After instead of re-running the discharge.
+	// 0 means 3; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses a qualifier
+	// before admitting a half-open probe. 0 means 5s.
+	BreakerCooldown time.Duration
+	// RetryTransient re-discharges an obligation whose outcome is transient
+	// for an infrastructure reason (recovered panic, injected fault, budget
+	// trip) up to this many extra times with jittered backoff. 0 means 1;
+	// negative disables retry.
+	RetryTransient int
+	// RetryBackoff is the base backoff between transient retries (0 means
+	// the soundness default, 5ms).
+	RetryBackoff time.Duration
+	// MemoryHighWater, when non-zero, sheds new requests with 503 +
+	// Retry-After while the sampled live heap exceeds this many bytes.
+	MemoryHighWater uint64
+	// ProverMaxTerms / ProverMaxClauses / ProverMaxInstances /
+	// ProverMaxMemory bound each prover search's space (see
+	// simplify.Options); a tripped budget yields a transient Unknown
+	// ("resource budget exceeded") that is never cached and counts against
+	// the qualifier's breaker. 0 means unlimited.
+	ProverMaxTerms     int
+	ProverMaxClauses   int
+	ProverMaxInstances int
+	ProverMaxMemory    uint64
 }
 
 func (c Config) workers() int {
@@ -81,6 +127,40 @@ func (c Config) checkConcurrency() int {
 	return 1
 }
 
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return 8 << 20
+}
+
+func (c Config) breakerThreshold() int {
+	switch {
+	case c.BreakerThreshold > 0:
+		return c.BreakerThreshold
+	case c.BreakerThreshold < 0:
+		return 0 // disabled
+	}
+	return 3
+}
+
+func (c Config) breakerCooldown() time.Duration {
+	if c.BreakerCooldown > 0 {
+		return c.BreakerCooldown
+	}
+	return 5 * time.Second
+}
+
+func (c Config) retryTransient() int {
+	switch {
+	case c.RetryTransient > 0:
+		return c.RetryTransient
+	case c.RetryTransient < 0:
+		return 0 // disabled
+	}
+	return 1
+}
+
 // job is one admitted request body waiting for a pool worker.
 type job struct {
 	ctx     context.Context
@@ -101,6 +181,7 @@ type Server struct {
 	metrics     *Metrics
 	funcCache   *checker.FuncCache
 	proverCache *simplify.Cache
+	breaker     *breaker
 
 	httpMu  sync.Mutex
 	httpSrv *http.Server
@@ -120,6 +201,7 @@ func New(cfg Config) *Server {
 		metrics:     newMetrics(),
 		funcCache:   checker.NewFuncCache(cfg.FuncCacheSize),
 		proverCache: simplify.NewCache(cfg.ProverCacheSize),
+		breaker:     newBreaker(cfg.breakerThreshold(), cfg.breakerCooldown()),
 	}
 	s.mux.HandleFunc("POST /check", s.handleCheck)
 	s.mux.HandleFunc("POST /prove", s.handleProve)
@@ -185,9 +267,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // ---- Request execution ----
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope. Degraded marks answers produced by
+// failure containment (a recovered panic, an injected fault, memory-pressure
+// shedding) rather than by the request itself being wrong.
 type errorBody struct {
-	Error string `json:"error"`
+	Error    string `json:"error"`
+	Degraded bool   `json:"degraded,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -197,6 +282,24 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
 }
+
+// setRetryAfter attaches a Retry-After header of at least one second,
+// rounded up to whole seconds per RFC 9110.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// retryAfterHinter lets a success payload (a degraded ProveResponse) ask
+// execute to attach a Retry-After header.
+type retryAfterHinter interface{ retryAfterHint() time.Duration }
+
+// memPressureStaleness bounds how stale the cached heap sample consulted on
+// admission may be; see memwatch.Sample.
+const memPressureStaleness = 100 * time.Millisecond
 
 // execute runs fn on the worker pool under the request's deadline and writes
 // its response. Admission control: a draining server or a full queue answers
@@ -212,7 +315,23 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, endpoint string
 	if s.draining.Load() {
 		code = http.StatusServiceUnavailable
 		s.metrics.observeShed()
+		setRetryAfter(w, s.cfg.drainTimeout())
 		writeJSON(w, code, errorBody{Error: "server is draining"})
+		return
+	}
+	if err := fpAdmission.FireErr(); err != nil {
+		code = http.StatusServiceUnavailable
+		s.metrics.observeShed()
+		setRetryAfter(w, time.Second)
+		writeJSON(w, code, errorBody{Error: "admission fault: " + err.Error(), Degraded: true})
+		return
+	}
+	if hw := s.cfg.MemoryHighWater; hw > 0 && memwatch.Sample(memPressureStaleness) > hw {
+		code = http.StatusServiceUnavailable
+		s.metrics.observeMemShed()
+		s.metrics.observeShed()
+		setRetryAfter(w, time.Second)
+		writeJSON(w, code, errorBody{Error: "memory pressure: live heap above the high-water mark", Degraded: true})
 		return
 	}
 	timeout := s.cfg.requestTimeout()
@@ -225,16 +344,47 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, endpoint string
 	defer cancel()
 
 	var (
-		status  int
-		payload any
+		status     int
+		payload    any
+		retryAfter time.Duration
 	)
 	j := &job{ctx: ctx, done: make(chan struct{})}
-	j.run = func() { status, payload = fn(ctx) }
+	// The worker runs j.run, so the recover below is the pool's panic
+	// containment: a panicking request body (or an armed server.run panic
+	// fault) becomes a degraded 503 on its own request instead of killing
+	// the process. The handler reads status/payload only after j.done.
+	j.run = func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.metrics.observePanic()
+				s.metrics.observeDegraded()
+				status = http.StatusServiceUnavailable
+				payload = errorBody{Error: fmt.Sprintf("internal error: recovered panic: %v", r), Degraded: true}
+				retryAfter = time.Second
+			}
+		}()
+		if err := fpRun.Fire(); err != nil {
+			s.metrics.observeDegraded()
+			status = http.StatusServiceUnavailable
+			payload = errorBody{Error: "execution fault: " + err.Error(), Degraded: true}
+			retryAfter = time.Second
+			return
+		}
+		status, payload = fn(ctx)
+	}
+	if err := fpQueue.FireErr(); err != nil {
+		code = http.StatusServiceUnavailable
+		s.metrics.observeShed()
+		setRetryAfter(w, time.Second)
+		writeJSON(w, code, errorBody{Error: "queue fault: " + err.Error(), Degraded: true})
+		return
+	}
 	select {
 	case s.jobs <- j:
 	default:
 		code = http.StatusServiceUnavailable
 		s.metrics.observeShed()
+		setRetryAfter(w, time.Second)
 		writeJSON(w, code, errorBody{Error: "queue full"})
 		return
 	}
@@ -244,8 +394,24 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, endpoint string
 			// The worker skipped the job: its context died in the queue.
 			code = http.StatusServiceUnavailable
 			s.metrics.observeShed()
+			setRetryAfter(w, time.Second)
 			writeJSON(w, code, errorBody{Error: "deadline expired while queued"})
 			return
+		}
+		if err := fpEncode.FireErr(); err != nil {
+			code = http.StatusServiceUnavailable
+			s.metrics.observeDegraded()
+			setRetryAfter(w, time.Second)
+			writeJSON(w, code, errorBody{Error: "encode fault: " + err.Error(), Degraded: true})
+			return
+		}
+		if retryAfter > 0 {
+			setRetryAfter(w, retryAfter)
+		}
+		if h, ok := payload.(retryAfterHinter); ok {
+			if d := h.retryAfterHint(); d > 0 {
+				setRetryAfter(w, d)
+			}
 		}
 		code = status
 		writeJSON(w, code, payload)
@@ -256,6 +422,7 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, endpoint string
 		} else {
 			code = http.StatusServiceUnavailable
 			s.metrics.observeShed()
+			setRetryAfter(w, time.Second)
 			writeJSON(w, code, errorBody{Error: "deadline expired while queued"})
 		}
 	}
@@ -310,20 +477,43 @@ type CheckStats struct {
 	FuncCacheMisses  int `json:"func_cache_misses"`
 }
 
-// CheckResponse is the body of a 200 answer to POST /check.
+// CheckResponse is the body of a 200 answer to POST /check. Degraded means
+// failure containment produced "internal" diagnostics: some functions were
+// not fully checked, so absence of warnings there is not a clean bill.
 type CheckResponse struct {
 	Filename      string            `json:"filename"`
 	Diagnostics   []CheckDiagnostic `json:"diagnostics"`
 	Warnings      int               `json:"warnings"`
+	Degraded      bool              `json:"degraded,omitempty"`
 	Stats         CheckStats        `json:"stats"`
 	ElapsedMillis int64             `json:"elapsed_ms"`
 }
 
+// decodeBody decodes the JSON request body into req under the configured
+// size cap, answering 400 on malformed JSON and 413 on an oversized body.
+// It reports whether the handler should proceed.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, endpoint string, req any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
+	err := json.NewDecoder(r.Body).Decode(req)
+	if err == nil {
+		return true
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+			Error: fmt.Sprintf("request body exceeds the %d-byte limit", mbe.Limit),
+		})
+		s.metrics.observe(endpoint, http.StatusRequestEntityTooLarge, 0)
+		return false
+	}
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+	s.metrics.observe(endpoint, http.StatusBadRequest, 0)
+	return false
+}
+
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	var req CheckRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
-		s.metrics.observe("check", http.StatusBadRequest, 0)
+	if !s.decodeBody(w, r, "check", &req) {
 		return
 	}
 	s.execute(w, r, "check", req.TimeoutMillis, func(ctx context.Context) (int, any) {
@@ -369,6 +559,12 @@ func (s *Server) doCheck(ctx context.Context, req *CheckRequest) (int, any) {
 		resp.Diagnostics = append(resp.Diagnostics, CheckDiagnostic{
 			File: d.Pos.File, Line: d.Pos.Line, Col: d.Pos.Col, Code: d.Code, Msg: d.Msg,
 		})
+		if d.Code == "internal" {
+			resp.Degraded = true
+		}
+	}
+	if resp.Degraded {
+		s.metrics.observeDegraded()
 	}
 	return http.StatusOK, resp
 }
@@ -396,33 +592,56 @@ type ProveObligation struct {
 	CacheHit    bool   `json:"cache_hit,omitempty"`
 }
 
-// ProveReport is one qualifier's soundness verdict.
+// ProveReport is one qualifier's soundness verdict. Degraded means the
+// verdict is not authoritative: the breaker refused the qualifier, or an
+// obligation failed for an infrastructure reason (budget trip, recovered
+// panic, injected fault) rather than a genuine counterexample.
 type ProveReport struct {
 	Qualifier   string            `json:"qualifier"`
 	Kind        string            `json:"kind"`
 	Sound       bool              `json:"sound"`
+	Degraded    bool              `json:"degraded,omitempty"`
 	Error       string            `json:"error,omitempty"`
 	CacheHits   int               `json:"cache_hits"`
 	Obligations []ProveObligation `json:"obligations"`
 }
 
-// ProveResponse is the body of a 200 answer to POST /prove.
+// ProveResponse is the body of a 200 answer to POST /prove. When Degraded
+// is set, RetryAfterMillis hints when refused qualifiers are worth retrying
+// (also surfaced as a Retry-After header).
 type ProveResponse struct {
-	Reports       []ProveReport `json:"reports"`
-	AllSound      bool          `json:"all_sound"`
-	ElapsedMillis int64         `json:"elapsed_ms"`
+	Reports          []ProveReport `json:"reports"`
+	AllSound         bool          `json:"all_sound"`
+	Degraded         bool          `json:"degraded,omitempty"`
+	RetryAfterMillis int64         `json:"retry_after_ms,omitempty"`
+	ElapsedMillis    int64         `json:"elapsed_ms"`
+}
+
+func (p ProveResponse) retryAfterHint() time.Duration {
+	return time.Duration(p.RetryAfterMillis) * time.Millisecond
 }
 
 func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 	var req ProveRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
-		s.metrics.observe("prove", http.StatusBadRequest, 0)
+	if !s.decodeBody(w, r, "prove", &req) {
 		return
 	}
 	s.execute(w, r, "prove", req.TimeoutMillis, func(ctx context.Context) (int, any) {
 		return s.doProve(ctx, &req)
 	})
+}
+
+// breakerFailure reports whether an obligation outcome counts against its
+// qualifier's circuit breaker: transient for an infrastructure reason (a
+// budget trip, recovered panic, or injected fault), not because the caller's
+// own deadline or cancellation ended the run, and not a genuine
+// counterexample.
+func breakerFailure(reason string) bool {
+	switch reason {
+	case simplify.ReasonDeadline, simplify.ReasonCanceled:
+		return false
+	}
+	return simplify.TransientReason(reason)
 }
 
 func (s *Server) doProve(ctx context.Context, req *ProveRequest) (int, any) {
@@ -434,25 +653,46 @@ func (s *Server) doProve(ctx context.Context, req *ProveRequest) (int, any) {
 	opts := soundness.DefaultOptions()
 	opts.Concurrency = s.cfg.checkConcurrency()
 	opts.Cache = s.proverCache
-	var reports []*soundness.Report
+	opts.RetryTransient = s.cfg.retryTransient()
+	opts.RetryBackoff = s.cfg.RetryBackoff
+	opts.Prover.MaxTerms = s.cfg.ProverMaxTerms
+	opts.Prover.MaxClauses = s.cfg.ProverMaxClauses
+	if s.cfg.ProverMaxInstances > 0 {
+		opts.Prover.MaxInstances = s.cfg.ProverMaxInstances
+	}
+	opts.Prover.MaxMemoryBytes = s.cfg.ProverMaxMemory
+	var defs []*qdl.Def
 	if req.Qualifier != "" {
 		d := reg.Lookup(req.Qualifier)
 		if d == nil {
 			return http.StatusUnprocessableEntity, errorBody{Error: "unknown qualifier " + req.Qualifier}
 		}
+		defs = []*qdl.Def{d}
+	} else {
+		defs = reg.Defs()
+	}
+	resp := ProveResponse{AllSound: true}
+	var maxRetryAfter time.Duration
+	for _, d := range defs {
+		if ok, ra := s.breaker.Allow(d.Name); !ok {
+			s.metrics.observeDegraded()
+			if ra > maxRetryAfter {
+				maxRetryAfter = ra
+			}
+			resp.Degraded = true
+			resp.AllSound = false
+			resp.Reports = append(resp.Reports, ProveReport{
+				Qualifier: d.Name,
+				Kind:      d.Kind.String(),
+				Degraded:  true,
+				Error:     fmt.Sprintf("circuit breaker open for qualifier %s; retry after %s", d.Name, ra.Round(time.Millisecond)),
+			})
+			continue
+		}
 		rep, err := soundness.ProveContext(ctx, d, reg, opts)
 		if err != nil {
 			rep = &soundness.Report{Qualifier: d.Name, Kind: d.Kind, Err: err}
 		}
-		reports = []*soundness.Report{rep}
-	} else {
-		reports, _ = soundness.ProveAllContext(ctx, reg, opts)
-	}
-	if err := ctx.Err(); err != nil {
-		return http.StatusGatewayTimeout, errorBody{Error: "prove stopped: " + err.Error()}
-	}
-	resp := ProveResponse{AllSound: true, ElapsedMillis: time.Since(t0).Milliseconds()}
-	for _, rep := range reports {
 		pr := ProveReport{
 			Qualifier: rep.Qualifier,
 			Kind:      rep.Kind.String(),
@@ -471,12 +711,29 @@ func (s *Server) doProve(ctx context.Context, req *ProveRequest) (int, any) {
 				Reason:      res.Outcome.Reason,
 				CacheHit:    res.Outcome.CacheHit,
 			})
+			if !res.Valid && breakerFailure(res.Outcome.Reason) {
+				pr.Degraded = true
+			}
+		}
+		// Don't charge the breaker when the client's own deadline ended the
+		// run: those outcomes say nothing about the qualifier's health.
+		if ctx.Err() == nil {
+			s.breaker.Record(d.Name, !pr.Degraded)
+		}
+		if pr.Degraded {
+			resp.Degraded = true
+			s.metrics.observeDegraded()
 		}
 		if !pr.Sound {
 			resp.AllSound = false
 		}
 		resp.Reports = append(resp.Reports, pr)
 	}
+	if err := ctx.Err(); err != nil {
+		return http.StatusGatewayTimeout, errorBody{Error: "prove stopped: " + err.Error()}
+	}
+	resp.RetryAfterMillis = maxRetryAfter.Milliseconds()
+	resp.ElapsedMillis = time.Since(t0).Milliseconds()
 	return http.StatusOK, resp
 }
 
@@ -494,12 +751,16 @@ type CacheSnapshot struct {
 // MetricsResponse is the body of GET /metrics.
 type MetricsResponse struct {
 	Snapshot
-	Workers       int           `json:"workers"`
-	QueueDepth    int           `json:"queue_depth"`
-	QueueCapacity int           `json:"queue_capacity"`
-	Draining      bool          `json:"draining"`
-	FuncCache     CacheSnapshot `json:"func_cache"`
-	ProverCache   CacheSnapshot `json:"prover_cache"`
+	Workers       int               `json:"workers"`
+	QueueDepth    int               `json:"queue_depth"`
+	QueueCapacity int               `json:"queue_capacity"`
+	Draining      bool              `json:"draining"`
+	FuncCache     CacheSnapshot     `json:"func_cache"`
+	ProverCache   CacheSnapshot     `json:"prover_cache"`
+	BudgetTrips   uint64            `json:"budget_trips"`
+	FaultsArmed   bool              `json:"faults_armed"`
+	FaultFires    map[string]uint64 `json:"fault_fires,omitempty"`
+	Breaker       BreakerSnapshot   `json:"breaker"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -519,6 +780,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Hits: pc.Hits, Misses: pc.Misses, Evictions: pc.Evictions,
 			HitRate: pc.HitRate(), Len: s.proverCache.Len(),
 		},
+		BudgetTrips: simplify.BudgetTrips(),
+		FaultsArmed: faults.Armed(),
+		FaultFires:  faults.Counters(),
+		Breaker:     s.breaker.snapshot(),
 	})
 }
 

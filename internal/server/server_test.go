@@ -12,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/testutil/leak"
 )
 
 // postJSON posts v to url and decodes the JSON answer into out (when
@@ -55,9 +57,11 @@ func getJSON(t *testing.T, url string, out any) int {
 }
 
 // newTestServer builds a server plus an httptest front end and tears both
-// down with the test.
+// down with the test. The leak check registers first, so it audits the
+// teardown: no worker, queue, or handler goroutine may survive Shutdown.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	leak.Check(t)
 	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {

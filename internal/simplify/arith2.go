@@ -294,6 +294,7 @@ func (s *arithSolver2) infeasible(extra []linExprI) bool {
 			}
 		}
 		s.elims++
+		fireInto(fpArithPivot, s.tick)
 		next := keep
 		for _, p := range pos {
 			cp := p.coeffs[bestKey]

@@ -104,3 +104,15 @@ func (c *Cache) Len() int {
 	defer c.mu.Unlock()
 	return c.lru.Len()
 }
+
+// ForEach calls fn on every cached outcome under the cache lock, without
+// touching recency or the counters. Chaos tests use it to assert that no
+// transient (fault- or budget-minted) outcome was ever stored.
+func (c *Cache) ForEach(fn func(key string, out Outcome)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		fn(e.key, e.outcome)
+	}
+}

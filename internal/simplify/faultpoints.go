@@ -1,0 +1,39 @@
+package simplify
+
+import (
+	"errors"
+
+	"repro/internal/faults"
+)
+
+// The prover's fault-point catalog (see internal/faults). Each point sits on
+// a hot search path and costs one atomic load when disarmed:
+//
+//	simplify.prove.round     — top of every instantiation round (both engines)
+//	simplify.search.decision — every DPLL branching decision (both engines)
+//	simplify.ematch.round    — top of every e-matching saturation pass
+//	simplify.arith.pivot     — every Fourier-Motzkin variable elimination
+//	simplify.intern.growth   — term-bank catch-up over newly interned clauses
+var (
+	fpProveRound     = faults.Register("simplify.prove.round")
+	fpSearchDecision = faults.Register("simplify.search.decision")
+	fpEmatchRound    = faults.Register("simplify.ematch.round")
+	fpArithPivot     = faults.Register("simplify.arith.pivot")
+	fpInternGrowth   = faults.Register("simplify.intern.growth")
+)
+
+// fireInto delivers p's armed fault into a running search: a budget fault
+// trips the ticker with ReasonBudget (exercising the uncached-transient
+// path), any other injected error trips a "fault: ..." reason, and a panic
+// propagates to proveSafe's recovery. Disarmed, this is one atomic load.
+func fireInto(p *faults.Point, tk *ticker) {
+	err := p.Fire()
+	if err == nil {
+		return
+	}
+	if errors.Is(err, faults.ErrBudget) {
+		tk.trip(ReasonBudget)
+	} else {
+		tk.trip("fault: " + err.Error())
+	}
+}

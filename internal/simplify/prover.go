@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/logic"
+	"repro/internal/memwatch"
 )
 
 // Result is the prover's verdict on a goal.
@@ -57,6 +58,20 @@ type Options struct {
 	// differential corpus pins that. The engines participate in the cache
 	// fingerprint, so cached outcomes never cross between them.
 	LegacySearch bool
+	// MaxTerms bounds the interned term table built for one goal (0 means
+	// unlimited). Unlike the step budgets above, tripping it yields the
+	// transient, uncached reason ReasonBudget: how many terms a truncated
+	// search interned is an artifact of the cut, not a verdict worth
+	// replaying. The legacy engine has no term table and does not enforce it.
+	MaxTerms int
+	// MaxClauses bounds the ground clause set built for one goal (0 means
+	// unlimited); trips to ReasonBudget like MaxTerms.
+	MaxClauses int
+	// MaxMemoryBytes trips the search when the process's sampled live heap
+	// exceeds this watermark (0 means unlimited). The sample is shared and
+	// refreshed at most every few tens of milliseconds, so the bound is a
+	// soft ceiling against OOM, not an exact per-goal accounting.
+	MaxMemoryBytes uint64
 }
 
 // DefaultGoalTimeout is DefaultOptions' per-goal wall-clock bound. The
@@ -190,8 +205,10 @@ func (p *Prover) buildBase() {
 		return nil
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "opts|%d|%d|%d|%d|%t|legacy=%t\n", p.opts.MaxRounds, p.opts.MaxInstances, p.opts.MaxDecisions,
-		p.opts.GoalTimeout, p.opts.NonlinearAxioms, p.opts.LegacySearch)
+	fmt.Fprintf(h, "opts|%d|%d|%d|%d|%t|legacy=%t|terms=%d|clauses=%d|mem=%d\n",
+		p.opts.MaxRounds, p.opts.MaxInstances, p.opts.MaxDecisions,
+		p.opts.GoalTimeout, p.opts.NonlinearAxioms, p.opts.LegacySearch,
+		p.opts.MaxTerms, p.opts.MaxClauses, p.opts.MaxMemoryBytes)
 	for _, ax := range p.axioms {
 		fmt.Fprintf(h, "ax|%s\n", ax)
 		if err := addFormula(ax); err != nil {
@@ -276,22 +293,55 @@ func (p *Prover) ProveContext(ctx context.Context, goal logic.Formula) Outcome {
 	return out
 }
 
-// cacheable reports whether an outcome may be memoized. Transient outcomes —
-// deadline expiry, cancellation, recovered panics — must not be: a rerun
-// with more time (or a fixed bug) may legitimately differ. ProveContext
+// TransientReason reports whether an Unknown reason describes a transient
+// condition — deadline expiry, cancellation, a tripped resource budget, a
+// recovered panic, or an injected fault — rather than a property of the goal.
+// Transient outcomes must never be memoized (a rerun with more budget, or a
+// fixed bug, may legitimately differ) and are what qualserve retries and
+// counts toward its per-qualifier circuit breaker.
+func TransientReason(r string) bool {
+	switch r {
+	case ReasonDeadline, ReasonCanceled, ReasonBudget:
+		return true
+	}
+	return strings.HasPrefix(r, "panic:") || strings.HasPrefix(r, "fault:")
+}
+
+// cacheable reports whether an outcome may be memoized. ProveContext
 // additionally refuses to cache any outcome produced under an already-done
 // context, whatever its reason.
 func cacheable(o Outcome) bool {
-	switch o.Reason {
-	case ReasonDeadline, ReasonCanceled:
-		return false
-	}
-	return !strings.HasPrefix(o.Reason, "panic:")
+	return !TransientReason(o.Reason)
 }
 
 // proveRoundHook, when non-nil, runs once per instantiation round. It exists
 // for tests that inject faults (panics, delays) into the search.
 var proveRoundHook func()
+
+// memSampleStaleness bounds how stale the shared heap sample may be when the
+// memory watermark is polled mid-search.
+const memSampleStaleness = 50 * time.Millisecond
+
+// installLimits arms tk with the configured space budgets. terms and clauses
+// report the current table sizes; either may be nil when the engine has no
+// such table (the legacy engine has no interned term table).
+func (p *Prover) installLimits(tk *ticker, terms, clauses func() int) {
+	if p.opts.MaxTerms <= 0 && p.opts.MaxClauses <= 0 && p.opts.MaxMemoryBytes == 0 {
+		return
+	}
+	tk.limits = func() string {
+		if p.opts.MaxTerms > 0 && terms != nil && terms() > p.opts.MaxTerms {
+			return ReasonBudget
+		}
+		if p.opts.MaxClauses > 0 && clauses != nil && clauses() > p.opts.MaxClauses {
+			return ReasonBudget
+		}
+		if p.opts.MaxMemoryBytes > 0 && memwatch.Sample(memSampleStaleness) > p.opts.MaxMemoryBytes {
+			return ReasonBudget
+		}
+		return ""
+	}
+}
 
 // proveSafe wraps one search with wall-clock telemetry and panic recovery.
 func (p *Prover) proveSafe(ctx context.Context, goal logic.Formula) (out Outcome) {
@@ -357,11 +407,16 @@ func (p *Prover) proveLegacy(goal logic.Formula, tk *ticker) Outcome {
 		out.GroundClauses = len(ground)
 		return out
 	}
+	p.installLimits(tk, nil, func() int { return len(ground) })
 	var lastModel []string
 	for round := 0; round <= p.opts.MaxRounds; round++ {
 		out.Rounds = round + 1
 		if proveRoundHook != nil {
 			proveRoundHook()
+		}
+		fireInto(fpProveRound, tk)
+		if tk.reason != "" {
+			return stopped()
 		}
 		tri := p.trichotomyClauses(ground, seenTrichotomy, seenClause, tk)
 		out.Stats.CaseSplits += len(tri)
@@ -393,6 +448,10 @@ func (p *Prover) proveLegacy(goal logic.Formula, tk *ticker) Outcome {
 				bank.addLiteral(l)
 			}
 		}
+		fireInto(fpEmatchRound, tk)
+		if tk.reason != "" {
+			return stopped()
+		}
 		added := 0
 		for _, qc := range quant {
 			for _, trig := range qc.Triggers {
@@ -401,6 +460,11 @@ func (p *Prover) proveLegacy(goal logic.Formula, tk *ticker) Outcome {
 					return stopped()
 				}
 				for _, sub := range subs {
+					// The clause set grows inside this loop, between the
+					// search's own ticks, so poll the budgets here too.
+					if tk.stop() {
+						return stopped()
+					}
 					inst := instantiateClause(qc, sub)
 					if inst == nil {
 						continue
@@ -414,10 +478,8 @@ func (p *Prover) proveLegacy(goal logic.Formula, tk *ticker) Outcome {
 					added++
 					out.Instances++
 					if out.Instances >= p.opts.MaxInstances {
-						out.Result = Unknown
-						out.Reason = "instance budget exhausted"
-						out.GroundClauses = len(ground)
-						return out
+						tk.trip(ReasonBudget)
+						return stopped()
 					}
 				}
 			}
@@ -716,6 +778,7 @@ func (s *search) refute(clauses []logic.Clause) bool {
 			return false
 		}
 		s.decisions++
+		fireInto(fpSearchDecision, s.tick)
 		s.assign[pick] = true
 		if !rec() {
 			delete(s.assign, pick)

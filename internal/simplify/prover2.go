@@ -158,11 +158,16 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 		out.GroundClauses = len(db.clauses)
 		return out
 	}
+	p.installLimits(tk, tt.Len, func() int { return len(db.clauses) })
 	var lastModel []string
 	for round := 0; round <= p.opts.MaxRounds; round++ {
 		out.Rounds = round + 1
 		if proveRoundHook != nil {
 			proveRoundHook()
+		}
+		fireInto(fpProveRound, tk)
+		if tk.reason != "" {
+			return stopped()
 		}
 		out.Stats.CaseSplits += trichotomy2(db, ar, seenTri, tk)
 		out.GroundClauses = len(db.clauses)
@@ -191,10 +196,18 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 		}
 		// Saturate: instantiate quantified clauses against the term bank,
 		// caught up on the clauses added since the previous round.
+		fireInto(fpInternGrowth, tk)
+		if tk.reason != "" {
+			return stopped()
+		}
 		for ; banked < len(db.clauses); banked++ {
 			for _, l := range db.clauses[banked] {
 				bank.addLit(l, at)
 			}
+		}
+		fireInto(fpEmatchRound, tk)
+		if tk.reason != "" {
+			return stopped()
 		}
 		added := 0
 		for _, qc := range quant {
@@ -204,6 +217,11 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 					return stopped()
 				}
 				for _, sub := range subs {
+					// Interning grows the term table between the search's own
+					// ticks, so poll the budgets per instantiation.
+					if tk.stop() {
+						return stopped()
+					}
 					lits := make([]ilit, 0, len(qc.Lits))
 					groundInst := true
 					for _, l := range qc.Lits {
@@ -220,10 +238,8 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 					added++
 					out.Instances++
 					if out.Instances >= p.opts.MaxInstances {
-						out.Result = Unknown
-						out.Reason = "instance budget exhausted"
-						out.GroundClauses = len(db.clauses)
-						return out
+						tk.trip(ReasonBudget)
+						return stopped()
 					}
 				}
 			}

@@ -362,6 +362,7 @@ func (s *search2) refute() bool {
 			return false
 		}
 		s.decisions++
+		fireInto(fpSearchDecision, s.tick)
 		cm, am := s.ar.mark()
 		stack = append(stack, decFrame{
 			atom: pick, trailLen: len(s.trail),

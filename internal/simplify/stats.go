@@ -2,6 +2,7 @@ package simplify
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 )
 
@@ -59,7 +60,20 @@ const (
 	ReasonDeadline = "deadline exceeded"
 	// ReasonCanceled is reported when the Prove call's context was canceled.
 	ReasonCanceled = "canceled"
+	// ReasonBudget is reported when a space budget tripped mid-search:
+	// Options.MaxInstances, MaxTerms, MaxClauses, or the sampled process
+	// memory watermark (MaxMemoryBytes). Like a deadline, it depends on how
+	// far a truncated search happened to get, so it is transient and never
+	// cached.
+	ReasonBudget = "resource budget exceeded"
 )
+
+// budgetTrips counts ReasonBudget trips process-wide, for /metrics.
+var budgetTrips atomic.Uint64
+
+// BudgetTrips returns the number of searches stopped by a resource budget
+// (ReasonBudget) since process start.
+func BudgetTrips() uint64 { return budgetTrips.Load() }
 
 // tickMask throttles the wall-clock and context checks: the expensive
 // time.Now/channel polls run once per tickMask+1 stop() calls, so ticking
@@ -74,6 +88,11 @@ type ticker struct {
 	deadline time.Time
 	n        uint32
 	reason   string
+	// limits, when set, is evaluated on the same throttled cadence as the
+	// clock; a non-empty return trips the ticker with that reason. The prover
+	// installs a closure here probing its space budgets (term-table size,
+	// clause count, sampled heap bytes).
+	limits func() string
 }
 
 // newTicker builds the per-goal cancellation state. A zero timeout means no
@@ -109,7 +128,7 @@ func (t *ticker) stop() bool {
 	return t.poll()
 }
 
-// poll performs the real deadline/context check.
+// poll performs the real deadline/context/budget check.
 func (t *ticker) poll() bool {
 	if t.reason != "" {
 		return true
@@ -126,5 +145,23 @@ func (t *ticker) poll() bool {
 		default:
 		}
 	}
+	if t.limits != nil {
+		if r := t.limits(); r != "" {
+			t.trip(r)
+			return true
+		}
+	}
 	return false
+}
+
+// trip stops the search with the given reason (first trip wins; a tripped
+// ticker stays tripped). Budget trips feed the process-wide counter.
+func (t *ticker) trip(reason string) {
+	if t == nil || t.reason != "" {
+		return
+	}
+	t.reason = reason
+	if reason == ReasonBudget {
+		budgetTrips.Add(1)
+	}
 }

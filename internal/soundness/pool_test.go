@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/testutil/leak"
 )
 
 // Hardening tests for forEachIndex, the worker pool under ProveAll's
@@ -62,6 +64,7 @@ func TestForEachIndexSerialFallback(t *testing.T) {
 // diagnostic) instead of crashing a pool goroutine, and that the pool winds
 // down completely: no stuck feeder, no leaked workers.
 func TestForEachIndexPanicPropagates(t *testing.T) {
+	leak.Check(t)
 	before := runtime.NumGoroutine()
 
 	recovered := make(chan any, 1)
@@ -97,6 +100,7 @@ func TestForEachIndexPanicPropagates(t *testing.T) {
 // call must still return (with some panic value) rather than deadlock on
 // the unbuffered index channel.
 func TestForEachIndexAllPanic(t *testing.T) {
+	leak.Check(t)
 	recovered := make(chan any, 1)
 	go func() {
 		defer func() { recovered <- recover() }()

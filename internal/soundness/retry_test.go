@@ -1,0 +1,129 @@
+package soundness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/qdl"
+	"repro/internal/quals"
+	"repro/internal/simplify"
+)
+
+func posRegistry(t *testing.T) *qdl.Registry {
+	t.Helper()
+	reg, err := qdl.Load(map[string]string{"pos.qdl": quals.Pos, "neg.qdl": quals.Neg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestRetryRecoversInjectedPanic: with the discharge fault point armed to
+// panic exactly once, a retry-enabled run recovers and proves the qualifier
+// sound; without retry the poisoned obligation stays Unknown("panic: ...").
+func TestRetryRecoversInjectedPanic(t *testing.T) {
+	defer faults.DisarmAll()
+	reg := posRegistry(t)
+	d := reg.Lookup("pos")
+
+	if err := faults.Arm("soundness.discharge=panic:limit=1"); err != nil {
+		t.Fatal(err)
+	}
+	noRetry := DefaultOptions()
+	noRetry.Concurrency = 1
+	report, err := Prove(d, reg, noRetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sound() {
+		t.Fatal("injected panic without retry should leave the report unsound")
+	}
+	failed := report.Failed()
+	if len(failed) == 0 || !strings.HasPrefix(failed[0].Outcome.Reason, "panic: ") {
+		t.Fatalf("expected a panic reason on the poisoned obligation, got %+v", failed)
+	}
+
+	// Same single-shot fault, but with retry enabled: the re-discharge runs
+	// against the now-exhausted fault and succeeds.
+	if err := faults.Arm("soundness.discharge=panic:limit=1"); err != nil {
+		t.Fatal(err)
+	}
+	retry := DefaultOptions()
+	retry.Concurrency = 1
+	retry.RetryTransient = 2
+	retry.RetryBackoff = time.Millisecond
+	report, err = Prove(d, reg, retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Sound() {
+		t.Fatalf("retry did not recover the injected panic: %s", report)
+	}
+}
+
+// TestRetryDoesNotRetryDeadline: an outcome stopped by the caller's own
+// deadline must not be retried (the budget is gone, not transient luck).
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		reason string
+		want   bool
+	}{
+		{simplify.ReasonDeadline, false},
+		{simplify.ReasonCanceled, false},
+		{simplify.ReasonBudget, true},
+		{"panic: boom", true},
+		{"fault: injected fault: x", true},
+		{"saturated without contradiction", false},
+		{"", false},
+	}
+	for _, tc := range cases {
+		out := simplify.Outcome{Result: simplify.Unknown, Reason: tc.reason}
+		if got := retryable(out); got != tc.want {
+			t.Errorf("retryable(%q) = %v, want %v", tc.reason, got, tc.want)
+		}
+	}
+}
+
+// TestRetryBackoffDeterministic pins the jitter's determinism and growth.
+func TestRetryBackoffDeterministic(t *testing.T) {
+	base := 10 * time.Millisecond
+	a1 := retryBackoff(base, "obl", 1)
+	a1again := retryBackoff(base, "obl", 1)
+	if a1 != a1again {
+		t.Fatalf("backoff not deterministic: %v vs %v", a1, a1again)
+	}
+	if a1 < base || a1 >= 2*base {
+		t.Errorf("attempt 1 backoff %v outside [base, 2*base)", a1)
+	}
+	if a2 := retryBackoff(base, "obl", 2); a2 < 2*base {
+		t.Errorf("attempt 2 backoff %v did not grow past 2*base", a2)
+	}
+	if retryBackoff(base, "other", 1) == a1 {
+		t.Log("different obligations share a jitter (allowed, just unlikely)")
+	}
+}
+
+// TestDischargeFaultBudgetMode: a budget-mode fault on the discharge point
+// surfaces as the transient ReasonBudget, feeding the breaker/retry paths.
+func TestDischargeFaultBudgetMode(t *testing.T) {
+	defer faults.DisarmAll()
+	reg := posRegistry(t)
+	d := reg.Lookup("pos")
+	if err := faults.Arm("soundness.discharge=budget"); err != nil {
+		t.Fatal(err)
+	}
+	report, err := Prove(d, reg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sound() {
+		t.Fatal("permanent budget fault should leave the report unsound")
+	}
+	for _, res := range report.Failed() {
+		if res.Outcome.Reason != simplify.ReasonBudget {
+			t.Errorf("reason %q, want %q", res.Outcome.Reason, simplify.ReasonBudget)
+		}
+	}
+}

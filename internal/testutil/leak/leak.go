@@ -1,0 +1,141 @@
+// Package leak is a stdlib-only goroutine-leak checker for tests. Check
+// snapshots the labeled goroutine stacks at call time and, in a test
+// cleanup, requires every goroutine alive afterwards to be either present in
+// the snapshot or on the ignore list (runtime internals, the testing
+// framework, and net/http's shared transport machinery). New goroutines get
+// a grace period to finish — pools and servers wind down asynchronously —
+// before the difference is reported as a failure with the leaked stacks.
+//
+// Call it first in a test, before any defers or cleanups that stop servers
+// or pools: t.Cleanup runs last-registered-first, so the leak check then
+// executes after the teardown it is auditing.
+package leak
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignoredStacks are substrings of goroutine stacks that never count as
+// leaks: runtime and testing machinery, signal handling, and net/http's
+// long-lived shared transport/server goroutines (keep-alive connections
+// owned by the process-wide http.DefaultTransport, not by one test).
+var ignoredStacks = []string{
+	"testing.(*T).Run",
+	"testing.(*M).",
+	"testing.runTests",
+	"testing.tRunner",
+	"runtime.goexit",
+	"runtime/pprof",
+	"runtime.gc",
+	"runtime.MHeap",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"net/http.(*persistConn).writeLoop",
+	"net/http.(*persistConn).readLoop",
+	"net/http.(*Transport)",
+	"net/http.(*Server).Serve",
+	"net/http.(*conn).serve",
+	"net/http/httptest.(*Server)",
+	"internal/poll.runtime_pollWait",
+	"created by runtime",
+}
+
+// maxStackBytes bounds one all-goroutines stack snapshot.
+const maxStackBytes = 4 << 20
+
+// snapshot returns the current goroutine stacks, one entry per goroutine.
+func snapshot() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		if len(buf) >= maxStackBytes {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if strings.TrimSpace(g) != "" {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// header returns the goroutine's identity line ("goroutine N [state]"),
+// with the state stripped so a goroutine that merely changed state (running
+// -> select) still matches its snapshot entry.
+func header(stack string) string {
+	line, _, _ := strings.Cut(stack, "\n")
+	if i := strings.IndexByte(line, '['); i > 0 {
+		line = strings.TrimSpace(line[:i])
+	}
+	return line
+}
+
+// ignored reports whether the stack matches the ignore list.
+func ignored(stack string) bool {
+	for _, pat := range ignoredStacks {
+		if strings.Contains(stack, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// leaked returns the goroutines alive now that are neither in base nor
+// ignorable, where base maps header -> true for the starting snapshot.
+func leaked(base map[string]bool) []string {
+	var out []string
+	for _, g := range snapshot() {
+		if base[header(g)] || ignored(g) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// grace is how long Check waits for stragglers to exit before reporting.
+const grace = 2 * time.Second
+
+// Check registers a cleanup that fails t if the test leaked goroutines.
+// Call it at the top of the test, before registering any teardown cleanups.
+func Check(t testing.TB) {
+	t.Helper()
+	base := map[string]bool{}
+	for _, g := range snapshot() {
+		base[header(g)] = true
+	}
+	t.Cleanup(func() {
+		var extra []string
+		deadline := time.Now().Add(grace)
+		for {
+			extra = leaked(base)
+			if len(extra) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d leaked goroutine(s) after %v grace:\n", len(extra), grace)
+		for _, g := range extra {
+			sb.WriteString("\n")
+			sb.WriteString(g)
+			sb.WriteString("\n")
+		}
+		t.Error(sb.String())
+	})
+}

@@ -1,0 +1,64 @@
+package leak
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotSeesSelf(t *testing.T) {
+	found := false
+	for _, g := range snapshot() {
+		if strings.Contains(g, "leak.snapshot") || strings.Contains(g, "TestSnapshotSeesSelf") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("snapshot did not capture the current goroutine")
+	}
+}
+
+func TestLeakedDetectsNewGoroutine(t *testing.T) {
+	base := map[string]bool{}
+	for _, g := range snapshot() {
+		base[header(g)] = true
+	}
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+	extra := leaked(base)
+	if len(extra) == 0 {
+		t.Error("blocked goroutine not reported as leaked")
+	}
+	close(stop)
+	// After it exits, the report clears (poll briefly: exit is asynchronous).
+	deadline := time.Now().Add(2 * time.Second)
+	for len(leaked(base)) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("goroutine still reported after exit")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestIgnoreList(t *testing.T) {
+	if !ignored("goroutine 7 [IO wait]:\ninternal/poll.runtime_pollWait(0x1, 0x72)") {
+		t.Error("poller goroutine should be ignored")
+	}
+	if ignored("goroutine 8 [chan receive]:\nrepro/internal/server.(*Server).worker") {
+		t.Error("worker goroutine must not be ignored")
+	}
+}
+
+// TestCheckPassesCleanTest uses Check in a test that spawns and joins a
+// goroutine; the registered cleanup must not fail.
+func TestCheckPassesCleanTest(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
