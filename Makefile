@@ -18,7 +18,9 @@ BENCH_BASELINE ?= BENCH_head_baseline.txt
 # families (soundness obligations, Table 2 checking) plus the prover and
 # engine microbenchmarks.
 BENCH_ROOT = ^(BenchmarkTable2Untainted|BenchmarkSoundness|BenchmarkAblationCongruenceChain|BenchmarkProverPosMultiplication|BenchmarkProverSelectStore)$$
-BENCH_SIMPLIFY = ^(BenchmarkRefute|BenchmarkTheoryConflict)$$
+BENCH_SIMPLIFY = ^(BenchmarkRefute|BenchmarkTheoryConflict|BenchmarkPrefilterOnly|BenchmarkConflictLearning)$$
+# Geomean-regression tolerance for the bench-smoke CI gate.
+BENCH_MAX_REGRESS ?= 0.10
 
 all: build
 
@@ -39,19 +41,32 @@ race:
 
 # bench reruns the recorded prover benchmark suite with fixed -benchtime and
 # -count and rewrites BENCH_prover.json, the committed performance record,
-# including per-family geomean speedups against $(BENCH_BASELINE).
+# including per-family geomean speedups against $(BENCH_BASELINE). The prior
+# document's summary is folded into the new one's "history" array, so the
+# committed record keeps the PR-over-PR trajectory.
 bench:
 	{ $(GO) test -run '^$$' -bench '$(BENCH_ROOT)' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . ; \
 	  $(GO) test -run '^$$' -bench '$(BENCH_SIMPLIFY)' -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/simplify ; } \
-	| $(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) \
+	| $(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -prev BENCH_prover.json \
 	    -note "benchtime=$(BENCHTIME) count=$(BENCHCOUNT); baseline: pre-interning HEAD ($(BENCH_BASELINE))" \
 	    -o BENCH_prover.json
 	@echo wrote BENCH_prover.json
 
-# bench-smoke compiles and runs every benchmark for one iteration; it is the
-# CI guard that keeps the benchmark suite building and panic-free.
+# bench-smoke compiles and runs every benchmark for one iteration (the CI
+# guard that keeps the suite building and panic-free), then reruns the
+# recorded subset at a reduced fixed -benchtime and fails if its geomean
+# speedup has fallen more than $(BENCH_MAX_REGRESS) below the committed
+# BENCH_prover.json. Averaging -count 3 samples matters more than long
+# -benchtime here: the µs-scale suite members swing 30% on single samples
+# (warmup), which a one-shot 50x gate was observed to trip on.
+GATE_BENCHTIME ?= 25x
+GATE_BENCHCOUNT ?= 3
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/simplify
+	{ $(GO) test -run '^$$' -bench '$(BENCH_ROOT)' -benchtime $(GATE_BENCHTIME) -count $(GATE_BENCHCOUNT) . ; \
+	  $(GO) test -run '^$$' -bench '$(BENCH_SIMPLIFY)' -benchtime $(GATE_BENCHTIME) -count $(GATE_BENCHCOUNT) ./internal/simplify ; } \
+	| $(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) \
+	    -prev BENCH_prover.json -max-regress $(BENCH_MAX_REGRESS) >/dev/null
 
 experiments:
 	$(GO) run ./cmd/experiments

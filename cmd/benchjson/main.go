@@ -4,9 +4,20 @@
 // repo's `make bench` target pipes the prover benchmark suite through it to
 // produce BENCH_prover.json, the committed performance record.
 //
+// With -prev pointing at the previously committed document, the new document
+// carries a "history" array: the prior run's summary (note, benchmark count,
+// overall and per-family geomeans) is appended to the prior history, so
+// BENCH_prover.json keeps the PR-over-PR trajectory, not just the latest
+// snapshot. -max-regress turns the same comparison into a CI gate: if the
+// current overall geomean falls more than the given fraction below the
+// previous document's, benchjson exits nonzero (`make bench-smoke` uses this
+// with 0.10).
+//
 // Usage:
 //
 //	go test -bench . -count 3 . | benchjson -baseline old.txt -o BENCH.json
+//	go test -bench . -benchtime 1x . | benchjson -baseline old.txt \
+//	    -prev BENCH.json -max-regress 0.10 >/dev/null
 package main
 
 import (
@@ -117,11 +128,25 @@ type familyEntry struct {
 	GeomeanSpeedup float64 `json:"geomean_speedup_vs_baseline"`
 }
 
-type doc struct {
-	Note           string        `json:"note"`
-	Benchmarks     []benchEntry  `json:"benchmarks"`
+// historyEntry is one prior run's summary, kept when the document is
+// rewritten so the committed record preserves the PR-over-PR trajectory.
+type historyEntry struct {
+	Note           string        `json:"note,omitempty"`
+	Benchmarks     int           `json:"benchmarks"`
 	Families       []familyEntry `json:"families,omitempty"`
 	GeomeanSpeedup *float64      `json:"geomean_speedup_vs_baseline,omitempty"`
+}
+
+// maxHistory bounds the trajectory so the committed JSON cannot grow without
+// limit; the oldest entries age out first.
+const maxHistory = 20
+
+type doc struct {
+	Note           string         `json:"note"`
+	Benchmarks     []benchEntry   `json:"benchmarks"`
+	Families       []familyEntry  `json:"families,omitempty"`
+	GeomeanSpeedup *float64       `json:"geomean_speedup_vs_baseline,omitempty"`
+	History        []historyEntry `json:"history,omitempty"`
 }
 
 func family(name string) string {
@@ -135,6 +160,8 @@ func main() {
 	out := flag.String("o", "", "output file (default: stdout)")
 	baselinePath := flag.String("baseline", "", "prior go test -bench output to compute speedups against")
 	note := flag.String("note", "", "free-form provenance note stored in the document")
+	prevPath := flag.String("prev", "", "previously committed benchjson document; its summary is appended to the new document's history")
+	maxRegress := flag.Float64("max-regress", 0, "fail (exit 1) if the overall geomean falls more than this fraction below -prev's (0 = off)")
 	flag.Parse()
 
 	cur, order, err := parseBench(os.Stdin)
@@ -212,6 +239,31 @@ func main() {
 		d.GeomeanSpeedup = &g
 	}
 
+	if *prevPath != "" {
+		prev, err := loadPrev(*prevPath)
+		switch {
+		case err != nil:
+			// A missing previous document is the bootstrap case, not an
+			// error: record nothing and (if gating) let the run pass.
+			fmt.Fprintf(os.Stderr, "benchjson: no usable -prev document (%v); history and gate skipped\n", err)
+		default:
+			d.History = append(prev.History, historyEntry{
+				Note:           prev.Note,
+				Benchmarks:     len(prev.Benchmarks),
+				Families:       prev.Families,
+				GeomeanSpeedup: prev.GeomeanSpeedup,
+			})
+			if n := len(d.History); n > maxHistory {
+				d.History = d.History[n-maxHistory:]
+			}
+			if *maxRegress > 0 {
+				if err := gate(d.GeomeanSpeedup, prev.GeomeanSpeedup, *maxRegress); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+
 	enc, err := json.MarshalIndent(d, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -224,6 +276,40 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// loadPrev reads a previously written benchjson document.
+func loadPrev(path string) (*doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// gate is the regression check: the current run's overall geomean speedup
+// must not fall more than maxRegress below the previous document's. Both
+// geomeans are against the same fixed -baseline file, so the ratio tracks
+// real engine drift, not baseline churn.
+func gate(cur, prev *float64, maxRegress float64) error {
+	if prev == nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -prev document has no geomean; gate skipped")
+		return nil
+	}
+	if cur == nil {
+		return fmt.Errorf("regression gate: current run has no geomean (baseline missing?) but -prev records %.2fx", *prev)
+	}
+	floor := *prev * (1 - maxRegress)
+	if *cur < floor {
+		return fmt.Errorf("regression gate: geomean speedup %.2fx is below %.2fx (previous %.2fx - %.0f%%)",
+			*cur, floor, *prev, 100*maxRegress)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: regression gate ok: %.2fx vs previous %.2fx (floor %.2fx)\n", *cur, *prev, floor)
+	return nil
 }
 
 func fatal(err error) {

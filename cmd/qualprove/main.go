@@ -48,7 +48,10 @@ func main() {
 	cacheStats := flag.Bool("cache-stats", false, "print memoizing prover-cache statistics after the run")
 	timeout := flag.Duration("timeout", simplify.DefaultGoalTimeout, "per-goal wall-clock budget; 0 means unlimited")
 	stats := flag.Bool("stats", false, "print per-qualifier search statistics (decisions, instantiations, ...)")
+	prefilter := flag.String("prefilter", "on", "cheap discharge tiers before the full engine: on|off (off is an escape hatch; verdicts are unchanged)")
+	learn := flag.String("learn", "on", "CDCL clause learning and cross-goal lemma sharing: on|off (off selects the chronological engine)")
 	trace := flag.String("trace", "", "write a per-obligation JSONL search trace to this file")
+	traceDeterministic := flag.Bool("trace-deterministic", false, "omit wall-clock fields from -trace records so identical runs produce byte-identical files")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -76,7 +79,10 @@ func main() {
 	}
 	opts.Prover.MaxMemoryBytes = *memBudget
 	opts.Prover.GoalTimeout = *timeout
+	opts.Prover.DisablePrefilter = offSwitch("prefilter", *prefilter)
+	opts.Prover.DisableLearning = offSwitch("learn", *learn)
 	opts.Concurrency = *jobs
+	opts.TraceOmitTimings = *traceDeterministic
 	cache := simplify.NewCache(0)
 	opts.Cache = cache
 	if *trace != "" {
@@ -94,6 +100,12 @@ func main() {
 		s := cache.Stats()
 		fmt.Printf("prover cache: %d hits, %d misses, %d evictions (%.1f%% hit rate, %d entries)\n",
 			s.Hits, s.Misses, s.Evictions, 100*s.HitRate(), cache.Len())
+		ls := cache.LemmaStats()
+		fmt.Printf("lemma pools: %d pools, %d pooled lemmas (%d admitted, %d forgotten)\n",
+			ls.Pools, ls.Lemmas, ls.Added, ls.Dropped)
+		pf := simplify.GlobalPrefilterCounters()
+		fmt.Printf("prefilter: %d/%d goals discharged (%.1f%%; ground=%d unit=%d interval=%d)\n",
+			pf.Discharged(), pf.Attempts, 100*pf.HitRate(), pf.Ground, pf.Unit, pf.Interval)
 	}
 
 	if *goal != "" {
@@ -172,9 +184,24 @@ func main() {
 
 // statsLine renders search telemetry as one compact line.
 func statsLine(s simplify.Stats) string {
-	return fmt.Sprintf("rounds=%d decisions=%d case-splits=%d instantiations=%d ground=%d merges=%d fm-elims=%d theory-checks=%d search=%v",
+	return fmt.Sprintf("rounds=%d decisions=%d case-splits=%d instantiations=%d ground=%d merges=%d fm-elims=%d theory-checks=%d prefilter=%d/%d learned=%d forgotten=%d restarts=%d lemmas-in=%d lemmas-out=%d search=%v",
 		s.Rounds, s.Decisions, s.CaseSplits, s.Instantiations, s.GroundClauses,
-		s.CongruenceMerges, s.FMEliminations, s.TheoryChecks, s.WallTime.Round(time.Microsecond))
+		s.CongruenceMerges, s.FMEliminations, s.TheoryChecks,
+		s.PrefilterGround+s.PrefilterUnit+s.PrefilterInterval, s.PrefilterAttempts,
+		s.LearnedClauses, s.ForgottenClauses, s.Restarts, s.LemmasImported, s.LemmasExported,
+		s.WallTime.Round(time.Microsecond))
+}
+
+// offSwitch parses an on/off flag value.
+func offSwitch(name, v string) bool {
+	switch v {
+	case "on":
+		return false
+	case "off":
+		return true
+	}
+	fatal(fmt.Errorf("-%s must be on or off, got %q", name, v))
+	return false
 }
 
 func fatal(err error) {

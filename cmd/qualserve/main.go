@@ -68,8 +68,22 @@ func run() int {
 	maxTerms := flag.Int("max-terms", 0, "per-goal interned-term budget; trips become transient Unknowns (0 = unlimited)")
 	maxClauses := flag.Int("max-clauses", 0, "per-goal clause-database budget (0 = unlimited)")
 	maxInsts := flag.Int("max-insts", 0, "per-goal quantifier-instantiation budget (0 = default)")
+	prefilter := flag.String("prefilter", "on", "prover's cheap discharge tiers: on|off (escape hatch; verdicts unchanged)")
+	learn := flag.String("learn", "on", "CDCL clause learning and lemma sharing: on|off (off selects the chronological engine)")
 	faultSpec := flag.String("faults", "", "arm fault-injection points, e.g. 'simplify.prove.round=budget:every=100' (also QUAL_FAULTS)")
 	flag.Parse()
+
+	offSwitch := func(name, v string) bool {
+		switch v {
+		case "on":
+			return false
+		case "off":
+			return true
+		}
+		fmt.Fprintf(os.Stderr, "qualserve: -%s must be on or off, got %q\n", name, v)
+		os.Exit(2)
+		return false
+	}
 
 	spec := *faultSpec
 	if spec == "" {
@@ -102,6 +116,8 @@ func run() int {
 		ProverMaxTerms:     *maxTerms,
 		ProverMaxClauses:   *maxClauses,
 		ProverMaxInstances: *maxInsts,
+		DisablePrefilter:   offSwitch("prefilter", *prefilter),
+		DisableLearning:    offSwitch("learn", *learn),
 	})
 	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
 		// The announce line is machine-readable: the smoke test (and any

@@ -90,6 +90,13 @@ type Config struct {
 	ProverMaxClauses   int
 	ProverMaxInstances int
 	ProverMaxMemory    uint64
+	// DisablePrefilter turns off the prover's cheap discharge tiers (ground
+	// evaluation, unit propagation, interval analysis) — an escape hatch;
+	// verdicts are unchanged, only slower.
+	DisablePrefilter bool
+	// DisableLearning turns off CDCL clause learning and cross-goal lemma
+	// sharing, selecting the chronological search engine.
+	DisableLearning bool
 }
 
 func (c Config) workers() int {
@@ -661,6 +668,8 @@ func (s *Server) doProve(ctx context.Context, req *ProveRequest) (int, any) {
 		opts.Prover.MaxInstances = s.cfg.ProverMaxInstances
 	}
 	opts.Prover.MaxMemoryBytes = s.cfg.ProverMaxMemory
+	opts.Prover.DisablePrefilter = s.cfg.DisablePrefilter
+	opts.Prover.DisableLearning = s.cfg.DisableLearning
 	var defs []*qdl.Def
 	if req.Qualifier != "" {
 		d := reg.Lookup(req.Qualifier)
@@ -748,6 +757,28 @@ type CacheSnapshot struct {
 	Len       int     `json:"len"`
 }
 
+// PrefilterSnapshot is the process-wide prefilter section of GET /metrics:
+// how many goals each cheap tier discharged before the full engine ran.
+type PrefilterSnapshot struct {
+	Attempts   uint64  `json:"attempts"`
+	Ground     uint64  `json:"ground"`
+	Unit       uint64  `json:"unit"`
+	Interval   uint64  `json:"interval"`
+	Discharged uint64  `json:"discharged"`
+	HitRate    float64 `json:"hit_rate"`
+}
+
+// LemmaSnapshot is the CDCL learned-lemma section of GET /metrics:
+// process-wide learn/forget totals plus this server's shared pool state.
+type LemmaSnapshot struct {
+	Learned   uint64 `json:"learned"`
+	Forgotten uint64 `json:"forgotten"`
+	Pools     int    `json:"pools"`
+	Pooled    int    `json:"pooled"`
+	Added     uint64 `json:"added"`
+	Dropped   uint64 `json:"dropped"`
+}
+
 // MetricsResponse is the body of GET /metrics.
 type MetricsResponse struct {
 	Snapshot
@@ -757,6 +788,8 @@ type MetricsResponse struct {
 	Draining      bool              `json:"draining"`
 	FuncCache     CacheSnapshot     `json:"func_cache"`
 	ProverCache   CacheSnapshot     `json:"prover_cache"`
+	Prefilter     PrefilterSnapshot `json:"prefilter"`
+	Lemmas        LemmaSnapshot     `json:"lemmas"`
 	BudgetTrips   uint64            `json:"budget_trips"`
 	FaultsArmed   bool              `json:"faults_armed"`
 	FaultFires    map[string]uint64 `json:"fault_fires,omitempty"`
@@ -766,6 +799,9 @@ type MetricsResponse struct {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fc := s.funcCache.Stats()
 	pc := s.proverCache.Stats()
+	pf := simplify.GlobalPrefilterCounters()
+	lc := simplify.GlobalLemmaCounters()
+	ls := s.proverCache.LemmaStats()
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		Snapshot:      s.metrics.snapshot(),
 		Workers:       s.cfg.workers(),
@@ -779,6 +815,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		ProverCache: CacheSnapshot{
 			Hits: pc.Hits, Misses: pc.Misses, Evictions: pc.Evictions,
 			HitRate: pc.HitRate(), Len: s.proverCache.Len(),
+		},
+		Prefilter: PrefilterSnapshot{
+			Attempts: pf.Attempts, Ground: pf.Ground, Unit: pf.Unit,
+			Interval: pf.Interval, Discharged: pf.Discharged(), HitRate: pf.HitRate(),
+		},
+		Lemmas: LemmaSnapshot{
+			Learned: lc.Learned, Forgotten: lc.Forgotten,
+			Pools: ls.Pools, Pooled: ls.Lemmas, Added: ls.Added, Dropped: ls.Dropped,
 		},
 		BudgetTrips: simplify.BudgetTrips(),
 		FaultsArmed: faults.Armed(),

@@ -222,6 +222,29 @@ func TestMetricsAndHealthz(t *testing.T) {
 	if m.FuncCache.Misses == 0 {
 		t.Errorf("func cache counters not surfaced: %+v", m.FuncCache)
 	}
+
+	// A prove run populates the prefilter and lemma sections (counters are
+	// process-wide, so only monotone/non-zero properties are asserted).
+	if code := postJSON(t, ts.URL+"/prove", ProveRequest{Qualifier: "pos"}, nil); code != http.StatusOK {
+		t.Fatalf("prove: status %d, want 200", code)
+	}
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics after prove: status %d, want 200", code)
+	}
+	if m.Prefilter.Attempts == 0 {
+		t.Errorf("prefilter attempts not surfaced: %+v", m.Prefilter)
+	}
+	if m.Prefilter.Discharged != m.Prefilter.Ground+m.Prefilter.Unit+m.Prefilter.Interval {
+		t.Errorf("prefilter discharge total inconsistent: %+v", m.Prefilter)
+	}
+	if m.Prefilter.HitRate < 0 || m.Prefilter.HitRate > 1 {
+		t.Errorf("prefilter hit rate out of range: %v", m.Prefilter.HitRate)
+	}
+	// The pool for the server's axiom fingerprint must exist; whether any
+	// lemma was exportable (untainted) depends on the goals proved.
+	if m.Lemmas.Pools == 0 {
+		t.Errorf("lemma pool state not surfaced: %+v", m.Lemmas)
+	}
 }
 
 // TestGracefulShutdown holds one /check in flight, starts a drain, and

@@ -106,7 +106,11 @@ func TestDeadlineOutcomeNotCached(t *testing.T) {
 // usable afterwards.
 func TestProvePanicRecovered(t *testing.T) {
 	cache := NewCache(0)
-	p := New(nil, DefaultOptions()).WithCache(cache)
+	// The prefilter would discharge this tautology before the round hook
+	// fires; this test is about panics inside the search proper.
+	opts := DefaultOptions()
+	opts.DisablePrefilter = true
+	p := New(nil, opts).WithCache(cache)
 	goal := logic.Imp(logic.P("Q", logic.Const("c0")), logic.P("Q", logic.Const("c0")))
 
 	proveRoundHook = func() { panic("injected prover fault") }

@@ -394,6 +394,143 @@ func TestLegacySearchInFingerprint(t *testing.T) {
 	}
 }
 
+// litFormula converts one ground literal back to a formula for the oracle.
+func litFormula(l logic.Literal) logic.Formula {
+	var f logic.Formula
+	if l.IsCmp {
+		f = l.Cmp
+	} else {
+		f = l.Pred
+	}
+	if l.Neg {
+		f = logic.Not{F: f}
+	}
+	return f
+}
+
+// clauseFormula converts a ground clause to the disjunction of its literals.
+func clauseFormula(c logic.Clause) logic.Formula {
+	fs := make([]logic.Formula, len(c.Lits))
+	for i, l := range c.Lits {
+		fs[i] = litFormula(l)
+	}
+	return logic.Or{Fs: fs}
+}
+
+// TestDifferentialThreeEngines runs the fixed-seed corpus through all three
+// engines at once — CDCL (the default, here with a cache attached so
+// cross-goal lemma sharing is live), the chronological trail engine
+// (DisableLearning), and the legacy recursive engine — and requires
+// verdict-for-verdict agreement, with every CDCL Valid double-checked
+// against the bounded-model oracle. Lemmas imported from earlier corpus
+// formulas must never flip a verdict: they are implied by the (empty) axiom
+// base, so they may only prune search.
+func TestDifferentialThreeEngines(t *testing.T) {
+	n := 10000
+	if testing.Short() {
+		n = 2000
+	}
+	r := &diffRNG{s: 0x5eed5eed5eed5eed}
+	cdcl := New(nil, DefaultOptions()).WithCache(NewCache(0))
+	chronoOpts := DefaultOptions()
+	chronoOpts.DisableLearning = true
+	chrono := New(nil, chronoOpts)
+	legacyOpts := DefaultOptions()
+	legacyOpts.LegacySearch = true
+	legacy := New(nil, legacyOpts)
+	valid := 0
+	for i := 0; i < n; i++ {
+		f := genGroundFormula(r, 2+r.intn(2))
+		a := cdcl.Prove(f)
+		b := chrono.Prove(f)
+		c := legacy.Prove(f)
+		if a.Result != b.Result || a.Result != c.Result {
+			t.Fatalf("engines disagree on corpus formula %d:\n  formula: %s\n  cdcl=%v (%s)  chrono=%v (%s)  legacy=%v (%s)",
+				i, f, a.Result, a.Reason, b.Result, b.Reason, c.Result, c.Reason)
+		}
+		if a.Result == Valid {
+			valid++
+			if cm := findCounterModel(f); cm != nil {
+				t.Fatalf("cdcl unsound: claimed Valid but counter-model exists\n  formula: %s\n  consts: %v  f-table: %v  P-table: %v",
+					f, cm.consts, cm.fTable, cm.pTable)
+			}
+		}
+	}
+	floor := n / 10
+	if valid < floor {
+		t.Fatalf("only %d/%d corpus formulas proved Valid (floor %d); the differential check lost its teeth", valid, n, floor)
+	}
+	t.Logf("three-engine differential: %d formulas, %d Valid on all engines, zero discrepancies", n, valid)
+}
+
+// TestCDCLDeterministicTrace: two runs of the CDCL engine over the same
+// corpus — fresh provers, fresh caches, lemma sharing live — must produce
+// identical verdicts, reasons, and trace hashes. The hash digests every
+// decision, conflict, learned clause, backjump, and restart, so equality
+// pins the entire search event stream, not just the outcome.
+func TestCDCLDeterministicTrace(t *testing.T) {
+	n := 1500
+	if testing.Short() {
+		n = 400
+	}
+	run := func() []string {
+		r := &diffRNG{s: 0xdecaf1e57}
+		p := New(nil, DefaultOptions()).WithCache(NewCache(0))
+		out := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			f := genGroundFormula(r, 2+r.intn(2))
+			o := p.Prove(f)
+			out = append(out, o.Result.String()+"|"+o.Reason+"|"+o.TraceHash)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("CDCL run diverged at corpus formula %d:\n  run1: %s\n  run2: %s", i, a[i], b[i])
+		}
+	}
+	if len(a) > 0 && a[0] == "" {
+		t.Fatal("empty trace records")
+	}
+}
+
+// FuzzLearnedClauseImplied asserts the lemma-sharing soundness invariant
+// directly: every clause that lands in the shared pool (only untainted
+// lemmas do) must be implied by the axiom base. With no axioms that means
+// each pooled clause is valid outright — no bounded interpretation may
+// falsify its disjunction, and re-proving its negation must fail.
+func FuzzLearnedClauseImplied(f *testing.F) {
+	f.Add(uint64(1), uint8(2))
+	f.Add(uint64(0x5eed5eed5eed5eed), uint8(3))
+	f.Add(uint64(0xfeedface), uint8(4))
+	f.Fuzz(func(t *testing.T, seed uint64, depth uint8) {
+		r := &diffRNG{s: seed}
+		d := int(depth%4) + 1
+		p := New(nil, DefaultOptions()).WithCache(NewCache(0))
+		for i := 0; i < 8; i++ {
+			p.Prove(genGroundFormula(r, d))
+		}
+		p.cache.lemmaMu.Lock()
+		var pooled []logic.Clause
+		for _, pool := range p.cache.lemmas {
+			pooled = append(pooled, pool.snapshot()...)
+		}
+		p.cache.lemmaMu.Unlock()
+		checker := diffProver()
+		for _, c := range pooled {
+			disj := clauseFormula(c)
+			if cm := findCounterModel(disj); cm != nil {
+				t.Fatalf("pooled lemma not implied: %s falsified by consts=%v f=%v P=%v",
+					disj, cm.consts, cm.fTable, cm.pTable)
+			}
+			if out := checker.Prove(logic.Not{F: disj}); out.Result == Valid {
+				t.Fatalf("negation of pooled lemma proved Valid: %s", disj)
+			}
+		}
+	})
+}
+
 // FuzzProveGround is the native fuzz target behind the same oracle: the
 // fuzzer mutates the generator seed and shape, and every Valid verdict is
 // checked for a bounded counter-model.

@@ -9,17 +9,23 @@ import (
 // The prover's fault-point catalog (see internal/faults). Each point sits on
 // a hot search path and costs one atomic load when disarmed:
 //
-//	simplify.prove.round     — top of every instantiation round (both engines)
-//	simplify.search.decision — every DPLL branching decision (both engines)
-//	simplify.ematch.round    — top of every e-matching saturation pass
-//	simplify.arith.pivot     — every Fourier-Motzkin variable elimination
-//	simplify.intern.growth   — term-bank catch-up over newly interned clauses
+//	simplify.prove.round        — top of every instantiation round (both engines)
+//	simplify.search.decision    — every DPLL branching decision (both engines)
+//	simplify.search.learn       — before each 1UIP conflict analysis (CDCL)
+//	simplify.search.backjump    — before each non-chronological backjump (CDCL)
+//	simplify.prefilter.interval — before the prefilter's interval-analysis tier
+//	simplify.ematch.round       — top of every e-matching saturation pass
+//	simplify.arith.pivot        — every Fourier-Motzkin variable elimination
+//	simplify.intern.growth      — term-bank catch-up over newly interned clauses
 var (
-	fpProveRound     = faults.Register("simplify.prove.round")
-	fpSearchDecision = faults.Register("simplify.search.decision")
-	fpEmatchRound    = faults.Register("simplify.ematch.round")
-	fpArithPivot     = faults.Register("simplify.arith.pivot")
-	fpInternGrowth   = faults.Register("simplify.intern.growth")
+	fpProveRound        = faults.Register("simplify.prove.round")
+	fpSearchDecision    = faults.Register("simplify.search.decision")
+	fpSearchLearn       = faults.Register("simplify.search.learn")
+	fpSearchBackjump    = faults.Register("simplify.search.backjump")
+	fpPrefilterInterval = faults.Register("simplify.prefilter.interval")
+	fpEmatchRound       = faults.Register("simplify.ematch.round")
+	fpArithPivot        = faults.Register("simplify.arith.pivot")
+	fpInternGrowth      = faults.Register("simplify.intern.growth")
 )
 
 // fireInto delivers p's armed fault into a running search: a budget fault

@@ -1,0 +1,358 @@
+package simplify
+
+import (
+	"repro/internal/logic"
+)
+
+// The prefilter tier: three cheap procedures that discharge easy obligations
+// before the full engine (e-graph, Fourier-Motzkin, e-matching) is even
+// constructed. Each tier is one-sided — it only ever concludes Valid, from a
+// certificate the full engine would also find (a ground tautology, a unit
+// propagation conflict, an infeasible interval), so enabling or disabling
+// the prefilter can never flip a verdict, only how fast Valid arrives.
+//
+// Tier 1 (ground evaluation) works on the goal formula directly: a fully
+// interpreted ground formula that evaluates true under integer semantics is
+// valid in every model, axioms or not. Tier 2 (unit propagation) runs a
+// propositional-only fixpoint over the interned clause set (axiom base plus
+// negated goal); an empty clause refutes the set. Tier 3 (interval analysis)
+// reads the literals tier 2 forced, collects single-variable bounds with
+// unit coefficients, tightens integer endpoints through disequalities
+// (x >= 0 and x != 0 gives x >= 1), and refutes on an empty interval.
+
+// Prefilter tier identifiers, reported in Outcome.Reason and Stats.
+const (
+	prefilterNone = iota
+	prefilterTierGround
+	prefilterTierUnit
+	prefilterTierInterval
+)
+
+// Outcome reasons minted by the prefilter (deterministic, hence cacheable).
+const (
+	ReasonPrefilterGround   = "prefilter: ground evaluation"
+	ReasonPrefilterUnit     = "prefilter: unit propagation"
+	ReasonPrefilterInterval = "prefilter: interval analysis"
+)
+
+// prefilter runs the tiers in cost order against the seeded clause database,
+// returning the discharging tier or prefilterNone. A tripped ticker aborts
+// with prefilterNone (the caller reports the stop).
+func prefilter(goal logic.Formula, db *clauseDB, tk *ticker) int {
+	if v, ok := evalGroundFormula(goal); ok && v {
+		return prefilterTierGround
+	}
+	assign, conflict := unitPropOnly(db, tk)
+	if tk.stop() {
+		return prefilterNone
+	}
+	if conflict {
+		return prefilterTierUnit
+	}
+	fireInto(fpPrefilterInterval, tk)
+	if tk.stop() {
+		return prefilterNone
+	}
+	if intervalConflict(db, assign, tk) {
+		return prefilterTierInterval
+	}
+	return prefilterNone
+}
+
+// evalGroundTerm evaluates a fully interpreted ground term (integer
+// literals under +, -, ~, *); ok is false on any uninterpreted symbol.
+func evalGroundTerm(t logic.Term) (int64, bool) {
+	switch t := t.(type) {
+	case logic.IntLit:
+		return t.Value, true
+	case logic.App:
+		switch t.Fn {
+		case "+":
+			var s int64
+			for _, a := range t.Args {
+				v, ok := evalGroundTerm(a)
+				if !ok {
+					return 0, false
+				}
+				s += v
+			}
+			return s, true
+		case "-":
+			if len(t.Args) == 2 {
+				l, ok1 := evalGroundTerm(t.Args[0])
+				r, ok2 := evalGroundTerm(t.Args[1])
+				return l - r, ok1 && ok2
+			}
+			if len(t.Args) == 1 {
+				v, ok := evalGroundTerm(t.Args[0])
+				return -v, ok
+			}
+		case "~":
+			if len(t.Args) == 1 {
+				v, ok := evalGroundTerm(t.Args[0])
+				return -v, ok
+			}
+		case "*":
+			if len(t.Args) == 2 {
+				l, ok1 := evalGroundTerm(t.Args[0])
+				r, ok2 := evalGroundTerm(t.Args[1])
+				return l * r, ok1 && ok2
+			}
+		}
+	}
+	return 0, false
+}
+
+// evalGroundFormula evaluates a fully interpreted ground formula; ok is
+// false when any predicate, quantifier, variable, or uninterpreted function
+// appears (those need the real engine).
+func evalGroundFormula(f logic.Formula) (bool, bool) {
+	switch f := f.(type) {
+	case logic.TrueF:
+		return true, true
+	case logic.FalseF:
+		return false, true
+	case logic.Cmp:
+		l, ok1 := evalGroundTerm(f.L)
+		r, ok2 := evalGroundTerm(f.R)
+		if !ok1 || !ok2 {
+			return false, false
+		}
+		switch f.Op {
+		case logic.EqOp:
+			return l == r, true
+		case logic.NeOp:
+			return l != r, true
+		case logic.LtOp:
+			return l < r, true
+		case logic.LeOp:
+			return l <= r, true
+		case logic.GtOp:
+			return l > r, true
+		case logic.GeOp:
+			return l >= r, true
+		}
+		return false, false
+	case logic.Not:
+		v, ok := evalGroundFormula(f.F)
+		return !v, ok
+	case logic.And:
+		for _, g := range f.Fs {
+			v, ok := evalGroundFormula(g)
+			if !ok {
+				return false, false
+			}
+			if !v {
+				return false, true
+			}
+		}
+		return true, true
+	case logic.Or:
+		any := false
+		for _, g := range f.Fs {
+			v, ok := evalGroundFormula(g)
+			if !ok {
+				return false, false
+			}
+			any = any || v
+		}
+		return any, true
+	case logic.Implies:
+		h, ok1 := evalGroundFormula(f.Hyp)
+		c, ok2 := evalGroundFormula(f.Concl)
+		return !h || c, ok1 && ok2
+	case logic.Iff:
+		l, ok1 := evalGroundFormula(f.L)
+		r, ok2 := evalGroundFormula(f.R)
+		return l == r, ok1 && ok2
+	}
+	return false, false
+}
+
+// unitPropOnly runs propositional unit propagation to fixpoint over the
+// clause database — no watches, no theories, no decisions — returning the
+// forced assignment and whether an empty clause arose. The clause set at
+// this point is pre-instantiation (axiom base plus negated goal), so the
+// quadratic fixpoint is cheap.
+func unitPropOnly(db *clauseDB, tk *ticker) ([]int8, bool) {
+	assign := make([]int8, db.at.len())
+	litTrue := func(l ilit) bool {
+		v := assign[l.atom()]
+		return v != 0 && (v == 1) != l.negated()
+	}
+	litFalse := func(l ilit) bool {
+		v := assign[l.atom()]
+		return v != 0 && (v == 1) == l.negated()
+	}
+	for changed := true; changed; {
+		changed = false
+		if tk.stop() {
+			return assign, false
+		}
+		for _, cl := range db.clauses {
+			sat := false
+			unassigned := 0
+			var unit ilit
+			for _, l := range cl {
+				if litTrue(l) {
+					sat = true
+					break
+				}
+				if !litFalse(l) {
+					unassigned++
+					unit = l
+				}
+			}
+			if sat {
+				continue
+			}
+			if unassigned == 0 {
+				return assign, true
+			}
+			if unassigned == 1 {
+				if unit.negated() {
+					assign[unit.atom()] = -1
+				} else {
+					assign[unit.atom()] = 1
+				}
+				changed = true
+			}
+		}
+	}
+	return assign, false
+}
+
+// ivBoundMax keeps the interval arithmetic far from int64 overflow; any
+// constraint with larger constants is ignored (sound: ignoring a constraint
+// only weakens the analysis).
+const ivBoundMax = int64(1) << 40
+
+// interval is one opaque term's derived bounds and excluded values.
+type interval struct {
+	lo, hi       int64
+	hasLo, hasHi bool
+	ne           map[int64]bool
+}
+
+// intervalConflict derives per-term intervals from the unit-forced literals
+// and reports whether some term's interval is empty after integer endpoint
+// tightening through disequalities. Only single-term constraints with unit
+// coefficients participate; everything else is ignored (one-sided, sound).
+func intervalConflict(db *clauseDB, assign []int8, tk *ticker) bool {
+	at, tt := db.at, db.tt
+	ivs := map[logic.TermID]*interval{}
+	ivOf := func(t logic.TermID) *interval {
+		v := ivs[t]
+		if v == nil {
+			v = &interval{ne: map[int64]bool{}}
+			ivs[t] = v
+		}
+		return v
+	}
+	conflict := false
+	// addLe records sum(diff) <= bound for a difference expression.
+	addLe := func(diff linExprI, bound int64) {
+		if len(diff.coeffs) == 0 {
+			if diff.consts > bound {
+				conflict = true
+			}
+			return
+		}
+		if len(diff.coeffs) != 1 {
+			return
+		}
+		for t, c := range diff.coeffs {
+			b := bound - diff.consts
+			if b > ivBoundMax || b < -ivBoundMax {
+				return
+			}
+			switch c {
+			case 1: // t <= b
+				v := ivOf(t)
+				if !v.hasHi || b < v.hi {
+					v.hi, v.hasHi = b, true
+				}
+			case -1: // -t <= b, i.e. t >= -b
+				v := ivOf(t)
+				if !v.hasLo || -b > v.lo {
+					v.lo, v.hasLo = -b, true
+				}
+			}
+		}
+	}
+	for a := 0; a < at.len(); a++ {
+		if tk.stop() {
+			return false
+		}
+		if assign[a] == 0 {
+			continue
+		}
+		k := at.keys[a]
+		if k.op == predOp {
+			continue
+		}
+		op := logic.CmpOp(k.op)
+		if assign[a] == -1 {
+			op = op.Negate()
+		}
+		le := linearizeID(k.l, tt)
+		re := linearizeID(k.r, tt)
+		diff := le.add(re, -1) // l - r
+		switch op {
+		case logic.EqOp:
+			addLe(diff.clone(), 0)
+			addLe(newLinExprI().add(diff, -1), 0)
+		case logic.LeOp:
+			addLe(diff, 0)
+		case logic.LtOp:
+			addLe(diff, -1) // integers: l < r means l - r <= -1
+		case logic.GeOp:
+			addLe(newLinExprI().add(diff, -1), 0)
+		case logic.GtOp:
+			addLe(newLinExprI().add(diff, -1), -1)
+		case logic.NeOp:
+			// t != t on the hash-consed same term: refuted outright. (Only
+			// the syntactic case — a zero *linearized* difference between
+			// distinct terms, like b vs b-0, would out-prove the legacy
+			// differential oracle.)
+			if k.l == k.r {
+				conflict = true
+				break
+			}
+			if len(diff.coeffs) != 1 {
+				break
+			}
+			for t, c := range diff.coeffs {
+				switch c {
+				case 1:
+					if v := -diff.consts; v <= ivBoundMax && v >= -ivBoundMax {
+						ivOf(t).ne[v] = true
+					}
+				case -1:
+					if v := diff.consts; v <= ivBoundMax && v >= -ivBoundMax {
+						ivOf(t).ne[v] = true
+					}
+				}
+			}
+		}
+		if conflict {
+			return true
+		}
+	}
+	for _, v := range ivs {
+		if !v.hasLo || !v.hasHi {
+			continue
+		}
+		lo, hi := v.lo, v.hi
+		for v.ne[lo] && lo <= hi {
+			lo++
+		}
+		for v.ne[hi] && hi >= lo {
+			hi--
+		}
+		if lo > hi {
+			return true
+		}
+	}
+	return false
+}

@@ -58,6 +58,17 @@ type Options struct {
 	// differential corpus pins that. The engines participate in the cache
 	// fingerprint, so cached outcomes never cross between them.
 	LegacySearch bool
+	// DisableLearning turns off CDCL clause learning in the interned engine,
+	// selecting the chronological trail search instead (the -learn=off escape
+	// hatch). It also disables cross-goal lemma sharing, which rides on the
+	// learned clauses. Like LegacySearch it participates in the cache
+	// fingerprint: the engines agree on every verdict (the differential
+	// corpus pins that), but their telemetry and countermodels may differ.
+	DisableLearning bool
+	// DisablePrefilter skips the cheap prefilter tier (ground evaluation,
+	// unit-propagation-only, interval analysis) that discharges easy goals
+	// before the full engine is built — the -prefilter=off escape hatch.
+	DisablePrefilter bool
 	// MaxTerms bounds the interned term table built for one goal (0 means
 	// unlimited). Unlike the step budgets above, tripping it yields the
 	// transient, uncached reason ReasonBudget: how many terms a truncated
@@ -110,6 +121,12 @@ type Outcome struct {
 	// the prover is deterministic (up to wall-clock telemetry), so they equal
 	// what a re-run would find.
 	CacheHit bool
+	// TraceHash is a deterministic fingerprint of the interned engine's
+	// decision/conflict/learn/backjump/restart event stream (hex, empty for
+	// the legacy engine). Identical inputs — goal, axioms, options, and any
+	// imported lemmas — produce identical hashes; the determinism regression
+	// tests pin this.
+	TraceHash string
 	// Stats is the goal's search telemetry (duplicating the counters above
 	// plus the theory-level ones and wall time, in one aggregatable struct).
 	Stats Stats
@@ -205,9 +222,10 @@ func (p *Prover) buildBase() {
 		return nil
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "opts|%d|%d|%d|%d|%t|legacy=%t|terms=%d|clauses=%d|mem=%d\n",
+	fmt.Fprintf(h, "opts|%d|%d|%d|%d|%t|legacy=%t|learn=%t|prefilter=%t|terms=%d|clauses=%d|mem=%d\n",
 		p.opts.MaxRounds, p.opts.MaxInstances, p.opts.MaxDecisions,
 		p.opts.GoalTimeout, p.opts.NonlinearAxioms, p.opts.LegacySearch,
+		!p.opts.DisableLearning, !p.opts.DisablePrefilter,
 		p.opts.MaxTerms, p.opts.MaxClauses, p.opts.MaxMemoryBytes)
 	for _, ax := range p.axioms {
 		fmt.Fprintf(h, "ax|%s\n", ax)

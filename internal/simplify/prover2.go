@@ -1,6 +1,8 @@
 package simplify
 
 import (
+	"fmt"
+
 	"repro/internal/logic"
 )
 
@@ -10,13 +12,23 @@ import (
 // trichotomy dedup are integer-keyed, the term bank persists across rounds
 // (catching up on newly added clauses only), and the theory solvers are
 // created once per goal and rewound to their base marks between rounds.
+//
+// Two layers wrap the per-round CDCL search. In front, the prefilter tier
+// (prefilter.go) discharges easy goals before the theory solvers are built.
+// Around it, lemma plumbing: learned clauses carry from round to round
+// within a goal (they stay implied as the clause set only grows), and the
+// untainted ones — implied by the axiom base alone — flow through the
+// cache's per-fingerprint lemma pool into later goals over the same axioms.
 
 // clauseDB is the interned ground clause set, deduplicated by literal-set
-// content keys.
+// content keys. taint marks clauses derived from the negated goal (directly
+// or by instantiating a goal-derived quantified clause); lemmas that resolve
+// against tainted clauses must not be shared across goals.
 type clauseDB struct {
 	tt      *logic.TermTable
 	at      *atomTable
 	clauses [][]ilit
+	taint   []bool
 	seen    map[string]bool
 }
 
@@ -25,7 +37,7 @@ func newClauseDB(tt *logic.TermTable, at *atomTable) *clauseDB {
 }
 
 // add dedups and appends one interned clause, reporting whether it was new.
-func (db *clauseDB) add(lits []ilit) bool {
+func (db *clauseDB) add(lits []ilit, tainted bool) bool {
 	lits = dedupLits(lits)
 	k := clauseKey(lits)
 	if db.seen[k] {
@@ -33,16 +45,17 @@ func (db *clauseDB) add(lits []ilit) bool {
 	}
 	db.seen[k] = true
 	db.clauses = append(db.clauses, lits)
+	db.taint = append(db.taint, tainted)
 	return true
 }
 
 // addGround interns and adds one ground logic.Clause.
-func (db *clauseDB) addGround(c logic.Clause) bool {
+func (db *clauseDB) addGround(c logic.Clause, tainted bool) bool {
 	lits := make([]ilit, len(c.Lits))
 	for i, l := range c.Lits {
 		lits[i] = db.at.internLit(l, db.tt)
 	}
-	return db.add(lits)
+	return db.add(lits, tainted)
 }
 
 // trichotomy2 adds (l < r) || (l = r) || (l > r) for every equality atom
@@ -50,7 +63,7 @@ func (db *clauseDB) addGround(c logic.Clause) bool {
 // appears under an order comparison or an arithmetic operator (its opaque
 // atoms and the full term are both marked), closed over equality pairs, with
 // integer literals numeric by construction. Returns the number of clauses
-// added.
+// added. Trichotomy clauses are integer-theory facts, untainted by the goal.
 func trichotomy2(db *clauseDB, ar *arithSolver2, seenTri map[[2]logic.TermID]bool, tk *ticker) int {
 	tt, at := db.tt, db.at
 	numeric := map[logic.TermID]bool{}
@@ -105,7 +118,7 @@ func trichotomy2(db *clauseDB, ar *arithSolver2, seenTri map[[2]logic.TermID]boo
 			// l > r canonicalizes to r < l.
 			mkLit(at.intern(atomKey{op: int8(logic.LtOp), l: pr[1], r: pr[0]}), false),
 		}
-		if db.add(lits) {
+		if db.add(lits, false) {
 			added++
 		}
 	}
@@ -119,12 +132,13 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 	sk := p.baseSk.Clone()
 	quant := make([]logic.Clause, len(p.baseQuant), len(p.baseQuant)+16)
 	copy(quant, p.baseQuant)
+	qTaint := make([]bool, len(quant), cap(quant))
 
 	tt := logic.NewTermTable()
 	at := newAtomTable()
 	db := newClauseDB(tt, at)
 	for _, c := range p.baseGround {
-		db.addGround(c)
+		db.addGround(c, false)
 	}
 	{
 		cs, err := logic.Clausify(logic.Not{F: goal}, sk)
@@ -133,13 +147,59 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 		}
 		for _, c := range cs {
 			if c.IsGround() {
-				db.addGround(c)
+				db.addGround(c, true)
 			} else {
 				if len(c.Triggers) == 0 {
 					c.Triggers = inferTriggers(c)
 				}
 				quant = append(quant, c)
+				qTaint = append(qTaint, true)
 			}
+		}
+	}
+
+	out := Outcome{}
+	stopped := func() Outcome {
+		out.Result = Unknown
+		out.Reason = tk.reason
+		out.GroundClauses = len(db.clauses)
+		return out
+	}
+	p.installLimits(tk, tt.Len, func() int { return len(db.clauses) })
+
+	// hash chains the per-round search event hashes (plus prefilter
+	// discharges) into Outcome.TraceHash.
+	hash := uint64(hashOffset)
+	mix := func(x uint64) { hash = (hash ^ x) * hashPrime }
+	setHash := func() { out.TraceHash = fmt.Sprintf("%016x", hash) }
+
+	if !p.opts.DisablePrefilter {
+		out.Stats.PrefilterAttempts = 1
+		prefAttempts.Add(1)
+		tier := prefilter(goal, db, tk)
+		if tk.reason != "" {
+			return stopped()
+		}
+		if tier != prefilterNone {
+			out.Result = Valid
+			out.GroundClauses = len(db.clauses)
+			switch tier {
+			case prefilterTierGround:
+				out.Reason = ReasonPrefilterGround
+				out.Stats.PrefilterGround = 1
+				prefGround.Add(1)
+			case prefilterTierUnit:
+				out.Reason = ReasonPrefilterUnit
+				out.Stats.PrefilterUnit = 1
+				prefUnit.Add(1)
+			case prefilterTierInterval:
+				out.Reason = ReasonPrefilterInterval
+				out.Stats.PrefilterInterval = 1
+				prefInterval.Add(1)
+			}
+			mix(uint64(tier))
+			setHash()
+			return out
 		}
 	}
 
@@ -151,15 +211,63 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 	banked := 0
 	seenTri := map[[2]logic.TermID]bool{}
 
-	out := Outcome{}
-	stopped := func() Outcome {
-		out.Result = Unknown
-		out.Reason = tk.reason
-		out.GroundClauses = len(db.clauses)
-		return out
+	// Lemma plumbing: pull the fingerprint pool's shared lemmas (when a
+	// cache is attached and learning is on), carry the learned arena across
+	// rounds, and publish the untainted survivors on a settled outcome.
+	var pool *lemmaPool
+	if p.cache != nil && !p.opts.DisableLearning {
+		pool = p.cache.lemmaPoolFor(p.fingerprint)
 	}
-	p.installLimits(tk, tt.Len, func() int { return len(db.clauses) })
+	var carryCl [][]ilit
+	var carryTaint []bool
+	var carryAct []float64
+	var carryUnits []ilit
+	var carryUnitTaint []bool
+	if pool != nil {
+		for _, c := range pool.snapshot() {
+			lits := make([]ilit, 0, len(c.Lits))
+			for _, l := range c.Lits {
+				lits = append(lits, at.internLit(l, tt))
+			}
+			carryCl = append(carryCl, lits)
+			carryTaint = append(carryTaint, false)
+			carryAct = append(carryAct, 0)
+		}
+		out.Stats.LemmasImported = len(carryCl)
+	}
+	publish := func(s *search2) {
+		if pool == nil || s == nil {
+			return
+		}
+		var cs []logic.Clause
+		export := func(lits []ilit) {
+			c := logic.Clause{Lits: make([]logic.Literal, 0, len(lits))}
+			for _, l := range lits {
+				lit := at.literal(l.atom(), tt)
+				if l.negated() {
+					lit = lit.Negated()
+				}
+				c.Lits = append(c.Lits, lit)
+			}
+			cs = append(cs, c)
+		}
+		for i, cl := range s.learned {
+			if !s.lTaint[i] && len(cl) <= maxLemmaLits {
+				export(cl)
+			}
+		}
+		for i, u := range s.unitLemmas {
+			if !s.unitTaint[i] {
+				export([]ilit{u})
+			}
+		}
+		if len(cs) > 0 {
+			out.Stats.LemmasExported = pool.add(cs)
+		}
+	}
+
 	var lastModel []string
+	var s *search2
 	for round := 0; round <= p.opts.MaxRounds; round++ {
 		out.Rounds = round + 1
 		if proveRoundHook != nil {
@@ -175,20 +283,43 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 		// this round's trail into them incrementally.
 		eg.undoTo(egBase)
 		ar.undoTo(0, 0)
-		s := newSearch2(tt, at, db.clauses, eg, ar, p.opts.MaxDecisions, tk)
+		s = newSearch2(tt, at, db.clauses, db.taint, eg, ar, p.opts.MaxDecisions, tk)
+		s.noLearn = p.opts.DisableLearning
+		for i, cl := range carryCl {
+			s.importLearned(cl, carryTaint[i], carryAct[i])
+		}
+		for i, u := range carryUnits {
+			s.importUnit(u, carryUnitTaint[i])
+		}
 		unsat := s.refute()
 		out.Decisions += s.decisions
 		out.Stats.CongruenceMerges = eg.merges
 		out.Stats.FMEliminations = ar.elims
 		out.Stats.TheoryChecks += s.theoryChecks
+		out.Stats.LearnedClauses += s.learnedTotal
+		out.Stats.ForgottenClauses += s.forgotten
+		out.Stats.Restarts += s.restarts
+		if s.learnedTotal > 0 {
+			lemLearned.Add(uint64(s.learnedTotal))
+		}
+		if s.forgotten > 0 {
+			lemForgotten.Add(uint64(s.forgotten))
+		}
+		mix(s.hash)
+		carryCl, carryTaint, carryAct = s.learned, s.lTaint, s.lAct
+		carryUnits, carryUnitTaint = s.unitLemmas, s.unitTaint
 		lastModel = s.model
 		if tk.reason != "" {
 			// A stopped search unwinds as "consistent", so unsat can never be
 			// a cancellation artifact; still, report the stop, not a verdict.
+			// Transient outcomes publish no lemmas (conservative: a fault or
+			// panic mid-derivation must never seed the shared pool).
 			return stopped()
 		}
 		if unsat {
 			out.Result = Valid
+			setHash()
+			publish(s)
 			return out
 		}
 		if round == p.opts.MaxRounds {
@@ -210,7 +341,7 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 			return stopped()
 		}
 		added := 0
-		for _, qc := range quant {
+		for qi, qc := range quant {
 			for _, trig := range qc.Triggers {
 				subs := matchTrigger2(trig, bank, tk)
 				if tk.reason != "" {
@@ -232,7 +363,7 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 						}
 						lits = append(lits, il)
 					}
-					if !groundInst || !db.add(lits) {
+					if !groundInst || !db.add(lits, qTaint[qi]) {
 						continue
 					}
 					added++
@@ -248,11 +379,15 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 			out.Result = Unknown
 			out.Reason = "saturated without contradiction"
 			out.CounterExample = s.model
+			setHash()
+			publish(s)
 			return out
 		}
 	}
 	out.Result = Unknown
 	out.Reason = "round budget exhausted"
 	out.CounterExample = lastModel
+	setHash()
+	publish(s)
 	return out
 }

@@ -6,19 +6,31 @@ import (
 	"repro/internal/logic"
 )
 
-// This file is the interned search engine: a non-recursive DPLL over
-// ID-indexed clauses with two-watched-literal unit propagation and an
-// explicit trail. Theory literals are asserted into the backtrackable
+// This file is the interned search engine: conflict-driven clause learning
+// (CDCL) over ID-indexed clauses with two-watched-literal unit propagation
+// and an explicit trail. Theory literals are asserted into the backtrackable
 // e-graph and the incremental arithmetic solver as they join the trail;
-// backtracking rolls both theories to the decision's mark instead of
-// rebuilding them per branch (the legacy search's dominant cost).
+// backjumping rolls both theories to the target level's mark instead of
+// rebuilding them per branch.
 //
-// The search semantics mirror the legacy recursive engine (prover.go):
-// propagate to fixpoint, check the theories, branch on the first unassigned
-// atom of the first unsatisfied clause trying true before false, treat an
-// exhausted decision budget or a tripped ticker as "consistent" so the
-// whole search unwinds soundly, and report the first theory-consistent
-// satisfying assignment as the countermodel.
+// The CDCL loop learns a 1UIP clause from every conflict (propositional
+// conflicts from the watched clause, theory conflicts explained as the
+// negation of the asserted trail), backjumps non-chronologically to the
+// clause's assertion level, orders decisions by VSIDS activity with the
+// smallest atom ID as a deterministic tie-break, and forgets low-activity
+// learned clauses at Luby-scheduled restarts. Everything is seed-free, so
+// identical inputs produce identical decision traces (hashEvent folds the
+// event stream into a replay-checkable fingerprint).
+//
+// Lemma taint: a learned clause derived only from axiom-base clauses, theory
+// conflicts, and trichotomy splits is implied by the axioms alone and may be
+// shared across goals; one that resolved against a goal-derived clause (or
+// absorbed a goal-tainted level-0 propagation) is only implied by this goal's
+// clause set and must stay local. See prover2.go for the sharing pool.
+//
+// The pre-CDCL engine — chronological flip-deepest-unflipped backtracking —
+// is preserved as refuteChrono behind Options.DisableLearning; it is the
+// differential foil for the learning engine and the -learn=off escape hatch.
 
 // search2 is one refutation attempt over a fixed interned clause set.
 type search2 struct {
@@ -28,8 +40,19 @@ type search2 struct {
 	// permutes literals within a clause (clauses are sets, so callers are
 	// insensitive to the order).
 	clauses [][]ilit
+	// pTaint marks problem clauses derived from the negated goal (nil means
+	// all untainted). Lemmas resolved against tainted clauses are goal-local.
+	pTaint   []bool
+	nProblem int
 
-	// watches[l] lists the indices of clauses currently watching literal l.
+	// learned is the clause arena appended by conflict analysis (and by
+	// imported lemmas). A clause reference cr addresses clauses[cr] when
+	// cr < nProblem and learned[cr-nProblem] otherwise.
+	learned [][]ilit
+	lTaint  []bool
+	lAct    []float64
+
+	// watches[l] lists the references of clauses currently watching literal l.
 	watches [][]int32
 	// assign[a] is 0 (unassigned), +1 (true) or -1 (false).
 	assign []int8
@@ -38,6 +61,52 @@ type search2 struct {
 	// qhead is the propagation frontier: trail[:qhead] has been processed
 	// (watch lists visited, theories updated).
 	qhead int
+
+	// Per-atom CDCL bookkeeping: the decision level an atom was assigned at,
+	// the clause that propagated it (-1 for decisions and imported units),
+	// and — for level-0 assignments — whether the derivation touched a
+	// goal-tainted clause (folded into lemmas that absorb the literal).
+	level    []int32
+	reasonCl []int32
+	taint0   []bool
+	seen     []bool
+
+	// trailLim[l] is the trail length when level l+1's decision was made;
+	// levEg/levArC/levArA are the theory marks captured at the same instant.
+	trailLim []int
+	levEg    []int
+	levArC   []int
+	levArA   []int
+
+	// VSIDS: per-atom activities bumped on conflict participation, with the
+	// usual exponential decay implemented as a growing increment. Clause
+	// activities drive forgetting.
+	activity []float64
+	varInc   float64
+	claInc   float64
+
+	// Deterministic seed-free restart schedule: restart after
+	// lubyUnit*luby(restarts+1) conflicts, forgetting half the learned DB
+	// (keeping binaries and the most active half) when it exceeds maxLearned.
+	sinceRestart int
+	restartLimit int
+	restarts     int
+	maxLearned   int
+
+	// Unit lemmas learned (or imported) at level 0, tracked apart from the
+	// arena so they survive rounds and export with their taint.
+	unitLemmas []ilit
+	unitTaint  []bool
+	unitSeen   map[ilit]bool
+
+	learntBuf []ilit
+	clearBuf  []atomID
+
+	noLearn      bool
+	conflicts    int
+	learnedTotal int
+	forgotten    int
+	hash         uint64
 
 	eg *egraph2
 	ar *arithSolver2
@@ -56,15 +125,46 @@ type search2 struct {
 	model []string
 }
 
-func newSearch2(tt *logic.TermTable, at *atomTable, clauses [][]ilit, eg *egraph2, ar *arithSolver2, maxDecisions int, tk *ticker) *search2 {
+// fnv64 constants for the deterministic trace hash.
+const (
+	hashOffset = 14695981039346656037
+	hashPrime  = 1099511628211
+)
+
+// Trace-hash event kinds.
+const (
+	evDecision = 1 + iota
+	evConflict
+	evLearn
+	evBackjump
+	evRestart
+)
+
+// lubyUnit scales the Luby restart sequence into conflict counts.
+const lubyUnit = 64
+
+func newSearch2(tt *logic.TermTable, at *atomTable, clauses [][]ilit, pTaint []bool, eg *egraph2, ar *arithSolver2, maxDecisions int, tk *ticker) *search2 {
+	n := at.len()
 	s := &search2{
-		tt: tt, at: at, clauses: clauses,
-		watches:      make([][]int32, 2*at.len()),
-		assign:       make([]int8, at.len()),
+		tt: tt, at: at, clauses: clauses, pTaint: pTaint,
+		nProblem:     len(clauses),
+		watches:      make([][]int32, 2*n),
+		assign:       make([]int8, n),
+		level:        make([]int32, n),
+		reasonCl:     make([]int32, n),
+		taint0:       make([]bool, n),
+		seen:         make([]bool, n),
+		activity:     make([]float64, n),
+		varInc:       1,
+		claInc:       1,
+		restartLimit: lubyUnit,
+		maxLearned:   2048 + len(clauses),
+		unitSeen:     map[ilit]bool{},
 		eg:           eg,
 		ar:           ar,
 		maxDecisions: maxDecisions,
 		tick:         tk,
+		hash:         hashOffset,
 	}
 	for ci, cl := range clauses {
 		switch len(cl) {
@@ -74,7 +174,7 @@ func newSearch2(tt *logic.TermTable, at *atomTable, clauses [][]ilit, eg *egraph
 			if s.litFalse(cl[0]) {
 				s.unsatAtSetup = true
 			} else {
-				s.enqueue(cl[0])
+				s.enqueue(cl[0], int32(ci))
 			}
 		default:
 			s.watches[cl[0]] = append(s.watches[cl[0]], int32(ci))
@@ -82,6 +182,58 @@ func newSearch2(tt *logic.TermTable, at *atomTable, clauses [][]ilit, eg *egraph
 		}
 	}
 	return s
+}
+
+// clauseOf resolves a clause reference into its literal slice.
+func (s *search2) clauseOf(cr int32) []ilit {
+	if int(cr) < s.nProblem {
+		return s.clauses[cr]
+	}
+	return s.learned[int(cr)-s.nProblem]
+}
+
+// taintOf reports whether the referenced clause is goal-derived.
+func (s *search2) taintOf(cr int32) bool {
+	if int(cr) < s.nProblem {
+		return s.pTaint != nil && s.pTaint[cr]
+	}
+	return s.lTaint[int(cr)-s.nProblem]
+}
+
+// importLearned installs one carried or shared lemma before the search
+// starts: unit lemmas assert at level 0, longer ones join the learned arena
+// with the given activity. A lemma contradicted at level 0 refutes the set
+// outright (the lemma is implied by the clause set, so the set is UNSAT).
+func (s *search2) importLearned(cl []ilit, tainted bool, act float64) {
+	cl = dedupLits(cl)
+	switch len(cl) {
+	case 0:
+		s.unsatAtSetup = true
+	case 1:
+		s.importUnit(cl[0], tainted)
+	default:
+		s.learned = append(s.learned, cl)
+		s.lTaint = append(s.lTaint, tainted)
+		s.lAct = append(s.lAct, act)
+		cr := int32(s.nProblem + len(s.learned) - 1)
+		s.watches[cl[0]] = append(s.watches[cl[0]], cr)
+		s.watches[cl[1]] = append(s.watches[cl[1]], cr)
+	}
+}
+
+// importUnit asserts one unit lemma at level 0 and records it for re-export.
+func (s *search2) importUnit(u ilit, tainted bool) {
+	if s.litFalse(u) {
+		s.unsatAtSetup = true
+	} else {
+		s.enqueue(u, -1)
+		s.taint0[u.atom()] = tainted
+	}
+	if !s.unitSeen[u] {
+		s.unitSeen[u] = true
+		s.unitLemmas = append(s.unitLemmas, u)
+		s.unitTaint = append(s.unitTaint, tainted)
+	}
 }
 
 func (s *search2) litTrue(l ilit) bool {
@@ -94,9 +246,11 @@ func (s *search2) litFalse(l ilit) bool {
 	return v != 0 && (v == 1) == l.negated()
 }
 
-// enqueue asserts l true (no-op when already assigned; callers check the
-// false case themselves).
-func (s *search2) enqueue(l ilit) {
+// enqueue asserts l true with the given reason clause reference (-1 for
+// decisions and imported units). No-op when already assigned; callers check
+// the false case themselves. Level-0 assignments fold their derivation's
+// taint into taint0 so lemmas that absorb them inherit it.
+func (s *search2) enqueue(l ilit, from int32) {
 	a := l.atom()
 	if s.assign[a] != 0 {
 		return
@@ -107,6 +261,20 @@ func (s *search2) enqueue(l ilit) {
 		s.assign[a] = 1
 	}
 	s.trail = append(s.trail, l)
+	s.level[a] = int32(len(s.trailLim))
+	s.reasonCl[a] = from
+	if len(s.trailLim) == 0 {
+		t := false
+		if from >= 0 {
+			t = s.taintOf(from)
+			for _, q := range s.clauseOf(from) {
+				if q.atom() != a && s.taint0[q.atom()] {
+					t = true
+				}
+			}
+		}
+		s.taint0[a] = t
+	}
 }
 
 // assertTheory pushes one trail literal into the e-graph and the arithmetic
@@ -147,8 +315,9 @@ func (s *search2) registerArithAtoms(t logic.TermID) {
 }
 
 // propagate runs two-watched-literal unit propagation (and the incremental
-// theory assertions) until fixpoint or a propositional conflict.
-func (s *search2) propagate() bool {
+// theory assertions) until fixpoint, returning the reference of a falsified
+// clause or -1 when no propositional conflict arose.
+func (s *search2) propagate() int32 {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -159,7 +328,7 @@ func (s *search2) propagate() bool {
 		for i < len(ws) {
 			ci := ws[i]
 			i++
-			cl := s.clauses[ci]
+			cl := s.clauseOf(ci)
 			if cl[0] == nl {
 				cl[0], cl[1] = cl[1], cl[0]
 			}
@@ -190,13 +359,13 @@ func (s *search2) propagate() bool {
 					i++
 				}
 				s.watches[nl] = ws[:j]
-				return true
+				return ci
 			}
-			s.enqueue(cl[0])
+			s.enqueue(cl[0], ci)
 		}
 		s.watches[nl] = ws[:j]
 	}
-	return false
+	return -1
 }
 
 // theoryConflict checks the incremental theory state at a propagation
@@ -209,6 +378,18 @@ func (s *search2) theoryConflict() bool {
 		return true
 	}
 	return s.ar.infeasible(s.eufLA())
+}
+
+// theoryClause explains a theory conflict as a conflict clause: the negation
+// of every asserted trail literal. The disjunction is theory-valid (the
+// conjunction is T-inconsistent), so the clause itself carries no taint;
+// level-0 literals are dropped during analysis, folding in their taint0.
+func (s *search2) theoryClause() []ilit {
+	out := make([]ilit, len(s.trail))
+	for i, p := range s.trail {
+		out[i] = p ^ 1
+	}
+	return out
 }
 
 // eufLA derives the ephemeral EUF->LA constraints: equalities between
@@ -254,6 +435,440 @@ func (s *search2) eufLA() []linExprI {
 	return extra
 }
 
+// captureModel snapshots the current assignment as readable literals.
+func (s *search2) captureModel() {
+	out := make([]string, 0, len(s.trail))
+	for _, p := range s.trail {
+		lit := s.at.literal(p.atom(), s.tt)
+		if p.negated() {
+			lit = lit.Negated()
+		}
+		out = append(out, lit.String())
+	}
+	sort.Strings(out)
+	s.model = out
+}
+
+// hashEvent folds one search event into the deterministic trace hash.
+func (s *search2) hashEvent(kind, a, b uint64) {
+	h := s.hash
+	h = (h ^ kind) * hashPrime
+	h = (h ^ a) * hashPrime
+	h = (h ^ b) * hashPrime
+	s.hash = h
+}
+
+// refute returns true when the clause set is unsatisfiable modulo theories.
+func (s *search2) refute() bool {
+	if s.unsatAtSetup {
+		return true
+	}
+	if s.noLearn {
+		return s.refuteChrono()
+	}
+	return s.refuteCDCL()
+}
+
+// --- CDCL engine ---
+
+func (s *search2) decisionLevel() int { return len(s.trailLim) }
+
+// newDecisionLevel opens a level, capturing the trail length and theory
+// marks. Callers only open levels at propagation fixpoints, so the marks
+// cover every assertion of the enclosing level.
+func (s *search2) newDecisionLevel() {
+	cm, am := s.ar.mark()
+	s.trailLim = append(s.trailLim, len(s.trail))
+	s.levEg = append(s.levEg, s.eg.mark())
+	s.levArC = append(s.levArC, cm)
+	s.levArA = append(s.levArA, am)
+}
+
+// undoToLevel rolls the assignment, the propagation frontier, and both
+// theory solvers back to the end of level l.
+func (s *search2) undoToLevel(l int) {
+	if s.decisionLevel() <= l {
+		return
+	}
+	for len(s.trail) > s.trailLim[l] {
+		p := s.trail[len(s.trail)-1]
+		s.assign[p.atom()] = 0
+		s.trail = s.trail[:len(s.trail)-1]
+	}
+	s.qhead = s.trailLim[l]
+	s.eg.undoTo(s.levEg[l])
+	s.ar.undoTo(s.levArC[l], s.levArA[l])
+	s.trailLim = s.trailLim[:l]
+	s.levEg = s.levEg[:l]
+	s.levArC = s.levArC[:l]
+	s.levArA = s.levArA[:l]
+}
+
+// bumpVar raises an atom's VSIDS activity, rescaling everything when the
+// growing increment approaches overflow.
+func (s *search2) bumpVar(a atomID) {
+	s.activity[a] += s.varInc
+	if s.activity[a] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// bumpClause raises a learned clause's activity (li indexes the arena).
+func (s *search2) bumpClause(li int32) {
+	s.lAct[li] += s.claInc
+	if s.lAct[li] > 1e20 {
+		for i := range s.lAct {
+			s.lAct[i] *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// decayActivities implements exponential decay by growing the increments.
+func (s *search2) decayActivities() {
+	s.varInc *= 1 / 0.95
+	s.claInc *= 1 / 0.999
+}
+
+// analyze derives the 1UIP learned clause from a conflict: walk the trail
+// backwards resolving reasons of current-level literals until exactly one
+// remains (the unique implication point), collecting lower-level literals as
+// the clause tail. Level-0 literals are absorbed (their negations are
+// implied), folding their taint0 into the lemma's taint. Returns the learned
+// clause (index 0 is the asserting literal, index 1 the deepest tail
+// literal), the backjump level, and the taint.
+func (s *search2) analyze(confl []ilit, conflTaint bool) ([]ilit, int, bool) {
+	curLevel := int32(s.decisionLevel())
+	learnt := append(s.learntBuf[:0], 0) // index 0 reserved for the UIP
+	taint := conflTaint
+	counter := 0
+	idx := len(s.trail) - 1
+	reason := confl
+	s.clearBuf = s.clearBuf[:0]
+	for {
+		for _, q := range reason {
+			a := q.atom()
+			// seen stays set for resolved-away atoms until the final
+			// cleanup, so an atom re-mentioned by a later reason clause is
+			// never double-counted.
+			if s.seen[a] {
+				continue
+			}
+			switch {
+			case s.level[a] == curLevel:
+				s.seen[a] = true
+				counter++
+				s.bumpVar(a)
+			case s.level[a] > 0:
+				s.seen[a] = true
+				learnt = append(learnt, q)
+				s.bumpVar(a)
+			default:
+				if s.taint0[a] {
+					taint = true
+				}
+			}
+		}
+		for !s.seen[s.trail[idx].atom()] {
+			idx--
+		}
+		p := s.trail[idx]
+		pa := p.atom()
+		s.clearBuf = append(s.clearBuf, pa)
+		idx--
+		counter--
+		if counter == 0 {
+			learnt[0] = p ^ 1
+			break
+		}
+		// A non-decision current-level literal always has a reason clause:
+		// the decision itself is the lowest current-level trail entry, so it
+		// is only popped when counter reaches zero.
+		cr := s.reasonCl[pa]
+		reason = s.clauseOf(cr)
+		if s.taintOf(cr) {
+			taint = true
+		}
+		if int(cr) >= s.nProblem {
+			s.bumpClause(cr - int32(s.nProblem))
+		}
+	}
+	// Backjump level: the deepest level among the tail literals, with that
+	// literal swapped into the second watch position.
+	bt := 0
+	if len(learnt) > 1 {
+		mi := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].atom()] > s.level[learnt[mi].atom()] {
+				mi = i
+			}
+		}
+		learnt[1], learnt[mi] = learnt[mi], learnt[1]
+		bt = int(s.level[learnt[1].atom()])
+	}
+	for _, q := range learnt {
+		s.seen[q.atom()] = false
+	}
+	for _, a := range s.clearBuf {
+		s.seen[a] = false
+	}
+	s.learntBuf = learnt
+	return learnt, bt, taint
+}
+
+// record installs the learned clause after the backjump and asserts its UIP
+// literal. Unit lemmas assert at level 0 and are tracked for export.
+func (s *search2) record(learnt []ilit, taint bool) {
+	s.learnedTotal++
+	if len(learnt) == 1 {
+		u := learnt[0]
+		s.enqueue(u, -1)
+		s.taint0[u.atom()] = taint
+		if !s.unitSeen[u] {
+			s.unitSeen[u] = true
+			s.unitLemmas = append(s.unitLemmas, u)
+			s.unitTaint = append(s.unitTaint, taint)
+		}
+		return
+	}
+	cl := make([]ilit, len(learnt))
+	copy(cl, learnt)
+	s.learned = append(s.learned, cl)
+	s.lTaint = append(s.lTaint, taint)
+	s.lAct = append(s.lAct, 0)
+	cr := int32(s.nProblem + len(s.learned) - 1)
+	s.watches[cl[0]] = append(s.watches[cl[0]], cr)
+	s.watches[cl[1]] = append(s.watches[cl[1]], cr)
+	s.bumpClause(cr - int32(s.nProblem))
+	s.enqueue(cl[0], cr)
+}
+
+// luby is the reluctant-doubling restart sequence 1,1,2,1,1,2,4,... (i is
+// 1-indexed).
+func luby(i int) int {
+	for k := 1; ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// restartNow backtracks to level 0 and forgets low-activity lemmas when the
+// arena has outgrown its cap. The schedule is seed-free, so restarts land at
+// identical conflict counts across runs.
+func (s *search2) restartNow() {
+	s.undoToLevel(0)
+	s.restarts++
+	s.sinceRestart = 0
+	s.restartLimit = lubyUnit * luby(s.restarts+1)
+	s.hashEvent(evRestart, uint64(s.restarts), uint64(len(s.learned)))
+	if len(s.learned) > s.maxLearned {
+		s.reduceDB()
+	}
+}
+
+// reduceDB forgets the low-activity half of the learned arena (binary
+// clauses are always kept) and rebuilds every watch list. Forgetting learned
+// clauses is safe: each is implied by the problem set, so dropping one never
+// changes satisfiability — only how much re-derivation later conflicts pay.
+// Runs only at level 0, where no arena clause is a pending reason.
+func (s *search2) reduceDB() {
+	type ranked struct {
+		idx int
+		act float64
+	}
+	var long []ranked
+	for i, cl := range s.learned {
+		if len(cl) > 2 {
+			long = append(long, ranked{i, s.lAct[i]})
+		}
+	}
+	sort.SliceStable(long, func(a, b int) bool {
+		if long[a].act != long[b].act {
+			return long[a].act > long[b].act
+		}
+		return long[a].idx < long[b].idx
+	})
+	drop := make(map[int]bool, len(long)/2)
+	for _, r := range long[len(long)/2:] {
+		drop[r.idx] = true
+	}
+	if len(drop) == 0 {
+		return
+	}
+	kept := s.learned[:0]
+	keptTaint := s.lTaint[:0]
+	keptAct := s.lAct[:0]
+	for i, cl := range s.learned {
+		if drop[i] {
+			s.forgotten++
+			continue
+		}
+		kept = append(kept, cl)
+		keptTaint = append(keptTaint, s.lTaint[i])
+		keptAct = append(keptAct, s.lAct[i])
+	}
+	s.learned, s.lTaint, s.lAct = kept, keptTaint, keptAct
+	s.rebuildWatches()
+}
+
+// rebuildWatches reinstalls every watch list from scratch after the arena
+// was compacted, choosing two non-false literals per clause (or a true
+// literal first) so the watching invariant holds at the current (level-0)
+// assignment.
+func (s *search2) rebuildWatches() {
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	install := func(cl []ilit, cr int32) {
+		w := 0
+		for i := 0; i < len(cl) && w < 2; i++ {
+			if !s.litFalse(cl[i]) {
+				cl[w], cl[i] = cl[i], cl[w]
+				w++
+			}
+		}
+		if w < 2 {
+			// At most one non-false literal: the clause is satisfied at level
+			// 0 (a fully-false clause would have conflicted already), so any
+			// second watch is inert.
+			for i := 0; i < len(cl); i++ {
+				if s.litTrue(cl[i]) {
+					cl[0], cl[i] = cl[i], cl[0]
+					break
+				}
+			}
+		}
+		s.watches[cl[0]] = append(s.watches[cl[0]], cr)
+		s.watches[cl[1]] = append(s.watches[cl[1]], cr)
+	}
+	for ci, cl := range s.clauses {
+		if len(cl) >= 2 {
+			install(cl, int32(ci))
+		}
+	}
+	for li, cl := range s.learned {
+		install(cl, int32(s.nProblem+li))
+	}
+}
+
+// pickBranchVSIDS returns the unassigned atom with the highest activity
+// among the literals of unsatisfied problem clauses (ties break toward the
+// smallest atom ID, keeping the order deterministic), or -1 when every
+// problem clause is satisfied. Scanning problem clauses only preserves the
+// pre-CDCL termination contract: all problem clauses satisfied plus a
+// consistent theory state is a countermodel, whether or not some learned
+// clause is still open (learned clauses are implied, so they constrain no
+// genuine model).
+func (s *search2) pickBranchVSIDS() atomID {
+	best := atomID(-1)
+	bestAct := -1.0
+	for _, cl := range s.clauses {
+		sat := false
+		for _, l := range cl {
+			if s.litTrue(l) {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			continue
+		}
+		for _, l := range cl {
+			a := l.atom()
+			if s.assign[a] != 0 {
+				continue
+			}
+			if s.activity[a] > bestAct || (s.activity[a] == bestAct && a < best) {
+				best, bestAct = a, s.activity[a]
+			}
+		}
+	}
+	return best
+}
+
+// refuteCDCL is the learning engine's main loop: propagate, explain
+// conflicts via 1UIP, backjump, learn, restart on the Luby schedule, and
+// decide by VSIDS. A tripped ticker or an exhausted decision budget unwinds
+// as "consistent" (sound: Unknown is never a wrong verdict).
+func (s *search2) refuteCDCL() bool {
+	for {
+		confl := s.propagate()
+		var conflLits []ilit
+		var conflTaint bool
+		if confl >= 0 {
+			conflLits = s.clauseOf(confl)
+			conflTaint = s.taintOf(confl)
+			if int(confl) >= s.nProblem {
+				s.bumpClause(confl - int32(s.nProblem))
+			}
+		} else {
+			if s.tick.stop() {
+				return false // deadline/cancel: unwind as consistent (sound)
+			}
+			if s.theoryConflict() {
+				if s.decisionLevel() == 0 {
+					return true
+				}
+				conflLits = s.theoryClause()
+			}
+		}
+		if conflLits != nil {
+			if s.decisionLevel() == 0 {
+				return true
+			}
+			s.conflicts++
+			s.sinceRestart++
+			s.hashEvent(evConflict, uint64(s.conflicts), uint64(len(conflLits)))
+			fireInto(fpSearchLearn, s.tick)
+			if s.tick.stop() {
+				return false
+			}
+			learnt, bt, taint := s.analyze(conflLits, conflTaint)
+			lh := uint64(hashOffset)
+			for _, q := range learnt {
+				lh = (lh ^ uint64(q)) * hashPrime
+			}
+			s.hashEvent(evLearn, uint64(len(learnt)), lh)
+			fireInto(fpSearchBackjump, s.tick)
+			if s.tick.stop() {
+				return false
+			}
+			s.hashEvent(evBackjump, uint64(bt), uint64(s.decisionLevel()))
+			s.undoToLevel(bt)
+			s.record(learnt, taint)
+			s.decayActivities()
+			if s.sinceRestart >= s.restartLimit {
+				s.restartNow()
+			}
+			continue
+		}
+		if s.decisions > s.maxDecisions {
+			return false // budget: treat as consistent (sound)
+		}
+		pick := s.pickBranchVSIDS()
+		if pick < 0 {
+			// All problem clauses satisfied and theories consistent:
+			// countermodel.
+			s.captureModel()
+			return false
+		}
+		s.decisions++
+		fireInto(fpSearchDecision, s.tick)
+		s.hashEvent(evDecision, uint64(pick), uint64(s.decisionLevel()))
+		s.newDecisionLevel()
+		s.enqueue(mkLit(pick, false), -1) // try atom=true first
+	}
+}
+
+// --- chronological engine (pre-CDCL, kept behind Options.DisableLearning) ---
+
 // pickBranch returns the first unassigned atom of the first unsatisfied
 // clause (the legacy branching rule), or -1 when every clause is satisfied.
 func (s *search2) pickBranch() atomID {
@@ -280,20 +895,6 @@ func (s *search2) pickBranch() atomID {
 	return -1
 }
 
-// captureModel snapshots the current assignment as readable literals.
-func (s *search2) captureModel() {
-	out := make([]string, 0, len(s.trail))
-	for _, p := range s.trail {
-		lit := s.at.literal(p.atom(), s.tt)
-		if p.negated() {
-			lit = lit.Negated()
-		}
-		out = append(out, lit.String())
-	}
-	sort.Strings(out)
-	s.model = out
-}
-
 // decFrame is one decision on the explicit stack: the branched atom, which
 // polarity phase it is in, and the trail/theory marks to roll back to.
 type decFrame struct {
@@ -318,14 +919,15 @@ func (s *search2) undoTo(fr *decFrame) {
 	s.ar.undoTo(fr.arCMark, fr.arAMark)
 }
 
-// refute returns true when the clause set is unsatisfiable modulo theories.
-func (s *search2) refute() bool {
-	if s.unsatAtSetup {
-		return true
-	}
+// refuteChrono is the pre-CDCL loop: propagate to fixpoint, check the
+// theories, branch on the first unassigned atom of the first unsatisfied
+// clause trying true before false, and backtrack chronologically by flipping
+// the deepest unflipped decision. It learns nothing and never backjumps,
+// which is exactly why it survives as the -learn=off differential foil.
+func (s *search2) refuteChrono() bool {
 	var stack []decFrame
 	for {
-		conflict := s.propagate()
+		conflict := s.propagate() >= 0
 		if !conflict {
 			if s.tick.stop() {
 				return false // deadline/cancel: unwind as consistent (sound)
@@ -341,7 +943,7 @@ func (s *search2) refute() bool {
 				s.undoTo(fr)
 				if !fr.flipped {
 					fr.flipped = true
-					s.enqueue(mkLit(fr.atom, true)) // try atom=false
+					s.enqueue(mkLit(fr.atom, true), -1) // try atom=false
 					flipped = true
 					break
 				}
@@ -368,6 +970,6 @@ func (s *search2) refute() bool {
 			atom: pick, trailLen: len(s.trail),
 			egMark: s.eg.mark(), arCMark: cm, arAMark: am,
 		})
-		s.enqueue(mkLit(pick, false)) // try atom=true first
+		s.enqueue(mkLit(pick, false), -1) // try atom=true first
 	}
 }

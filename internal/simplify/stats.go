@@ -35,6 +35,25 @@ type Stats struct {
 	// TheoryChecks counts consistency checks of DPLL branches against the
 	// EUF + arithmetic theories.
 	TheoryChecks int
+	// PrefilterAttempts counts goals that entered the prefilter tier (at most
+	// one per Prove call; aggregated reports sum them).
+	PrefilterAttempts int
+	// PrefilterGround / PrefilterUnit / PrefilterInterval count goals
+	// discharged by each prefilter tier before the full engine ran.
+	PrefilterGround   int
+	PrefilterUnit     int
+	PrefilterInterval int
+	// LearnedClauses counts CDCL lemmas learned across all rounds.
+	LearnedClauses int
+	// ForgottenClauses counts learned clauses dropped by activity-based
+	// forgetting at restarts.
+	ForgottenClauses int
+	// Restarts counts Luby-scheduled CDCL restarts.
+	Restarts int
+	// LemmasImported / LemmasExported count ground lemmas pulled from and
+	// published to the cross-goal sharing pool (cache-attached provers only).
+	LemmasImported int
+	LemmasExported int
 	// WallTime is the goal's wall-clock search time.
 	WallTime time.Duration
 }
@@ -50,6 +69,15 @@ func (s *Stats) Add(o Stats) {
 	s.CongruenceMerges += o.CongruenceMerges
 	s.FMEliminations += o.FMEliminations
 	s.TheoryChecks += o.TheoryChecks
+	s.PrefilterAttempts += o.PrefilterAttempts
+	s.PrefilterGround += o.PrefilterGround
+	s.PrefilterUnit += o.PrefilterUnit
+	s.PrefilterInterval += o.PrefilterInterval
+	s.LearnedClauses += o.LearnedClauses
+	s.ForgottenClauses += o.ForgottenClauses
+	s.Restarts += o.Restarts
+	s.LemmasImported += o.LemmasImported
+	s.LemmasExported += o.LemmasExported
 	s.WallTime += o.WallTime
 }
 
@@ -74,6 +102,58 @@ var budgetTrips atomic.Uint64
 // BudgetTrips returns the number of searches stopped by a resource budget
 // (ReasonBudget) since process start.
 func BudgetTrips() uint64 { return budgetTrips.Load() }
+
+// Process-wide prefilter and lemma counters, for qualserve /metrics and
+// qualprove -cache-stats: per-goal Stats aggregate within one Prove call,
+// these aggregate across every call in the process.
+var (
+	prefAttempts atomic.Uint64
+	prefGround   atomic.Uint64
+	prefUnit     atomic.Uint64
+	prefInterval atomic.Uint64
+	lemLearned   atomic.Uint64
+	lemForgotten atomic.Uint64
+)
+
+// PrefilterCounters is a process-wide snapshot of prefilter activity.
+type PrefilterCounters struct {
+	Attempts uint64 `json:"attempts"`
+	Ground   uint64 `json:"ground"`
+	Unit     uint64 `json:"unit"`
+	Interval uint64 `json:"interval"`
+}
+
+// Discharged returns the total goals discharged by any prefilter tier.
+func (c PrefilterCounters) Discharged() uint64 { return c.Ground + c.Unit + c.Interval }
+
+// HitRate returns discharged / attempts, or 0 before any attempt.
+func (c PrefilterCounters) HitRate() float64 {
+	if c.Attempts == 0 {
+		return 0
+	}
+	return float64(c.Discharged()) / float64(c.Attempts)
+}
+
+// GlobalPrefilterCounters snapshots the process-wide prefilter counters.
+func GlobalPrefilterCounters() PrefilterCounters {
+	return PrefilterCounters{
+		Attempts: prefAttempts.Load(),
+		Ground:   prefGround.Load(),
+		Unit:     prefUnit.Load(),
+		Interval: prefInterval.Load(),
+	}
+}
+
+// LemmaCounters is a process-wide snapshot of CDCL clause learning.
+type LemmaCounters struct {
+	Learned   uint64 `json:"learned"`
+	Forgotten uint64 `json:"forgotten"`
+}
+
+// GlobalLemmaCounters snapshots the process-wide learned/forgotten totals.
+func GlobalLemmaCounters() LemmaCounters {
+	return LemmaCounters{Learned: lemLearned.Load(), Forgotten: lemForgotten.Load()}
+}
 
 // tickMask throttles the wall-clock and context checks: the expensive
 // time.Now/channel polls run once per tickMask+1 stop() calls, so ticking

@@ -284,3 +284,41 @@ func TestTraceWriter(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceDeterministicAcrossRuns is the CDCL determinism regression at the
+// trace level: two serial ProveAll runs over the standard library — fresh
+// caches, lemma sharing live, timings omitted — must emit byte-identical
+// trace JSONL. Any nondeterminism in decision order, restart schedule,
+// conflict analysis, or lemma pooling shows up as a trace_hash diff here.
+func TestTraceDeterministicAcrossRuns(t *testing.T) {
+	reg := standard(t)
+	run := func() []byte {
+		var buf bytes.Buffer
+		opts := DefaultOptions()
+		opts.Concurrency = 1
+		opts.Cache = simplify.NewCache(0)
+		opts.Trace = &buf
+		opts.TraceOmitTimings = true
+		if _, err := ProveAll(reg, opts); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		la := strings.Split(string(a), "\n")
+		lb := strings.Split(string(b), "\n")
+		for i := range la {
+			if i >= len(lb) || la[i] != lb[i] {
+				t.Fatalf("trace runs diverge at record %d:\nrun1: %s\nrun2: %s", i, la[i], lb[i])
+			}
+		}
+		t.Fatalf("trace runs differ in length: %d vs %d bytes", len(a), len(b))
+	}
+	if !bytes.Contains(a, []byte(`"trace_hash"`)) {
+		t.Error("trace records carry no trace_hash")
+	}
+	if bytes.Contains(a, []byte(`"elapsed_us":1`)) {
+		t.Error("TraceOmitTimings left a nonzero elapsed_us")
+	}
+}

@@ -149,6 +149,12 @@ type Options struct {
 	// telemetry. Writes are serialized; records for one qualifier appear as
 	// a contiguous block in obligation-generation order.
 	Trace io.Writer
+	// TraceOmitTimings zeroes the two wall-clock fields (elapsed_us,
+	// search_us) in trace records. Everything else in a record is
+	// deterministic, so two serial runs with fresh caches produce
+	// byte-identical trace files — the CDCL determinism regression keys on
+	// this.
+	TraceOmitTimings bool
 	// RetryTransient re-discharges an obligation up to this many extra times
 	// when its outcome is transient for a reason other than the caller's own
 	// deadline or cancellation — a recovered panic, an injected fault, or a
@@ -230,7 +236,7 @@ func ProveContext(ctx context.Context, d *qdl.Def, reg *qdl.Registry, opts Optio
 		report.Stats.Add(res.Outcome.Stats)
 	}
 	if opts.Trace != nil {
-		writeTrace(opts.Trace, report)
+		writeTrace(opts.Trace, report, opts.TraceOmitTimings)
 	}
 	return report, nil
 }

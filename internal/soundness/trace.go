@@ -23,6 +23,12 @@ type traceRecord struct {
 	// (measured at the discharge site, so it is near zero on a cache hit).
 	ElapsedUS int64 `json:"elapsed_us"`
 
+	// TraceHash is the interned engine's deterministic fingerprint of the
+	// whole search event stream (decisions, conflicts, learned clauses,
+	// backjumps, restarts). Two runs with identical inputs produce identical
+	// hashes; empty for the legacy engine.
+	TraceHash string `json:"trace_hash,omitempty"`
+
 	// Per-goal search telemetry (see simplify.Stats). On a cache hit these
 	// are the stored search's counters.
 	Rounds           int   `json:"rounds"`
@@ -34,6 +40,19 @@ type traceRecord struct {
 	FMEliminations   int   `json:"fm_eliminations"`
 	TheoryChecks     int   `json:"theory_checks"`
 	SearchUS         int64 `json:"search_us"`
+
+	// Prefilter and CDCL telemetry (omitted when zero to keep old traces
+	// diffable): which cheap tier discharged the goal, and the learned-lemma
+	// churn of the search.
+	PrefilterAttempts int `json:"prefilter_attempts,omitempty"`
+	PrefilterGround   int `json:"prefilter_ground,omitempty"`
+	PrefilterUnit     int `json:"prefilter_unit,omitempty"`
+	PrefilterInterval int `json:"prefilter_interval,omitempty"`
+	LearnedClauses    int `json:"learned_clauses,omitempty"`
+	ForgottenClauses  int `json:"forgotten_clauses,omitempty"`
+	Restarts          int `json:"restarts,omitempty"`
+	LemmasImported    int `json:"lemmas_imported,omitempty"`
+	LemmasExported    int `json:"lemmas_exported,omitempty"`
 }
 
 // traceMu serializes trace writes: ProveAllContext discharges qualifiers
@@ -41,33 +60,48 @@ type traceRecord struct {
 var traceMu sync.Mutex
 
 // writeTrace emits one JSONL record per obligation result, in generation
-// order, as a single contiguous block.
-func writeTrace(w io.Writer, r *Report) {
+// order, as a single contiguous block. With omitTimings the two wall-clock
+// fields are zeroed, leaving only deterministic fields — two serial runs
+// with fresh caches then produce byte-identical trace files.
+func writeTrace(w io.Writer, r *Report, omitTimings bool) {
 	traceMu.Lock()
 	defer traceMu.Unlock()
 	enc := json.NewEncoder(w)
 	for _, res := range r.Results {
 		st := res.Outcome.Stats
 		rec := traceRecord{
-			Qualifier:        r.Qualifier,
-			Kind:             r.Kind.String(),
-			Obligation:       res.Obligation.Description,
-			OblKind:          res.Obligation.Kind.String(),
-			Result:           res.Outcome.Result.String(),
-			Valid:            res.Valid,
-			Reason:           res.Outcome.Reason,
-			Vacuous:          res.Obligation.Vacuous,
-			CacheHit:         res.Outcome.CacheHit,
-			ElapsedUS:        res.Elapsed.Microseconds(),
-			Rounds:           st.Rounds,
-			Decisions:        st.Decisions,
-			CaseSplits:       st.CaseSplits,
-			Instantiations:   st.Instantiations,
-			GroundClauses:    st.GroundClauses,
-			CongruenceMerges: st.CongruenceMerges,
-			FMEliminations:   st.FMEliminations,
-			TheoryChecks:     st.TheoryChecks,
-			SearchUS:         st.WallTime.Microseconds(),
+			Qualifier:         r.Qualifier,
+			Kind:              r.Kind.String(),
+			Obligation:        res.Obligation.Description,
+			OblKind:           res.Obligation.Kind.String(),
+			Result:            res.Outcome.Result.String(),
+			Valid:             res.Valid,
+			Reason:            res.Outcome.Reason,
+			Vacuous:           res.Obligation.Vacuous,
+			CacheHit:          res.Outcome.CacheHit,
+			ElapsedUS:         res.Elapsed.Microseconds(),
+			TraceHash:         res.Outcome.TraceHash,
+			Rounds:            st.Rounds,
+			Decisions:         st.Decisions,
+			CaseSplits:        st.CaseSplits,
+			Instantiations:    st.Instantiations,
+			GroundClauses:     st.GroundClauses,
+			CongruenceMerges:  st.CongruenceMerges,
+			FMEliminations:    st.FMEliminations,
+			TheoryChecks:      st.TheoryChecks,
+			SearchUS:          st.WallTime.Microseconds(),
+			PrefilterAttempts: st.PrefilterAttempts,
+			PrefilterGround:   st.PrefilterGround,
+			PrefilterUnit:     st.PrefilterUnit,
+			PrefilterInterval: st.PrefilterInterval,
+			LearnedClauses:    st.LearnedClauses,
+			ForgottenClauses:  st.ForgottenClauses,
+			Restarts:          st.Restarts,
+			LemmasImported:    st.LemmasImported,
+			LemmasExported:    st.LemmasExported,
+		}
+		if omitTimings {
+			rec.ElapsedUS, rec.SearchUS = 0, 0
 		}
 		if err := enc.Encode(rec); err != nil {
 			return // a broken trace sink must not fail the proof run
