@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke experiments fuzz-smoke serve-smoke chaos-smoke ci
+.PHONY: all build vet test race bench bench-smoke experiments fuzz-smoke serve-smoke chaos-smoke cert-smoke ci
 
 # Seconds of fuzzing per target in fuzz-smoke.
 FUZZTIME ?= 30s
@@ -73,12 +73,15 @@ experiments:
 
 # fuzz-smoke gives each native fuzz target a short budget: the two front-end
 # parsers must never panic on arbitrary bytes, the prover must never disagree
-# with the ground-formula oracle, and the /check handler must answer any body
-# with a contract status and a JSON payload.
+# with the ground-formula oracle, the certificate replay checker must reject
+# (never accept or panic on) arbitrary mutations of valid certificates, and
+# the /check handler must answer any body with a contract status and a JSON
+# payload.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/cminor
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQDL$$' -fuzztime $(FUZZTIME) ./internal/qdl
 	$(GO) test -run '^$$' -fuzz '^FuzzProveGround$$' -fuzztime $(FUZZTIME) ./internal/simplify
+	$(GO) test -run '^$$' -fuzz '^FuzzCertificateReplay$$' -fuzztime $(FUZZTIME) ./internal/cert
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckHandler$$' -fuzztime $(FUZZTIME) ./internal/server
 
 # chaos-smoke runs the fault-injection soak under the race detector: a
@@ -89,6 +92,12 @@ fuzz-smoke:
 chaos-smoke:
 	$(GO) test -race -run '^TestChaosSoak$$' -count=1 ./internal/server
 
+# cert-smoke proves the entire shipped qualifier suite with certificate
+# emission on: every Valid obligation must carry a proof certificate that the
+# independent replay checker accepts, with zero rejections.
+cert-smoke:
+	$(GO) test -run '^TestCertificateSmoke$$' -count=1 ./internal/soundness
+
 # serve-smoke builds the qualserve binary and runs the end-to-end smoke
 # test: the real binary on an ephemeral port, one /check round-trip, then a
 # clean SIGTERM drain.
@@ -98,6 +107,7 @@ serve-smoke:
 
 # ci is the gate: everything must build, vet clean, pass under -race, run
 # every benchmark for one smoke iteration, survive a short fuzzing budget on
-# each fuzz target, serve one checking request end to end, and hold the
-# serving contract under injected faults.
-ci: build vet race bench-smoke fuzz-smoke serve-smoke chaos-smoke
+# each fuzz target, replay every qualifier-suite certificate, serve one
+# checking request end to end, and hold the serving contract under injected
+# faults.
+ci: build vet race bench-smoke fuzz-smoke cert-smoke serve-smoke chaos-smoke

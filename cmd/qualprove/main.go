@@ -48,6 +48,7 @@ func main() {
 	cacheStats := flag.Bool("cache-stats", false, "print memoizing prover-cache statistics after the run")
 	timeout := flag.Duration("timeout", simplify.DefaultGoalTimeout, "per-goal wall-clock budget; 0 means unlimited")
 	stats := flag.Bool("stats", false, "print per-qualifier search statistics (decisions, instantiations, ...)")
+	certs := flag.Bool("cert", false, "emit a proof certificate per Valid verdict and verify it with the independent replay checker before trusting the result")
 	prefilter := flag.String("prefilter", "on", "cheap discharge tiers before the full engine: on|off (off is an escape hatch; verdicts are unchanged)")
 	learn := flag.String("learn", "on", "CDCL clause learning and cross-goal lemma sharing: on|off (off selects the chronological engine)")
 	trace := flag.String("trace", "", "write a per-obligation JSONL search trace to this file")
@@ -81,6 +82,7 @@ func main() {
 	opts.Prover.GoalTimeout = *timeout
 	opts.Prover.DisablePrefilter = offSwitch("prefilter", *prefilter)
 	opts.Prover.DisableLearning = offSwitch("learn", *learn)
+	opts.Prover.EmitCertificates = *certs
 	opts.Concurrency = *jobs
 	opts.TraceOmitTimings = *traceDeterministic
 	cache := simplify.NewCache(0)
@@ -107,6 +109,14 @@ func main() {
 		fmt.Printf("prefilter: %d/%d goals discharged (%.1f%%; ground=%d unit=%d interval=%d)\n",
 			pf.Discharged(), pf.Attempts, 100*pf.HitRate(), pf.Ground, pf.Unit, pf.Interval)
 	}
+	printCertStats := func() {
+		if !*certs {
+			return
+		}
+		cc := simplify.GlobalCertCounters()
+		fmt.Printf("certificates: %d emitted, %d replayed, %d rejected\n",
+			cc.Emitted, cc.Replayed, cc.Rejected)
+	}
 
 	if *goal != "" {
 		f, err := logic.ParseFormula(*goal)
@@ -123,7 +133,11 @@ func main() {
 		if *stats {
 			fmt.Printf("stats: %s\n", statsLine(out.Stats))
 		}
+		if *certs && out.Certificate != nil {
+			fmt.Printf("certificate: %d steps, replay verified\n", len(out.Certificate.Steps))
+		}
 		printCacheStats()
+		printCertStats()
 		if out.Result != simplify.Valid {
 			exit(1)
 		}
@@ -172,6 +186,7 @@ func main() {
 		}
 	}
 	printCacheStats()
+	printCertStats()
 	if *stats {
 		if trips := simplify.BudgetTrips(); trips > 0 {
 			fmt.Printf("budget trips: %d (transient Unknowns; rerun with larger -max-terms/-max-clauses/-max-insts/-mem-budget)\n", trips)

@@ -68,6 +68,7 @@ func run() int {
 	maxTerms := flag.Int("max-terms", 0, "per-goal interned-term budget; trips become transient Unknowns (0 = unlimited)")
 	maxClauses := flag.Int("max-clauses", 0, "per-goal clause-database budget (0 = unlimited)")
 	maxInsts := flag.Int("max-insts", 0, "per-goal quantifier-instantiation budget (0 = default)")
+	certs := flag.Bool("cert", false, "emit and replay-verify a proof certificate for every Valid prover verdict (surfaced per obligation and in /metrics)")
 	prefilter := flag.String("prefilter", "on", "prover's cheap discharge tiers: on|off (escape hatch; verdicts unchanged)")
 	learn := flag.String("learn", "on", "CDCL clause learning and lemma sharing: on|off (off selects the chronological engine)")
 	faultSpec := flag.String("faults", "", "arm fault-injection points, e.g. 'simplify.prove.round=budget:every=100' (also QUAL_FAULTS)")
@@ -118,6 +119,7 @@ func run() int {
 		ProverMaxInstances: *maxInsts,
 		DisablePrefilter:   offSwitch("prefilter", *prefilter),
 		DisableLearning:    offSwitch("learn", *learn),
+		EmitCertificates:   *certs,
 	})
 	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
 		// The announce line is machine-readable: the smoke test (and any

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sort"
 	"sync"
@@ -43,6 +44,9 @@ type FuncCacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	// Rejected counts entries dropped at get because their content seal no
+	// longer matched (each also counts as a miss; the function is re-walked).
+	Rejected uint64 `json:"rejected"`
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -77,6 +81,23 @@ type funcCacheEntry struct {
 	restrictFailures int
 	memoHits         int
 	memoMisses       int
+	// seal is a content checksum over the replayable payload above,
+	// computed at put and re-verified at get: a corrupted entry (bit rot, a
+	// bad peer in a future distributed cache) is rejected and re-walked
+	// instead of replayed — the same integrity discipline as the prover's
+	// certificate replay-on-fetch, scaled to the checker's cheaper unit.
+	seal uint64
+}
+
+// sealEntry checksums an entry's replayable payload (diagnostics and
+// statistic deltas; the key is excluded — it addresses, the seal attests).
+func sealEntry(e *funcCacheEntry) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d\x00", e.restrictChecks, e.restrictFailures, e.memoHits, e.memoMisses)
+	for _, d := range e.diags {
+		fmt.Fprintf(h, "%d|%d|%s|%s\x00", d.relLine, d.col, d.code, d.msg)
+	}
+	return h.Sum64()
 }
 
 // relDiag is a diagnostic with its line stored relative to the function's
@@ -144,9 +165,19 @@ func (c *FuncCache) get(key string) (*funcCacheEntry, bool) {
 		c.stats.Misses++
 		return nil, false
 	}
+	e := el.Value.(*funcCacheEntry)
+	if sealEntry(e) != e.seal {
+		// Content seal mismatch: drop the corrupted entry and report a
+		// miss, so the function is re-walked and the entry re-stored.
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.stats.Rejected++
+		c.stats.Misses++
+		return nil, false
+	}
 	c.stats.Hits++
 	c.lru.MoveToFront(el)
-	return el.Value.(*funcCacheEntry), true
+	return e, true
 }
 
 // put stores entry under key, evicting the least recently used entry when
@@ -154,6 +185,7 @@ func (c *FuncCache) get(key string) (*funcCacheEntry, bool) {
 // without counting an eviction.
 func (c *FuncCache) put(key string, entry *funcCacheEntry) {
 	entry.key = key
+	entry.seal = sealEntry(entry)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {

@@ -235,3 +235,59 @@ func TestFuncCacheSharedAcrossConcurrency(t *testing.T) {
 		t.Errorf("parallel replay differs from serial:\n got %s\nwant %s", g, w)
 	}
 }
+
+// TestFuncCacheSealRejectsCorruption: every entry carries a content seal
+// computed at put and re-verified at get. Corrupting a stored entry in
+// place turns the would-be hit into a counted rejection plus a miss, the
+// function is re-walked (diagnostics identical to an uncached check), and
+// the re-stored entry serves hits again.
+func TestFuncCacheSealRejectsCorruption(t *testing.T) {
+	reg := quals.MustStandard()
+	fc := NewFuncCache(0)
+	checkCached(t, reg, cacheSrc, fc)
+	if fc.Len() != 3 {
+		t.Fatalf("seed run cached %d entries, want 3", fc.Len())
+	}
+
+	// Corrupt one non-empty entry's payload behind the seal's back.
+	fc.mu.Lock()
+	corrupted := 0
+	for el := fc.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*funcCacheEntry)
+		if len(e.diags) > 0 && corrupted == 0 {
+			e.diags[0].msg = "tampered"
+			corrupted++
+		}
+	}
+	fc.mu.Unlock()
+	if corrupted != 1 {
+		t.Fatalf("corrupted %d entries, want 1", corrupted)
+	}
+
+	got := checkCached(t, reg, cacheSrc, fc)
+	if got.Stats.FuncCacheHits != 2 || got.Stats.FuncCacheMisses != 1 {
+		t.Errorf("post-corruption run: %d hits / %d misses, want 2 / 1",
+			got.Stats.FuncCacheHits, got.Stats.FuncCacheMisses)
+	}
+	if st := fc.Stats(); st.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", st.Rejected)
+	}
+	want := checkCached(t, reg, cacheSrc, nil)
+	if g, w := fmt.Sprint(got.Diags), fmt.Sprint(want.Diags); g != w {
+		t.Errorf("post-corruption diags diverge from uncached:\n got %s\nwant %s", g, w)
+	}
+	for _, d := range got.Diags {
+		if d.Msg == "tampered" {
+			t.Fatal("tampered diagnostic replayed despite the seal")
+		}
+	}
+
+	// The re-walk re-stored a sealed entry: full hits, no new rejections.
+	again := checkCached(t, reg, cacheSrc, fc)
+	if again.Stats.FuncCacheHits != 3 {
+		t.Errorf("re-stored entry not served: %d hits, want 3", again.Stats.FuncCacheHits)
+	}
+	if st := fc.Stats(); st.Rejected != 1 {
+		t.Errorf("Rejected moved to %d after recovery, want still 1", st.Rejected)
+	}
+}

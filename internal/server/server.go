@@ -97,6 +97,12 @@ type Config struct {
 	// DisableLearning turns off CDCL clause learning and cross-goal lemma
 	// sharing, selecting the chronological search engine.
 	DisableLearning bool
+	// EmitCertificates makes every prover run emit a proof certificate and
+	// self-verify it with the independent replay checker before reporting
+	// Valid (see simplify.Options.EmitCertificates). Certificates ride the
+	// prover cache and are re-replayed on fetch; a rejected replay degrades
+	// the obligation to a transient Unknown instead of an unchecked Valid.
+	EmitCertificates bool
 }
 
 func (c Config) workers() int {
@@ -589,14 +595,20 @@ type ProveRequest struct {
 	TimeoutMillis int64  `json:"timeout_ms,omitempty"`
 }
 
-// ProveObligation is one discharged obligation.
+// ProveObligation is one discharged obligation. The certificate fields are
+// populated only when the server runs with EmitCertificates: CertSteps is the
+// length of the emitted proof and CertReplayed reports that the independent
+// replay checker accepted it (a rejection never reaches here — it degrades
+// the obligation to a transient Unknown with a "cert:" reason).
 type ProveObligation struct {
-	Kind        string `json:"kind"`
-	Description string `json:"description"`
-	Valid       bool   `json:"valid"`
-	Result      string `json:"result"`
-	Reason      string `json:"reason,omitempty"`
-	CacheHit    bool   `json:"cache_hit,omitempty"`
+	Kind         string `json:"kind"`
+	Description  string `json:"description"`
+	Valid        bool   `json:"valid"`
+	Result       string `json:"result"`
+	Reason       string `json:"reason,omitempty"`
+	CacheHit     bool   `json:"cache_hit,omitempty"`
+	CertSteps    int    `json:"cert_steps,omitempty"`
+	CertReplayed bool   `json:"cert_replayed,omitempty"`
 }
 
 // ProveReport is one qualifier's soundness verdict. Degraded means the
@@ -670,6 +682,7 @@ func (s *Server) doProve(ctx context.Context, req *ProveRequest) (int, any) {
 	opts.Prover.MaxMemoryBytes = s.cfg.ProverMaxMemory
 	opts.Prover.DisablePrefilter = s.cfg.DisablePrefilter
 	opts.Prover.DisableLearning = s.cfg.DisableLearning
+	opts.Prover.EmitCertificates = s.cfg.EmitCertificates
 	var defs []*qdl.Def
 	if req.Qualifier != "" {
 		d := reg.Lookup(req.Qualifier)
@@ -712,14 +725,19 @@ func (s *Server) doProve(ctx context.Context, req *ProveRequest) (int, any) {
 			pr.Error = rep.Err.Error()
 		}
 		for _, res := range rep.Results {
-			pr.Obligations = append(pr.Obligations, ProveObligation{
+			po := ProveObligation{
 				Kind:        res.Obligation.Kind.String(),
 				Description: res.Obligation.Description,
 				Valid:       res.Valid,
 				Result:      res.Outcome.Result.String(),
 				Reason:      res.Outcome.Reason,
 				CacheHit:    res.Outcome.CacheHit,
-			})
+			}
+			if crt := res.Outcome.Certificate; crt != nil {
+				po.CertSteps = len(crt.Steps)
+				po.CertReplayed = res.Outcome.Stats.CertsReplayed > 0
+			}
+			pr.Obligations = append(pr.Obligations, po)
 			if !res.Valid && breakerFailure(res.Outcome.Reason) {
 				pr.Degraded = true
 			}
@@ -748,11 +766,14 @@ func (s *Server) doProve(ctx context.Context, req *ProveRequest) (int, any) {
 
 // ---- GET /metrics, GET /healthz ----
 
-// CacheSnapshot is the exported view of one cache's counters.
+// CacheSnapshot is the exported view of one cache's counters. Rejected
+// counts entries evicted by an integrity check on fetch (the function
+// cache's content seal); it stays zero for caches without one.
 type CacheSnapshot struct {
 	Hits      uint64  `json:"hits"`
 	Misses    uint64  `json:"misses"`
 	Evictions uint64  `json:"evictions"`
+	Rejected  uint64  `json:"rejected,omitempty"`
 	HitRate   float64 `json:"hit_rate"`
 	Len       int     `json:"len"`
 }
@@ -782,14 +803,15 @@ type LemmaSnapshot struct {
 // MetricsResponse is the body of GET /metrics.
 type MetricsResponse struct {
 	Snapshot
-	Workers       int               `json:"workers"`
-	QueueDepth    int               `json:"queue_depth"`
-	QueueCapacity int               `json:"queue_capacity"`
-	Draining      bool              `json:"draining"`
-	FuncCache     CacheSnapshot     `json:"func_cache"`
-	ProverCache   CacheSnapshot     `json:"prover_cache"`
-	Prefilter     PrefilterSnapshot `json:"prefilter"`
-	Lemmas        LemmaSnapshot     `json:"lemmas"`
+	Workers       int                   `json:"workers"`
+	QueueDepth    int                   `json:"queue_depth"`
+	QueueCapacity int                   `json:"queue_capacity"`
+	Draining      bool                  `json:"draining"`
+	FuncCache     CacheSnapshot         `json:"func_cache"`
+	ProverCache   CacheSnapshot         `json:"prover_cache"`
+	Prefilter     PrefilterSnapshot     `json:"prefilter"`
+	Lemmas        LemmaSnapshot         `json:"lemmas"`
+	Certs         simplify.CertCounters `json:"certs"`
 	BudgetTrips   uint64            `json:"budget_trips"`
 	FaultsArmed   bool              `json:"faults_armed"`
 	FaultFires    map[string]uint64 `json:"fault_fires,omitempty"`
@@ -810,7 +832,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Draining:      s.draining.Load(),
 		FuncCache: CacheSnapshot{
 			Hits: fc.Hits, Misses: fc.Misses, Evictions: fc.Evictions,
-			HitRate: fc.HitRate(), Len: s.funcCache.Len(),
+			Rejected: fc.Rejected, HitRate: fc.HitRate(), Len: s.funcCache.Len(),
 		},
 		ProverCache: CacheSnapshot{
 			Hits: pc.Hits, Misses: pc.Misses, Evictions: pc.Evictions,
@@ -824,6 +846,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Learned: lc.Learned, Forgotten: lc.Forgotten,
 			Pools: ls.Pools, Pooled: ls.Lemmas, Added: ls.Added, Dropped: ls.Dropped,
 		},
+		Certs:       simplify.GlobalCertCounters(),
 		BudgetTrips: simplify.BudgetTrips(),
 		FaultsArmed: faults.Armed(),
 		FaultFires:  faults.Counters(),

@@ -247,6 +247,76 @@ func TestMetricsAndHealthz(t *testing.T) {
 	}
 }
 
+// TestProveCertificatesAndMetrics runs /prove on a server configured with
+// EmitCertificates and checks the certificate surface end to end: every
+// Valid obligation reports a replayed certificate, /metrics exposes the
+// process-wide emit/replay/reject counters, and a warm cache-hit prove
+// re-replays the stored certificates on fetch.
+func TestProveCertificatesAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, EmitCertificates: true})
+
+	var before MetricsResponse
+	if code := getJSON(t, ts.URL+"/metrics", &before); code != http.StatusOK {
+		t.Fatalf("metrics: status %d, want 200", code)
+	}
+
+	var resp ProveResponse
+	if code := postJSON(t, ts.URL+"/prove", ProveRequest{Qualifier: "pos"}, &resp); code != http.StatusOK {
+		t.Fatalf("prove: status %d, want 200", code)
+	}
+	if len(resp.Reports) != 1 || !resp.Reports[0].Sound {
+		t.Fatalf("pos should prove sound with certificates on: %+v", resp.Reports)
+	}
+	certified := 0
+	for _, o := range resp.Reports[0].Obligations {
+		if !o.Valid {
+			continue
+		}
+		if o.CertSteps > 0 {
+			certified++
+			if !o.CertReplayed {
+				t.Errorf("obligation %q: certificate present but not replayed", o.Description)
+			}
+		}
+	}
+	if certified == 0 {
+		t.Fatal("no Valid obligation carried a certificate")
+	}
+
+	var m MetricsResponse
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics after prove: status %d, want 200", code)
+	}
+	// Counters are process-wide, so assert deltas against the pre-prove
+	// snapshot rather than absolute values.
+	if m.Certs.Emitted <= before.Certs.Emitted {
+		t.Errorf("cert emissions not surfaced: before=%+v after=%+v", before.Certs, m.Certs)
+	}
+	if m.Certs.Replayed < m.Certs.Emitted {
+		t.Errorf("every emitted certificate self-replays: %+v", m.Certs)
+	}
+	if m.Certs.Rejected != before.Certs.Rejected {
+		t.Errorf("healthy prove rejected certificates: before=%+v after=%+v", before.Certs, m.Certs)
+	}
+
+	// A warm prove is served from the prover cache; each fetched certificate
+	// is re-verified, so the replay counter must advance past the emit count.
+	var warm ProveResponse
+	if code := postJSON(t, ts.URL+"/prove", ProveRequest{Qualifier: "pos"}, &warm); code != http.StatusOK {
+		t.Fatalf("warm prove: status %d, want 200", code)
+	}
+	if warm.Reports[0].CacheHits == 0 {
+		t.Error("warm prove should hit the prover cache")
+	}
+	var warmMetrics MetricsResponse
+	if code := getJSON(t, ts.URL+"/metrics", &warmMetrics); code != http.StatusOK {
+		t.Fatalf("metrics after warm prove: status %d, want 200", code)
+	}
+	if warmMetrics.Certs.Replayed <= m.Certs.Replayed {
+		t.Errorf("cache-hit replay not counted: %+v -> %+v", m.Certs, warmMetrics.Certs)
+	}
+}
+
 // TestGracefulShutdown holds one /check in flight, starts a drain, and
 // requires: the in-flight request completes 200; requests arriving during
 // the drain are answered 503 (not dropped); Shutdown returns within the

@@ -1,0 +1,298 @@
+package simplify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cert"
+	"repro/internal/faults"
+	"repro/internal/logic"
+)
+
+// End-to-end tests for certificate emission: every Valid verdict under
+// Options.EmitCertificates carries a proof that the independent replay
+// checker (internal/cert) accepts, rejection degrades to a transient
+// uncached Unknown that publishes no lemmas, and cached certificates are
+// re-verified on fetch.
+
+// certOptions returns DefaultOptions with emission on.
+func certOptions() Options {
+	opts := DefaultOptions()
+	opts.EmitCertificates = true
+	return opts
+}
+
+// unsatAxioms is a propositionally unsatisfiable axiom base (the four
+// binary clauses over Q(a), Q(b)). Refuting it needs a real decision and
+// conflict analysis — no units for the prefilter — and every lemma
+// learned from it is untainted, so a settled outcome publishes to the
+// shared pool. Inconsistent axioms prove anything; these tests only care
+// that the search path runs learning and publication.
+func unsatAxioms() []logic.Formula {
+	qa := logic.P("Q", logic.Const("a"))
+	qb := logic.P("Q", logic.Const("b"))
+	return []logic.Formula{
+		logic.Disj(qa, qb),
+		logic.Disj(logic.Not{F: qa}, qb),
+		logic.Disj(qa, logic.Not{F: qb}),
+		logic.Disj(logic.Not{F: qa}, logic.Not{F: qb}),
+	}
+}
+
+// TestCertificateCorpusReplay runs the fixed-seed 10k differential corpus
+// through the three certificate-emitting configurations — CDCL with the
+// prefilter and a live cache, CDCL alone, and the chronological engine —
+// with the legacy engine as the verdict oracle. Every Valid must carry a
+// certificate the replay checker accepts (the engine already self-checked
+// it; this re-replays independently, plus a serialization round-trip on a
+// sample), and emission must never flip a verdict.
+func TestCertificateCorpusReplay(t *testing.T) {
+	n := 10000
+	if testing.Short() {
+		n = 1500
+	}
+	mk := func(mut func(*Options)) *Prover {
+		opts := certOptions()
+		if mut != nil {
+			mut(&opts)
+		}
+		return New(nil, opts)
+	}
+	engines := []struct {
+		name string
+		p    *Prover
+	}{
+		{"cdcl+prefilter+cache", mk(nil).WithCache(NewCache(0))},
+		{"cdcl", mk(func(o *Options) { o.DisablePrefilter = true })},
+		{"chrono", mk(func(o *Options) { o.DisableLearning = true; o.DisablePrefilter = true })},
+	}
+	legacyOpts := DefaultOptions()
+	legacyOpts.LegacySearch = true
+	legacy := New(nil, legacyOpts)
+
+	before := GlobalCertCounters()
+	r := &diffRNG{s: 0x5eed5eed5eed5eed}
+	valid := 0
+	for i := 0; i < n; i++ {
+		f := genGroundFormula(r, 2+r.intn(2))
+		lo := legacy.Prove(f)
+		for _, eng := range engines {
+			out := eng.p.Prove(f)
+			if out.Result != lo.Result {
+				t.Fatalf("%s: corpus %d: verdict %v (%q) vs legacy %v (%q)\n  formula: %s",
+					eng.name, i, out.Result, out.Reason, lo.Result, lo.Reason, f)
+			}
+			if out.Result != Valid {
+				continue
+			}
+			if out.Certificate == nil {
+				t.Fatalf("%s: corpus %d: Valid without a certificate (%q)", eng.name, i, out.Reason)
+			}
+			if err := cert.Verify(out.Certificate); err != nil {
+				t.Fatalf("%s: corpus %d: replay rejected: %v\n  formula: %s", eng.name, i, err, f)
+			}
+			if i%97 == 0 {
+				rt, err := cert.Decode(cert.Encode(out.Certificate))
+				if err != nil {
+					t.Fatalf("%s: corpus %d: decode after encode: %v", eng.name, i, err)
+				}
+				if err := cert.Verify(rt); err != nil {
+					t.Fatalf("%s: corpus %d: round-tripped replay rejected: %v", eng.name, i, err)
+				}
+			}
+		}
+		if lo.Result == Valid {
+			valid++
+		}
+	}
+	if after := GlobalCertCounters(); after.Rejected != before.Rejected {
+		t.Fatalf("corpus emission rejected %d certificates, want 0", after.Rejected-before.Rejected)
+	}
+	floor := n / 10
+	if valid < floor {
+		t.Fatalf("only %d/%d corpus formulas proved Valid (floor %d); the replay check lost its teeth", valid, n, floor)
+	}
+	t.Logf("certificate corpus: %d formulas, %d Valid, all certificates replayed on %d engines", n, valid, len(engines))
+}
+
+// TestCertRejectGatesLemmaPool: a rejected certificate (injected replay
+// fault) degrades the Valid to a transient Unknown that is not cached and
+// publishes nothing to the shared lemma pool; disarmed, the same prover
+// proves, publishes, and caches normally.
+func TestCertRejectGatesLemmaPool(t *testing.T) {
+	defer faults.DisarmAll()
+	cache := NewCache(0)
+	p := New(unsatAxioms(), certOptions()).WithCache(cache)
+	goal := logic.P("R", logic.Const("c"))
+
+	if err := faults.ArmPoint("cert.replay", faults.Config{Mode: faults.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Prove(goal)
+	if out.Result != Unknown || !strings.HasPrefix(out.Reason, "cert:") {
+		t.Fatalf("faulted replay: %v (%q), want Unknown with a cert: reason", out.Result, out.Reason)
+	}
+	if !TransientReason(out.Reason) {
+		t.Errorf("reason %q must be transient", out.Reason)
+	}
+	if out.Certificate != nil {
+		t.Error("rejected outcome still carries a certificate")
+	}
+	if out.Stats.CertsRejected != 1 || out.Stats.CertsEmitted != 0 {
+		t.Errorf("stats = %+v, want one rejection and no emission", out.Stats)
+	}
+	if cache.Len() != 0 {
+		t.Errorf("transient cert-rejected outcome was cached (%d entries)", cache.Len())
+	}
+	if st := cache.LemmaStats(); st.Added != 0 || st.Lemmas != 0 {
+		t.Errorf("rejected outcome published lemmas: %+v", st)
+	}
+
+	faults.DisarmAll()
+	out = p.Prove(goal)
+	if out.Result != Valid {
+		t.Fatalf("after disarm: %v (%q), want Valid", out.Result, out.Reason)
+	}
+	if out.Certificate == nil {
+		t.Fatal("Valid without a certificate under EmitCertificates")
+	}
+	if out.Stats.CertsEmitted != 1 || out.Stats.CertsReplayed != 1 || out.Stats.CertsRejected != 0 {
+		t.Errorf("stats = %+v, want one emitted and replayed certificate", out.Stats)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("settled Valid not cached (%d entries)", cache.Len())
+	}
+	if st := cache.LemmaStats(); st.Added == 0 {
+		t.Errorf("settled Valid published no lemmas: %+v (the gating test needs a publishing goal)", st)
+	}
+}
+
+// TestCertEmitFaultDegrades: a fault at the emission point itself (before
+// the certificate is even built) trips the transient fault path.
+func TestCertEmitFaultDegrades(t *testing.T) {
+	defer faults.DisarmAll()
+	cache := NewCache(0)
+	p := New(unsatAxioms(), certOptions()).WithCache(cache)
+	if err := faults.ArmPoint("cert.emit", faults.Config{Mode: faults.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Prove(logic.P("R", logic.Const("c")))
+	if out.Result != Unknown || !strings.HasPrefix(out.Reason, "fault:") {
+		t.Fatalf("faulted emit: %v (%q), want Unknown with a fault: reason", out.Result, out.Reason)
+	}
+	if !TransientReason(out.Reason) || cache.Len() != 0 || out.Certificate != nil {
+		t.Errorf("emit fault leaked: transient=%t cached=%d cert=%v",
+			TransientReason(out.Reason), cache.Len(), out.Certificate != nil)
+	}
+}
+
+// TestCertReplayOnFetch: a cached Valid's certificate is re-verified when
+// served. Corrupting the stored certificate turns the hit into a miss — the
+// goal is re-proved fresh (correct verdict, new certificate) and the
+// rejection is counted.
+func TestCertReplayOnFetch(t *testing.T) {
+	cache := NewCache(0)
+	p := New(unsatAxioms(), certOptions()).WithCache(cache)
+	goal := logic.P("R", logic.Const("c"))
+
+	first := p.Prove(goal)
+	if first.Result != Valid || first.Certificate == nil {
+		t.Fatalf("seed prove: %v (%q), want Valid with a certificate", first.Result, first.Reason)
+	}
+	hit := p.Prove(goal)
+	if !hit.CacheHit || hit.Result != Valid {
+		t.Fatalf("second prove: hit=%t %v, want a cache hit", hit.CacheHit, hit.Result)
+	}
+
+	// Corrupt the certificate inside the cache entry (the stored Outcome
+	// shares the pointer) by dropping the final empty-clause step.
+	corrupted := 0
+	cache.ForEach(func(key string, out Outcome) {
+		if out.Certificate != nil && len(out.Certificate.Steps) > 0 {
+			out.Certificate.Steps = out.Certificate.Steps[:len(out.Certificate.Steps)-1]
+			corrupted++
+		}
+	})
+	if corrupted != 1 {
+		t.Fatalf("corrupted %d cached certificates, want 1", corrupted)
+	}
+
+	before := GlobalCertCounters()
+	out := p.Prove(goal)
+	if out.CacheHit {
+		t.Fatal("corrupted certificate was served as a cache hit")
+	}
+	if out.Result != Valid || out.Certificate == nil {
+		t.Fatalf("re-prove after corruption: %v (%q), want a fresh Valid with a certificate", out.Result, out.Reason)
+	}
+	if err := cert.Verify(out.Certificate); err != nil {
+		t.Fatalf("fresh certificate rejected: %v", err)
+	}
+	after := GlobalCertCounters()
+	if after.Rejected != before.Rejected+1 {
+		t.Errorf("rejected counter moved %d, want 1", after.Rejected-before.Rejected)
+	}
+	// The fresh outcome replaced the corrupted entry.
+	if final := p.Prove(goal); !final.CacheHit {
+		t.Error("fresh outcome was not re-cached")
+	}
+}
+
+// TestCertFingerprintAndImportGate: emission participates in the cache
+// fingerprint (certificate-bearing outcomes must not serve a prover that
+// would not check them), and a certificate-emitting search imports no pool
+// lemmas — its proof must be self-contained — while still publishing.
+func TestCertFingerprintAndImportGate(t *testing.T) {
+	on := New(nil, certOptions())
+	off := New(nil, DefaultOptions())
+	if on.fingerprint == off.fingerprint {
+		t.Fatal("EmitCertificates does not alter the cache fingerprint")
+	}
+
+	cache := NewCache(0)
+	p := New(unsatAxioms(), certOptions()).WithCache(cache)
+	if out := p.Prove(logic.P("R", logic.Const("c"))); out.Result != Valid {
+		t.Fatalf("seed prove: %v (%q)", out.Result, out.Reason)
+	}
+	if st := cache.LemmaStats(); st.Added == 0 {
+		t.Fatalf("emitting prover published nothing: %+v", st)
+	}
+	out := p.Prove(logic.P("S", logic.Const("d")))
+	if out.Result != Valid {
+		t.Fatalf("second goal: %v (%q)", out.Result, out.Reason)
+	}
+	if out.Stats.LemmasImported != 0 {
+		t.Errorf("emitting search imported %d pool lemmas; certificates must be self-contained", out.Stats.LemmasImported)
+	}
+	if out.Certificate == nil {
+		t.Error("second goal Valid without a certificate")
+	}
+}
+
+// BenchmarkCertEmitReplay measures the cost of certificate emission plus
+// self-replay on a theory-conflict chain, against the same search without
+// emission. (Not part of bench-smoke's pinned set; run manually.)
+func BenchmarkCertEmitReplay(b *testing.B) {
+	goal := theoryConflictGoal(16)
+	for _, mode := range []struct {
+		name string
+		emit bool
+	}{{"emit=off", false}, {"emit=on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.EmitCertificates = mode.emit
+			p := New(nil, opts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := p.Prove(goal)
+				if out.Result != Valid {
+					b.Fatalf("goal %v (%q)", out.Result, out.Reason)
+				}
+				if mode.emit && out.Certificate == nil {
+					b.Fatal("no certificate emitted")
+				}
+			}
+		})
+	}
+}

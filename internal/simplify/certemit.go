@@ -1,0 +1,292 @@
+package simplify
+
+import (
+	"repro/internal/cert"
+	"repro/internal/logic"
+)
+
+// certBuilder transcribes one goal's refutation into a cert.Certificate
+// as the search runs: terms and atoms are copied on first use into the
+// certificate's own tables (so the certificate is self-contained), and
+// every learned clause, theory conflict explanation, and prefilter
+// verdict becomes a derivation step. The problem clause section is
+// snapshotted from the clause database at finish time; since the
+// database only grows within a goal and RUP checking is monotone under
+// database growth, the late snapshot covers every step.
+type certBuilder struct {
+	tt      *logic.TermTable
+	at      *atomTable
+	termIdx map[logic.TermID]int32
+	atomIdx map[atomID]int32
+	c       *cert.Certificate
+}
+
+func newCertBuilder(tt *logic.TermTable, at *atomTable) *certBuilder {
+	return &certBuilder{
+		tt:      tt,
+		at:      at,
+		termIdx: map[logic.TermID]int32{},
+		atomIdx: map[atomID]int32{},
+		c:       &cert.Certificate{},
+	}
+}
+
+// term copies one interned term (and, recursively, its arguments) into
+// the certificate table, memoized per TermID so hash-consing identity
+// is preserved.
+func (b *certBuilder) term(t logic.TermID) int32 {
+	if i, ok := b.termIdx[t]; ok {
+		return i
+	}
+	var ct cert.Term
+	switch b.tt.Kind(t) {
+	case logic.KindInt:
+		ct = cert.Term{Int: b.tt.IntVal(t), IsInt: true}
+	case logic.KindApp:
+		args := b.tt.Args(t)
+		ca := make([]int32, len(args))
+		for i, a := range args {
+			ca[i] = b.term(a)
+		}
+		ct = cert.Term{Fn: b.tt.Fn(t), Args: ca}
+	default:
+		// A free variable in a ground certificate context: an opaque
+		// nullary symbol with the variable's name.
+		ct = cert.Term{Fn: b.tt.Fn(t)}
+	}
+	i := int32(len(b.c.Terms))
+	b.c.Terms = append(b.c.Terms, ct)
+	b.termIdx[t] = i
+	return i
+}
+
+func (b *certBuilder) atom(a atomID) int32 {
+	if i, ok := b.atomIdx[a]; ok {
+		return i
+	}
+	k := b.at.keys[a]
+	var ca cert.Atom
+	if k.op == predOp {
+		ca = cert.Atom{Op: cert.PredOp, L: b.term(k.l), R: -1}
+	} else {
+		ca = cert.Atom{Op: k.op, L: b.term(k.l), R: b.term(k.r)}
+	}
+	i := int32(len(b.c.Atoms))
+	b.c.Atoms = append(b.c.Atoms, ca)
+	b.atomIdx[a] = i
+	return i
+}
+
+func (b *certBuilder) lit(l ilit) cert.Lit {
+	return cert.MkLit(b.atom(l.atom()), l.negated())
+}
+
+func (b *certBuilder) lits(ls []ilit) []cert.Lit {
+	out := make([]cert.Lit, len(ls))
+	for i, l := range ls {
+		out[i] = b.lit(l)
+	}
+	return out
+}
+
+// rupStep records a clause derivable by unit propagation from the
+// problem clauses plus all earlier steps (learned clauses, chrono
+// branch/prefix clauses, the final empty clause).
+func (b *certBuilder) rupStep(ls []ilit) {
+	b.c.Steps = append(b.c.Steps, cert.Step{Kind: cert.StepRUP, Lits: b.lits(ls)})
+}
+
+// theoryStep records a theory lemma: the negations of ls are jointly
+// inconsistent under EUF + linear arithmetic.
+func (b *certBuilder) theoryStep(ls []ilit) {
+	b.c.Steps = append(b.c.Steps, cert.Step{
+		Kind: cert.StepTheory, Expl: cert.ExplTheory, Lits: b.lits(ls),
+	})
+}
+
+// intervalStep records a prefilter interval-tier verdict: the negations
+// of ls close some term's integer interval.
+func (b *certBuilder) intervalStep(ls []ilit) {
+	b.c.Steps = append(b.c.Steps, cert.Step{
+		Kind: cert.StepTheory, Expl: cert.ExplInterval, Lits: b.lits(ls),
+	})
+}
+
+// emptyStep records the final contradiction.
+func (b *certBuilder) emptyStep() {
+	b.c.Steps = append(b.c.Steps, cert.Step{Kind: cert.StepRUP})
+}
+
+// finish snapshots the problem clause section from the clause database
+// and returns the completed certificate.
+func (b *certBuilder) finish(db *clauseDB, key string) *cert.Certificate {
+	b.c.Clauses = make([][]cert.Lit, len(db.clauses))
+	for i, cl := range db.clauses {
+		b.c.Clauses[i] = b.lits(cl)
+	}
+	b.c.Key = key
+	return b.c
+}
+
+// evalGroundTermID mirrors the prefilter's evalGroundTerm over interned
+// term IDs: integer literals under +, -, ~, *; ok is false on any
+// uninterpreted symbol.
+func evalGroundTermID(t logic.TermID, tt *logic.TermTable) (int64, bool) {
+	switch tt.Kind(t) {
+	case logic.KindInt:
+		return tt.IntVal(t), true
+	case logic.KindApp:
+		args := tt.Args(t)
+		switch tt.Fn(t) {
+		case "+":
+			var s int64
+			for _, a := range args {
+				v, ok := evalGroundTermID(a, tt)
+				if !ok {
+					return 0, false
+				}
+				s += v
+			}
+			return s, true
+		case "-":
+			if len(args) == 2 {
+				l, ok1 := evalGroundTermID(args[0], tt)
+				r, ok2 := evalGroundTermID(args[1], tt)
+				return l - r, ok1 && ok2
+			}
+			if len(args) == 1 {
+				v, ok := evalGroundTermID(args[0], tt)
+				return -v, ok
+			}
+		case "~":
+			if len(args) == 1 {
+				v, ok := evalGroundTermID(args[0], tt)
+				return -v, ok
+			}
+		case "*":
+			if len(args) == 2 {
+				l, ok1 := evalGroundTermID(args[0], tt)
+				r, ok2 := evalGroundTermID(args[1], tt)
+				return l * r, ok1 && ok2
+			}
+		}
+	}
+	return 0, false
+}
+
+// litFalseGround reports whether l is a fully interpreted ground
+// comparison that evaluates false under integer semantics.
+func litFalseGround(l ilit, db *clauseDB) bool {
+	k := db.at.keys[l.atom()]
+	if k.op == predOp {
+		return false
+	}
+	lv, ok1 := evalGroundTermID(k.l, db.tt)
+	rv, ok2 := evalGroundTermID(k.r, db.tt)
+	if !ok1 || !ok2 {
+		return false
+	}
+	op := logic.CmpOp(k.op)
+	if l.negated() {
+		op = op.Negate()
+	}
+	switch op {
+	case logic.EqOp:
+		return lv != rv
+	case logic.NeOp:
+		return lv == rv
+	case logic.LtOp:
+		return lv >= rv
+	case logic.LeOp:
+		return lv > rv
+	case logic.GtOp:
+		return lv <= rv
+	case logic.GeOp:
+		return lv < rv
+	}
+	return false
+}
+
+// emitGroundCert transcribes a prefilter ground-tier discharge. A fully
+// interpreted goal that evaluates true means its negation's CNF — the
+// clausifier is Tseitin-free, so the clause set is equivalent, not just
+// equisatisfiable — contains a clause every literal of which is a false
+// ground comparison. Each literal's negation is a one-literal arithmetic
+// fact, emitted as a unit theory step; the clause then falsifies under
+// unit propagation and the empty clause follows. If no such clause
+// exists (a clausifier bug), nothing is emitted and the certificate
+// fails its own replay — a sound, transient degrade.
+func emitGroundCert(cb *certBuilder, db *clauseDB) {
+	for i, cl := range db.clauses {
+		if !db.taint[i] {
+			continue
+		}
+		allFalse := true
+		for _, l := range cl {
+			if !litFalseGround(l, db) {
+				allFalse = false
+				break
+			}
+		}
+		if !allFalse {
+			continue
+		}
+		for _, l := range cl {
+			cb.theoryStep([]ilit{l ^ 1})
+		}
+		cb.emptyStep()
+		return
+	}
+}
+
+// emitIntervalCert transcribes a prefilter interval-tier discharge: one
+// interval step whose negated literals are exactly the unit-forced
+// assignment the interval analysis read, then the empty clause (during
+// replay unit propagation re-forces those literals, falsifying the
+// interval step).
+func emitIntervalCert(cb *certBuilder, assign []int8) {
+	var negs []ilit
+	for a := range assign {
+		if assign[a] == 0 {
+			continue
+		}
+		// The negation of the forced literal mkLit(a, assign[a] == -1).
+		negs = append(negs, mkLit(atomID(a), assign[a] == 1))
+	}
+	cb.intervalStep(negs)
+	cb.emptyStep()
+}
+
+// sealCert finishes the builder's certificate, verifies it with the
+// independent replay checker, and attaches it to out. On a rejection
+// (or an injected cert fault) out is degraded in place to a transient,
+// uncached Unknown and false is returned — callers must then return
+// without publishing lemmas, so nothing derived alongside an
+// unreplayable proof escapes the goal.
+func (p *Prover) sealCert(cb *certBuilder, db *clauseDB, goal logic.Formula, out *Outcome, tk *ticker) bool {
+	fireInto(fpCertEmit, tk)
+	if tk.reason != "" {
+		out.Result = Unknown
+		out.Reason = tk.reason
+		return false
+	}
+	crt := cb.finish(db, logic.CanonicalString(goal))
+	verr := fpCertReplay.FireErr()
+	if verr == nil {
+		verr = cert.Verify(crt)
+	}
+	if verr != nil {
+		certRejected.Add(1)
+		out.Stats.CertsRejected = 1
+		out.Result = Unknown
+		out.Reason = "cert: replay rejected: " + verr.Error()
+		out.CounterExample = nil
+		return false
+	}
+	certEmitted.Add(1)
+	certReplayed.Add(1)
+	out.Stats.CertsEmitted = 1
+	out.Stats.CertsReplayed = 1
+	out.Certificate = crt
+	return true
+}

@@ -17,6 +17,8 @@ import (
 //	simplify.ematch.round       — top of every e-matching saturation pass
 //	simplify.arith.pivot        — every Fourier-Motzkin variable elimination
 //	simplify.intern.growth      — term-bank catch-up over newly interned clauses
+//	cert.emit                   — before a Valid outcome's certificate is built
+//	cert.replay                 — before a certificate replay (self-check or cache fetch)
 var (
 	fpProveRound        = faults.Register("simplify.prove.round")
 	fpSearchDecision    = faults.Register("simplify.search.decision")
@@ -26,6 +28,8 @@ var (
 	fpEmatchRound       = faults.Register("simplify.ematch.round")
 	fpArithPivot        = faults.Register("simplify.arith.pivot")
 	fpInternGrowth      = faults.Register("simplify.intern.growth")
+	fpCertEmit          = faults.Register("cert.emit")
+	fpCertReplay        = faults.Register("cert.replay")
 )
 
 // fireInto delivers p's armed fault into a running search: a budget fault

@@ -37,26 +37,28 @@ const (
 
 // prefilter runs the tiers in cost order against the seeded clause database,
 // returning the discharging tier or prefilterNone. A tripped ticker aborts
-// with prefilterNone (the caller reports the stop).
-func prefilter(goal logic.Formula, db *clauseDB, tk *ticker) int {
+// with prefilterNone (the caller reports the stop). On an interval-tier
+// discharge the unit-forced assignment is also returned, so certificate
+// emission can transcribe exactly the literals the interval analysis read.
+func prefilter(goal logic.Formula, db *clauseDB, tk *ticker) (int, []int8) {
 	if v, ok := evalGroundFormula(goal); ok && v {
-		return prefilterTierGround
+		return prefilterTierGround, nil
 	}
 	assign, conflict := unitPropOnly(db, tk)
 	if tk.stop() {
-		return prefilterNone
+		return prefilterNone, nil
 	}
 	if conflict {
-		return prefilterTierUnit
+		return prefilterTierUnit, nil
 	}
 	fireInto(fpPrefilterInterval, tk)
 	if tk.stop() {
-		return prefilterNone
+		return prefilterNone, nil
 	}
 	if intervalConflict(db, assign, tk) {
-		return prefilterTierInterval
+		return prefilterTierInterval, assign
 	}
-	return prefilterNone
+	return prefilterNone, nil
 }
 
 // evalGroundTerm evaluates a fully interpreted ground term (integer

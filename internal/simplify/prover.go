@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cert"
 	"repro/internal/logic"
 	"repro/internal/memwatch"
 )
@@ -83,6 +84,17 @@ type Options struct {
 	// refreshed at most every few tens of milliseconds, so the bound is a
 	// soft ceiling against OOM, not an exact per-goal accounting.
 	MaxMemoryBytes uint64
+	// EmitCertificates makes every Valid verdict carry a replayable proof
+	// certificate (Outcome.Certificate): the prefilter tier or CDCL trail
+	// is transcribed into internal/cert steps, self-verified by cert.Verify
+	// before the outcome is returned, and re-verified when served from the
+	// cache. A certificate that fails its replay degrades the outcome to a
+	// transient, uncached Unknown with a "cert: ..." reason — the engine
+	// never reports a Valid it cannot independently justify. Off by
+	// default (emission costs time and memory proportional to the trail).
+	// Certificate-less engines (LegacySearch) report Valid without one.
+	// Participates in the cache fingerprint.
+	EmitCertificates bool
 }
 
 // DefaultGoalTimeout is DefaultOptions' per-goal wall-clock bound. The
@@ -130,6 +142,11 @@ type Outcome struct {
 	// Stats is the goal's search telemetry (duplicating the counters above
 	// plus the theory-level ones and wall time, in one aggregatable struct).
 	Stats Stats
+	// Certificate is the replayable refutation backing a Valid verdict,
+	// present only when Options.EmitCertificates is on and the engine
+	// supports emission (the interned engines do; the legacy oracle does
+	// not). It has already passed cert.Verify once when attached.
+	Certificate *cert.Certificate
 }
 
 func (o Outcome) String() string {
@@ -222,11 +239,12 @@ func (p *Prover) buildBase() {
 		return nil
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "opts|%d|%d|%d|%d|%t|legacy=%t|learn=%t|prefilter=%t|terms=%d|clauses=%d|mem=%d\n",
+	fmt.Fprintf(h, "opts|%d|%d|%d|%d|%t|legacy=%t|learn=%t|prefilter=%t|terms=%d|clauses=%d|mem=%d|cert=%t\n",
 		p.opts.MaxRounds, p.opts.MaxInstances, p.opts.MaxDecisions,
 		p.opts.GoalTimeout, p.opts.NonlinearAxioms, p.opts.LegacySearch,
 		!p.opts.DisableLearning, !p.opts.DisablePrefilter,
-		p.opts.MaxTerms, p.opts.MaxClauses, p.opts.MaxMemoryBytes)
+		p.opts.MaxTerms, p.opts.MaxClauses, p.opts.MaxMemoryBytes,
+		p.opts.EmitCertificates)
 	for _, ax := range p.axioms {
 		fmt.Fprintf(h, "ax|%s\n", ax)
 		if err := addFormula(ax); err != nil {
@@ -290,10 +308,17 @@ func (p *Prover) ProveContext(ctx context.Context, goal logic.Formula) Outcome {
 	}
 	var key string
 	if p.cache != nil {
-		key = p.fingerprint + "\x00" + logic.CanonicalString(goal)
+		ck := logic.CanonicalString(goal)
+		key = p.fingerprint + "\x00" + ck
 		if out, ok := p.cache.get(key); ok {
-			out.CacheHit = true
-			return out
+			// Replay-on-fetch: a cached Valid backed by a certificate is
+			// re-verified before being served, so a corrupted cache entry
+			// (bit rot, a bad peer in a future distributed cache) degrades
+			// to a fresh search instead of a trusted wrong verdict.
+			if !p.opts.EmitCertificates || out.Certificate == nil || p.replayFetched(out.Certificate, ck) {
+				out.CacheHit = true
+				return out
+			}
 		}
 	}
 	out := p.proveSafe(ctx, goal)
@@ -311,18 +336,39 @@ func (p *Prover) ProveContext(ctx context.Context, goal logic.Formula) Outcome {
 	return out
 }
 
+// replayFetched re-verifies a certificate served from the cache, checking
+// it was minted for this goal. It returns false (treat as a cache miss and
+// re-prove) on any rejection, counting it in the process-wide counters.
+func (p *Prover) replayFetched(crt *cert.Certificate, canonicalGoal string) bool {
+	verr := fpCertReplay.FireErr()
+	if verr == nil {
+		verr = cert.Verify(crt)
+	}
+	if verr == nil && crt.Key != canonicalGoal {
+		verr = fmt.Errorf("certificate key mismatch")
+	}
+	if verr != nil {
+		certRejected.Add(1)
+		return false
+	}
+	certReplayed.Add(1)
+	return true
+}
+
 // TransientReason reports whether an Unknown reason describes a transient
 // condition — deadline expiry, cancellation, a tripped resource budget, a
-// recovered panic, or an injected fault — rather than a property of the goal.
-// Transient outcomes must never be memoized (a rerun with more budget, or a
-// fixed bug, may legitimately differ) and are what qualserve retries and
-// counts toward its per-qualifier circuit breaker.
+// recovered panic, an injected fault, or a certificate replay failure —
+// rather than a property of the goal. Transient outcomes must never be
+// memoized (a rerun with more budget, or a fixed bug, may legitimately
+// differ) and are what qualserve retries and counts toward its
+// per-qualifier circuit breaker.
 func TransientReason(r string) bool {
 	switch r {
 	case ReasonDeadline, ReasonCanceled, ReasonBudget:
 		return true
 	}
-	return strings.HasPrefix(r, "panic:") || strings.HasPrefix(r, "fault:")
+	return strings.HasPrefix(r, "panic:") || strings.HasPrefix(r, "fault:") ||
+		strings.HasPrefix(r, "cert:")
 }
 
 // cacheable reports whether an outcome may be memoized. ProveContext

@@ -167,6 +167,15 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 	}
 	p.installLimits(tk, tt.Len, func() int { return len(db.clauses) })
 
+	// Certificate emission: the builder shadows the search, transcribing
+	// prefilter verdicts, theory conflict explanations, and learned
+	// clauses into a self-contained proof that cert.Verify replays before
+	// any Valid verdict is returned.
+	var cb *certBuilder
+	if p.opts.EmitCertificates {
+		cb = newCertBuilder(tt, at)
+	}
+
 	// hash chains the per-round search event hashes (plus prefilter
 	// discharges) into Outcome.TraceHash.
 	hash := uint64(hashOffset)
@@ -176,7 +185,7 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 	if !p.opts.DisablePrefilter {
 		out.Stats.PrefilterAttempts = 1
 		prefAttempts.Add(1)
-		tier := prefilter(goal, db, tk)
+		tier, passign := prefilter(goal, db, tk)
 		if tk.reason != "" {
 			return stopped()
 		}
@@ -198,6 +207,22 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 				prefInterval.Add(1)
 			}
 			mix(uint64(tier))
+			if cb != nil {
+				switch tier {
+				case prefilterTierGround:
+					emitGroundCert(cb, db)
+				case prefilterTierUnit:
+					// The replay checker's whole-database unit propagation
+					// is exactly this tier, so the empty clause is RUP.
+					cb.emptyStep()
+				case prefilterTierInterval:
+					emitIntervalCert(cb, passign)
+				}
+				// On rejection sealCert degrades out to a transient
+				// Unknown in place; either way the hash below records
+				// the prefilter discharge.
+				p.sealCert(cb, db, goal, &out, tk)
+			}
 			setHash()
 			return out
 		}
@@ -223,7 +248,13 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 	var carryAct []float64
 	var carryUnits []ilit
 	var carryUnitTaint []bool
-	if pool != nil {
+	// Certificates must be self-contained: every clause a replay cites is
+	// either in the snapshot or derived by an earlier step, and pool
+	// lemmas were derived while proving *other* goals, with no derivation
+	// recorded here. So emission disables pool import (the pool stays
+	// attached for publication, which only happens after the certificate
+	// replays — the reject path returns before publish).
+	if pool != nil && cb == nil {
 		for _, c := range pool.snapshot() {
 			lits := make([]ilit, 0, len(c.Lits))
 			for _, l := range c.Lits {
@@ -285,6 +316,7 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 		ar.undoTo(0, 0)
 		s = newSearch2(tt, at, db.clauses, db.taint, eg, ar, p.opts.MaxDecisions, tk)
 		s.noLearn = p.opts.DisableLearning
+		s.cb = cb
 		for i, cl := range carryCl {
 			s.importLearned(cl, carryTaint[i], carryAct[i])
 		}
@@ -319,6 +351,12 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 		if unsat {
 			out.Result = Valid
 			setHash()
+			if cb != nil && !p.sealCert(cb, db, goal, &out, tk) {
+				// Rejected certificate: transient Unknown, and no lemma
+				// publication — clauses learned alongside an unreplayable
+				// proof must not seed the shared pool.
+				return out
+			}
 			publish(s)
 			return out
 		}

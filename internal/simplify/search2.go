@@ -111,6 +111,12 @@ type search2 struct {
 	eg *egraph2
 	ar *arithSolver2
 
+	// cb, when non-nil, transcribes the refutation into a proof
+	// certificate: theory conflicts become explained lemma steps, learned
+	// clauses and chronological branch/prefix clauses become RUP steps,
+	// and a successful refutation ends with the empty clause.
+	cb *certBuilder
+
 	decisions    int
 	maxDecisions int
 	theoryChecks int
@@ -461,6 +467,12 @@ func (s *search2) hashEvent(kind, a, b uint64) {
 // refute returns true when the clause set is unsatisfiable modulo theories.
 func (s *search2) refute() bool {
 	if s.unsatAtSetup {
+		// The contradiction is already in the clause set (an empty clause,
+		// or units falsified by propagation-free assertion): the empty
+		// clause is directly RUP.
+		if s.cb != nil {
+			s.cb.emptyStep()
+		}
 		return true
 	}
 	if s.noLearn {
@@ -814,13 +826,28 @@ func (s *search2) refuteCDCL() bool {
 			}
 			if s.theoryConflict() {
 				if s.decisionLevel() == 0 {
+					// The level-0 trail is jointly theory-inconsistent:
+					// record its explanation, from which the empty clause
+					// propagates.
+					if s.cb != nil {
+						s.cb.theoryStep(s.theoryClause())
+						s.cb.emptyStep()
+					}
 					return true
 				}
 				conflLits = s.theoryClause()
+				if s.cb != nil {
+					s.cb.theoryStep(conflLits)
+				}
 			}
 		}
 		if conflLits != nil {
 			if s.decisionLevel() == 0 {
+				// A clause falsified by the level-0 assignment alone: the
+				// empty clause is RUP from the database.
+				if s.cb != nil {
+					s.cb.emptyStep()
+				}
 				return true
 			}
 			s.conflicts++
@@ -831,6 +858,13 @@ func (s *search2) refuteCDCL() bool {
 				return false
 			}
 			learnt, bt, taint := s.analyze(conflLits, conflTaint)
+			// The 1UIP clause is derived by trail resolution from the
+			// conflict clause and reason clauses — all problem clauses or
+			// earlier steps — so it is RUP against them. (analyze reuses
+			// its buffer; the builder copies the literals out here.)
+			if s.cb != nil {
+				s.cb.rupStep(learnt)
+			}
 			lh := uint64(hashOffset)
 			for _, q := range learnt {
 				lh = (lh ^ uint64(q)) * hashPrime
@@ -926,15 +960,36 @@ func (s *search2) undoTo(fr *decFrame) {
 // which is exactly why it survives as the -learn=off differential foil.
 func (s *search2) refuteChrono() bool {
 	var stack []decFrame
+	// branchClause negates the in-effect decision literals: the clause
+	// "some current decision is wrong". Emitted at every conflict it is
+	// RUP (asserting the decisions re-propagates the trail into the
+	// falsified clause or the just-recorded theory explanation); emitted
+	// after popping an exhausted frame it resolves the frame's two
+	// branch outcomes. The final pop emits the empty clause.
+	branchClause := func(frames []decFrame) []ilit {
+		out := make([]ilit, len(frames))
+		for i := range frames {
+			out[i] = mkLit(frames[i].atom, !frames[i].flipped)
+		}
+		return out
+	}
 	for {
 		conflict := s.propagate() >= 0
 		if !conflict {
 			if s.tick.stop() {
 				return false // deadline/cancel: unwind as consistent (sound)
 			}
-			conflict = s.theoryConflict()
+			if s.theoryConflict() {
+				conflict = true
+				if s.cb != nil {
+					s.cb.theoryStep(s.theoryClause())
+				}
+			}
 		}
 		if conflict {
+			if s.cb != nil {
+				s.cb.rupStep(branchClause(stack))
+			}
 			// Chronological backtracking: flip the deepest unflipped
 			// decision; a conflict below every decision refutes the set.
 			flipped := false
@@ -948,6 +1003,9 @@ func (s *search2) refuteChrono() bool {
 					break
 				}
 				stack = stack[:len(stack)-1]
+				if s.cb != nil {
+					s.cb.rupStep(branchClause(stack))
+				}
 			}
 			if !flipped {
 				return true

@@ -54,6 +54,13 @@ type Stats struct {
 	// published to the cross-goal sharing pool (cache-attached provers only).
 	LemmasImported int
 	LemmasExported int
+	// CertsEmitted / CertsReplayed / CertsRejected count proof certificates
+	// built for Valid verdicts, certificates that passed replay
+	// verification (self-check at emission or replay-on-fetch from the
+	// cache), and certificates the replay verifier rejected.
+	CertsEmitted  int
+	CertsReplayed int
+	CertsRejected int
 	// WallTime is the goal's wall-clock search time.
 	WallTime time.Duration
 }
@@ -78,6 +85,9 @@ func (s *Stats) Add(o Stats) {
 	s.Restarts += o.Restarts
 	s.LemmasImported += o.LemmasImported
 	s.LemmasExported += o.LemmasExported
+	s.CertsEmitted += o.CertsEmitted
+	s.CertsReplayed += o.CertsReplayed
+	s.CertsRejected += o.CertsRejected
 	s.WallTime += o.WallTime
 }
 
@@ -153,6 +163,32 @@ type LemmaCounters struct {
 // GlobalLemmaCounters snapshots the process-wide learned/forgotten totals.
 func GlobalLemmaCounters() LemmaCounters {
 	return LemmaCounters{Learned: lemLearned.Load(), Forgotten: lemForgotten.Load()}
+}
+
+// Process-wide certificate counters, mirroring the per-goal Stats fields.
+var (
+	certEmitted  atomic.Uint64
+	certReplayed atomic.Uint64
+	certRejected atomic.Uint64
+)
+
+// CertCounters is a process-wide snapshot of certificate activity:
+// certificates emitted for Valid verdicts, replays that verified (the
+// emission self-check and cache replay-on-fetch both count), and
+// replays the verifier rejected.
+type CertCounters struct {
+	Emitted  uint64 `json:"emitted"`
+	Replayed uint64 `json:"replayed"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// GlobalCertCounters snapshots the process-wide certificate counters.
+func GlobalCertCounters() CertCounters {
+	return CertCounters{
+		Emitted:  certEmitted.Load(),
+		Replayed: certReplayed.Load(),
+		Rejected: certRejected.Load(),
+	}
 }
 
 // tickMask throttles the wall-clock and context checks: the expensive

@@ -53,6 +53,11 @@ type traceRecord struct {
 	Restarts          int `json:"restarts,omitempty"`
 	LemmasImported    int `json:"lemmas_imported,omitempty"`
 	LemmasExported    int `json:"lemmas_exported,omitempty"`
+
+	// Certificate telemetry (simplify.Options.EmitCertificates): steps in
+	// the emitted proof, and whether it passed replay verification.
+	CertSteps    int  `json:"cert_steps,omitempty"`
+	CertReplayed bool `json:"cert_replayed,omitempty"`
 }
 
 // traceMu serializes trace writes: ProveAllContext discharges qualifiers
@@ -99,6 +104,10 @@ func writeTrace(w io.Writer, r *Report, omitTimings bool) {
 			Restarts:          st.Restarts,
 			LemmasImported:    st.LemmasImported,
 			LemmasExported:    st.LemmasExported,
+		}
+		if res.Outcome.Certificate != nil {
+			rec.CertSteps = len(res.Outcome.Certificate.Steps)
+			rec.CertReplayed = st.CertsReplayed > 0
 		}
 		if omitTimings {
 			rec.ElapsedUS, rec.SearchUS = 0, 0
