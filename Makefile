@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke experiments fuzz-smoke serve-smoke chaos-smoke cert-smoke ci
+.PHONY: all build vet test race bench bench-smoke bench-tree tree-smoke experiments fuzz-smoke serve-smoke chaos-smoke cert-smoke ci
 
 # Seconds of fuzzing per target in fuzz-smoke.
 FUZZTIME ?= 30s
@@ -68,6 +68,33 @@ bench-smoke:
 	| $(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) \
 	    -prev BENCH_prover.json -max-regress $(BENCH_MAX_REGRESS) >/dev/null
 
+# The repo-scale tree-checking benchmark recorded in BENCH_tree.json, with
+# its own raw baseline (the first CheckTree implementation's run).
+TREE_BENCH = ^BenchmarkCheckTree$$
+TREE_BASELINE ?= BENCH_tree_baseline.txt
+
+# bench-tree reruns the tree-checking benchmark and rewrites BENCH_tree.json,
+# the committed repo-scale throughput record, folding the prior summary into
+# its history like `make bench` does for BENCH_prover.json.
+bench-tree:
+	$(GO) test -run '^$$' -bench '$(TREE_BENCH)' -benchtime 10x -count $(BENCHCOUNT) ./internal/checker \
+	| $(GO) run ./cmd/benchjson -baseline $(TREE_BASELINE) -prev BENCH_tree.json \
+	    -note "benchtime=10x count=$(BENCHCOUNT); baseline: first CheckTree implementation ($(TREE_BASELINE))" \
+	    -o BENCH_tree.json
+	@echo wrote BENCH_tree.json
+
+# tree-smoke is the repo-scale CI gate: scripts/tree_smoke.sh generates a
+# ~500-file corpus and asserts `qualcheck -r` produces byte-identical
+# diagnostics at -j 1 and -j NumCPU (plus a min(4, NumCPU/2)x wall-clock
+# speedup floor where the core count makes one meaningful), then the
+# tree-checking benchmark geomean is gated against BENCH_tree.json the same
+# way bench-smoke gates the prover suite.
+tree-smoke:
+	sh scripts/tree_smoke.sh
+	$(GO) test -run '^$$' -bench '$(TREE_BENCH)' -benchtime 5x -count $(GATE_BENCHCOUNT) ./internal/checker \
+	| $(GO) run ./cmd/benchjson -baseline $(TREE_BASELINE) \
+	    -prev BENCH_tree.json -max-regress $(BENCH_MAX_REGRESS) >/dev/null
+
 experiments:
 	$(GO) run ./cmd/experiments
 
@@ -106,8 +133,9 @@ serve-smoke:
 	$(GO) test -run '^TestQualserveSmoke$$' ./cmd/qualserve
 
 # ci is the gate: everything must build, vet clean, pass under -race, run
-# every benchmark for one smoke iteration, survive a short fuzzing budget on
-# each fuzz target, replay every qualifier-suite certificate, serve one
+# every benchmark for one smoke iteration, keep serial and parallel tree
+# checking byte-identical (and fast enough), survive a short fuzzing budget
+# on each fuzz target, replay every qualifier-suite certificate, serve one
 # checking request end to end, and hold the serving contract under injected
 # faults.
-ci: build vet race bench-smoke fuzz-smoke cert-smoke serve-smoke chaos-smoke
+ci: build vet race bench-smoke tree-smoke fuzz-smoke cert-smoke serve-smoke chaos-smoke

@@ -6,6 +6,12 @@
 //
 //	qualcheck [-quals file.qdl ...] [-taint] [-stats] program.c
 //	qualcheck -corpus grep-dfa|bftpd|bftpd-fixed|mingetty|identd [-stats]
+//	qualcheck -r dir [-j N] [-stats]
+//
+// With -r, qualcheck checks every .c file under the directory tree
+// (skipping vendor/, testdata/, and hidden directories) over a work-stealing
+// scheduler bounded by -j. Diagnostics are printed in deterministic
+// path/line order regardless of the worker count.
 //
 // Without -quals, the standard qualifier library (pos, neg, nonzero,
 // nonnull, tainted, untainted, unique, unaliased) is loaded; -taint loads
@@ -60,6 +66,7 @@ func main() {
 	flow := flag.Bool("flow", false, "enable flow-sensitive refinement of branch conditions (section 8 extension)")
 	header := flag.String("header", "", "prepend alternate library signatures from this file (section 3.3's header replacement)")
 	jobs := flag.Int("j", 0, "number of functions checked concurrently (default: all cores)")
+	treeRoot := flag.String("r", "", "check every .c file under this directory tree instead of one file")
 	cacheStats := flag.Bool("cache-stats", false, "print derivation-memo cache statistics after checking")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the check; 0 means unlimited")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -86,6 +93,11 @@ func main() {
 	reg, err := loadRegistry(qualFiles, *taint)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *treeRoot != "" {
+		runTree(ctx, *treeRoot, reg, *jobs, *flow, *stats, *cacheStats)
+		return
 	}
 
 	var name, source string
@@ -157,6 +169,72 @@ func main() {
 		fmt.Printf("%s: %d warning(s)\n", name, len(res.Diags))
 		exit(1)
 	}
+}
+
+// runTree is the -r mode: repo-scale checking over the work-stealing
+// scheduler. Exit status matches the single-file mode: 1 for warnings, 2 for
+// read/parse failures or an interrupted run, 0 for a clean tree.
+func runTree(ctx context.Context, root string, reg *qdl.Registry, jobs int, flow, stats, cacheStats bool) {
+	fc := checker.NewFuncCache(0)
+	res, err := checker.CheckTree(ctx, root, reg, checker.TreeOptions{
+		Options: checker.Options{FlowSensitive: flow},
+		Workers: jobs,
+		Seed:    1,
+		Cache:   fc,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	warnings, failures := 0, 0
+	for _, fr := range res.Files {
+		if fr.Err != nil {
+			fmt.Fprintf(os.Stderr, "qualcheck: %s: %v\n", fr.File, fr.Err)
+			failures++
+			continue
+		}
+		for _, d := range fr.Diags {
+			fmt.Println(d)
+			warnings++
+		}
+	}
+	if stats {
+		printTreeStats(res)
+	}
+	if cacheStats {
+		st := fc.Stats()
+		fmt.Printf("function cache: %d hits, %d misses, %d coalesced, %d evictions (%.1f%% hit rate)\n",
+			st.Hits, st.Misses, st.Coalesced, st.Evictions, 100*st.HitRate())
+	}
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "qualcheck: tree check stopped: %v (results are incomplete)\n", res.Err)
+		exit(2)
+	}
+	fmt.Printf("%s: %d file(s), %d warning(s)\n", root, len(res.Files), warnings)
+	switch {
+	case failures > 0:
+		exit(2)
+	case warnings > 0:
+		exit(1)
+	}
+}
+
+// printTreeStats reports the run's scheduler, reader, and checking
+// telemetry: the utilization profile answers "did the tree decompose", the
+// steal count answers "did idle workers find the work".
+func printTreeStats(res *checker.TreeResult) {
+	fmt.Printf("files: %d matched, %d skipped dirs, %d over size cap, %d bytes\n",
+		res.Walk.Matched, res.Walk.SkippedDirs, res.Walk.TooLarge, res.Walk.TotalBytes)
+	fmt.Printf("throughput: %.1f files/s (%.3fs wall)\n", res.FilesPerSec(), res.Duration.Seconds())
+	s := res.Sched
+	fmt.Printf("scheduler: %d workers, %d file tasks, %d function units, %d steals, %d injector grabs, %d parks\n",
+		s.Workers, s.Submitted, s.Spawned, s.Steals, s.InjectorGrabs, s.Parks)
+	fmt.Printf("per-worker executed: %v\n", s.PerWorker)
+	fmt.Printf("reader: %d files, %d bytes, %d pooled reuses, %d grows\n",
+		res.Read.Files, res.Read.Bytes, res.Read.Reuses, res.Read.Grows)
+	fmt.Printf("dereferences: %d\n", res.Stats.Dereferences)
+	fmt.Printf("restrict checks: %d (%d failed)\n", res.Stats.RestrictChecks, res.Stats.RestrictFailures)
+	fmt.Printf("function cache: %d hits, %d misses, %d coalesced\n",
+		res.Stats.FuncCacheHits, res.Stats.FuncCacheMisses, res.Stats.FuncCacheCoalesced)
 }
 
 func loadRegistry(files stringList, taint bool) (*qdl.Registry, error) {

@@ -12,12 +12,18 @@
 //
 // Endpoints:
 //
-//	POST /check   — qualifier-check a cminor program (JSON body: source,
-//	                optional quals/taint/flow_sensitive/timeout_ms)
-//	POST /prove   — discharge a qualifier set's soundness obligations
-//	GET  /metrics — request counts, p50/p99 latency, queue depth, shed
-//	                count, cache hit rates, budget trips, fault fires, and
-//	                per-qualifier breaker state
+//	POST /check       — qualifier-check a cminor program (JSON body: source,
+//	                    optional quals/taint/flow_sensitive/timeout_ms)
+//	POST /check-batch — qualifier-check a batch of files in one request
+//	                    (JSON body: files [{filename, source}], shared
+//	                    quals/taint/flow_sensitive/timeout_ms); diagnostics
+//	                    carry their file, and identical functions — within
+//	                    the batch or across concurrent batches — coalesce
+//	                    to one function-cache fill
+//	POST /prove       — discharge a qualifier set's soundness obligations
+//	GET  /metrics     — request counts, p50/p99 latency, queue depth, shed
+//	                    count, cache hit + coalesce rates, budget trips,
+//	                    fault fires, and per-qualifier breaker state
 //	GET  /healthz — liveness (503 while draining)
 //
 // SIGINT/SIGTERM starts a graceful drain: in-flight requests finish (up to

@@ -9,6 +9,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cminor"
 	"repro/internal/faults"
@@ -44,9 +45,13 @@ type FuncCacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
-	// Rejected counts entries dropped at get because their content seal no
-	// longer matched (each also counts as a miss; the function is re-walked).
+	// Rejected counts entries dropped at lookup because their content seal no
+	// longer matched (the function is re-walked and the entry re-stored).
 	Rejected uint64 `json:"rejected"`
+	// Coalesced counts lookups that joined another caller's in-progress walk
+	// of the same key and shared its result (singleflight): of N concurrent
+	// identical submissions, one is a Miss (the fill) and N-1 are Coalesced.
+	Coalesced uint64 `json:"coalesced"`
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -61,13 +66,34 @@ func (s FuncCacheStats) HitRate() float64 {
 // FuncCache is a thread-safe LRU cache of per-function checking results.
 // Share one across CheckWithCache calls (and across programs — the context
 // key isolates unrelated programs and registries) to make repeated checks of
-// mostly-unchanged sources cheap.
+// mostly-unchanged sources cheap. Concurrent lookups of one uncached key
+// coalesce: the first caller walks while the rest wait for its result.
 type FuncCache struct {
 	mu       sync.Mutex
 	capacity int
 	lru      *list.List // of *funcCacheEntry; front is most recently used
 	entries  map[string]*list.Element
-	stats    FuncCacheStats
+	flights  map[string]*flight
+
+	// Counters are atomics, not fields mutated under mu: the coalescing path
+	// bumps Coalesced outside the map lock, and concurrent tree checking
+	// hammers all of them from every worker — read-modify-write under a
+	// sometimes-different lock would undercount.
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	rejected  atomic.Uint64
+	coalesced atomic.Uint64
+}
+
+// flight is one in-progress fill: the leader walks the function while waiters
+// block on done and share the entry. entry is written before done closes
+// (and only then read), so the channel close publishes it; nil means the walk
+// produced a result that was not safely replayable, and waiters walk
+// themselves.
+type flight struct {
+	done  chan struct{}
+	entry *funcCacheEntry
 }
 
 // funcCacheEntry is the replayable outcome of walking one function body.
@@ -119,14 +145,19 @@ func NewFuncCache(capacity int) *FuncCache {
 		capacity: capacity,
 		lru:      list.New(),
 		entries:  map[string]*list.Element{},
+		flights:  map[string]*flight{},
 	}
 }
 
 // Stats returns a snapshot of the hit/miss/eviction counters.
 func (c *FuncCache) Stats() FuncCacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return FuncCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Rejected:  c.rejected.Load(),
+		Coalesced: c.coalesced.Load(),
+	}
 }
 
 // Len returns the number of cached function results.
@@ -156,28 +187,58 @@ func (c *FuncCache) ForEach(fn func(key string, diagCodes []string)) {
 	}
 }
 
-// get returns the cached entry for key, marking it most recently used.
-func (c *FuncCache) get(key string) (*funcCacheEntry, bool) {
+// beginLookup is the coalescing cache probe. Exactly one of three outcomes:
+//
+//   - hit: entry != nil — replay it (fl is nil);
+//   - leader: entry == nil, leader == true — the caller owns the fill: walk
+//     the function, then call endFlight with the outcome (mandatory, even on
+//     failure, or waiters hang);
+//   - waiter: entry == nil, leader == false — another caller is already
+//     walking this key; wait on fl.done and share fl.entry.
+//
+// A sealed-but-corrupted entry is dropped (Rejected) and the probe falls
+// through to the flight map, so the re-walk is coalesced too.
+func (c *FuncCache) beginLookup(key string) (entry *funcCacheEntry, fl *flight, leader bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.stats.Misses++
-		return nil, false
-	}
-	e := el.Value.(*funcCacheEntry)
-	if sealEntry(e) != e.seal {
-		// Content seal mismatch: drop the corrupted entry and report a
-		// miss, so the function is re-walked and the entry re-stored.
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*funcCacheEntry)
+		if sealEntry(e) == e.seal {
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return e, nil, false
+		}
+		// Content seal mismatch: drop the corrupted entry so the function is
+		// re-walked and the entry re-stored.
 		c.lru.Remove(el)
 		delete(c.entries, e.key)
-		c.stats.Rejected++
-		c.stats.Misses++
-		return nil, false
+		c.rejected.Add(1)
 	}
-	c.stats.Hits++
-	c.lru.MoveToFront(el)
-	return e, true
+	if fl, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		return nil, fl, false
+	}
+	fl = &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil, fl, true
+}
+
+// endFlight publishes the leader's outcome: stores the entry (when
+// replayable), retires the flight, and releases the waiters. The entry is
+// cached before the flight is removed, so a prober never finds the key in
+// neither place while a fill exists.
+func (c *FuncCache) endFlight(key string, fl *flight, entry *funcCacheEntry) {
+	if entry != nil {
+		c.put(key, entry)
+	}
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	fl.entry = entry
+	close(fl.done)
 }
 
 // put stores entry under key, evicting the least recently used entry when
@@ -200,7 +261,7 @@ func (c *FuncCache) put(key string, entry *funcCacheEntry) {
 		}
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*funcCacheEntry).key)
-		c.stats.Evictions++
+		c.evictions.Add(1)
 	}
 	c.entries[key] = c.lru.PushFront(entry)
 }
@@ -286,7 +347,8 @@ func hasFreshAssign(d *qdl.Def) bool {
 // checkFuncCached walks one function on a fresh child engine, consulting and
 // populating the function cache. The receiver must be a freshly created
 // child (empty diagnostics and zero stats), so its whole post-walk state is
-// exactly the function's contribution.
+// exactly the function's contribution. Concurrent calls on one key coalesce
+// to a single walk (see beginLookup).
 func (en *engine) checkFuncCached(f *cminor.FuncDef) {
 	if en.fc == nil {
 		en.safeCheckFunc(f)
@@ -295,23 +357,52 @@ func (en *engine) checkFuncCached(f *cminor.FuncDef) {
 	// FireErr, not Fire: the parallel walk's pool workers have no recovery
 	// around the cache path, so an injected replay panic must be contained
 	// here. Any replay fault degrades to a fresh walk — never a crash, never
-	// a wrong replay.
+	// a wrong replay. The degraded walk bypasses the flight map entirely, so
+	// an injected fault can neither strand waiters nor poison the fill.
 	if err := fpCacheReplay.FireErr(); err != nil {
 		en.stats.FuncCacheMisses++
 		en.safeCheckFunc(f)
 		return
 	}
 	key := funcKey(en.ctxKey, f)
-	if entry, ok := en.fc.get(key); ok {
+	entry, fl, leader := en.fc.beginLookup(key)
+	if entry != nil {
 		en.stats.FuncCacheHits++
 		en.replayEntry(entry, f)
 		return
 	}
+	if leader {
+		en.stats.FuncCacheMisses++
+		en.safeCheckFunc(f)
+		stored, ok := en.entryFromWalk(f)
+		if !ok {
+			stored = nil
+		}
+		en.fc.endFlight(key, fl, stored)
+		return
+	}
+	// Waiter: another caller is walking this exact function under this exact
+	// context. Share its result instead of duplicating the walk — unless our
+	// run is canceled first, in which case we return with nothing (the run's
+	// Result.Err marks it inconclusive, same as any unwalked function).
+	var done <-chan struct{}
+	if en.ctx != nil {
+		done = en.ctx.Done()
+	}
+	select {
+	case <-fl.done:
+	case <-done:
+		return
+	}
+	if fl.entry != nil {
+		en.stats.FuncCacheCoalesced++
+		en.replayEntry(fl.entry, f)
+		return
+	}
+	// The leader's walk was not replayable (transient "internal" outcome);
+	// walk independently rather than replay a result the cache refused.
 	en.stats.FuncCacheMisses++
 	en.safeCheckFunc(f)
-	if entry, ok := en.entryFromWalk(f); ok {
-		en.fc.put(key, entry)
-	}
 }
 
 // replayEntry rebases and appends a cached function's diagnostics and

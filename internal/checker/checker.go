@@ -50,8 +50,11 @@ type Stats struct {
 	// FuncCacheHits / FuncCacheMisses count function-granular result cache
 	// lookups (CheckWithCache only; zero otherwise). A hit means the
 	// function's body walk was skipped and its cached diagnostics replayed.
-	FuncCacheHits   int
-	FuncCacheMisses int
+	// FuncCacheCoalesced counts lookups that shared another in-flight walk's
+	// result instead of walking (singleflight; see cache.go).
+	FuncCacheHits      int
+	FuncCacheMisses    int
+	FuncCacheCoalesced int
 }
 
 // Result is the outcome of qualifier checking.
@@ -121,9 +124,11 @@ type engine struct {
 
 	// Function-granular result cache state (see cache.go). fc is nil for
 	// plain CheckWithContext runs; ctxKey is the context hash shared by every
-	// function key of this run.
+	// function key of this run. ctx bounds flight waits on the coalescing
+	// path (a canceled run stops waiting for another caller's walk).
 	fc     *FuncCache
 	ctxKey string
+	ctx    context.Context
 }
 
 type rclause struct {
@@ -186,6 +191,19 @@ func CheckWithContext(ctx context.Context, prog *cminor.Program, reg *qdl.Regist
 // address-of pass, statistics collection) always run; only body walks are
 // reused. Safe for concurrent use with a shared cache.
 func CheckWithCache(ctx context.Context, prog *cminor.Program, reg *qdl.Registry, opts Options, fc *FuncCache) *Result {
+	en := newEngine(ctx, prog, reg, opts, fc)
+	en.preFuncPasses()
+	en.checkFuncs(ctx, opts.concurrency())
+	en.addrOfPass()
+	return en.finishResult(ctx)
+}
+
+// newEngine builds a checking engine and runs every pass that precedes the
+// per-function walks: typechecking (unless precomputed), flow precomputation,
+// context-key derivation, base diagnostics, and annotation validation. The
+// tree checker (tree.go) uses the same constructor so a file checked inside a
+// tree and alone produce byte-identical diagnostics.
+func newEngine(ctx context.Context, prog *cminor.Program, reg *qdl.Registry, opts Options, fc *FuncCache) *engine {
 	info, baseDiags := opts.Types, opts.TypeDiags
 	if info == nil {
 		info, baseDiags = cminor.TypeCheck(prog)
@@ -197,6 +215,7 @@ func CheckWithCache(ctx context.Context, prog *cminor.Program, reg *qdl.Registry
 		memo: map[cminor.Expr]map[string]bool{},
 		flow: opts.FlowSensitive,
 		env:  refEnv{},
+		ctx:  ctx,
 		stats: Stats{
 			Annotations: map[string]int{},
 			QualCasts:   map[string]int{},
@@ -212,10 +231,15 @@ func CheckWithCache(ctx context.Context, prog *cminor.Program, reg *qdl.Registry
 		en.diags = append(en.diags, Diagnostic{Pos: d.Pos, Code: "base", Msg: d.Msg})
 	}
 	en.validateAnnotations()
-	en.checkProgram(ctx, opts.concurrency())
-	result := &Result{Diags: en.diags, Stats: en.stats, Info: info, Err: ctx.Err()}
+	return en
+}
+
+// finishResult runs the post-function statistics walk (cast collection,
+// dereference and reference-use counts) and packages the Result.
+func (en *engine) finishResult(ctx context.Context) *Result {
+	result := &Result{Diags: en.diags, Stats: en.stats, Info: en.info, Err: ctx.Err()}
 	// Collect value-qualified casts for instrumentation and count stats.
-	cminor.Walk(prog, cminor.Visitor{
+	cminor.Walk(en.prog, cminor.Visitor{
 		Expr: func(e cminor.Expr) {
 			if c, ok := e.(*cminor.Cast); ok {
 				for _, q := range cminor.QualsOf(c.Type) {
@@ -231,7 +255,7 @@ func CheckWithCache(ctx context.Context, prog *cminor.Program, reg *qdl.Registry
 				en.stats.Dereferences++
 			}
 			if v, ok := lv.(*cminor.VarLV); ok {
-				if def := info.VarDefs[v]; def != nil && len(en.refQualsOf(def.Type)) > 0 {
+				if def := en.info.VarDefs[v]; def != nil && len(en.refQualsOf(def.Type)) > 0 {
 					en.stats.RefUses[v.Name]++
 				}
 			}
@@ -321,9 +345,13 @@ func (en *engine) validateAnnotations() {
 
 // ---- Main checking pass ----
 
-func (en *engine) checkProgram(ctx context.Context, workers int) {
+// preFuncPasses runs the program-level passes that precede the function-body
+// walks: restrict-clause precomputation and global-initializer checking.
+// Diagnostics emitted here land before any function's in en.diags, matching
+// source order.
+func (en *engine) preFuncPasses() {
 	// Precompute restrict clauses; they are applied to every expression and
-	// dereference during the statement walk below.
+	// dereference during the statement walks.
 	for _, d := range en.reg.Defs() {
 		for _, cl := range d.Restricts {
 			if _, ok := cl.Pat.(qdl.PDeref); ok {
@@ -339,8 +367,6 @@ func (en *engine) checkProgram(ctx context.Context, workers int) {
 			en.checkAssignTo(g.Pos, g.Type, g.Init, func() string { return "initialization of " + g.Name })
 		}
 	}
-	en.checkFuncs(ctx, workers)
-	en.addrOfPass()
 }
 
 // checkFunc checks one function body under a fresh refinement environment.
@@ -354,9 +380,11 @@ func (en *engine) checkFunc(f *cminor.FuncDef) {
 	en.curFn = nil
 }
 
-// checkFuncHook, when non-nil, runs before every function-body walk. Tests
-// use it to inject faults into the worker pool.
-var checkFuncHook func(f *cminor.FuncDef)
+// CheckFuncHook, when non-nil, runs on the walking goroutine before every
+// function-body walk. Tests (including cross-package server tests) use it to
+// inject faults or to hold a FuncCache flight open while concurrent lookups
+// coalesce behind the leader. Production code leaves it nil.
+var CheckFuncHook func(f *cminor.FuncDef)
 
 // fpCheckWalk injects faults into the body walk; see internal/faults. Panics
 // are contained by safeCheckFunc's recovery, errors degrade to an "internal"
@@ -372,8 +400,8 @@ func (en *engine) safeCheckFunc(f *cminor.FuncDef) {
 			en.errorf(f.Pos, "internal", "checker panic in function %s: %v", f.Name, r)
 		}
 	}()
-	if checkFuncHook != nil {
-		checkFuncHook(f)
+	if CheckFuncHook != nil {
+		CheckFuncHook(f)
 	}
 	if err := fpCheckWalk.Fire(); err != nil {
 		en.errorf(f.Pos, "internal", "checker fault in function %s: %v", f.Name, err)
@@ -454,6 +482,7 @@ func (en *engine) mergeChild(child *engine) {
 	en.stats.MemoMisses += child.stats.MemoMisses
 	en.stats.FuncCacheHits += child.stats.FuncCacheHits
 	en.stats.FuncCacheMisses += child.stats.FuncCacheMisses
+	en.stats.FuncCacheCoalesced += child.stats.FuncCacheCoalesced
 }
 
 // childEngine clones the engine for one worker: immutable tables (registry,
@@ -476,6 +505,7 @@ func (en *engine) childEngine() *engine {
 		defCurDep:     en.defCurDep,
 		fc:            en.fc,
 		ctxKey:        en.ctxKey,
+		ctx:           en.ctx,
 	}
 }
 

@@ -29,12 +29,12 @@ func TestCheckFuncPanicIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkFuncHook = func(f *cminor.FuncDef) {
+	CheckFuncHook = func(f *cminor.FuncDef) {
 		if f.Name == "good" {
 			panic("injected checker fault")
 		}
 	}
-	defer func() { checkFuncHook = nil }()
+	defer func() { CheckFuncHook = nil }()
 
 	for _, workers := range []int{1, 4} {
 		res := CheckWith(prog, reg, Options{Concurrency: workers})

@@ -1,0 +1,210 @@
+package checker
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cminor"
+	"repro/internal/input"
+	"repro/internal/qdl"
+	"repro/internal/scheduler"
+)
+
+// This file is the repo-scale entry point: CheckTree walks a directory,
+// parses every source file, and checks them all over a work-stealing
+// scheduler with per-file → per-function work units. A file task runs the
+// program-level passes and then spawns one unit per function onto its own
+// worker's deque; idle workers steal those units, so one huge file's
+// functions spread across the pool instead of serializing behind it.
+//
+// Determinism: files are indexed in walk (lexical) order and functions in
+// declaration order, every unit writes only its own slot, and the last unit
+// of a file merges the slots in index order — so the assembled diagnostics
+// are byte-identical at any worker count and any steal interleaving, and
+// identical to checking each file alone with CheckWithCache.
+
+// TreeOptions configures CheckTree.
+type TreeOptions struct {
+	// Options configures per-file checking exactly as for CheckWith; the
+	// Concurrency field is ignored here (the tree scheduler owns parallelism).
+	Options
+	// Workers bounds the scheduler pool (the -j flag); 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Seed seeds the scheduler's deterministic victim selection.
+	Seed uint64
+	// Walk configures file discovery (extensions, skip rules, size caps).
+	Walk input.WalkOptions
+	// Cache, when non-nil, is the shared function-granular result cache;
+	// identical functions across files coalesce to one walk.
+	Cache *FuncCache
+}
+
+// FileResult is one file's checking outcome.
+type FileResult struct {
+	// File is the root-relative slash path; it is also the Pos.File of every
+	// diagnostic.
+	File  string
+	Diags []Diagnostic
+	Stats Stats
+	// Err is a read or parse failure (Diags is empty then), or the context
+	// error for files skipped by cancellation.
+	Err error
+}
+
+// TreeResult is the outcome of checking a directory tree.
+type TreeResult struct {
+	// Files holds per-file results in walk (lexical) order.
+	Files []FileResult
+	// Stats aggregates every file's checking statistics.
+	Stats Stats
+	// Walk, Read, and Sched are the discovery, streaming-reader, and
+	// scheduler telemetry for the run.
+	Walk  input.WalkStats
+	Read  input.ReaderStats
+	Sched scheduler.Stats
+	// Duration is the wall-clock time of the checking phase (walk included).
+	Duration time.Duration
+	// Err is the context error when the run was cut short: absent
+	// diagnostics are then inconclusive.
+	Err error
+}
+
+// FilesPerSec is the throughput of the run (0 for an instant or empty run).
+func (r *TreeResult) FilesPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(len(r.Files)) / r.Duration.Seconds()
+}
+
+// CheckTree checks every matching source file under root. Diagnostics come
+// back per file, in deterministic order regardless of opts.Workers. Only
+// walk-level failures (unreadable root) return a non-nil error; per-file
+// read/parse failures land on the FileResult.
+func CheckTree(ctx context.Context, root string, reg *qdl.Registry, opts TreeOptions) (*TreeResult, error) {
+	start := time.Now()
+	files, wstats, err := input.Walk(root, opts.Walk)
+	if err != nil {
+		return nil, err
+	}
+	maxBytes := opts.Walk.MaxFileBytes
+	if maxBytes <= 0 {
+		maxBytes = input.DefaultMaxFileBytes
+	}
+	reader := input.NewReader()
+	qualNames := reg.Names()
+	pool := scheduler.New(opts.Workers, opts.Seed)
+	defer pool.Close()
+
+	results := make([]FileResult, len(files))
+	for i := range files {
+		i, f := i, files[i]
+		pool.Submit(func(c *scheduler.Ctx) {
+			checkFileTask(ctx, c, f, reg, qualNames, maxBytes, reader, opts, &results[i])
+		})
+	}
+	pool.Wait()
+
+	res := &TreeResult{
+		Files: results,
+		Walk:  wstats,
+		Read:  reader.Stats(),
+		Sched: pool.Stats(),
+		Err:   ctx.Err(),
+		Stats: Stats{
+			Annotations: map[string]int{},
+			QualCasts:   map[string]int{},
+			RefUses:     map[string]int{},
+		},
+	}
+	for i := range results {
+		addStats(&res.Stats, results[i].Stats)
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// checkFileTask is one file's task: read, parse, run the program-level
+// passes, then spawn one scheduler unit per function. The last function unit
+// to finish assembles the file's result (there is no blocking join — a
+// worker is never parked waiting for another worker's units).
+func checkFileTask(ctx context.Context, c *scheduler.Ctx, f input.File, reg *qdl.Registry,
+	qualNames map[string]bool, maxBytes int64, reader *input.Reader, opts TreeOptions, out *FileResult) {
+	out.File = f.Rel
+	if err := ctx.Err(); err != nil {
+		out.Err = err
+		return
+	}
+	src, err := reader.ReadString(f.Path, maxBytes)
+	if err != nil {
+		out.Err = err
+		return
+	}
+	prog, err := cminor.Parse(f.Rel, src, qualNames)
+	if err != nil {
+		out.Err = err
+		return
+	}
+	en := newEngine(ctx, prog, reg, opts.Options, opts.Cache)
+	en.preFuncPasses()
+	funcs := prog.Funcs
+	if len(funcs) == 0 {
+		finishFileTask(ctx, en, nil, out)
+		return
+	}
+	children := make([]*engine, len(funcs))
+	var remaining atomic.Int64
+	remaining.Store(int64(len(funcs)))
+	for i := range funcs {
+		i := i
+		c.Spawn(func(*scheduler.Ctx) {
+			if ctx.Err() == nil {
+				child := en.childEngine()
+				child.checkFuncCached(funcs[i])
+				children[i] = child
+			}
+			if remaining.Add(-1) == 0 {
+				finishFileTask(ctx, en, children, out)
+			}
+		})
+	}
+}
+
+// finishFileTask merges the function children in declaration order, runs the
+// post-function passes, and writes the file's result slot.
+func finishFileTask(ctx context.Context, en *engine, children []*engine, out *FileResult) {
+	for _, child := range children {
+		if child != nil {
+			en.mergeChild(child)
+		}
+	}
+	en.addrOfPass()
+	res := en.finishResult(ctx)
+	out.Diags = res.Diags
+	out.Stats = res.Stats
+	out.Err = res.Err
+}
+
+// addStats folds one file's statistics into an aggregate whose maps are
+// already allocated.
+func addStats(dst *Stats, src Stats) {
+	dst.Dereferences += src.Dereferences
+	for k, v := range src.Annotations {
+		dst.Annotations[k] += v
+	}
+	for k, v := range src.QualCasts {
+		dst.QualCasts[k] += v
+	}
+	for k, v := range src.RefUses {
+		dst.RefUses[k] += v
+	}
+	dst.RestrictChecks += src.RestrictChecks
+	dst.RestrictFailures += src.RestrictFailures
+	dst.MemoHits += src.MemoHits
+	dst.MemoMisses += src.MemoMisses
+	dst.FuncCacheHits += src.FuncCacheHits
+	dst.FuncCacheMisses += src.FuncCacheMisses
+	dst.FuncCacheCoalesced += src.FuncCacheCoalesced
+}

@@ -1,0 +1,50 @@
+package checker
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/quals"
+)
+
+// BenchmarkCheckTree measures cold repo-scale checking throughput over the
+// work-stealing scheduler: every iteration re-checks the same generated
+// multi-file corpus with a fresh function cache, so the number is the
+// walk+read+parse+check pipeline, not cache replay. The j1/jmax pair keeps
+// the serial-vs-parallel ratio visible in BENCH_tree.json on any machine
+// (jmax runs NumCPU workers; on a single-core box the two coincide).
+func BenchmarkCheckTree(b *testing.B) {
+	reg := quals.MustStandard()
+	dir := b.TempDir()
+	const files = 96
+	if _, err := corpus.WriteTree(dir, files, 0x7ee5eed); err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"j1", 1},
+		{"jmax", runtime.NumCPU()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := CheckTree(context.Background(), dir, reg, TreeOptions{
+					Workers: bc.workers,
+					Seed:    1,
+					Cache:   NewFuncCache(0),
+				})
+				if err != nil || res.Err != nil {
+					b.Fatalf("CheckTree: %v / %v", err, res.Err)
+				}
+				if len(res.Files) != files {
+					b.Fatalf("checked %d files, want %d", len(res.Files), files)
+				}
+			}
+			b.ReportMetric(float64(files)*float64(b.N)/b.Elapsed().Seconds(), "files/s")
+		})
+	}
+}

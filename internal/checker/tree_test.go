@@ -1,0 +1,320 @@
+package checker
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cminor"
+	"repro/internal/corpus"
+	"repro/internal/input"
+	"repro/internal/quals"
+	"repro/internal/testutil/leak"
+)
+
+// renderTree flattens a TreeResult into the canonical diagnostic listing the
+// CLI prints: one line per diagnostic, files in walk order.
+func renderTree(res *TreeResult) string {
+	var b strings.Builder
+	for _, fr := range res.Files {
+		if fr.Err != nil {
+			fmt.Fprintf(&b, "%s: error: %v\n", fr.File, fr.Err)
+			continue
+		}
+		for _, d := range fr.Diags {
+			fmt.Fprintf(&b, "%s\n", d)
+		}
+	}
+	return b.String()
+}
+
+func genTree(t *testing.T, files int) string {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := corpus.WriteTree(dir, files, 0x7ee5eed); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestTreeSerialParallelIdentical is the core determinism claim: the same
+// tree checked at -j=1 and at -j=8, with and without a shared cache, yields
+// byte-identical diagnostics.
+func TestTreeSerialParallelIdentical(t *testing.T) {
+	leak.Check(t)
+	reg := quals.MustStandard()
+	dir := genTree(t, 40)
+	ctx := context.Background()
+
+	serial, err := CheckTree(ctx, dir, reg, TreeOptions{Workers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Files) != 40 {
+		t.Fatalf("checked %d files, want 40", len(serial.Files))
+	}
+	want := renderTree(serial)
+	if !strings.Contains(want, "[qual]") {
+		t.Fatalf("corpus produced no qualifier diagnostics:\n%.400s", want)
+	}
+	for run := 0; run < 3; run++ {
+		fc := NewFuncCache(0)
+		par, err := CheckTree(ctx, dir, reg, TreeOptions{Workers: 8, Seed: uint64(run), Cache: fc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderTree(par); got != want {
+			t.Fatalf("parallel run %d diverged from serial:\n--- serial\n%.600s\n--- parallel\n%.600s", run, want, got)
+		}
+		// Warm second pass over the same cache must replay identically.
+		warm, err := CheckTree(ctx, dir, reg, TreeOptions{Workers: 8, Seed: 99, Cache: fc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderTree(warm); got != want {
+			t.Fatalf("warm cached run %d diverged from serial", run)
+		}
+		if warm.Stats.FuncCacheHits == 0 {
+			t.Errorf("warm run scored no cache hits: %+v", warm.Stats)
+		}
+	}
+}
+
+// TestTreeMatchesSingleFileChecks: a file checked inside a tree reports
+// exactly what CheckWithCache reports for it alone.
+func TestTreeMatchesSingleFileChecks(t *testing.T) {
+	leak.Check(t)
+	reg := quals.MustStandard()
+	dir := genTree(t, 12)
+	tree, err := CheckTree(context.Background(), dir, reg, TreeOptions{Workers: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range tree.Files {
+		if fr.Err != nil {
+			t.Fatalf("%s: %v", fr.File, fr.Err)
+		}
+		src := corpus.TreeFile(0x7ee5eed, fileIndexOf(t, fr.File))
+		prog, err := cminor.Parse(fr.File, src, reg.Names())
+		if err != nil {
+			t.Fatal(err)
+		}
+		alone := CheckWithContext(context.Background(), prog, reg, Options{Concurrency: 1})
+		if fmt.Sprint(fr.Diags) != fmt.Sprint(alone.Diags) {
+			t.Errorf("%s: tree diags %v != standalone %v", fr.File, fr.Diags, alone.Diags)
+		}
+	}
+}
+
+func fileIndexOf(t *testing.T, rel string) int {
+	t.Helper()
+	var idx int
+	if _, err := fmt.Sscanf(filepath.Base(rel), "file%04d.c", &idx); err != nil {
+		t.Fatalf("unexpected tree file name %q: %v", rel, err)
+	}
+	return idx
+}
+
+// TestTreeWalkSkips: the decoy files WriteTree plants in vendor/, testdata/,
+// and as non-.c files never reach the parser (they would fail loudly).
+func TestTreeWalkSkips(t *testing.T) {
+	leak.Check(t)
+	dir := genTree(t, 8)
+	res, err := CheckTree(context.Background(), dir, quals.MustStandard(), TreeOptions{Workers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range res.Files {
+		if strings.Contains(fr.File, "decoy") || strings.Contains(fr.File, "vendor") {
+			t.Errorf("walker failed to skip %s", fr.File)
+		}
+		if fr.Err != nil {
+			t.Errorf("%s: %v", fr.File, fr.Err)
+		}
+	}
+	if res.Walk.SkippedDirs < 2 {
+		t.Errorf("walk skipped %d dirs, want >= 2 (vendor, testdata)", res.Walk.SkippedDirs)
+	}
+}
+
+// TestTreeCancellation: a canceled context returns promptly with Err set and
+// no leaked scheduler goroutines (leak.Check).
+func TestTreeCancellation(t *testing.T) {
+	leak.Check(t)
+	dir := genTree(t, 30)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := CheckTree(ctx, dir, quals.MustStandard(), TreeOptions{Workers: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil {
+		t.Error("canceled tree check reported no Err")
+	}
+	for _, fr := range res.Files {
+		if fr.Err == nil && len(fr.Diags) > 0 {
+			// Files may legitimately complete before observing cancellation;
+			// the ones that were cut short must carry the context error.
+			continue
+		}
+	}
+}
+
+// TestTreeSchedulerTelemetry: a parallel run reports scheduler and reader
+// stats consistent with the work done.
+func TestTreeSchedulerTelemetry(t *testing.T) {
+	leak.Check(t)
+	dir := genTree(t, 20)
+	res, err := CheckTree(context.Background(), dir, quals.MustStandard(), TreeOptions{Workers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Sched
+	if st.Submitted != 20 {
+		t.Errorf("submitted %d file tasks, want 20", st.Submitted)
+	}
+	if st.Spawned == 0 {
+		t.Error("no per-function units spawned")
+	}
+	if st.Executed != st.Submitted+st.Spawned {
+		t.Errorf("executed %d != submitted %d + spawned %d", st.Executed, st.Submitted, st.Spawned)
+	}
+	if res.Read.Files != 20 {
+		t.Errorf("reader served %d files, want 20", res.Read.Files)
+	}
+	if res.Walk.Matched != 20 {
+		t.Errorf("walk matched %d, want 20", res.Walk.Matched)
+	}
+}
+
+// TestCoalescedLookups pins the singleflight protocol: with the one leader
+// walk blocked, all other concurrent identical submissions must join its
+// flight (Coalesced), and exactly one fill (Miss) happens in total.
+func TestCoalescedLookups(t *testing.T) {
+	leak.Check(t)
+	reg := quals.MustStandard()
+	const src = `
+int* nonnull g;
+void solo(int* p) {
+  g = p;
+}
+`
+	const clients = 32
+	fc := NewFuncCache(0)
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	CheckFuncHook = func(*cminor.FuncDef) {
+		entered <- struct{}{}
+		<-release
+	}
+	defer func() { CheckFuncHook = nil }()
+
+	var wg sync.WaitGroup
+	results := make([]*Result, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prog, err := cminor.Parse("solo.c", src, reg.Names())
+			if err != nil {
+				panic(err)
+			}
+			results[i] = CheckWithCache(context.Background(), prog, reg, Options{Concurrency: 1}, fc)
+		}()
+	}
+	<-entered // the leader is inside its walk, holding the flight open
+	// Every other client must end up parked on the leader's flight.
+	for {
+		if fc.Stats().Coalesced == clients-1 {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	st := fc.Stats()
+	if st.Misses != 1 || st.Coalesced != clients-1 || st.Hits != 0 {
+		t.Fatalf("stats %+v, want exactly 1 miss (the fill), %d coalesced, 0 hits", st, clients-1)
+	}
+	want := fmt.Sprint(results[0].Diags)
+	if want == "[]" {
+		t.Fatal("expected a diagnostic from the violating function")
+	}
+	for i, r := range results {
+		if fmt.Sprint(r.Diags) != want {
+			t.Errorf("client %d diags %v != %v", i, r.Diags, want)
+		}
+	}
+}
+
+// TestFuncCacheCountersRace is the satellite -race regression: counters are
+// updated from concurrent lookups (including the coalescing path, which
+// counts outside the cache lock) while Stats is read concurrently. Under
+// -race this fails if any counter update is a read-modify-write.
+func TestFuncCacheCountersRace(t *testing.T) {
+	leak.Check(t)
+	reg := quals.MustStandard()
+	fc := NewFuncCache(0)
+	dir := genTree(t, 10)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = fc.Stats()
+				_ = fc.Len()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := CheckTree(context.Background(), dir, reg, TreeOptions{Workers: 2, Seed: 11, Cache: fc}); err != nil {
+				panic(err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	st := fc.Stats()
+	if st.Hits+st.Misses+st.Coalesced == 0 {
+		t.Error("no cache activity recorded")
+	}
+	// Fills (misses) bound the cache's size; every lookup is exactly one of
+	// hit, miss, or coalesced, so the sum must cover every cached walk.
+	if uint64(fc.Len()) > st.Misses {
+		t.Errorf("cache holds %d entries but only %d fills were counted", fc.Len(), st.Misses)
+	}
+}
+
+// TestTreeReaderRejectsOversize: MaxFileBytes is enforced per file without
+// failing the rest of the tree.
+func TestTreeReaderRejectsOversize(t *testing.T) {
+	leak.Check(t)
+	dir := genTree(t, 4)
+	res, err := CheckTree(context.Background(), dir, quals.MustStandard(), TreeOptions{
+		Workers: 2,
+		Seed:    1,
+		Walk:    input.WalkOptions{MaxFileBytes: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range res.Files {
+		if fr.Err != nil {
+			t.Errorf("%s: %v", fr.File, fr.Err)
+		}
+	}
+}

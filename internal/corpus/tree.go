@@ -1,0 +1,93 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file generates synthetic multi-file source trees for repo-scale
+// checking: tree tests, `make tree-smoke`, and BenchmarkCheckTree all need a
+// corpus of hundreds of files that (a) is deterministic for a seed, so serial
+// and parallel runs can be diffed byte-for-byte, (b) mixes clean and
+// violating functions, so diagnostic assembly order is actually exercised,
+// and (c) contains duplicated files, so the function cache and request
+// coalescing see cross-file identical content.
+
+// TreeFileName returns the root-relative path of file idx of a generated
+// tree: files are spread over eight package directories.
+func TreeFileName(idx int) string {
+	return fmt.Sprintf("pkg%d/file%04d.c", idx%8, idx)
+}
+
+// TreeFile returns the deterministic source text of file idx of the
+// synthetic tree with the given seed. Every fifth file duplicates its
+// block's first file byte-for-byte (cross-file cache hits); the rest are
+// unique.
+func TreeFile(seed int64, idx int) string {
+	if idx%5 == 4 {
+		// Duplicate the block leader for cache-sharing realism.
+		return TreeFile(seed, idx-4)
+	}
+	rng := rand.New(rand.NewSource(seed + int64(idx)*1000003))
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* generated tree file %d */\n", idx)
+	fmt.Fprintf(&b, "int* nonnull g%d;\n\n", idx)
+	funcs := 4 + rng.Intn(5)
+	for k := 0; k < funcs; k++ {
+		switch rng.Intn(3) {
+		case 0: // clean compute loop
+			fmt.Fprintf(&b, "int compute%d_%d(int a, int b) {\n", idx, k)
+			fmt.Fprintf(&b, "  int acc = %d;\n", rng.Intn(100))
+			b.WriteString("  int i = 0;\n")
+			fmt.Fprintf(&b, "  while (i < b) {\n    acc = acc + a + %d;\n    i = i + 1;\n  }\n", rng.Intn(10))
+			b.WriteString("  return acc;\n}\n\n")
+		case 1: // nonnull violation: unqualified pointer into a nonnull global
+			fmt.Fprintf(&b, "void violate%d_%d(int* p) {\n", idx, k)
+			fmt.Fprintf(&b, "  g%d = p;\n", idx)
+			b.WriteString("}\n\n")
+		default: // pointer-using function with a guarded dereference
+			fmt.Fprintf(&b, "int read%d_%d(int* nonnull p, int n) {\n", idx, k)
+			fmt.Fprintf(&b, "  int v = *p + %d;\n", rng.Intn(50))
+			b.WriteString("  if (n > 0) {\n    v = v + n;\n  }\n")
+			b.WriteString("  return v;\n}\n\n")
+		}
+	}
+	return b.String()
+}
+
+// WriteTree generates an n-file synthetic source tree under dir, plus decoy
+// entries (a vendored file, a testdata file, and a non-source file — each
+// would fail to parse or change diagnostics if the walker's skip rules ever
+// regressed). It returns the root-relative paths of the real files.
+func WriteTree(dir string, n int, seed int64) ([]string, error) {
+	paths := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		rel := TreeFileName(i)
+		full := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(full, []byte(TreeFile(seed, i)), 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, rel)
+	}
+	decoys := map[string]string{
+		"vendor/decoy.c":   "this is not valid source (((",
+		"testdata/decoy.c": "neither is this )))",
+		"pkg0/notes.txt":   "not a source file at all",
+	}
+	for rel, body := range decoys {
+		full := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(full, []byte(body), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/cminor"
+)
+
+// soloSrc has exactly one function (one function-cache key) containing a
+// nonnull violation, so every check of it produces the same diagnostic and
+// concurrent checks contend on a single cache flight.
+const soloSrc = `
+int* nonnull g;
+void solo(int* p) {
+  g = p;
+}
+`
+
+func TestCheckBatchRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := CheckBatchRequest{Files: []BatchInput{
+		{Filename: "clean.c", Source: "void ok() { int x = 1; }"},
+		{Source: "int* nonnull g;\nvoid bad(int* p) { g = p; }"}, // default name input1.c
+		{Filename: "broken.c", Source: "int {{{"},
+	}}
+	var resp CheckBatchResponse
+	if code := postJSON(t, ts.URL+"/check-batch", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d, want 200", code)
+	}
+	if len(resp.Files) != 3 {
+		t.Fatalf("got %d file results, want 3", len(resp.Files))
+	}
+	if fr := resp.Files[0]; fr.Filename != "clean.c" || fr.Warnings != 0 || fr.Error != "" {
+		t.Errorf("clean file result: %+v", fr)
+	}
+	fr := resp.Files[1]
+	if fr.Filename != "input1.c" || fr.Warnings == 0 {
+		t.Fatalf("violating file result: %+v", fr)
+	}
+	// Satellite: every diagnostic in a batch answer names its file, so a
+	// flattened batch view stays attributable per input.
+	for _, d := range fr.Diagnostics {
+		if d.File != "input1.c" {
+			t.Errorf("diagnostic not attributed to its input: %+v", d)
+		}
+	}
+	if fr := resp.Files[2]; fr.Error == "" {
+		t.Errorf("parse-failed input reported no error: %+v", fr)
+	}
+	if resp.Failures != 1 || resp.Warnings != fr.Warnings {
+		t.Errorf("batch totals Failures=%d Warnings=%d, want 1 and %d", resp.Failures, resp.Warnings, fr.Warnings)
+	}
+	if resp.Stats.FuncCacheMisses == 0 {
+		t.Error("cold batch should record function-cache misses")
+	}
+
+	// An empty batch is a client error, not a vacuous success.
+	if code := postJSON(t, ts.URL+"/check-batch", CheckBatchRequest{}, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("empty batch status %d, want 422", code)
+	}
+}
+
+// TestCheckBatchCoalescing is the acceptance criterion for the batch path:
+// 32 concurrent identical submissions must observe exactly one cache fill
+// (the leader's miss) and 31 coalesced joins in /metrics, and all 32 answers
+// must carry identical diagnostics.
+func TestCheckBatchCoalescing(t *testing.T) {
+	const clients = 32
+	_, ts := newTestServer(t, Config{Workers: clients})
+
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	checker.CheckFuncHook = func(*cminor.FuncDef) {
+		entered <- struct{}{}
+		<-release
+	}
+	defer func() { checker.CheckFuncHook = nil }()
+
+	req := CheckBatchRequest{Files: []BatchInput{{Filename: "solo.c", Source: soloSrc}}}
+	var wg sync.WaitGroup
+	responses := make([]CheckBatchResponse, clients)
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			codes[i] = postJSON(t, ts.URL+"/check-batch", req, &responses[i])
+		}()
+	}
+
+	<-entered // the leader is inside its walk, holding the flight open
+	// Every other client must park on the leader's flight; /metrics is served
+	// off the worker pool, so it stays readable while all workers are busy.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var m MetricsResponse
+		getJSON(t, ts.URL+"/metrics", &m)
+		if m.FuncCache.Coalesced == clients-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d lookups coalesced before the deadline (metrics: %+v)",
+				m.FuncCache.Coalesced, clients-1, m.FuncCache)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	var m MetricsResponse
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.FuncCache.Misses != 1 || m.FuncCache.Coalesced != clients-1 || m.FuncCache.Hits != 0 {
+		t.Fatalf("func_cache %+v, want exactly 1 miss (the fill), %d coalesced, 0 hits",
+			m.FuncCache, clients-1)
+	}
+	want := fmt.Sprint(responses[0].Files[0].Diagnostics)
+	if responses[0].Files[0].Warnings == 0 {
+		t.Fatal("expected a diagnostic from the violating function")
+	}
+	for i := 0; i < clients; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d status %d, want 200", i, codes[i])
+		}
+		if got := fmt.Sprint(responses[i].Files[0].Diagnostics); got != want {
+			t.Errorf("client %d diagnostics %s != %s", i, got, want)
+		}
+	}
+	coalesced := 0
+	for i := 0; i < clients; i++ {
+		coalesced += responses[i].Stats.FuncCacheCoalesced
+	}
+	if coalesced != clients-1 {
+		t.Errorf("per-response coalesced stats sum to %d, want %d", coalesced, clients-1)
+	}
+}
+
+// TestCheckBatchCancellation pins the abandoned-request path: a client that
+// gives up mid-check must not leak the worker, the cache flight, or any
+// handler goroutine (newTestServer's leak check audits the teardown).
+func TestCheckBatchCancellation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	checker.CheckFuncHook = func(*cminor.FuncDef) {
+		entered <- struct{}{}
+		<-release
+	}
+	defer func() { checker.CheckFuncHook = nil }()
+
+	body, err := json.Marshal(CheckBatchRequest{Files: []BatchInput{{Filename: "solo.c", Source: soloSrc}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/check-batch", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	<-entered // the check is in flight on a pool worker
+	cancel()  // the client walks away
+	if err := <-errc; err == nil {
+		t.Error("canceled request returned no client error")
+	}
+	// Unblock the walk: the engine then notices the dead request context and
+	// stops; the worker finishes the job with nobody listening. Shutdown in
+	// the test cleanup must still join every goroutine.
+	close(release)
+}

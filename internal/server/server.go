@@ -217,6 +217,7 @@ func New(cfg Config) *Server {
 		breaker:     newBreaker(cfg.breakerThreshold(), cfg.breakerCooldown()),
 	}
 	s.mux.HandleFunc("POST /check", s.handleCheck)
+	s.mux.HandleFunc("POST /check-batch", s.handleCheckBatch)
 	s.mux.HandleFunc("POST /prove", s.handleProve)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -481,13 +482,43 @@ type CheckDiagnostic struct {
 	Msg  string `json:"msg"`
 }
 
-// CheckStats is the subset of checker statistics the API exports.
+// CheckStats is the subset of checker statistics the API exports. Coalesced
+// counts function lookups that joined another request's in-flight cache fill
+// instead of walking the body themselves (the /check-batch dedupe path).
 type CheckStats struct {
-	Dereferences     int `json:"dereferences"`
-	RestrictChecks   int `json:"restrict_checks"`
-	RestrictFailures int `json:"restrict_failures"`
-	FuncCacheHits    int `json:"func_cache_hits"`
-	FuncCacheMisses  int `json:"func_cache_misses"`
+	Dereferences       int `json:"dereferences"`
+	RestrictChecks     int `json:"restrict_checks"`
+	RestrictFailures   int `json:"restrict_failures"`
+	FuncCacheHits      int `json:"func_cache_hits"`
+	FuncCacheMisses    int `json:"func_cache_misses"`
+	FuncCacheCoalesced int `json:"func_cache_coalesced"`
+}
+
+// add accumulates one check run's statistics into s (batch aggregation).
+func (s *CheckStats) add(st checker.Stats) {
+	s.Dereferences += st.Dereferences
+	s.RestrictChecks += st.RestrictChecks
+	s.RestrictFailures += st.RestrictFailures
+	s.FuncCacheHits += st.FuncCacheHits
+	s.FuncCacheMisses += st.FuncCacheMisses
+	s.FuncCacheCoalesced += st.FuncCacheCoalesced
+}
+
+// apiDiagnostics converts checker diagnostics to their JSON form, reporting
+// whether any is an "internal" (failure-containment) diagnostic — the
+// degraded marker meaning the absence of warnings is not a clean bill.
+func apiDiagnostics(diags []checker.Diagnostic) ([]CheckDiagnostic, bool) {
+	out := make([]CheckDiagnostic, 0, len(diags))
+	degraded := false
+	for _, d := range diags {
+		out = append(out, CheckDiagnostic{
+			File: d.Pos.File, Line: d.Pos.Line, Col: d.Pos.Col, Code: d.Code, Msg: d.Msg,
+		})
+		if d.Code == "internal" {
+			degraded = true
+		}
+	}
+	return out, degraded
 }
 
 // CheckResponse is the body of a 200 answer to POST /check. Degraded means
@@ -556,29 +587,124 @@ func (s *Server) doCheck(ctx context.Context, req *CheckRequest) (int, any) {
 		return http.StatusGatewayTimeout, errorBody{Error: "check stopped: " + res.Err.Error()}
 	}
 	resp := CheckResponse{
-		Filename:    name,
-		Diagnostics: make([]CheckDiagnostic, 0, len(res.Diags)),
-		Warnings:    len(res.Diags),
-		Stats: CheckStats{
-			Dereferences:     res.Stats.Dereferences,
-			RestrictChecks:   res.Stats.RestrictChecks,
-			RestrictFailures: res.Stats.RestrictFailures,
-			FuncCacheHits:    res.Stats.FuncCacheHits,
-			FuncCacheMisses:  res.Stats.FuncCacheMisses,
-		},
+		Filename:      name,
+		Warnings:      len(res.Diags),
 		ElapsedMillis: time.Since(t0).Milliseconds(),
 	}
-	for _, d := range res.Diags {
-		resp.Diagnostics = append(resp.Diagnostics, CheckDiagnostic{
-			File: d.Pos.File, Line: d.Pos.Line, Col: d.Pos.Col, Code: d.Code, Msg: d.Msg,
-		})
-		if d.Code == "internal" {
+	resp.Stats.add(res.Stats)
+	resp.Diagnostics, resp.Degraded = apiDiagnostics(res.Diags)
+	if resp.Degraded {
+		s.metrics.observeDegraded()
+	}
+	return http.StatusOK, resp
+}
+
+// ---- POST /check-batch ----
+
+// BatchInput is one source file in a POST /check-batch request.
+type BatchInput struct {
+	// Filename labels the input and the file field of its diagnostics
+	// (default "inputN.c" for the N-th entry).
+	Filename string `json:"filename,omitempty"`
+	// Source is the cminor program to check.
+	Source string `json:"source"`
+}
+
+// CheckBatchRequest is the body of POST /check-batch. All inputs share one
+// qualifier registry and the server-wide function cache, so identical
+// functions — within the batch or across concurrent batches — dedupe to a
+// single cache fill: concurrent duplicate submissions coalesce behind the
+// first walker instead of re-checking (counted in stats.func_cache_coalesced
+// and /metrics func_cache.coalesced).
+type CheckBatchRequest struct {
+	Files []BatchInput `json:"files"`
+	// Quals maps file names to QDL sources; empty means the standard
+	// qualifier library (or the taint configuration when Taint is set).
+	Quals map[string]string `json:"quals,omitempty"`
+	Taint bool              `json:"taint,omitempty"`
+	// FlowSensitive enables branch-condition refinement (section 8).
+	FlowSensitive bool `json:"flow_sensitive,omitempty"`
+	// TimeoutMillis bounds the whole batch (capped by the server's limit).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchFileResult is one input's verdict inside a CheckBatchResponse. Error
+// is a per-input parse failure; the rest of the batch is still checked.
+type BatchFileResult struct {
+	Filename    string            `json:"filename"`
+	Diagnostics []CheckDiagnostic `json:"diagnostics"`
+	Warnings    int               `json:"warnings"`
+	Error       string            `json:"error,omitempty"`
+	Degraded    bool              `json:"degraded,omitempty"`
+}
+
+// CheckBatchResponse is the body of a 200 answer to POST /check-batch.
+// Stats aggregates over all inputs; every diagnostic carries its file, so a
+// flattened view of the batch stays attributable per input.
+type CheckBatchResponse struct {
+	Files         []BatchFileResult `json:"files"`
+	Warnings      int               `json:"warnings"`
+	Failures      int               `json:"failures"`
+	Degraded      bool              `json:"degraded,omitempty"`
+	Stats         CheckStats        `json:"stats"`
+	ElapsedMillis int64             `json:"elapsed_ms"`
+}
+
+func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
+	var req CheckBatchRequest
+	if !s.decodeBody(w, r, "check-batch", &req) {
+		return
+	}
+	s.execute(w, r, "check-batch", req.TimeoutMillis, func(ctx context.Context) (int, any) {
+		return s.doCheckBatch(ctx, &req)
+	})
+}
+
+func (s *Server) doCheckBatch(ctx context.Context, req *CheckBatchRequest) (int, any) {
+	t0 := time.Now()
+	if len(req.Files) == 0 {
+		return http.StatusUnprocessableEntity, errorBody{Error: "empty batch: files is required"}
+	}
+	reg, err := loadRegistry(req.Quals, req.Taint)
+	if err != nil {
+		return http.StatusUnprocessableEntity, errorBody{Error: "qualifier definitions: " + err.Error()}
+	}
+	resp := CheckBatchResponse{Files: make([]BatchFileResult, 0, len(req.Files))}
+	for i, in := range req.Files {
+		name := in.Filename
+		if name == "" {
+			name = fmt.Sprintf("input%d.c", i)
+		}
+		fr := BatchFileResult{Filename: name, Diagnostics: []CheckDiagnostic{}}
+		prog, err := cminor.Parse(name, in.Source, reg.Names())
+		if err != nil {
+			fr.Error = "parse: " + err.Error()
+			resp.Failures++
+			resp.Files = append(resp.Files, fr)
+			continue
+		}
+		res := checker.CheckWithCache(ctx, prog, reg, checker.Options{
+			FlowSensitive: req.FlowSensitive,
+			Concurrency:   s.cfg.checkConcurrency(),
+		}, s.funcCache)
+		if res.Err != nil {
+			return http.StatusGatewayTimeout, errorBody{
+				Error: fmt.Sprintf("check stopped at %s: %v", name, res.Err),
+			}
+		}
+		fr.Diagnostics, fr.Degraded = apiDiagnostics(res.Diags)
+		fr.Warnings = len(fr.Diagnostics)
+		resp.Warnings += fr.Warnings
+		resp.Stats.add(res.Stats)
+		if fr.Degraded {
 			resp.Degraded = true
 		}
+		resp.Files = append(resp.Files, fr)
 	}
 	if resp.Degraded {
 		s.metrics.observeDegraded()
 	}
+	resp.ElapsedMillis = time.Since(t0).Milliseconds()
 	return http.StatusOK, resp
 }
 
@@ -768,10 +894,13 @@ func (s *Server) doProve(ctx context.Context, req *ProveRequest) (int, any) {
 
 // CacheSnapshot is the exported view of one cache's counters. Rejected
 // counts entries evicted by an integrity check on fetch (the function
-// cache's content seal); it stays zero for caches without one.
+// cache's content seal); Coalesced counts lookups that joined another
+// request's in-flight fill instead of duplicating the work (the function
+// cache's singleflight). Both stay zero for caches without those paths.
 type CacheSnapshot struct {
 	Hits      uint64  `json:"hits"`
 	Misses    uint64  `json:"misses"`
+	Coalesced uint64  `json:"coalesced,omitempty"`
 	Evictions uint64  `json:"evictions"`
 	Rejected  uint64  `json:"rejected,omitempty"`
 	HitRate   float64 `json:"hit_rate"`
@@ -831,8 +960,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		QueueCapacity: cap(s.jobs),
 		Draining:      s.draining.Load(),
 		FuncCache: CacheSnapshot{
-			Hits: fc.Hits, Misses: fc.Misses, Evictions: fc.Evictions,
-			Rejected: fc.Rejected, HitRate: fc.HitRate(), Len: s.funcCache.Len(),
+			Hits: fc.Hits, Misses: fc.Misses, Coalesced: fc.Coalesced,
+			Evictions: fc.Evictions, Rejected: fc.Rejected,
+			HitRate: fc.HitRate(), Len: s.funcCache.Len(),
 		},
 		ProverCache: CacheSnapshot{
 			Hits: pc.Hits, Misses: pc.Misses, Evictions: pc.Evictions,

@@ -299,6 +299,14 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 
 	var lastModel []string
 	var s *search2
+	// Recycle the search's per-goal scratch block on every exit path. By
+	// then only the escaping fields (learned arena, unit lemmas, model) are
+	// read — publish and the carry slices never touch the pooled arrays.
+	defer func() {
+		if s != nil {
+			s.releaseScratch()
+		}
+	}()
 	for round := 0; round <= p.opts.MaxRounds; round++ {
 		out.Rounds = round + 1
 		if proveRoundHook != nil {
@@ -314,6 +322,9 @@ func (p *Prover) prove2(goal logic.Formula, tk *ticker) Outcome {
 		// this round's trail into them incrementally.
 		eg.undoTo(egBase)
 		ar.undoTo(0, 0)
+		if s != nil {
+			s.releaseScratch() // the superseded round's arrays feed this one
+		}
 		s = newSearch2(tt, at, db.clauses, db.taint, eg, ar, p.opts.MaxDecisions, tk)
 		s.noLearn = p.opts.DisableLearning
 		s.cb = cb

@@ -2,6 +2,7 @@ package simplify
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/logic"
 )
@@ -129,6 +130,103 @@ type search2 struct {
 	// model captures the satisfying assignment of the last consistent
 	// branch (the countermodel candidate reported on Unknown).
 	model []string
+
+	// scratch is the pooled backing store of the per-goal index arrays and
+	// trail machinery above; releaseScratch returns it for the next goal.
+	scratch *searchScratch
+}
+
+// searchScratch is the recyclable allocation block of one search: every
+// per-atom array, the trail machinery, and the analysis buffers. These grow
+// with the problem but hold nothing a caller reads after refute returns, so
+// a pool turns the per-goal burst of slice allocations into a steady state
+// of one block per concurrent prover. The escaping state — learned clauses,
+// unit lemmas, the model — is deliberately NOT here: prover2 carries those
+// across rounds and publishes them to the shared lemma pool.
+type searchScratch struct {
+	watches  [][]int32
+	assign   []int8
+	level    []int32
+	reasonCl []int32
+	taint0   []bool
+	seen     []bool
+	activity []float64
+	trail    []ilit
+	trailLim []int
+	levEg    []int
+	levArC   []int
+	levArA   []int
+	learntBuf []ilit
+	clearBuf []atomID
+	unitSeen map[ilit]bool
+}
+
+var searchScratchPool = sync.Pool{New: func() any {
+	return &searchScratch{unitSeen: map[ilit]bool{}}
+}}
+
+// growPerAtom resizes a pooled per-atom slice to n zeroed elements, reusing
+// its capacity when possible.
+func growPerAtom[T int8 | int32 | bool | float64](b []T, n int) []T {
+	if cap(b) < n {
+		return make([]T, n)
+	}
+	b = b[:n]
+	var zero T
+	for i := range b {
+		b[i] = zero
+	}
+	return b
+}
+
+// growWatches resizes the pooled watch table to n empty lists, keeping both
+// the outer slice and each inner list's capacity.
+func growWatches(w [][]int32, n int) [][]int32 {
+	if cap(w) < n {
+		nw := make([][]int32, n)
+		copy(nw, w) // retain the old inner lists' capacity
+		w = nw
+	} else {
+		w = w[:n]
+	}
+	for i := range w {
+		w[i] = w[i][:0]
+	}
+	return w
+}
+
+// releaseScratch returns the search's recyclable arrays to the pool. Callers
+// invoke it once refute has returned and only the escaping fields (learned,
+// unitLemmas, model and their taints) are still needed; the pooled fields
+// are nilled so a stale use fails loudly instead of racing the next goal.
+func (s *search2) releaseScratch() {
+	sc := s.scratch
+	if sc == nil {
+		return
+	}
+	s.scratch = nil
+	sc.watches = s.watches
+	sc.assign = s.assign
+	sc.level = s.level
+	sc.reasonCl = s.reasonCl
+	sc.taint0 = s.taint0
+	sc.seen = s.seen
+	sc.activity = s.activity
+	sc.trail = s.trail
+	sc.trailLim = s.trailLim
+	sc.levEg = s.levEg
+	sc.levArC = s.levArC
+	sc.levArA = s.levArA
+	sc.learntBuf = s.learntBuf
+	sc.clearBuf = s.clearBuf
+	clear(s.unitSeen)
+	sc.unitSeen = s.unitSeen
+	s.watches, s.assign, s.activity = nil, nil, nil
+	s.level, s.reasonCl = nil, nil
+	s.taint0, s.seen = nil, nil
+	s.trail, s.trailLim, s.levEg, s.levArC, s.levArA = nil, nil, nil, nil, nil
+	s.learntBuf, s.clearBuf, s.unitSeen = nil, nil, nil
+	searchScratchPool.Put(sc)
 }
 
 // fnv64 constants for the deterministic trace hash.
@@ -151,21 +249,30 @@ const lubyUnit = 64
 
 func newSearch2(tt *logic.TermTable, at *atomTable, clauses [][]ilit, pTaint []bool, eg *egraph2, ar *arithSolver2, maxDecisions int, tk *ticker) *search2 {
 	n := at.len()
+	sc := searchScratchPool.Get().(*searchScratch)
 	s := &search2{
 		tt: tt, at: at, clauses: clauses, pTaint: pTaint,
 		nProblem:     len(clauses),
-		watches:      make([][]int32, 2*n),
-		assign:       make([]int8, n),
-		level:        make([]int32, n),
-		reasonCl:     make([]int32, n),
-		taint0:       make([]bool, n),
-		seen:         make([]bool, n),
-		activity:     make([]float64, n),
+		scratch:      sc,
+		watches:      growWatches(sc.watches, 2*n),
+		assign:       growPerAtom(sc.assign, n),
+		level:        growPerAtom(sc.level, n),
+		reasonCl:     growPerAtom(sc.reasonCl, n),
+		taint0:       growPerAtom(sc.taint0, n),
+		seen:         growPerAtom(sc.seen, n),
+		activity:     growPerAtom(sc.activity, n),
+		trail:        sc.trail[:0],
+		trailLim:     sc.trailLim[:0],
+		levEg:        sc.levEg[:0],
+		levArC:       sc.levArC[:0],
+		levArA:       sc.levArA[:0],
+		learntBuf:    sc.learntBuf[:0],
+		clearBuf:     sc.clearBuf[:0],
 		varInc:       1,
 		claInc:       1,
 		restartLimit: lubyUnit,
 		maxLearned:   2048 + len(clauses),
-		unitSeen:     map[ilit]bool{},
+		unitSeen:     sc.unitSeen,
 		eg:           eg,
 		ar:           ar,
 		maxDecisions: maxDecisions,
