@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-tree tree-smoke experiments fuzz-smoke serve-smoke chaos-smoke cert-smoke ci
+.PHONY: all build vet test race bench bench-smoke bench-tree tree-smoke experiments fuzz-smoke serve-smoke chaos-smoke cert-smoke watch-smoke ci
 
 # Seconds of fuzzing per target in fuzz-smoke.
 FUZZTIME ?= 30s
@@ -132,10 +132,19 @@ serve-smoke:
 	$(GO) build ./cmd/qualserve
 	$(GO) test -run '^TestQualserveSmoke$$' ./cmd/qualserve
 
+# watch-smoke runs the incremental-daemon end-to-end gate: the real qualcheck
+# main in -watch polling mode over a generated corpus tree, one function
+# edited, asserting the next generation re-checks exactly one file with a
+# FuncCache miss delta of exactly one, and that the daemon's accumulated
+# diagnostics byte-match a fresh batch `qualcheck -r` of the final tree.
+watch-smoke:
+	$(GO) test -run '^TestWatchSmoke$$' -count=1 ./cmd/qualcheck
+
 # ci is the gate: everything must build, vet clean, pass under -race, run
 # every benchmark for one smoke iteration, keep serial and parallel tree
 # checking byte-identical (and fast enough), survive a short fuzzing budget
 # on each fuzz target, replay every qualifier-suite certificate, serve one
-# checking request end to end, and hold the serving contract under injected
-# faults.
-ci: build vet race bench-smoke tree-smoke fuzz-smoke cert-smoke serve-smoke chaos-smoke
+# checking request end to end, hold the serving contract under injected
+# faults, and keep the watch daemon's incremental generations faithful to
+# batch checking.
+ci: build vet race bench-smoke tree-smoke fuzz-smoke cert-smoke serve-smoke chaos-smoke watch-smoke

@@ -7,11 +7,19 @@
 //	qualcheck [-quals file.qdl ...] [-taint] [-stats] program.c
 //	qualcheck -corpus grep-dfa|bftpd|bftpd-fixed|mingetty|identd [-stats]
 //	qualcheck -r dir [-j N] [-stats]
+//	qualcheck -watch dir [-debounce d] [-poll d] [-j N]
 //
 // With -r, qualcheck checks every .c file under the directory tree
 // (skipping vendor/, testdata/, and hidden directories) over a work-stealing
 // scheduler bounded by -j. Diagnostics are printed in deterministic
 // path/line order regardless of the worker count.
+//
+// With -watch, qualcheck becomes a resident incremental checker: one full
+// tree pass, then re-checking only what changes, pushing diagnostics as
+// JSONL events on stdout. Changes are detected via fs notifications
+// debounced by -debounce, or by rescanning every -poll when set (or when
+// notifications are unavailable). SIGUSR1 pushes a stats event; Ctrl-C
+// exits cleanly with a final stats event.
 //
 // Without -quals, the standard qualifier library (pos, neg, nonzero,
 // nonnull, tainted, untainted, unique, unaliased) is loaded; -taint loads
@@ -33,9 +41,11 @@ import (
 	"repro/internal/checker"
 	"repro/internal/cminor"
 	"repro/internal/corpus"
+	"repro/internal/input"
 	"repro/internal/profiling"
 	"repro/internal/qdl"
 	"repro/internal/quals"
+	"repro/internal/watch"
 )
 
 // stopProfiles flushes any active pprof profiles; set once in main, and
@@ -67,6 +77,10 @@ func main() {
 	header := flag.String("header", "", "prepend alternate library signatures from this file (section 3.3's header replacement)")
 	jobs := flag.Int("j", 0, "number of functions checked concurrently (default: all cores)")
 	treeRoot := flag.String("r", "", "check every .c file under this directory tree instead of one file")
+	watchDir := flag.String("watch", "", "run as a resident incremental checker over this directory tree (JSONL events on stdout)")
+	debounce := flag.Duration("debounce", watch.DefaultDebounce, "with -watch: quiet window before a change burst is re-checked")
+	poll := flag.Duration("poll", 0, "with -watch: rescan interval replacing fs notifications (0 = use notifications)")
+	maxFiles := flag.Int("max-files", 0, "with -r/-watch: stop the walk after this many files (0 = unlimited)")
 	cacheStats := flag.Bool("cache-stats", false, "print derivation-memo cache statistics after checking")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the check; 0 means unlimited")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -95,8 +109,19 @@ func main() {
 		fatal(err)
 	}
 
+	if *watchDir != "" {
+		runWatch(ctx, *watchDir, reg, watch.Options{
+			Checker:  checker.Options{FlowSensitive: *flow},
+			Walk:     input.WalkOptions{MaxFiles: *maxFiles},
+			Workers:  *jobs,
+			Seed:     1,
+			Debounce: *debounce,
+			Poll:     *poll,
+		})
+		return
+	}
 	if *treeRoot != "" {
-		runTree(ctx, *treeRoot, reg, *jobs, *flow, *stats, *cacheStats)
+		runTree(ctx, *treeRoot, reg, *jobs, *flow, *stats, *cacheStats, *maxFiles)
 		return
 	}
 
@@ -171,15 +196,37 @@ func main() {
 	}
 }
 
+// runWatch is the -watch mode: a resident daemon pushing JSONL diagnostic
+// events. SIGUSR1 emits a telemetry snapshot at any time; shutdown is via
+// the signal context (Ctrl-C / SIGTERM), which is a clean exit.
+func runWatch(ctx context.Context, root string, reg *qdl.Registry, opts watch.Options) {
+	d, err := watch.New(root, reg, opts)
+	if err != nil {
+		fatal(err)
+	}
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	defer signal.Stop(usr1)
+	go func() {
+		for range usr1 {
+			d.EmitStats()
+		}
+	}()
+	if err := d.Run(ctx); err != nil && ctx.Err() == nil {
+		fatal(err)
+	}
+}
+
 // runTree is the -r mode: repo-scale checking over the work-stealing
 // scheduler. Exit status matches the single-file mode: 1 for warnings, 2 for
 // read/parse failures or an interrupted run, 0 for a clean tree.
-func runTree(ctx context.Context, root string, reg *qdl.Registry, jobs int, flow, stats, cacheStats bool) {
+func runTree(ctx context.Context, root string, reg *qdl.Registry, jobs int, flow, stats, cacheStats bool, maxFiles int) {
 	fc := checker.NewFuncCache(0)
 	res, err := checker.CheckTree(ctx, root, reg, checker.TreeOptions{
 		Options: checker.Options{FlowSensitive: flow},
 		Workers: jobs,
 		Seed:    1,
+		Walk:    input.WalkOptions{MaxFiles: maxFiles},
 		Cache:   fc,
 	})
 	if err != nil {
@@ -222,8 +269,12 @@ func runTree(ctx context.Context, root string, reg *qdl.Registry, jobs int, flow
 // telemetry: the utilization profile answers "did the tree decompose", the
 // steal count answers "did idle workers find the work".
 func printTreeStats(res *checker.TreeResult) {
-	fmt.Printf("files: %d matched, %d skipped dirs, %d over size cap, %d bytes\n",
-		res.Walk.Matched, res.Walk.SkippedDirs, res.Walk.TooLarge, res.Walk.TotalBytes)
+	trunc := ""
+	if res.Walk.Truncated {
+		trunc = " [truncated: -max-files cap hit, tree only partially checked]"
+	}
+	fmt.Printf("files: %d matched, %d skipped dirs, %d over size cap, %d vanished, %d bytes%s\n",
+		res.Walk.Matched, res.Walk.SkippedDirs, res.Walk.TooLarge, res.Walk.Vanished, res.Walk.TotalBytes, trunc)
 	fmt.Printf("throughput: %.1f files/s (%.3fs wall)\n", res.FilesPerSec(), res.Duration.Seconds())
 	s := res.Sched
 	fmt.Printf("scheduler: %d workers, %d file tasks, %d function units, %d steals, %d injector grabs, %d parks\n",

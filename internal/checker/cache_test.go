@@ -291,3 +291,57 @@ func TestFuncCacheSealRejectsCorruption(t *testing.T) {
 		t.Errorf("Rejected moved to %d after recovery, want still 1", st.Rejected)
 	}
 }
+
+// TestFuncCacheRapidSuccessiveEdits drives one function through three
+// versions in quick succession — the watch daemon's save-storm shape — and
+// asserts that no intermediate version's entry is ever served for newer
+// source, and that the final warm incremental result is byte-identical to a
+// cold cache-free check of the final state.
+func TestFuncCacheRapidSuccessiveEdits(t *testing.T) {
+	reg := quals.MustStandard()
+	fc := NewFuncCache(0)
+
+	version := func(n int) string {
+		return fmt.Sprintf(`
+int* nonnull g;
+
+void alpha() {
+  int x = %d;
+}
+void beta(int* p) {
+  g = p;
+}
+`, n)
+	}
+
+	checkCached(t, reg, version(1), fc)
+	for n := 2; n <= 3; n++ {
+		res := checkCached(t, reg, version(n), fc)
+		// Each new body is a genuinely new content key: a miss, never a stale
+		// replay of the previous version's entry.
+		if res.Stats.FuncCacheMisses != 1 || res.Stats.FuncCacheHits != 1 {
+			t.Errorf("version %d: %d misses / %d hits, want 1 / 1 (stale entry served?)",
+				n, res.Stats.FuncCacheMisses, res.Stats.FuncCacheHits)
+		}
+		cold := checkCached(t, reg, version(n), nil)
+		if got, want := fmt.Sprint(res.Diags), fmt.Sprint(cold.Diags); got != want {
+			t.Errorf("version %d: warm incremental diags diverge from cold check:\n got %s\nwant %s", n, got, want)
+		}
+	}
+
+	// Every distinct version must have minted its own entry (3 alpha bodies +
+	// 1 shared beta body), and re-checking an old version again replays its
+	// own entry, not a newer one's.
+	if fc.Len() != 4 {
+		t.Errorf("cache holds %d entries, want 4 (three alpha versions + beta)", fc.Len())
+	}
+	old := checkCached(t, reg, version(1), fc)
+	if old.Stats.FuncCacheHits != 2 || old.Stats.FuncCacheMisses != 0 {
+		t.Errorf("re-check of version 1: %d hits / %d misses, want 2 / 0",
+			old.Stats.FuncCacheHits, old.Stats.FuncCacheMisses)
+	}
+	coldOld := checkCached(t, reg, version(1), nil)
+	if got, want := fmt.Sprint(old.Diags), fmt.Sprint(coldOld.Diags); got != want {
+		t.Errorf("version 1 replay diverges from cold check:\n got %s\nwant %s", got, want)
+	}
+}

@@ -2,6 +2,7 @@ package checker
 
 import (
 	"context"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +40,11 @@ type TreeOptions struct {
 	// Cache, when non-nil, is the shared function-granular result cache;
 	// identical functions across files coalesce to one walk.
 	Cache *FuncCache
+	// DegradeReadErrors turns a vanished or unreadable file into a per-file
+	// "internal" diagnostic instead of a FileResult.Err. Under a watch daemon
+	// files routinely disappear between walk and read (editor rename-replace
+	// saves, git checkout); one vanished file must not fail the generation.
+	DegradeReadErrors bool
 }
 
 // FileResult is one file's checking outcome.
@@ -79,39 +85,77 @@ func (r *TreeResult) FilesPerSec() float64 {
 	return float64(len(r.Files)) / r.Duration.Seconds()
 }
 
-// CheckTree checks every matching source file under root. Diagnostics come
-// back per file, in deterministic order regardless of opts.Workers. Only
-// walk-level failures (unreadable root) return a non-nil error; per-file
-// read/parse failures land on the FileResult.
-func CheckTree(ctx context.Context, root string, reg *qdl.Registry, opts TreeOptions) (*TreeResult, error) {
-	start := time.Now()
-	files, wstats, err := input.Walk(root, opts.Walk)
-	if err != nil {
-		return nil, err
-	}
+// TreeChecker is a reusable repo-scale checking engine: one scheduler pool,
+// one streaming reader, and one function cache serving any number of passes.
+// The watch daemon keeps a TreeChecker alive across generations so the pool's
+// workers, the reader's pooled buffers, and the cache's warm entries survive
+// from one save to the next instead of being rebuilt per pass. Close releases
+// the pool; a closed TreeChecker must not be used again.
+type TreeChecker struct {
+	reg       *qdl.Registry
+	opts      TreeOptions
+	qualNames map[string]bool
+	maxBytes  int64
+	pool      *scheduler.Pool
+	reader    *input.Reader
+}
+
+// NewTreeChecker builds a checking engine with a running (idle) worker pool.
+func NewTreeChecker(reg *qdl.Registry, opts TreeOptions) *TreeChecker {
 	maxBytes := opts.Walk.MaxFileBytes
 	if maxBytes <= 0 {
 		maxBytes = input.DefaultMaxFileBytes
 	}
-	reader := input.NewReader()
-	qualNames := reg.Names()
-	pool := scheduler.New(opts.Workers, opts.Seed)
-	defer pool.Close()
+	return &TreeChecker{
+		reg:       reg,
+		opts:      opts,
+		qualNames: reg.Names(),
+		maxBytes:  maxBytes,
+		pool:      scheduler.New(opts.Workers, opts.Seed),
+		reader:    input.NewReader(),
+	}
+}
 
+// Close stops and joins the worker pool.
+func (tc *TreeChecker) Close() { tc.pool.Close() }
+
+// ReaderStats snapshots the streaming reader's cumulative counters.
+func (tc *TreeChecker) ReaderStats() input.ReaderStats { return tc.reader.Stats() }
+
+// SchedStats snapshots the scheduler pool's cumulative counters.
+func (tc *TreeChecker) SchedStats() scheduler.Stats { return tc.pool.Stats() }
+
+// CheckFiles checks the given files over the persistent pool and returns one
+// result per file, index-aligned with the input. This is the incremental
+// re-check path: the watch daemon passes only the files whose content
+// changed, and within each file only the functions whose content key changed
+// miss the cache — everything else replays. Results are deterministic for a
+// given file list at any worker count.
+func (tc *TreeChecker) CheckFiles(ctx context.Context, files []input.File) []FileResult {
 	results := make([]FileResult, len(files))
 	for i := range files {
 		i, f := i, files[i]
-		pool.Submit(func(c *scheduler.Ctx) {
-			checkFileTask(ctx, c, f, reg, qualNames, maxBytes, reader, opts, &results[i])
+		tc.pool.Submit(func(c *scheduler.Ctx) {
+			checkFileTask(ctx, c, f, tc.reg, tc.qualNames, tc.maxBytes, tc.reader, tc.opts, &results[i])
 		})
 	}
-	pool.Wait()
+	tc.pool.Wait()
+	return results
+}
 
+// CheckTree walks root and checks every collected file (the full pass).
+func (tc *TreeChecker) CheckTree(ctx context.Context, root string) (*TreeResult, error) {
+	start := time.Now()
+	files, wstats, err := input.Walk(root, tc.opts.Walk)
+	if err != nil {
+		return nil, err
+	}
+	results := tc.CheckFiles(ctx, files)
 	res := &TreeResult{
 		Files: results,
 		Walk:  wstats,
-		Read:  reader.Stats(),
-		Sched: pool.Stats(),
+		Read:  tc.reader.Stats(),
+		Sched: tc.pool.Stats(),
 		Err:   ctx.Err(),
 		Stats: Stats{
 			Annotations: map[string]int{},
@@ -124,6 +168,16 @@ func CheckTree(ctx context.Context, root string, reg *qdl.Registry, opts TreeOpt
 	}
 	res.Duration = time.Since(start)
 	return res, nil
+}
+
+// CheckTree checks every matching source file under root. Diagnostics come
+// back per file, in deterministic order regardless of opts.Workers. Only
+// walk-level failures (unreadable root) return a non-nil error; per-file
+// read/parse failures land on the FileResult.
+func CheckTree(ctx context.Context, root string, reg *qdl.Registry, opts TreeOptions) (*TreeResult, error) {
+	tc := NewTreeChecker(reg, opts)
+	defer tc.Close()
+	return tc.CheckTree(ctx, root)
 }
 
 // checkFileTask is one file's task: read, parse, run the program-level
@@ -139,6 +193,17 @@ func checkFileTask(ctx context.Context, c *scheduler.Ctx, f input.File, reg *qdl
 	}
 	src, err := reader.ReadString(f.Path, maxBytes)
 	if err != nil {
+		if opts.DegradeReadErrors {
+			// The file vanished (or turned unreadable) between walk and read.
+			// Degrade to a per-file transient diagnostic: the generation
+			// completes, and the next rescan reconciles the file's fate.
+			out.Diags = []Diagnostic{{
+				Pos:  cminor.Pos{File: f.Rel, Line: 1, Col: 1},
+				Code: "internal",
+				Msg:  fmt.Sprintf("read failed: %v", err),
+			}}
+			return
+		}
 		out.Err = err
 		return
 	}

@@ -3,6 +3,7 @@ package checker
 import (
 	"context"
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -316,5 +317,128 @@ func TestTreeReaderRejectsOversize(t *testing.T) {
 		if fr.Err != nil {
 			t.Errorf("%s: %v", fr.File, fr.Err)
 		}
+	}
+}
+
+func writeTreeFile(t *testing.T, root, rel, body string) {
+	t.Helper()
+	full := filepath.Join(root, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(full, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTreeCheckerIncrementalReuse is the watch daemon's engine contract: one
+// TreeChecker survives across passes, and re-checking an edited file through
+// it misses the cache only for the function whose content actually changed.
+func TestTreeCheckerIncrementalReuse(t *testing.T) {
+	leak.Check(t)
+	reg := quals.MustStandard()
+	dir := t.TempDir()
+	writeTreeFile(t, dir, "a.c", `
+int* nonnull g;
+
+int keep(int a) {
+  return a;
+}
+void violate(int* p) {
+  g = p;
+}
+`)
+	writeTreeFile(t, dir, "b.c", "int other(int n) {\n  return n;\n}\n")
+
+	fc := NewFuncCache(0)
+	tc := NewTreeChecker(reg, TreeOptions{Workers: 2, Seed: 1, Cache: fc})
+	defer tc.Close()
+	ctx := context.Background()
+
+	full, err := tc.CheckTree(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.FuncCacheMisses != 3 {
+		t.Fatalf("cold pass: %d misses, want 3", full.Stats.FuncCacheMisses)
+	}
+
+	// Edit exactly one function body; signatures and interfaces unchanged.
+	writeTreeFile(t, dir, "a.c", `
+int* nonnull g;
+
+int keep(int a) {
+  return a;
+}
+void violate(int* p) {
+  int* q = p;
+  g = q;
+}
+`)
+	f, ok, err := input.StatFile(dir, "a.c", input.WalkOptions{})
+	if err != nil || !ok {
+		t.Fatalf("StatFile: ok=%v err=%v", ok, err)
+	}
+	res := tc.CheckFiles(ctx, []input.File{f})
+	if len(res) != 1 || res[0].Err != nil {
+		t.Fatalf("incremental re-check: %+v", res)
+	}
+	if res[0].Stats.FuncCacheMisses != 1 || res[0].Stats.FuncCacheHits != 1 {
+		t.Errorf("incremental re-check: %d misses / %d hits, want 1 / 1 (only the edited function re-walks)",
+			res[0].Stats.FuncCacheMisses, res[0].Stats.FuncCacheHits)
+	}
+	// The warm incremental result must match a cold whole-tree pass of the
+	// current state.
+	cold, err := CheckTree(ctx, dir, reg, TreeOptions{Workers: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(res[0].Diags), fmt.Sprint(cold.Files[0].Diags); got != want {
+		t.Errorf("incremental diags diverge from cold pass:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestTreeVanishedFileDegrades: a file deleted between walk and read must not
+// fail the pass under DegradeReadErrors — it becomes that file's own
+// transient "internal" diagnostic — while the default mode still reports a
+// hard per-file error.
+func TestTreeVanishedFileDegrades(t *testing.T) {
+	leak.Check(t)
+	reg := quals.MustStandard()
+	dir := t.TempDir()
+	writeTreeFile(t, dir, "a.c", "int a(int n) {\n  return n;\n}\n")
+	writeTreeFile(t, dir, "b.c", "int b(int n) {\n  return n;\n}\n")
+	writeTreeFile(t, dir, "c.c", "int c(int n) {\n  return n;\n}\n")
+
+	files, _, err := input.Walk(dir, input.WalkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deletion happens after the walk, before the read — the watch
+	// daemon's routine race.
+	if err := os.Remove(filepath.Join(dir, "b.c")); err != nil {
+		t.Fatal(err)
+	}
+
+	tc := NewTreeChecker(reg, TreeOptions{Workers: 2, Seed: 1, DegradeReadErrors: true})
+	defer tc.Close()
+	res := tc.CheckFiles(context.Background(), files)
+	if res[1].Err != nil {
+		t.Errorf("degraded mode still returned a hard error: %v", res[1].Err)
+	}
+	if len(res[1].Diags) != 1 || res[1].Diags[0].Code != "internal" {
+		t.Errorf("vanished file diags = %v, want one internal diagnostic", res[1].Diags)
+	}
+	for _, i := range []int{0, 2} {
+		if res[i].Err != nil || len(res[i].Diags) != 0 {
+			t.Errorf("intact file %s affected: err=%v diags=%v", res[i].File, res[i].Err, res[i].Diags)
+		}
+	}
+
+	hard := NewTreeChecker(reg, TreeOptions{Workers: 2, Seed: 1})
+	defer hard.Close()
+	hres := hard.CheckFiles(context.Background(), files)
+	if hres[1].Err == nil {
+		t.Error("default mode swallowed the read failure")
 	}
 }

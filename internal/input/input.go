@@ -7,6 +7,7 @@
 package input
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"io/fs"
@@ -15,6 +16,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultMaxFileBytes mirrors cminor.MaxSourceBytes (the parser refuses
@@ -68,6 +70,22 @@ func (o WalkOptions) maxFileBytes() int64 {
 	return DefaultMaxFileBytes
 }
 
+// MatchName reports whether a file basename would be collected by Walk:
+// a configured extension suffix on a non-hidden name. Dot-prefixed files are
+// never collected, matching the pruning of dot-directories (a file literally
+// named ".c" satisfies the suffix check but is editor/VCS state, not source).
+func (o WalkOptions) MatchName(name string) bool {
+	if strings.HasPrefix(name, ".") {
+		return false
+	}
+	for _, e := range o.exts() {
+		if strings.HasSuffix(name, e) {
+			return true
+		}
+	}
+	return false
+}
+
 // File is one collected source file.
 type File struct {
 	// Path is the absolute (or root-relative, as given) on-disk path.
@@ -77,6 +95,10 @@ type File struct {
 	Rel string
 	// Size is the file's length at walk time.
 	Size int64
+	// ModTime is the file's modification time at walk time; the watch
+	// daemon's polling rescan compares (Size, ModTime) snapshots to find
+	// changed files without reading them.
+	ModTime time.Time
 }
 
 // WalkStats counts what the walk saw.
@@ -88,8 +110,15 @@ type WalkStats struct {
 	// over the size cap.
 	SkippedDirs int
 	TooLarge    int
+	// Vanished counts entries that disappeared between directory listing and
+	// stat (routine under a watch daemon's mutating tree; never an error).
+	Vanished int
 	// TotalBytes sums the sizes of the collected files.
 	TotalBytes int64
+	// Truncated reports that MaxFiles stopped the walk early: Visited,
+	// TotalBytes, and the file list cover only the prefix seen before the
+	// cap (no silent caps — callers must surface this).
+	Truncated bool
 }
 
 // Walk collects the checkable files under root in deterministic (lexical)
@@ -112,6 +141,13 @@ func Walk(root string, opts WalkOptions) ([]File, WalkStats, error) {
 	errStop := fmt.Errorf("input: max files reached")
 	walkErr := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
+			// An entry that vanished between listing and stat is a mutating
+			// tree, not a broken walk (the watch daemon re-walks while
+			// editors rewrite files); skip it and keep going.
+			if errors.Is(err, fs.ErrNotExist) {
+				stats.Vanished++
+				return nil
+			}
 			return err
 		}
 		name := d.Name()
@@ -133,11 +169,18 @@ func Walk(root string, opts WalkOptions) ([]File, WalkStats, error) {
 				break
 			}
 		}
-		if !matched {
+		if !matched || strings.HasPrefix(name, ".") {
+			// Dot-prefixed files are skipped for consistency with the
+			// dot-directory pruning above: ".c" matches the suffix check but
+			// is hidden state, not source.
 			return nil
 		}
 		fi, err := d.Info()
 		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				stats.Vanished++
+				return nil
+			}
 			return err
 		}
 		if fi.Size() > maxBytes {
@@ -148,10 +191,11 @@ func Walk(root string, opts WalkOptions) ([]File, WalkStats, error) {
 		if err != nil {
 			return err
 		}
-		files = append(files, File{Path: path, Rel: filepath.ToSlash(rel), Size: fi.Size()})
+		files = append(files, File{Path: path, Rel: filepath.ToSlash(rel), Size: fi.Size(), ModTime: fi.ModTime()})
 		stats.Matched++
 		stats.TotalBytes += fi.Size()
 		if opts.MaxFiles > 0 && len(files) >= opts.MaxFiles {
+			stats.Truncated = true
 			return errStop
 		}
 		return nil
@@ -160,6 +204,29 @@ func Walk(root string, opts WalkOptions) ([]File, WalkStats, error) {
 		return nil, stats, walkErr
 	}
 	return files, stats, nil
+}
+
+// StatFile is the single-file refresh path: it re-stats one root-relative
+// file and reports whether Walk would collect it right now. ok is false —
+// with a nil error — when the file is gone, is not a regular file, has a
+// non-matching or hidden name, or exceeds the size cap; the watch daemon
+// uses it to classify a burst of change events without re-walking the tree.
+func StatFile(root, rel string, opts WalkOptions) (File, bool, error) {
+	if !opts.MatchName(filepath.Base(rel)) {
+		return File{}, false, nil
+	}
+	path := filepath.Join(root, filepath.FromSlash(rel))
+	fi, err := os.Stat(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return File{}, false, nil
+		}
+		return File{}, false, err
+	}
+	if !fi.Mode().IsRegular() || fi.Size() > opts.maxFileBytes() {
+		return File{}, false, nil
+	}
+	return File{Path: path, Rel: filepath.ToSlash(rel), Size: fi.Size(), ModTime: fi.ModTime()}, true, nil
 }
 
 // chunkSize is the unit one pooled read grows by. 64 KiB covers most source

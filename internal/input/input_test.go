@@ -61,13 +61,73 @@ func TestWalkSizeCapAndMaxFiles(t *testing.T) {
 	if len(files) != 2 || stats.TooLarge != 1 {
 		t.Fatalf("got %d files, TooLarge=%d; want 2 files, 1 too large", len(files), stats.TooLarge)
 	}
+	if stats.Truncated {
+		t.Error("uncapped walk reported Truncated")
+	}
 
-	files, _, err = Walk(root, WalkOptions{MaxFiles: 1})
+	files, stats, err = Walk(root, WalkOptions{MaxFiles: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(files) != 1 || files[0].Rel != "big.c" {
 		t.Fatalf("MaxFiles=1 got %v, want [big.c]", files)
+	}
+	if !stats.Truncated {
+		t.Error("MaxFiles-capped walk did not report Truncated")
+	}
+}
+
+// Regression: a hidden file whose name satisfies the extension suffix check
+// (".c" itself, or a dot-prefixed ".backup.c") must not be collected —
+// dot-*directories* were always pruned, but dotfiles slipped through.
+func TestWalkSkipsHiddenFiles(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "real.c"), "int a;")
+	write(t, filepath.Join(root, ".c"), "int hidden;")
+	write(t, filepath.Join(root, ".backup.c"), "int backup;")
+
+	files, _, err := Walk(root, WalkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].Rel != "real.c" {
+		t.Fatalf("hidden files collected: got %v, want [real.c]", files)
+	}
+}
+
+func TestMatchName(t *testing.T) {
+	o := WalkOptions{}
+	for name, want := range map[string]bool{
+		"a.c": true, "sub.x.c": true, "a.h": false, ".c": false, ".hidden.c": false, "c": false,
+	} {
+		if got := o.MatchName(name); got != want {
+			t.Errorf("MatchName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestStatFile(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "sub", "a.c"), "int a;")
+
+	f, ok, err := StatFile(root, "sub/a.c", WalkOptions{})
+	if err != nil || !ok {
+		t.Fatalf("StatFile existing: ok=%v err=%v", ok, err)
+	}
+	if f.Rel != "sub/a.c" || f.Size != int64(len("int a;")) || f.ModTime.IsZero() {
+		t.Errorf("StatFile result %+v", f)
+	}
+	if _, ok, err := StatFile(root, "sub/gone.c", WalkOptions{}); err != nil || ok {
+		t.Errorf("vanished file: ok=%v err=%v, want ok=false err=nil", ok, err)
+	}
+	if _, ok, _ := StatFile(root, "sub/.a.c", WalkOptions{}); ok {
+		t.Error("hidden file: want ok=false")
+	}
+	if _, ok, _ := StatFile(root, "sub", WalkOptions{Exts: []string{"sub"}}); ok {
+		t.Error("directory: want ok=false")
+	}
+	if _, ok, _ := StatFile(root, "sub/a.c", WalkOptions{MaxFileBytes: 2}); ok {
+		t.Error("over size cap: want ok=false")
 	}
 }
 

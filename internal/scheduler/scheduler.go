@@ -191,8 +191,16 @@ func newPool(workers int, seed uint64) *Pool {
 }
 
 // Submit enqueues a task on the shared injector queue (FIFO). Safe from any
-// goroutine. Submitting to a closed pool panics.
+// goroutine. Submitting to a closed pool panics: the workers are gone, so
+// the task would silently never run (the watch daemon reuses one pool across
+// generations — Submit after Wait is fine, Submit after Close is a bug).
 func (p *Pool) Submit(t Task) {
+	p.parkMu.Lock()
+	stopped := p.stopped
+	p.parkMu.Unlock()
+	if stopped {
+		panic("scheduler: Submit on a closed pool")
+	}
 	p.pending.Add(1)
 	p.submitted.Add(1)
 	p.injMu.Lock()

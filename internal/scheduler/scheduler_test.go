@@ -207,3 +207,39 @@ func TestPanicInTask(t *testing.T) {
 		t.Fatalf("pool unserviceable after contained panic: %d tasks ran", ran.Load())
 	}
 }
+
+// TestPoolReuseAcrossGenerations is the watch daemon's pool contract: a
+// Submit/Wait cycle can repeat on one pool, counters accumulate, and no
+// worker needs restarting between cycles.
+func TestPoolReuseAcrossGenerations(t *testing.T) {
+	p := New(4, 1)
+	defer p.Close()
+	var ran atomic.Uint64
+	for gen := 1; gen <= 5; gen++ {
+		for i := 0; i < 16; i++ {
+			p.Submit(func(*Ctx) { ran.Add(1) })
+		}
+		p.Wait()
+		if got, want := ran.Load(), uint64(gen*16); got != want {
+			t.Fatalf("generation %d: %d tasks ran, want %d", gen, got, want)
+		}
+	}
+	if st := p.Stats(); st.Submitted != 80 || st.Executed != 80 {
+		t.Errorf("stats after 5 generations: %+v, want 80 submitted/executed", st)
+	}
+}
+
+// TestSubmitAfterClosePanics enforces the documented single-use contract:
+// a closed pool has no workers, so a silent enqueue would hang Wait forever.
+func TestSubmitAfterClosePanics(t *testing.T) {
+	p := New(2, 1)
+	p.Submit(func(*Ctx) {})
+	p.Wait()
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Submit on a closed pool did not panic")
+		}
+	}()
+	p.Submit(func(*Ctx) {})
+}

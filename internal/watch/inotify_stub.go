@@ -1,0 +1,21 @@
+//go:build !linux
+
+package watch
+
+import (
+	"errors"
+
+	"repro/internal/input"
+)
+
+// notifyWatcher is unavailable off linux; Run reports the polling fallback.
+type notifyWatcher struct{}
+
+var errNoNotify = errors.New("no fs notification backend on this platform")
+
+func newNotifyWatcher(string, input.WalkOptions) (*notifyWatcher, error) {
+	return nil, errNoNotify
+}
+
+func (w *notifyWatcher) Events() <-chan string { return nil }
+func (w *notifyWatcher) Close() error          { return nil }
