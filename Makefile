@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-tree tree-smoke experiments fuzz-smoke serve-smoke chaos-smoke cert-smoke watch-smoke ci
+.PHONY: all build vet test race bench bench-smoke bench-tree tree-smoke experiments fuzz-smoke serve-smoke chaos-smoke cert-smoke watch-smoke persist-smoke ci
 
 # Seconds of fuzzing per target in fuzz-smoke.
 FUZZTIME ?= 30s
@@ -140,11 +140,19 @@ serve-smoke:
 watch-smoke:
 	$(GO) test -run '^TestWatchSmoke$$' -count=1 ./cmd/qualcheck
 
+# persist-smoke is the durable-cache gate: scripts/persist_smoke.sh runs the
+# real qualcheck binary twice against one -cache-dir (run 2 must be served
+# entirely from disk with byte-identical diagnostics), then corrupts a
+# committed record and asserts the next cold start detects it, evicts it,
+# and re-proves — converging to the same diagnostics as a fresh run.
+persist-smoke:
+	sh scripts/persist_smoke.sh
+
 # ci is the gate: everything must build, vet clean, pass under -race, run
 # every benchmark for one smoke iteration, keep serial and parallel tree
 # checking byte-identical (and fast enough), survive a short fuzzing budget
 # on each fuzz target, replay every qualifier-suite certificate, serve one
 # checking request end to end, hold the serving contract under injected
-# faults, and keep the watch daemon's incremental generations faithful to
-# batch checking.
-ci: build vet race bench-smoke tree-smoke fuzz-smoke cert-smoke serve-smoke chaos-smoke watch-smoke
+# faults, keep the watch daemon's incremental generations faithful to batch
+# checking, and keep the disk-backed caches crash-safe and self-healing.
+ci: build vet race bench-smoke tree-smoke fuzz-smoke cert-smoke serve-smoke chaos-smoke watch-smoke persist-smoke

@@ -6,13 +6,20 @@
 //
 //	qualcheck [-quals file.qdl ...] [-taint] [-stats] program.c
 //	qualcheck -corpus grep-dfa|bftpd|bftpd-fixed|mingetty|identd [-stats]
-//	qualcheck -r dir [-j N] [-stats]
-//	qualcheck -watch dir [-debounce d] [-poll d] [-j N]
+//	qualcheck -r dir [-j N] [-stats] [-cache-dir dir] [-cache-budget N]
+//	qualcheck -watch dir [-debounce d] [-poll d] [-j N] [-cache-dir dir]
 //
 // With -r, qualcheck checks every .c file under the directory tree
 // (skipping vendor/, testdata/, and hidden directories) over a work-stealing
 // scheduler bounded by -j. Diagnostics are printed in deterministic
 // path/line order regardless of the worker count.
+//
+// With -cache-dir, the function-result cache is persisted to disk as
+// checksummed, crash-safe records, so a later run (or a -watch daemon
+// restarted after a crash) starts warm instead of re-walking every
+// function. Corrupt or torn records are detected, evicted, and re-proved —
+// never trusted. -cache-budget bounds the directory's size in bytes; the
+// least recently used records are evicted past it.
 //
 // With -watch, qualcheck becomes a resident incremental checker: one full
 // tree pass, then re-checking only what changes, pushing diagnostics as
@@ -33,11 +40,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cachedisk"
 	"repro/internal/checker"
 	"repro/internal/cminor"
 	"repro/internal/corpus"
@@ -81,6 +90,8 @@ func main() {
 	debounce := flag.Duration("debounce", watch.DefaultDebounce, "with -watch: quiet window before a change burst is re-checked")
 	poll := flag.Duration("poll", 0, "with -watch: rescan interval replacing fs notifications (0 = use notifications)")
 	maxFiles := flag.Int("max-files", 0, "with -r/-watch: stop the walk after this many files (0 = unlimited)")
+	cacheDir := flag.String("cache-dir", "", "with -r/-watch: persist the function cache under this directory so later runs start warm")
+	cacheBudget := flag.Int64("cache-budget", 0, "with -cache-dir: total record bytes kept on disk before LRU eviction (0 = unlimited)")
 	cacheStats := flag.Bool("cache-stats", false, "print derivation-memo cache statistics after checking")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the check; 0 means unlimited")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -117,11 +128,12 @@ func main() {
 			Seed:     1,
 			Debounce: *debounce,
 			Poll:     *poll,
+			Cache:    openFuncCache(*cacheDir, *cacheBudget),
 		})
 		return
 	}
 	if *treeRoot != "" {
-		runTree(ctx, *treeRoot, reg, *jobs, *flow, *stats, *cacheStats, *maxFiles)
+		runTree(ctx, *treeRoot, reg, *jobs, *flow, *stats, *cacheStats, *maxFiles, *cacheDir, *cacheBudget)
 		return
 	}
 
@@ -217,11 +229,29 @@ func runWatch(ctx context.Context, root string, reg *qdl.Registry, opts watch.Op
 	}
 }
 
+// openFuncCache builds the function cache for -r/-watch runs, attaching the
+// disk tier when -cache-dir is set. A directory that cannot be opened is a
+// warning, not a failure: the run degrades to memory-only, matching the
+// store's own breaker behavior for mid-run disk faults.
+func openFuncCache(dir string, budget int64) *checker.FuncCache {
+	fc := checker.NewFuncCache(0)
+	if dir == "" {
+		return fc
+	}
+	store, err := cachedisk.Open(filepath.Join(dir, "func"), budget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qualcheck: cache dir unusable, running memory-only: %v\n", err)
+		return fc
+	}
+	fc.WithDisk(store)
+	return fc
+}
+
 // runTree is the -r mode: repo-scale checking over the work-stealing
 // scheduler. Exit status matches the single-file mode: 1 for warnings, 2 for
 // read/parse failures or an interrupted run, 0 for a clean tree.
-func runTree(ctx context.Context, root string, reg *qdl.Registry, jobs int, flow, stats, cacheStats bool, maxFiles int) {
-	fc := checker.NewFuncCache(0)
+func runTree(ctx context.Context, root string, reg *qdl.Registry, jobs int, flow, stats, cacheStats bool, maxFiles int, cacheDir string, cacheBudget int64) {
+	fc := openFuncCache(cacheDir, cacheBudget)
 	res, err := checker.CheckTree(ctx, root, reg, checker.TreeOptions{
 		Options: checker.Options{FlowSensitive: flow},
 		Workers: jobs,
@@ -251,6 +281,11 @@ func runTree(ctx context.Context, root string, reg *qdl.Registry, jobs int, flow
 		st := fc.Stats()
 		fmt.Printf("function cache: %d hits, %d misses, %d coalesced, %d evictions (%.1f%% hit rate)\n",
 			st.Hits, st.Misses, st.Coalesced, st.Evictions, 100*st.HitRate())
+		if cacheDir != "" {
+			ds := fc.DiskStats()
+			fmt.Printf("disk cache: %d hits, %d misses, %d puts, %d entries, %d bytes, %d corrupt evicted, %d budget evicted\n",
+				ds.Hits, ds.Misses, ds.Puts, ds.Entries, ds.Bytes, ds.CorruptEvicted, ds.BudgetEvicted)
+		}
 	}
 	if res.Err != nil {
 		fmt.Fprintf(os.Stderr, "qualcheck: tree check stopped: %v (results are incomplete)\n", res.Err)
@@ -273,8 +308,8 @@ func printTreeStats(res *checker.TreeResult) {
 	if res.Walk.Truncated {
 		trunc = " [truncated: -max-files cap hit, tree only partially checked]"
 	}
-	fmt.Printf("files: %d matched, %d skipped dirs, %d over size cap, %d vanished, %d bytes%s\n",
-		res.Walk.Matched, res.Walk.SkippedDirs, res.Walk.TooLarge, res.Walk.Vanished, res.Walk.TotalBytes, trunc)
+	fmt.Printf("files: %d matched, %d skipped dirs, %d symlinks skipped, %d over size cap, %d vanished, %d bytes%s\n",
+		res.Walk.Matched, res.Walk.SkippedDirs, res.Walk.Symlinks, res.Walk.TooLarge, res.Walk.Vanished, res.Walk.TotalBytes, trunc)
 	fmt.Printf("throughput: %.1f files/s (%.3fs wall)\n", res.FilesPerSec(), res.Duration.Seconds())
 	s := res.Sched
 	fmt.Printf("scheduler: %d workers, %d file tasks, %d function units, %d steals, %d injector grabs, %d parks\n",

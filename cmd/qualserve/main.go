@@ -8,6 +8,7 @@
 //	qualserve [-addr :8080] [-workers N] [-queue N] [-timeout 30s] [-drain 10s]
 //	          [-max-body N] [-mem-limit N] [-breaker-threshold K] [-breaker-cooldown 5s]
 //	          [-max-terms N] [-max-clauses N] [-max-insts N]
+//	          [-cache-dir dir] [-cache-budget N] [-cache-peers url,url]
 //	          [-faults spec]
 //
 // Endpoints:
@@ -25,6 +26,16 @@
 //	                    count, cache hit + coalesce rates, budget trips,
 //	                    fault fires, and per-qualifier breaker state
 //	GET  /healthz — liveness (503 while draining)
+//	GET  /cache/{func|prover}/{hash} — serve a sealed cache record to a peer
+//	                    node (with -cache-dir; see -cache-peers)
+//
+// With -cache-dir, both warm caches persist across restarts as checksummed
+// crash-safe records; corrupt or torn records are evicted and re-proved,
+// never trusted. With -cache-peers, a local cache miss consults the listed
+// nodes before computing: fetched prover verdicts are admitted only after
+// their proof certificates replay locally, and fetched checker results only
+// after their content seal verifies — a lying peer costs a re-walk, never
+// a wrong answer.
 //
 // SIGINT/SIGTERM starts a graceful drain: in-flight requests finish (up to
 // -drain), new ones are answered 503, then the process exits 0.
@@ -46,6 +57,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,6 +67,18 @@ import (
 
 func main() {
 	os.Exit(run())
+}
+
+// splitPeers parses the -cache-peers list, tolerating empty segments and
+// stray whitespace so "a, b," means ["a", "b"].
+func splitPeers(v string) []string {
+	var peers []string
+	for _, p := range strings.Split(v, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimRight(p, "/"))
+		}
+	}
+	return peers
 }
 
 func run() int {
@@ -74,6 +98,11 @@ func run() int {
 	maxTerms := flag.Int("max-terms", 0, "per-goal interned-term budget; trips become transient Unknowns (0 = unlimited)")
 	maxClauses := flag.Int("max-clauses", 0, "per-goal clause-database budget (0 = unlimited)")
 	maxInsts := flag.Int("max-insts", 0, "per-goal quantifier-instantiation budget (0 = default)")
+	cacheDir := flag.String("cache-dir", "", "persist both warm caches under this directory (crash-safe, checksummed records; restarts start warm)")
+	cacheBudget := flag.Int64("cache-budget", 0, "per-namespace disk cache size in bytes before LRU eviction (0 = unlimited)")
+	cachePeers := flag.String("cache-peers", "", "comma-separated base URLs of peer qualserve nodes to fetch cache records from on a local miss (every fetched record is re-verified before use)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "per-attempt timeout for one peer cache fetch (default 2s)")
+	peerRetries := flag.Int("peer-retries", 0, "extra fetch attempts per peer after the first (default 1; negative = off)")
 	certs := flag.Bool("cert", false, "emit and replay-verify a proof certificate for every Valid prover verdict (surfaced per obligation and in /metrics)")
 	prefilter := flag.String("prefilter", "on", "prover's cheap discharge tiers: on|off (escape hatch; verdicts unchanged)")
 	learn := flag.String("learn", "on", "CDCL clause learning and lemma sharing: on|off (off selects the chronological engine)")
@@ -126,6 +155,11 @@ func run() int {
 		DisablePrefilter:   offSwitch("prefilter", *prefilter),
 		DisableLearning:    offSwitch("learn", *learn),
 		EmitCertificates:   *certs,
+		CacheDir:           *cacheDir,
+		CacheBudget:        *cacheBudget,
+		CachePeers:         splitPeers(*cachePeers),
+		PeerTimeout:        *peerTimeout,
+		PeerRetries:        *peerRetries,
 	})
 	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
 		// The announce line is machine-readable: the smoke test (and any

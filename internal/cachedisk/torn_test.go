@@ -1,0 +1,87 @@
+package cachedisk
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestTornWriteWindowLoadsCleanOnRestart is the kill-9 regression for
+// satellite 3: the "cachedisk.commit" fault point fires in the window after
+// the temp file is fully written but before the rename, which is exactly
+// where a SIGKILL (or power loss on a journaling fs) leaves the directory.
+// The next Open must sweep the orphan and serve a clean miss — never a torn
+// verdict.
+func TestTornWriteWindowLoadsCleanOnRestart(t *testing.T) {
+	defer faults.DisarmAll()
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	s.Put("survivor", []byte("committed before the crash"))
+
+	if err := faults.Arm("cachedisk.commit=error:limit=1"); err != nil {
+		t.Fatal(err)
+	}
+	s.Put("victim", []byte("half-committed"))
+
+	// The commit aborted inside the rename window: no visible record, and
+	// the temp file (the torn artifact) is still on disk.
+	if _, err := os.Stat(filepath.Join(dir, KeyHash("victim")+recExt)); !os.IsNotExist(err) {
+		t.Fatalf("torn write produced a visible record: %v", err)
+	}
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*"+tmpExt))
+	if len(tmps) != 1 {
+		t.Fatalf("expected 1 torn temp file, found %v", tmps)
+	}
+
+	// "Restart": a fresh Open over the crashed directory.
+	s2 := open(t, dir, 0)
+	tmps, _ = filepath.Glob(filepath.Join(dir, "*"+tmpExt))
+	if len(tmps) != 0 {
+		t.Fatalf("restart did not sweep torn temp files: %v", tmps)
+	}
+	if _, ok := s2.Get("victim"); ok {
+		t.Fatal("torn record surfaced after restart")
+	}
+	if got, ok := s2.Get("survivor"); !ok || string(got) != "committed before the crash" {
+		t.Fatalf("committed record lost across the crash: %q, %v", got, ok)
+	}
+
+	// And the store is fully healthy: the victim can be re-proved and
+	// re-persisted.
+	s2.Put("victim", []byte("re-proved"))
+	if got, ok := s2.Get("victim"); !ok || string(got) != "re-proved" {
+		t.Fatalf("re-Put after torn write: %q, %v", got, ok)
+	}
+}
+
+// TestTruncatedCommittedRecordLoadsClean covers the other half of the torn
+// spectrum: the rename happened but the record's tail was lost (out-of-order
+// flush on crash). The truncated record must be evicted on first touch, and
+// a restart over the same directory must converge to the same answers a
+// fresh run would give.
+func TestTruncatedCommittedRecordLoadsClean(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	s.Put("key", []byte("full verdict payload"))
+	path := filepath.Join(dir, KeyHash("key")+recExt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, 0)
+	if _, ok := s2.Get("key"); ok {
+		t.Fatal("truncated record served after restart")
+	}
+	if st := s2.Stats(); st.CorruptEvicted != 1 {
+		t.Fatalf("CorruptEvicted = %d, want 1", st.CorruptEvicted)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("truncated record not removed: %v", err)
+	}
+}

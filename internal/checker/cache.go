@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cachedisk"
 	"repro/internal/cminor"
 	"repro/internal/faults"
 	"repro/internal/qdl"
@@ -46,12 +47,21 @@ type FuncCacheStats struct {
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	// Rejected counts entries dropped at lookup because their content seal no
-	// longer matched (the function is re-walked and the entry re-stored).
+	// longer matched (the function is re-walked and the entry re-stored) —
+	// whether the entry came from memory or from a disk record whose payload
+	// failed to decode or re-seal.
 	Rejected uint64 `json:"rejected"`
 	// Coalesced counts lookups that joined another caller's in-progress walk
 	// of the same key and shared its result (singleflight): of N concurrent
 	// identical submissions, one is a Miss (the fill) and N-1 are Coalesced.
 	Coalesced uint64 `json:"coalesced"`
+	// DiskHits counts leader fills served from the disk tier; PeerHits
+	// counts fills served (and seal-verified) from a cache peer; PeerRejects
+	// counts peer records refused by verification. All stay zero unless the
+	// corresponding tier is attached (persist.go).
+	DiskHits    uint64 `json:"disk_hits"`
+	PeerHits    uint64 `json:"peer_hits"`
+	PeerRejects uint64 `json:"peer_rejects"`
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -84,6 +94,15 @@ type FuncCache struct {
 	evictions atomic.Uint64
 	rejected  atomic.Uint64
 	coalesced atomic.Uint64
+
+	diskHits    atomic.Uint64
+	peerHits    atomic.Uint64
+	peerRejects atomic.Uint64
+
+	// Optional external tiers, attached before concurrent use and immutable
+	// after (WithDisk / WithPeerFetch in persist.go).
+	disk      *cachedisk.Store
+	peerFetch PeerFetch
 }
 
 // flight is one in-progress fill: the leader walks the function while waiters
@@ -152,11 +171,14 @@ func NewFuncCache(capacity int) *FuncCache {
 // Stats returns a snapshot of the hit/miss/eviction counters.
 func (c *FuncCache) Stats() FuncCacheStats {
 	return FuncCacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Rejected:  c.rejected.Load(),
-		Coalesced: c.coalesced.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		Rejected:    c.rejected.Load(),
+		Coalesced:   c.coalesced.Load(),
+		DiskHits:    c.diskHits.Load(),
+		PeerHits:    c.peerHits.Load(),
+		PeerRejects: c.peerRejects.Load(),
 	}
 }
 
@@ -227,13 +249,25 @@ func (c *FuncCache) beginLookup(key string) (entry *funcCacheEntry, fl *flight, 
 }
 
 // endFlight publishes the leader's outcome: stores the entry (when
-// replayable), retires the flight, and releases the waiters. The entry is
-// cached before the flight is removed, so a prober never finds the key in
-// neither place while a fill exists.
+// replayable), persists it to the disk tier, retires the flight, and
+// releases the waiters. The entry is cached before the flight is removed, so
+// a prober never finds the key in neither place while a fill exists.
 func (c *FuncCache) endFlight(key string, fl *flight, entry *funcCacheEntry) {
 	if entry != nil {
 		c.put(key, entry)
+		c.persist(key, entry)
 	}
+	c.retireFlight(key, fl, entry)
+}
+
+// endFlightLoaded releases a flight whose entry came from the disk or peer
+// tier: externalLookup already admitted it to memory (and, for peer fetches,
+// wrote it through to disk), so only the flight bookkeeping remains.
+func (c *FuncCache) endFlightLoaded(key string, fl *flight, entry *funcCacheEntry) {
+	c.retireFlight(key, fl, entry)
+}
+
+func (c *FuncCache) retireFlight(key string, fl *flight, entry *funcCacheEntry) {
 	c.mu.Lock()
 	delete(c.flights, key)
 	c.mu.Unlock()
@@ -372,6 +406,16 @@ func (en *engine) checkFuncCached(f *cminor.FuncDef) {
 		return
 	}
 	if leader {
+		// Before paying for a walk, probe the external tiers (disk, then
+		// peers). Doing this on the leader path keeps the singleflight
+		// property: concurrent lookups of one key cost one disk read or one
+		// peer fetch, not N.
+		if ext := en.fc.externalLookup(key); ext != nil {
+			en.stats.FuncCacheHits++
+			en.replayEntry(ext, f)
+			en.fc.endFlightLoaded(key, fl, ext)
+			return
+		}
 		en.stats.FuncCacheMisses++
 		en.safeCheckFunc(f)
 		stored, ok := en.entryFromWalk(f)

@@ -110,6 +110,12 @@ type WalkStats struct {
 	// over the size cap.
 	SkippedDirs int
 	TooLarge    int
+	// Symlinks counts symlink entries skipped without following. The walk
+	// never traverses a symlink — to a directory or a file — so a link
+	// cycle cannot hang it and a link escaping root cannot smuggle files
+	// into the check; this counter makes that pruning visible instead of
+	// silent.
+	Symlinks int
 	// Vanished counts entries that disappeared between directory listing and
 	// stat (routine under a watch daemon's mutating tree; never an error).
 	Vanished int
@@ -159,6 +165,9 @@ func Walk(root string, opts WalkOptions) ([]File, WalkStats, error) {
 			return nil
 		}
 		if !d.Type().IsRegular() {
+			if d.Type()&fs.ModeSymlink != 0 {
+				stats.Symlinks++
+			}
 			return nil
 		}
 		stats.Visited++

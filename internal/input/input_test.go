@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 func write(t *testing.T, path, body string) {
@@ -215,5 +216,47 @@ func TestReadStringConcurrent(t *testing.T) {
 	}
 	if st := r.Stats(); st.Files != 32*20 {
 		t.Errorf("files %d, want %d", st.Files, 32*20)
+	}
+}
+
+// Symlinks are never followed — not into directories (a self-referential
+// link must not hang the walk, a link escaping root must not smuggle files
+// in) and not to files — and every skipped link is counted, not silent.
+func TestWalkSkipsSymlinksWithoutFollowing(t *testing.T) {
+	root := t.TempDir()
+	outside := t.TempDir()
+	write(t, filepath.Join(root, "real.c"), "int a;")
+	write(t, filepath.Join(outside, "smuggled.c"), "int evil;")
+	mustSymlink := func(target, link string) {
+		t.Helper()
+		if err := os.Symlink(target, link); err != nil {
+			t.Skipf("symlinks unavailable: %v", err)
+		}
+	}
+	mustSymlink(root, filepath.Join(root, "loop"))                             // cycle: root -> root
+	mustSymlink(outside, filepath.Join(root, "extern"))                        // escape hatch to another tree
+	mustSymlink(filepath.Join(root, "real.c"), filepath.Join(root, "alias.c")) // file alias
+
+	done := make(chan struct{})
+	var files []File
+	var stats WalkStats
+	var err error
+	go func() {
+		defer close(done)
+		files, stats, err = Walk(root, WalkOptions{})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("walk did not terminate: a symlink cycle was followed")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].Rel != "real.c" {
+		t.Fatalf("collected %v, want only real.c (no smuggled or aliased files)", files)
+	}
+	if stats.Symlinks != 3 {
+		t.Errorf("stats.Symlinks = %d, want 3 (loop, extern, alias.c)", stats.Symlinks)
 	}
 }

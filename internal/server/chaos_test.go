@@ -37,6 +37,14 @@ func TestChaosSoak(t *testing.T) {
 	faults.DisarmAll()
 	defer faults.DisarmAll()
 
+	// A hostile cache peer: answers every record fetch 200 with garbage
+	// bytes. Under chaos the verification gauntlet must reject every one —
+	// rejects cost re-walks, never verdicts.
+	garbagePeer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("QDSK garbage that seals nothing"))
+	}))
+	defer garbagePeer.Close()
+
 	const cooldown = 200 * time.Millisecond
 	s, ts := newTestServer(t, Config{
 		Workers:          4,
@@ -47,6 +55,14 @@ func TestChaosSoak(t *testing.T) {
 		RetryTransient:   1,
 		RetryBackoff:     time.Millisecond,
 		MaxBodyBytes:     1 << 20,
+		// The durable tier joins the soak: the cachedisk.* fault points
+		// (torn commits, failed loads, failed evictions) and peer.fetch
+		// fire on real traffic, and the store's degrade breaker plus the
+		// hostile peer's rejections are part of the contract under test.
+		CacheDir:    t.TempDir(),
+		CachePeers:  []string{garbagePeer.URL},
+		PeerTimeout: 500 * time.Millisecond,
+		PeerRetries: -1,
 	})
 
 	// Deterministic chaos: a fixed seed picks which points arm and how.

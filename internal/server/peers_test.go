@@ -1,0 +1,337 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cachedisk"
+	"repro/internal/faults"
+)
+
+const peerSrc = `
+int* nonnull g;
+void ok() { int x = 1; }
+void bad(int* p) {
+  g = p;
+}
+`
+
+// diskHashes lists the committed record hashes in a store directory.
+func diskHashes(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hashes []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".qc") {
+			hashes = append(hashes, strings.TrimSuffix(e.Name(), ".qc"))
+		}
+	}
+	return hashes
+}
+
+// TestCacheEndpointServesSealedRecords: GET /cache/{ns}/{hash} serves the
+// sealed bytes for real records, 404s misses and unknown namespaces.
+func TestCacheEndpointServesSealedRecords(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	var resp CheckResponse
+	if code := postJSON(t, ts.URL+"/check", CheckRequest{Source: peerSrc}, &resp); code != http.StatusOK {
+		t.Fatalf("seed check: %d", code)
+	}
+	if s.diskFunc.Len() == 0 {
+		t.Fatal("check persisted nothing")
+	}
+	hashes := diskHashes(t, s.diskFunc.Dir())
+	if len(hashes) == 0 {
+		t.Fatal("no records on disk")
+	}
+	hash := hashes[0]
+
+	resp2, err := http.Get(fmt.Sprintf("%s/cache/func/%s", ts.URL, hash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("cache get: %d", resp2.StatusCode)
+	}
+	rec, _ := io.ReadAll(resp2.Body)
+	// The served bytes are a verifiable sealed record (the key is unknown
+	// here, so verify framing and checksum only).
+	if _, err := cachedisk.Unseal(rec, ""); err != nil {
+		t.Fatalf("served record does not verify: %v", err)
+	}
+
+	for _, path := range []string{
+		"/cache/func/" + strings.Repeat("0", 32), // absent hash
+		"/cache/nosuch/" + hash,                  // bad namespace
+		"/cache/prover/" + hash,                  // wrong namespace
+	} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, r.StatusCode)
+		}
+	}
+}
+
+// TestPeerWarmsSecondNode is the two-node fleet scenario: node A checks a
+// program; node B, cold but pointed at A, serves the same check entirely
+// from verified peer fetches — identical diagnostics, zero local walks, and
+// the fetched records written through to B's own disk.
+func TestPeerWarmsSecondNode(t *testing.T) {
+	_, tsA := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	var respA CheckResponse
+	if code := postJSON(t, tsA.URL+"/check", CheckRequest{Source: peerSrc}, &respA); code != http.StatusOK {
+		t.Fatalf("node A check: %d", code)
+	}
+
+	sB, tsB := newTestServer(t, Config{
+		Workers:    2,
+		CacheDir:   t.TempDir(),
+		CachePeers: []string{tsA.URL},
+	})
+	var respB CheckResponse
+	if code := postJSON(t, tsB.URL+"/check", CheckRequest{Source: peerSrc}, &respB); code != http.StatusOK {
+		t.Fatalf("node B check: %d", code)
+	}
+	if respB.Stats.FuncCacheMisses != 0 {
+		t.Fatalf("node B walked %d functions despite a warm peer", respB.Stats.FuncCacheMisses)
+	}
+	if a, b := fmt.Sprint(respA.Diagnostics), fmt.Sprint(respB.Diagnostics); a != b {
+		t.Fatalf("peer-served diagnostics diverge:\nA: %s\nB: %s", a, b)
+	}
+	fcB := sB.funcCache.Stats()
+	if fcB.PeerHits == 0 || fcB.PeerRejects != 0 {
+		t.Fatalf("node B cache stats = %+v, want peer hits and no rejects", fcB)
+	}
+	// Write-through: B's own disk now holds the fetched records, so a third
+	// node could warm from B.
+	if sB.diskFunc.Len() == 0 {
+		t.Fatal("peer fetches were not written through to node B's disk")
+	}
+	var m MetricsResponse
+	if code := getJSON(t, tsB.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	if m.Peers == nil || m.Peers.Hits == 0 {
+		t.Fatalf("metrics peers section missing or empty: %+v", m.Peers)
+	}
+	if m.FuncCache.PeerHits == 0 {
+		t.Fatalf("metrics func_cache.peer_hits = 0: %+v", m.FuncCache)
+	}
+	if m.Disk == nil {
+		t.Fatal("metrics disk section missing")
+	}
+}
+
+// TestProvePeerRequiresCertificates: prover outcomes fetched from a peer are
+// admitted only after their certificates replay locally. Both nodes emit
+// certificates; node B's prove is served by peer fetches with zero rejects
+// and the soundness verdicts match node A's obligation for obligation.
+func TestProvePeerRequiresCertificates(t *testing.T) {
+	_, tsA := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir(), EmitCertificates: true})
+	var respA ProveResponse
+	if code := postJSON(t, tsA.URL+"/prove", ProveRequest{Qualifier: "nonnull"}, &respA); code != http.StatusOK {
+		t.Fatalf("node A prove: %d", code)
+	}
+	if !respA.AllSound {
+		t.Fatalf("node A: nonnull not sound: %+v", respA)
+	}
+
+	sB, tsB := newTestServer(t, Config{
+		Workers: 2, CacheDir: t.TempDir(), EmitCertificates: true,
+		CachePeers: []string{tsA.URL},
+	})
+	var respB ProveResponse
+	if code := postJSON(t, tsB.URL+"/prove", ProveRequest{Qualifier: "nonnull"}, &respB); code != http.StatusOK {
+		t.Fatalf("node B prove: %d", code)
+	}
+	if !respB.AllSound {
+		t.Fatalf("node B: nonnull not sound via peers: %+v", respB)
+	}
+	pc := sB.proverCache.Stats()
+	if pc.PeerHits == 0 {
+		t.Fatalf("node B prover cache stats = %+v, want peer hits", pc)
+	}
+	if pc.PeerRejects != 0 {
+		t.Fatalf("verified peer fetches were rejected: %+v", pc)
+	}
+	if len(respA.Reports) != 1 || len(respB.Reports) != 1 ||
+		len(respA.Reports[0].Obligations) != len(respB.Reports[0].Obligations) {
+		t.Fatalf("report shapes diverge: A=%d B=%d reports", len(respA.Reports), len(respB.Reports))
+	}
+	for i, ob := range respB.Reports[0].Obligations {
+		if ob.Valid != respA.Reports[0].Obligations[i].Valid {
+			t.Fatalf("obligation %d verdict flipped across the peer fetch", i)
+		}
+	}
+}
+
+// TestAdversarialPeerNeverFlipsVerdicts: a hostile peer serving tampered
+// records costs local re-walks, never wrong output. Every tampered fetch is
+// counted as a reject and surfaced in /metrics.
+func TestAdversarialPeerNeverFlipsVerdicts(t *testing.T) {
+	// A truthful node A, then a proxy in front of it that flips one byte in
+	// every record it relays.
+	_, tsA := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	var respA CheckResponse
+	if code := postJSON(t, tsA.URL+"/check", CheckRequest{Source: peerSrc}, &respA); code != http.StatusOK {
+		t.Fatalf("node A check: %d", code)
+	}
+	evil := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp, err := http.Get(tsA.URL + r.URL.Path)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode == http.StatusOK && len(data) > 0 {
+			data[len(data)/2] ^= 0x40
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(data)
+	}))
+	defer evil.Close()
+
+	sB, tsB := newTestServer(t, Config{Workers: 2, CachePeers: []string{evil.URL}})
+	var respB CheckResponse
+	if code := postJSON(t, tsB.URL+"/check", CheckRequest{Source: peerSrc}, &respB); code != http.StatusOK {
+		t.Fatalf("node B check: %d", code)
+	}
+	if a, b := fmt.Sprint(respA.Diagnostics), fmt.Sprint(respB.Diagnostics); a != b {
+		t.Fatalf("adversarial peer changed the diagnostics:\nA: %s\nB: %s", a, b)
+	}
+	fc := sB.funcCache.Stats()
+	if fc.PeerRejects == 0 {
+		t.Fatalf("no tampered record was rejected: %+v", fc)
+	}
+	if fc.PeerHits != 0 {
+		t.Fatalf("a tampered record was admitted: %+v", fc)
+	}
+	var m MetricsResponse
+	getJSON(t, tsB.URL+"/metrics", &m)
+	if m.FuncCache.PeerRejects == 0 {
+		t.Fatalf("rejects not surfaced in /metrics: %+v", m.FuncCache)
+	}
+}
+
+// TestDeadPeerBreakerAndFallback: an unreachable peer costs a few timed-out
+// fetches, then its breaker opens and later lookups skip it — and every
+// check still answers correctly from local walks throughout.
+func TestDeadPeerBreakerAndFallback(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers:     2,
+		CachePeers:  []string{"http://127.0.0.1:1"}, // nothing listens here
+		PeerTimeout: 100 * time.Millisecond,
+		PeerRetries: -1,
+	})
+	s.peerClient.sleep = func(time.Duration) {} // no real backoff waits in tests
+	for i := 0; i < peerBreakerThreshold+2; i++ {
+		src := fmt.Sprintf("void f%d() { int x = %d; }", i, i)
+		var resp CheckResponse
+		if code := postJSON(t, ts.URL+"/check", CheckRequest{Source: src}, &resp); code != http.StatusOK {
+			t.Fatalf("check %d: status %d", i, code)
+		}
+		if resp.Warnings != 0 {
+			t.Fatalf("check %d: unexpected warnings", i)
+		}
+	}
+	snap := s.peerClient.snapshot()
+	if snap.Errors == 0 {
+		t.Fatalf("dead peer produced no errors: %+v", snap)
+	}
+	if snap.Skipped == 0 {
+		t.Fatalf("breaker never skipped the dead peer: %+v", snap)
+	}
+	if len(snap.Breaker.Qualifiers) == 0 {
+		t.Fatalf("dead peer missing from breaker snapshot: %+v", snap.Breaker)
+	}
+}
+
+// TestPeerFetchFaultPoint: an armed peer.fetch fault behaves exactly like a
+// failing peer — charged to the breaker as fetch errors while every verdict
+// stays locally computed and correct — and a node started after disarm warms
+// from the same peer cleanly.
+func TestPeerFetchFaultPoint(t *testing.T) {
+	defer faults.DisarmAll()
+	_, tsA := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	if code := postJSON(t, tsA.URL+"/check", CheckRequest{Source: peerSrc}, nil); code != http.StatusOK {
+		t.Fatalf("node A check: %d", code)
+	}
+
+	sB, tsB := newTestServer(t, Config{Workers: 2, CachePeers: []string{tsA.URL}, PeerRetries: -1})
+	sB.peerClient.sleep = func(time.Duration) {}
+	if err := faults.Arm("peer.fetch=error"); err != nil {
+		t.Fatal(err)
+	}
+	var respB CheckResponse
+	if code := postJSON(t, tsB.URL+"/check", CheckRequest{Source: peerSrc}, &respB); code != http.StatusOK {
+		t.Fatalf("node B check under fault: %d", code)
+	}
+	if respB.Warnings == 0 {
+		t.Fatal("faulted peer path lost the local verdicts")
+	}
+	snap := sB.peerClient.snapshot()
+	if snap.Errors == 0 || snap.Hits != 0 {
+		t.Fatalf("fault did not register as fetch errors: %+v", snap)
+	}
+
+	faults.DisarmAll()
+	sC, tsC := newTestServer(t, Config{Workers: 2, CachePeers: []string{tsA.URL}})
+	var respC CheckResponse
+	if code := postJSON(t, tsC.URL+"/check", CheckRequest{Source: peerSrc}, &respC); code != http.StatusOK {
+		t.Fatalf("node C check after disarm: %d", code)
+	}
+	if got := sC.funcCache.Stats(); got.PeerHits == 0 {
+		t.Fatalf("disarmed peer path served nothing: %+v", got)
+	}
+}
+
+// TestHealthzDrainingCarriesRetryAfter pins the shed-header fix: the
+// draining 503 from /healthz tells the load balancer when to re-probe, like
+// every other shed path.
+func TestHealthzDrainingCarriesRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.draining.Store(true)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining healthz 503 lacks Retry-After")
+	}
+	s.draining.Store(false)
+}
+
+// TestCacheEndpointDrainingShed: the cache endpoint sheds with Retry-After
+// while draining rather than serving records from a dying node.
+func TestCacheEndpointDrainingShed(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, CacheDir: t.TempDir()})
+	s.draining.Store(true)
+	resp, err := http.Get(ts.URL + "/cache/func/" + strings.Repeat("0", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining cache get: %d retry-after=%q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	s.draining.Store(false)
+}

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cachedisk"
 	"repro/internal/checker"
 	"repro/internal/cminor"
 	"repro/internal/faults"
@@ -103,6 +105,27 @@ type Config struct {
 	// prover cache and are re-replayed on fetch; a rejected replay degrades
 	// the obligation to a transient Unknown instead of an unchecked Valid.
 	EmitCertificates bool
+	// CacheDir, when set, makes both warm caches durable: function results
+	// persist under CacheDir/func and prover outcomes under CacheDir/prover
+	// (content-addressed, checksummed, crash-safe records — see
+	// internal/cachedisk). A store that fails to open degrades that cache to
+	// memory-only (recorded in /metrics disk.error) instead of failing the
+	// server.
+	CacheDir string
+	// CacheBudget caps each disk store's total record bytes; the oldest
+	// records are evicted past it. 0 means cachedisk.DefaultBudget.
+	CacheBudget int64
+	// CachePeers lists base URLs (e.g. "http://node2:8080") of qualserve
+	// nodes whose GET /cache/{ns}/{hash} endpoints are tried, in order, when
+	// both local tiers miss. Fetched records are admitted only after full
+	// verification: seal + embedded key for every record, certificate replay
+	// for prover Valids, content-seal recompute for function entries.
+	CachePeers []string
+	// PeerTimeout bounds one fetch attempt against one peer (0 means 2s);
+	// PeerRetries is the extra attempts per peer after the first (0 means 1,
+	// negative disables retry). Failures trip a per-peer circuit breaker.
+	PeerTimeout time.Duration
+	PeerRetries int
 }
 
 func (c Config) workers() int {
@@ -174,6 +197,16 @@ func (c Config) retryTransient() int {
 	return 1
 }
 
+func (c Config) peerRetries() int {
+	switch {
+	case c.PeerRetries > 0:
+		return c.PeerRetries
+	case c.PeerRetries < 0:
+		return 0 // disabled
+	}
+	return defaultPeerRetries
+}
+
 // job is one admitted request body waiting for a pool worker.
 type job struct {
 	ctx     context.Context
@@ -195,6 +228,10 @@ type Server struct {
 	funcCache   *checker.FuncCache
 	proverCache *simplify.Cache
 	breaker     *breaker
+	diskFunc    *cachedisk.Store // nil when CacheDir is unset or open failed
+	diskProver  *cachedisk.Store
+	diskErr     error // why the disk tier degraded to memory-only, if it did
+	peerClient  *peerClient
 
 	httpMu  sync.Mutex
 	httpSrv *http.Server
@@ -216,11 +253,35 @@ func New(cfg Config) *Server {
 		proverCache: simplify.NewCache(cfg.ProverCacheSize),
 		breaker:     newBreaker(cfg.breakerThreshold(), cfg.breakerCooldown()),
 	}
+	if cfg.CacheDir != "" {
+		// An unopenable cache dir degrades the server to memory-only caches
+		// (recorded in /metrics disk.error) rather than refusing to start:
+		// durability is an optimization, serving is the job.
+		if st, err := cachedisk.Open(filepath.Join(cfg.CacheDir, "func"), cfg.CacheBudget); err != nil {
+			s.diskErr = err
+		} else {
+			s.diskFunc = st
+		}
+		if st, err := cachedisk.Open(filepath.Join(cfg.CacheDir, "prover"), cfg.CacheBudget); err != nil {
+			s.diskErr = err
+		} else {
+			s.diskProver = st
+		}
+		s.funcCache.WithDisk(s.diskFunc)
+		s.proverCache.WithDisk(s.diskProver)
+	}
+	if len(cfg.CachePeers) > 0 {
+		s.peerClient = newPeerClient(cfg.CachePeers, cfg.PeerTimeout, cfg.peerRetries())
+		pc := s.peerClient
+		s.funcCache.WithPeerFetch(func(key string) ([]byte, bool) { return pc.fetch("func", key) })
+		s.proverCache.WithPeerFetch(func(key string) ([]byte, bool) { return pc.fetch("prover", key) })
+	}
 	s.mux.HandleFunc("POST /check", s.handleCheck)
 	s.mux.HandleFunc("POST /check-batch", s.handleCheckBatch)
 	s.mux.HandleFunc("POST /prove", s.handleProve)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /cache/{ns}/{hash}", s.handleCacheGet)
 	for w := 0; w < cfg.workers(); w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -905,6 +966,24 @@ type CacheSnapshot struct {
 	Rejected  uint64  `json:"rejected,omitempty"`
 	HitRate   float64 `json:"hit_rate"`
 	Len       int     `json:"len"`
+	// External tiers (zero unless -cache-dir / -cache-peers are set):
+	// DiskHits counts memory misses served from disk, PeerHits misses
+	// served and verified from a peer, PeerRejects peer records refused by
+	// verification (bad seal, undecodable payload, failed certificate
+	// replay or content-seal recompute).
+	DiskHits    uint64 `json:"disk_hits,omitempty"`
+	PeerHits    uint64 `json:"peer_hits,omitempty"`
+	PeerRejects uint64 `json:"peer_rejects,omitempty"`
+}
+
+// DiskSnapshot is the durable-cache section of GET /metrics: one
+// cachedisk.Stats block per namespace, plus why the tier degraded to
+// memory-only if it did.
+type DiskSnapshot struct {
+	Dir    string          `json:"dir"`
+	Error  string          `json:"error,omitempty"`
+	Func   cachedisk.Stats `json:"func"`
+	Prover cachedisk.Stats `json:"prover"`
 }
 
 // PrefilterSnapshot is the process-wide prefilter section of GET /metrics:
@@ -941,10 +1020,12 @@ type MetricsResponse struct {
 	Prefilter     PrefilterSnapshot     `json:"prefilter"`
 	Lemmas        LemmaSnapshot         `json:"lemmas"`
 	Certs         simplify.CertCounters `json:"certs"`
-	BudgetTrips   uint64            `json:"budget_trips"`
-	FaultsArmed   bool              `json:"faults_armed"`
-	FaultFires    map[string]uint64 `json:"fault_fires,omitempty"`
-	Breaker       BreakerSnapshot   `json:"breaker"`
+	BudgetTrips   uint64                `json:"budget_trips"`
+	FaultsArmed   bool                  `json:"faults_armed"`
+	FaultFires    map[string]uint64     `json:"fault_fires,omitempty"`
+	Breaker       BreakerSnapshot       `json:"breaker"`
+	Disk          *DiskSnapshot         `json:"disk,omitempty"`
+	Peers         *PeerSnapshot         `json:"peers,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -953,6 +1034,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	pf := simplify.GlobalPrefilterCounters()
 	lc := simplify.GlobalLemmaCounters()
 	ls := s.proverCache.LemmaStats()
+	var disk *DiskSnapshot
+	if s.cfg.CacheDir != "" {
+		disk = &DiskSnapshot{Dir: s.cfg.CacheDir, Func: s.diskFunc.Stats(), Prover: s.diskProver.Stats()}
+		if s.diskErr != nil {
+			disk.Error = s.diskErr.Error()
+		}
+	}
+	var peers *PeerSnapshot
+	if s.peerClient != nil {
+		snap := s.peerClient.snapshot()
+		peers = &snap
+	}
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		Snapshot:      s.metrics.snapshot(),
 		Workers:       s.cfg.workers(),
@@ -963,10 +1056,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Hits: fc.Hits, Misses: fc.Misses, Coalesced: fc.Coalesced,
 			Evictions: fc.Evictions, Rejected: fc.Rejected,
 			HitRate: fc.HitRate(), Len: s.funcCache.Len(),
+			DiskHits: fc.DiskHits, PeerHits: fc.PeerHits, PeerRejects: fc.PeerRejects,
 		},
 		ProverCache: CacheSnapshot{
 			Hits: pc.Hits, Misses: pc.Misses, Evictions: pc.Evictions,
 			HitRate: pc.HitRate(), Len: s.proverCache.Len(),
+			DiskHits: pc.DiskHits, PeerHits: pc.PeerHits, PeerRejects: pc.PeerRejects,
 		},
 		Prefilter: PrefilterSnapshot{
 			Attempts: pf.Attempts, Ground: pf.Ground, Unit: pf.Unit,
@@ -981,11 +1076,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		FaultsArmed: faults.Armed(),
 		FaultFires:  faults.Counters(),
 		Breaker:     s.breaker.snapshot(),
+		Disk:        disk,
+		Peers:       peers,
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
+		// Like every other shed path, the draining 503 tells the load
+		// balancer when trying again is worthwhile.
+		setRetryAfter(w, s.cfg.drainTimeout())
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
 		return
 	}

@@ -6,17 +6,28 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/cachedisk"
 	"repro/internal/logic"
 )
 
 // DefaultCacheCapacity bounds a cache created with capacity <= 0.
 const DefaultCacheCapacity = 4096
 
-// CacheStats is a snapshot of a cache's counters.
+// CacheStats is a snapshot of a cache's counters. Hits/Misses/Evictions
+// describe the in-memory tier; the external-tier counters below stay zero
+// unless a disk store or peer fetcher is attached (see persist.go).
 type CacheStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	// DiskHits counts memory misses served from the disk tier; PeerHits
+	// counts misses served (and verified) from a cache peer. Both also count
+	// toward Misses — the layers report independently.
+	DiskHits uint64
+	PeerHits uint64
+	// PeerRejects counts peer records refused by verification: bad seal,
+	// undecodable payload, or a Valid whose certificate failed replay.
+	PeerRejects uint64
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -55,6 +66,13 @@ type Cache struct {
 
 	lemmaMu sync.Mutex
 	lemmas  map[string]*lemmaPool
+
+	// Optional external tiers, attached before concurrent use and immutable
+	// after (WithDisk / WithPeerFetch in persist.go). Lemma pools stay
+	// process-local: they are pruning hints, not verdicts, and re-deriving
+	// them is cheap.
+	disk      *cachedisk.Store
+	peerFetch PeerFetch
 }
 
 type cacheEntry struct {
@@ -75,23 +93,45 @@ func NewCache(capacity int) *Cache {
 	}
 }
 
-// get returns the cached outcome for key, marking it most recently used.
+// get returns the cached outcome for key, marking it most recently used. On
+// a memory miss it falls through to the disk and peer tiers when attached
+// (externalGet, persist.go) — those probes run outside the cache lock, so a
+// slow disk or peer never blocks concurrent memory hits.
 func (c *Cache) get(key string) (Outcome, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.entries[key]
-	if !ok {
-		c.stats.Misses++
+	if ok {
+		c.stats.Hits++
+		c.lru.MoveToFront(el)
+		out := el.Value.(*cacheEntry).outcome
+		c.mu.Unlock()
+		return out, true
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+	if c.disk == nil && c.peerFetch == nil {
 		return Outcome{}, false
 	}
-	c.stats.Hits++
-	c.lru.MoveToFront(el)
-	return el.Value.(*cacheEntry).outcome, true
+	return c.externalGet(key)
 }
 
 // put stores the outcome for key, evicting the least recently used entry
-// when the cache is full.
+// when the cache is full, and persists it to the disk tier when one is
+// attached. The CacheHit flag is stripped before storing: it describes one
+// lookup, not the outcome.
 func (c *Cache) put(key string, out Outcome) {
+	out.CacheHit = false
+	if c.disk != nil {
+		c.disk.Put(key, encodeOutcome(out))
+	}
+	c.putMemory(key, out)
+}
+
+// putMemory inserts into the in-memory tier only — used by put after the
+// disk write-through, and by externalGet to promote disk/peer-loaded
+// outcomes without re-persisting bytes that are already on disk.
+func (c *Cache) putMemory(key string, out Outcome) {
+	out.CacheHit = false
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
