@@ -9,7 +9,7 @@
 //	          [-max-body N] [-mem-limit N] [-breaker-threshold K] [-breaker-cooldown 5s]
 //	          [-max-terms N] [-max-clauses N] [-max-insts N]
 //	          [-cache-dir dir] [-cache-budget N] [-cache-peers url,url]
-//	          [-faults spec]
+//	          [-cache-secret-file path] [-faults spec]
 //
 // Endpoints:
 //
@@ -32,10 +32,17 @@
 // With -cache-dir, both warm caches persist across restarts as checksummed
 // crash-safe records; corrupt or torn records are evicted and re-proved,
 // never trusted. With -cache-peers, a local cache miss consults the listed
-// nodes before computing: fetched prover verdicts are admitted only after
-// their proof certificates replay locally, and fetched checker results only
-// after their content seal verifies — a lying peer costs a re-walk, never
-// a wrong answer.
+// nodes before computing. The two namespaces have different trust anchors:
+// fetched prover verdicts are admitted only after their proof certificates
+// replay locally, so a lying peer (or an on-path attacker on these plain
+// HTTP fetches) costs a re-prove, never a wrong Valid. Fetched checker
+// results have no proof to replay — their content seal is a plain checksum
+// that detects corruption, not tampering — so they are fetched only when
+// -cache-secret-file configures a shared fleet secret: every served record
+// carries an HMAC under it, every fetched record must verify, and without a
+// secret the checker namespace simply never fetches. Give every node in a
+// fleet the same secret file, and treat the secret as the thing that makes
+// a peer's checker results as trustworthy as your own disk.
 //
 // SIGINT/SIGTERM starts a graceful drain: in-flight requests finish (up to
 // -drain), new ones are answered 503, then the process exits 0.
@@ -99,8 +106,9 @@ func run() int {
 	maxClauses := flag.Int("max-clauses", 0, "per-goal clause-database budget (0 = unlimited)")
 	maxInsts := flag.Int("max-insts", 0, "per-goal quantifier-instantiation budget (0 = default)")
 	cacheDir := flag.String("cache-dir", "", "persist both warm caches under this directory (crash-safe, checksummed records; restarts start warm)")
-	cacheBudget := flag.Int64("cache-budget", 0, "per-namespace disk cache size in bytes before LRU eviction (0 = unlimited)")
+	cacheBudget := flag.Int64("cache-budget", 0, "per-namespace disk cache size in bytes before LRU eviction (0 = default 256 MiB)")
 	cachePeers := flag.String("cache-peers", "", "comma-separated base URLs of peer qualserve nodes to fetch cache records from on a local miss (every fetched record is re-verified before use)")
+	cacheSecretFile := flag.String("cache-secret-file", "", "file holding the shared fleet secret that authenticates peer cache records (required for checker-result peer fetch; prover fetch works without it via certificate replay)")
 	peerTimeout := flag.Duration("peer-timeout", 0, "per-attempt timeout for one peer cache fetch (default 2s)")
 	peerRetries := flag.Int("peer-retries", 0, "extra fetch attempts per peer after the first (default 1; negative = off)")
 	certs := flag.Bool("cert", false, "emit and replay-verify a proof certificate for every Valid prover verdict (surfaced per obligation and in /metrics)")
@@ -133,6 +141,20 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "qualserve: FAULT INJECTION ARMED (%s) — this process serves degraded answers by design\n", spec)
 	}
 
+	var cacheSecret []byte
+	if *cacheSecretFile != "" {
+		raw, err := os.ReadFile(*cacheSecretFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qualserve: -cache-secret-file:", err)
+			return 2
+		}
+		cacheSecret = []byte(strings.TrimSpace(string(raw)))
+		if len(cacheSecret) == 0 {
+			fmt.Fprintf(os.Stderr, "qualserve: -cache-secret-file %s is empty\n", *cacheSecretFile)
+			return 2
+		}
+	}
+
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
@@ -158,6 +180,7 @@ func run() int {
 		CacheDir:           *cacheDir,
 		CacheBudget:        *cacheBudget,
 		CachePeers:         splitPeers(*cachePeers),
+		CacheSecret:        cacheSecret,
 		PeerTimeout:        *peerTimeout,
 		PeerRetries:        *peerRetries,
 	})

@@ -394,8 +394,7 @@ func (s *Store) getSealed(hash, wantKey string) ([]byte, bool) {
 		return nil, false
 	}
 	s.mu.Lock()
-	el, indexed := s.index[hash]
-	if !indexed {
+	if _, indexed := s.index[hash]; !indexed {
 		s.stats.Misses++
 		s.mu.Unlock()
 		return nil, false
@@ -405,14 +404,29 @@ func (s *Store) getSealed(hash, wantKey string) ([]byte, bool) {
 		s.mu.Unlock()
 		return nil, false
 	}
+	s.mu.Unlock()
+
+	// The read runs outside the store lock — commit drops it around
+	// writeRecord for the same reason — so one slow or hung disk read can
+	// never stall every other store operation behind the mutex.
 	path := filepath.Join(s.dir, hash+recExt)
 	record, err := s.readRecord(path)
+
+	s.mu.Lock()
+	// Re-validate: the entry may have been evicted (budget, Delete, a
+	// concurrent corrupt load) while the lock was dropped. If it is gone,
+	// the bytes just read are no longer trusted — plain miss.
+	el, indexed := s.index[hash]
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			// The file vanished under us (an external cleaner, a shared
-			// directory): drop the index entry, plain miss.
-			s.dropLocked(el, false)
+			// directory): drop the index entry, plain miss. The disk
+			// answered, so a half-open probe counts as healthy.
+			if indexed {
+				s.dropLocked(el, false)
+			}
 			s.stats.Misses++
+			s.recordIOLocked(true)
 			s.mu.Unlock()
 			return nil, false
 		}
@@ -423,6 +437,11 @@ func (s *Store) getSealed(hash, wantKey string) ([]byte, bool) {
 		return nil, false
 	}
 	s.recordIOLocked(true)
+	if !indexed {
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
 	if _, err := Unseal(record, wantKey); err != nil {
 		// Self-healing load: the record is short, torn, bit-rotted, stale,
 		// or mis-keyed. Evict it at the source of truth and miss.

@@ -15,6 +15,15 @@ import (
 // integrity check. A record whose recomputed seal disagrees with its stored
 // seal is rejected and evicted no matter how clean its checksums were: the
 // seal attests to what the walk produced, not to what the disk stored.
+//
+// Trust model: seal and checksums are plain FNV-64a — recomputable by any
+// writer — so they detect corruption (bit rot, torn writes, stale formats),
+// NOT deliberate tampering. Unlike prover outcomes, a function entry
+// carries no certificate to replay, so an entry is only as trustworthy as
+// its source: the local disk (same trust domain as the process), or a peer
+// that authenticated itself with the shared fleet secret — the server layer
+// HMACs every served record and only wires the func-namespace peer fetch
+// when a secret is configured (server.Config.CacheSecret).
 const (
 	funcEntryMagic   = "QFE"
 	funcEntryVersion = byte(1)
@@ -45,8 +54,11 @@ func encodeFuncEntry(e *funcCacheEntry) []byte {
 
 // decodeFuncEntry is encodeFuncEntry's inverse. Beyond framing, it verifies
 // the content seal: sealEntry over the decoded fields must reproduce the
-// stored seal exactly, so any semantic mutation that survives the outer
-// checksums (or a record minted by a buggy/hostile writer) is refused.
+// stored seal exactly, so any accidental mutation that survives the outer
+// checksums (or a record minted by a buggy writer) is refused. The seal is
+// not authentication — a deliberate forger recomputes it trivially; keeping
+// forgers out of the fetch path is the transport's job (see the package
+// comment's trust model).
 func decodeFuncEntry(data []byte) (*funcCacheEntry, error) {
 	if len(data) < len(funcEntryMagic)+1+8 {
 		return nil, fmt.Errorf("short function-entry payload")

@@ -61,6 +61,7 @@ func TestChaosSoak(t *testing.T) {
 		// hostile peer's rejections are part of the contract under test.
 		CacheDir:    t.TempDir(),
 		CachePeers:  []string{garbagePeer.URL},
+		CacheSecret: []byte("chaos-fleet-secret"),
 		PeerTimeout: 500 * time.Millisecond,
 		PeerRetries: -1,
 	})

@@ -22,6 +22,10 @@ void bad(int* p) {
 }
 `
 
+// fleetSecret is the shared cache-auth secret the two-node tests run with:
+// function-cache peer fetch is enabled only when one is configured.
+var fleetSecret = []byte("peers-test-fleet-secret")
+
 // diskHashes lists the committed record hashes in a store directory.
 func diskHashes(t *testing.T, dir string) []string {
 	t.Helper()
@@ -91,16 +95,17 @@ func TestCacheEndpointServesSealedRecords(t *testing.T) {
 // from verified peer fetches — identical diagnostics, zero local walks, and
 // the fetched records written through to B's own disk.
 func TestPeerWarmsSecondNode(t *testing.T) {
-	_, tsA := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	_, tsA := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir(), CacheSecret: fleetSecret})
 	var respA CheckResponse
 	if code := postJSON(t, tsA.URL+"/check", CheckRequest{Source: peerSrc}, &respA); code != http.StatusOK {
 		t.Fatalf("node A check: %d", code)
 	}
 
 	sB, tsB := newTestServer(t, Config{
-		Workers:    2,
-		CacheDir:   t.TempDir(),
-		CachePeers: []string{tsA.URL},
+		Workers:     2,
+		CacheDir:    t.TempDir(),
+		CachePeers:  []string{tsA.URL},
+		CacheSecret: fleetSecret,
 	})
 	var respB CheckResponse
 	if code := postJSON(t, tsB.URL+"/check", CheckRequest{Source: peerSrc}, &respB); code != http.StatusOK {
@@ -179,52 +184,133 @@ func TestProvePeerRequiresCertificates(t *testing.T) {
 	}
 }
 
-// TestAdversarialPeerNeverFlipsVerdicts: a hostile peer serving tampered
-// records costs local re-walks, never wrong output. Every tampered fetch is
-// counted as a reject and surfaced in /metrics.
+// TestAdversarialPeerNeverFlipsVerdicts: a hostile relay serving tampered
+// records costs local re-walks, never wrong output — whether the attacker
+// is outside the fleet (cannot mint the fleet MAC; the transport refuses
+// the record) or inside it (re-MACs the tampered bytes; the cache layer's
+// seal verification refuses them). Both rejections surface in /metrics.
 func TestAdversarialPeerNeverFlipsVerdicts(t *testing.T) {
-	// A truthful node A, then a proxy in front of it that flips one byte in
-	// every record it relays.
-	_, tsA := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	// A truthful node A, then proxies in front of it that flip one byte in
+	// every record they relay.
+	_, tsA := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir(), CacheSecret: fleetSecret})
 	var respA CheckResponse
 	if code := postJSON(t, tsA.URL+"/check", CheckRequest{Source: peerSrc}, &respA); code != http.StatusOK {
 		t.Fatalf("node A check: %d", code)
 	}
-	evil := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		resp, err := http.Get(tsA.URL + r.URL.Path)
-		if err != nil {
-			w.WriteHeader(http.StatusBadGateway)
-			return
-		}
-		defer resp.Body.Close()
-		data, _ := io.ReadAll(resp.Body)
-		if resp.StatusCode == http.StatusOK && len(data) > 0 {
-			data[len(data)/2] ^= 0x40
-		}
-		w.WriteHeader(resp.StatusCode)
-		w.Write(data)
-	}))
-	defer evil.Close()
+	tamperProxy := func(resign bool) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			resp, err := http.Get(tsA.URL + r.URL.Path)
+			if err != nil {
+				w.WriteHeader(http.StatusBadGateway)
+				return
+			}
+			defer resp.Body.Close()
+			data, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode == http.StatusOK && len(data) > 0 {
+				data[len(data)/2] ^= 0x40
+				if resign {
+					// The insider: knows the fleet secret, so the MAC
+					// verifies — only the record's own checks remain.
+					w.Header().Set(peerAuthHeader, peerAuthTag(fleetSecret, data))
+				}
+			}
+			w.WriteHeader(resp.StatusCode)
+			w.Write(data)
+		}))
+	}
 
-	sB, tsB := newTestServer(t, Config{Workers: 2, CachePeers: []string{evil.URL}})
+	// Outsider: tampered bytes without a mintable MAC die at the transport.
+	evil := tamperProxy(false)
+	defer evil.Close()
+	sB, tsB := newTestServer(t, Config{Workers: 2, CachePeers: []string{evil.URL}, CacheSecret: fleetSecret})
 	var respB CheckResponse
 	if code := postJSON(t, tsB.URL+"/check", CheckRequest{Source: peerSrc}, &respB); code != http.StatusOK {
 		t.Fatalf("node B check: %d", code)
 	}
 	if a, b := fmt.Sprint(respA.Diagnostics), fmt.Sprint(respB.Diagnostics); a != b {
-		t.Fatalf("adversarial peer changed the diagnostics:\nA: %s\nB: %s", a, b)
+		t.Fatalf("outsider tampering changed the diagnostics:\nA: %s\nB: %s", a, b)
 	}
-	fc := sB.funcCache.Stats()
-	if fc.PeerRejects == 0 {
-		t.Fatalf("no tampered record was rejected: %+v", fc)
-	}
-	if fc.PeerHits != 0 {
+	if fc := sB.funcCache.Stats(); fc.PeerHits != 0 {
 		t.Fatalf("a tampered record was admitted: %+v", fc)
+	}
+	snap := sB.peerClient.snapshot()
+	if snap.AuthRejects == 0 {
+		t.Fatalf("no tampered record failed authentication: %+v", snap)
 	}
 	var m MetricsResponse
 	getJSON(t, tsB.URL+"/metrics", &m)
-	if m.FuncCache.PeerRejects == 0 {
-		t.Fatalf("rejects not surfaced in /metrics: %+v", m.FuncCache)
+	if m.Peers == nil || m.Peers.AuthRejects == 0 || !m.Peers.Authenticated {
+		t.Fatalf("auth rejects not surfaced in /metrics: %+v", m.Peers)
+	}
+
+	// Insider: the MAC verifies, so the tampered record reaches the cache
+	// layer — where Unseal's checksum refuses it, counted as a peer reject.
+	insider := tamperProxy(true)
+	defer insider.Close()
+	sC, tsC := newTestServer(t, Config{Workers: 2, CachePeers: []string{insider.URL}, CacheSecret: fleetSecret})
+	var respC CheckResponse
+	if code := postJSON(t, tsC.URL+"/check", CheckRequest{Source: peerSrc}, &respC); code != http.StatusOK {
+		t.Fatalf("node C check: %d", code)
+	}
+	if a, c := fmt.Sprint(respA.Diagnostics), fmt.Sprint(respC.Diagnostics); a != c {
+		t.Fatalf("insider tampering changed the diagnostics:\nA: %s\nC: %s", a, c)
+	}
+	fc := sC.funcCache.Stats()
+	if fc.PeerRejects == 0 {
+		t.Fatalf("no re-signed tampered record was rejected: %+v", fc)
+	}
+	if fc.PeerHits != 0 {
+		t.Fatalf("a re-signed tampered record was admitted: %+v", fc)
+	}
+	var mc MetricsResponse
+	getJSON(t, tsC.URL+"/metrics", &mc)
+	if mc.FuncCache.PeerRejects == 0 {
+		t.Fatalf("rejects not surfaced in /metrics: %+v", mc.FuncCache)
+	}
+}
+
+// TestFuncPeerFetchRequiresSecret: without a fleet secret the function
+// namespace never fetches from peers — its seals cannot distinguish a lying
+// peer from an honest one, so the node computes locally instead — while the
+// certificate-gated prover namespace stays peer-fetchable.
+func TestFuncPeerFetchRequiresSecret(t *testing.T) {
+	_, tsA := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir(), EmitCertificates: true})
+	if code := postJSON(t, tsA.URL+"/check", CheckRequest{Source: peerSrc}, nil); code != http.StatusOK {
+		t.Fatalf("node A check: %d", code)
+	}
+	var proveA ProveResponse
+	if code := postJSON(t, tsA.URL+"/prove", ProveRequest{Qualifier: "nonnull"}, &proveA); code != http.StatusOK {
+		t.Fatalf("node A prove: %d", code)
+	}
+
+	sB, tsB := newTestServer(t, Config{
+		Workers: 2, EmitCertificates: true,
+		CachePeers: []string{tsA.URL}, // no CacheSecret
+	})
+	var respB CheckResponse
+	if code := postJSON(t, tsB.URL+"/check", CheckRequest{Source: peerSrc}, &respB); code != http.StatusOK {
+		t.Fatalf("node B check: %d", code)
+	}
+	if respB.Stats.FuncCacheMisses == 0 {
+		t.Fatal("node B did not walk locally — func entries came from an unauthenticated peer")
+	}
+	if fc := sB.funcCache.Stats(); fc.PeerHits != 0 || fc.PeerRejects != 0 {
+		t.Fatalf("unauthenticated func peer traffic happened: %+v", fc)
+	}
+	var proveB ProveResponse
+	if code := postJSON(t, tsB.URL+"/prove", ProveRequest{Qualifier: "nonnull"}, &proveB); code != http.StatusOK {
+		t.Fatalf("node B prove: %d", code)
+	}
+	if !proveB.AllSound {
+		t.Fatalf("node B prove not sound: %+v", proveB)
+	}
+	if pc := sB.proverCache.Stats(); pc.PeerHits == 0 {
+		t.Fatalf("certificate-gated prover namespace did not fetch: %+v", pc)
+	}
+	var m MetricsResponse
+	getJSON(t, tsB.URL+"/metrics", &m)
+	if m.Peers == nil || m.Peers.Authenticated {
+		t.Fatalf("metrics should report an unauthenticated peer client: %+v", m.Peers)
 	}
 }
 
@@ -235,6 +321,7 @@ func TestDeadPeerBreakerAndFallback(t *testing.T) {
 	s, ts := newTestServer(t, Config{
 		Workers:     2,
 		CachePeers:  []string{"http://127.0.0.1:1"}, // nothing listens here
+		CacheSecret: fleetSecret,
 		PeerTimeout: 100 * time.Millisecond,
 		PeerRetries: -1,
 	})
@@ -267,12 +354,12 @@ func TestDeadPeerBreakerAndFallback(t *testing.T) {
 // from the same peer cleanly.
 func TestPeerFetchFaultPoint(t *testing.T) {
 	defer faults.DisarmAll()
-	_, tsA := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	_, tsA := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir(), CacheSecret: fleetSecret})
 	if code := postJSON(t, tsA.URL+"/check", CheckRequest{Source: peerSrc}, nil); code != http.StatusOK {
 		t.Fatalf("node A check: %d", code)
 	}
 
-	sB, tsB := newTestServer(t, Config{Workers: 2, CachePeers: []string{tsA.URL}, PeerRetries: -1})
+	sB, tsB := newTestServer(t, Config{Workers: 2, CachePeers: []string{tsA.URL}, CacheSecret: fleetSecret, PeerRetries: -1})
 	sB.peerClient.sleep = func(time.Duration) {}
 	if err := faults.Arm("peer.fetch=error"); err != nil {
 		t.Fatal(err)
@@ -290,7 +377,7 @@ func TestPeerFetchFaultPoint(t *testing.T) {
 	}
 
 	faults.DisarmAll()
-	sC, tsC := newTestServer(t, Config{Workers: 2, CachePeers: []string{tsA.URL}})
+	sC, tsC := newTestServer(t, Config{Workers: 2, CachePeers: []string{tsA.URL}, CacheSecret: fleetSecret})
 	var respC CheckResponse
 	if code := postJSON(t, tsC.URL+"/check", CheckRequest{Source: peerSrc}, &respC); code != http.StatusOK {
 		t.Fatalf("node C check after disarm: %d", code)

@@ -121,6 +121,17 @@ type Config struct {
 	// verification: seal + embedded key for every record, certificate replay
 	// for prover Valids, content-seal recompute for function entries.
 	CachePeers []string
+	// CacheSecret is the shared fleet secret authenticating peer cache
+	// traffic: nodes attach an HMAC-SHA256 of every served record and
+	// require one on every fetched record. It is the trust anchor for the
+	// func namespace — a function entry's seals are plain checksums any
+	// writer can recompute (they detect corruption, not tampering), so
+	// WITHOUT a secret, function-cache peer fetch is disabled outright
+	// rather than trusting whoever answers the URL. Prover records stay
+	// fetchable either way: their Valids are gated on certificate replay,
+	// which no secret can forge. Every node in a fleet must share the same
+	// secret (see qualserve -cache-secret-file).
+	CacheSecret []byte
 	// PeerTimeout bounds one fetch attempt against one peer (0 means 2s);
 	// PeerRetries is the extra attempts per peer after the first (0 means 1,
 	// negative disables retry). Failures trip a per-peer circuit breaker.
@@ -271,9 +282,16 @@ func New(cfg Config) *Server {
 		s.proverCache.WithDisk(s.diskProver)
 	}
 	if len(cfg.CachePeers) > 0 {
-		s.peerClient = newPeerClient(cfg.CachePeers, cfg.PeerTimeout, cfg.peerRetries())
+		s.peerClient = newPeerClient(cfg.CachePeers, cfg.PeerTimeout, cfg.peerRetries(), cfg.CacheSecret)
 		pc := s.peerClient
-		s.funcCache.WithPeerFetch(func(key string) ([]byte, bool) { return pc.fetch("func", key) })
+		// The func namespace has no intrinsic proof to replay — its content
+		// seal detects corruption, not tampering — so it fetches from peers
+		// only when the fleet MAC authenticates them. The prover namespace
+		// fetches unconditionally: a Valid is admitted only after its
+		// certificate replays locally, which no network position can forge.
+		if len(cfg.CacheSecret) > 0 {
+			s.funcCache.WithPeerFetch(func(key string) ([]byte, bool) { return pc.fetch("func", key) })
+		}
 		s.proverCache.WithPeerFetch(func(key string) ([]byte, bool) { return pc.fetch("prover", key) })
 	}
 	s.mux.HandleFunc("POST /check", s.handleCheck)

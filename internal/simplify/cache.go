@@ -150,6 +150,22 @@ func (c *Cache) putMemory(key string, out Outcome) {
 	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, outcome: out})
 }
 
+// evict removes key from the memory tier and, when a disk tier is attached,
+// deletes its record at the source of truth (counted as a corruption
+// eviction there). Fetch-time verification calls this when it refuses an
+// entry — a Valid without the certificate its options require, a failed
+// replay — so the unverifiable bytes are not re-served on the next lookup.
+func (c *Cache) evict(key string) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		c.stats.Evictions++
+	}
+	c.mu.Unlock()
+	c.disk.Delete(key)
+}
+
 // Stats returns a snapshot of the hit/miss/eviction counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()

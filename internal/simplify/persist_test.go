@@ -178,6 +178,56 @@ func TestCacheDiskTierPoisonedPayloadReproves(t *testing.T) {
 	}
 }
 
+// TestDiskValidWithoutCertificateReproves pins the disk-tier mirror of the
+// peer gate: a disk record rewritten as a Valid with its certificate
+// stripped (checksum and framing recompute cleanly, so only the certificate
+// requirement stands in the way) must be rejected under EmitCertificates,
+// evicted at the disk tier, and re-proved — never served as a trusted
+// Valid.
+func TestDiskValidWithoutCertificateReproves(t *testing.T) {
+	dir := t.TempDir()
+	store, _ := cachedisk.Open(dir, 0)
+	p := New(unsatAxioms(), certOptions()).WithCache(NewCache(0).WithDisk(store))
+	goal := logic.P("R", logic.Const("c"))
+	first := p.Prove(goal)
+	if first.Result != Valid || first.Certificate == nil {
+		t.Fatalf("seed: %v cert=%t", first.Result, first.Certificate != nil)
+	}
+
+	noCert := first
+	noCert.Certificate = nil
+	key := p.fingerprint + "\x00" + logic.CanonicalString(goal)
+	files, _ := filepath.Glob(filepath.Join(dir, "*.qc"))
+	if len(files) != 1 {
+		t.Fatalf("expected 1 record, found %v", files)
+	}
+	if err := os.WriteFile(files[0], cachedisk.Seal(key, encodeOutcome(noCert)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, _ := cachedisk.Open(dir, 0)
+	cache2 := NewCache(0).WithDisk(store2)
+	p2 := New(unsatAxioms(), certOptions()).WithCache(cache2)
+	out := p2.Prove(goal)
+	if out.Result != Valid || out.CacheHit {
+		t.Fatalf("cert-less disk Valid: %v hit=%t, want a fresh re-prove", out.Result, out.CacheHit)
+	}
+	if out.Certificate == nil {
+		t.Fatal("re-prove lost its certificate")
+	}
+	if st := store2.Stats(); st.CorruptEvicted != 1 {
+		t.Fatalf("disk stats = %+v, want the stripped record evicted", st)
+	}
+	// The re-prove healed the record: a cold third start serves a Valid that
+	// again carries its certificate.
+	store3, _ := cachedisk.Open(dir, 0)
+	p3 := New(unsatAxioms(), certOptions()).WithCache(NewCache(0).WithDisk(store3))
+	healed := p3.Prove(goal)
+	if !healed.CacheHit || healed.Certificate == nil {
+		t.Fatalf("healed record: hit=%t cert=%t", healed.CacheHit, healed.Certificate != nil)
+	}
+}
+
 func TestPeerFetchVerifiedPath(t *testing.T) {
 	valid, key := provedOutcome(t)
 

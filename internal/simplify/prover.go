@@ -311,14 +311,29 @@ func (p *Prover) ProveContext(ctx context.Context, goal logic.Formula) Outcome {
 		ck := logic.CanonicalString(goal)
 		key = p.fingerprint + "\x00" + ck
 		if out, ok := p.cache.get(key); ok {
-			// Replay-on-fetch: a cached Valid backed by a certificate is
-			// re-verified before being served, so a corrupted cache entry
-			// (bit rot, a bad peer in a future distributed cache) degrades
-			// to a fresh search instead of a trusted wrong verdict.
-			if !p.opts.EmitCertificates || out.Certificate == nil || p.replayFetched(out.Certificate, ck) {
+			// Replay-on-fetch: under EmitCertificates a cache-served Valid is
+			// trusted only when it carries a certificate that replays for
+			// this goal — regardless of which tier (memory, disk, peer)
+			// produced it. A fresh Valid in emit mode always embeds its
+			// certificate, so a cert-less Valid here can only be tampered or
+			// stale external bytes; it is rejected exactly like a failed
+			// replay (mirroring verifyPeerOutcome's peer gate), evicted from
+			// every tier, and re-proved.
+			trusted := true
+			if p.opts.EmitCertificates {
+				switch {
+				case out.Result == Valid && out.Certificate == nil:
+					certRejected.Add(1)
+					trusted = false
+				case out.Certificate != nil:
+					trusted = p.replayFetched(out.Certificate, ck)
+				}
+			}
+			if trusted {
 				out.CacheHit = true
 				return out
 			}
+			p.cache.evict(key)
 		}
 	}
 	out := p.proveSafe(ctx, goal)
